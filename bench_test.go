@@ -1,0 +1,172 @@
+package salam_test
+
+// One testing.B benchmark per table and figure in the paper's evaluation,
+// plus ablation benches for the design decisions called out in DESIGN.md.
+// Benchmarks run the experiments at smoke scale so `go test -bench=.`
+// stays tractable; `cmd/salam-experiments -scale full` regenerates the
+// recorded EXPERIMENTS.md numbers.
+
+import (
+	"testing"
+
+	salam "gosalam"
+	"gosalam/internal/experiments"
+	"gosalam/kernels"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.RunnerByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(experiments.ScaleSmoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Paper Table I: baseline datapath vs data-dependent execution.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Paper Table II: baseline datapath vs memory design.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Paper Fig. 4: power breakdown with private SPM.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Paper Fig. 10: timing validation vs the HLS reference.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Paper Fig. 11: power validation vs the synthesis reference.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Paper Fig. 12: area validation vs the synthesis reference.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Paper Table III: full-system validation vs the FPGA model.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Paper Table IV: preprocessing/simulation wall-clock vs the baseline.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Paper Fig. 13: GEMM power/performance Pareto sweep.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Paper Fig. 14: GEMM stall breakdown vs read/write ports.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Paper Fig. 15: GEMM memory/compute co-design exploration.
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Paper Fig. 16: producer-consumer accelerator scenarios.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Raw engine throughput: how fast the execute-in-execute engine simulates
+// one representative kernel (the quantity behind Table IV's SALAM column).
+func BenchmarkEngineGEMM(b *testing.B) {
+	k := kernels.GEMM(8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := salam.RunKernel(k, salam.DefaultRunOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBFS(b *testing.B) {
+	k := kernels.BFS(64, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := salam.RunKernel(k, salam.DefaultRunOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 3 (DESIGN.md): bounded basic-block fetch window — loop
+// pipelining on vs off.
+func BenchmarkAblationWindow(b *testing.B) {
+	k := kernels.GEMM(8, 1)
+	for _, pipe := range []bool{true, false} {
+		name := "pipelined"
+		if !pipe {
+			name = "drain"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.PipelineLoops = pipe
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := salam.RunKernel(k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// Ablation 4: dedicated 1:1 FUs vs constrained pools.
+func BenchmarkAblationFUReuse(b *testing.B) {
+	k := kernels.GEMMTree(8)
+	for _, fu := range []int{0, 2, 8} {
+		name := "dedicated"
+		if fu > 0 {
+			name = "pool-" + string(rune('0'+fu))
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := salam.DefaultRunOpts()
+			// Wide memory so the FP pool, not bandwidth, binds.
+			opts.Accel.ReadPorts, opts.Accel.WritePorts = 8, 8
+			opts.Accel.MaxOutstanding = 32
+			opts.SPMPortsPer = 8
+			opts.Accel.ResQueueSize = 512
+			if fu > 0 {
+				opts.Accel.FULimits = map[salam.FUClass]int{
+					salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+				}
+			}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := salam.RunKernel(k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// Ablation 5: dynamic memory disambiguation vs strict program order.
+func BenchmarkAblationMemOrder(b *testing.B) {
+	k := kernels.Stencil2D(12, 12)
+	for _, conservative := range []bool{false, true} {
+		name := "disambiguate"
+		if conservative {
+			name = "strict-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ConservativeMemOrder = conservative
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := salam.RunKernel(k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Command salam-dse sweeps accelerator design parameters for a kernel and
+// emits CSV — the paper's design-space-exploration workflow (Sec. IV-D),
+// where a script sweeps FU allocations and memory bandwidth and the
+// results are analyzed as a Pareto set.
+//
+// Usage:
+//
+//	salam-dse -kernel gemm -ports 2,4,8 -fu 4,8,16 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	salam "gosalam"
+	"gosalam/internal/hw"
+	"gosalam/kernels"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel name")
+	preset := flag.String("preset", "small", "workload preset: small or default")
+	portsList := flag.String("ports", "2,4,8", "read/write port counts to sweep")
+	fuList := flag.String("fu", "0", "FP adder+multiplier limits to sweep (0 = dedicated)")
+	memList := flag.String("mem", "spm", "memory kinds to sweep: spm,cache")
+	flag.Parse()
+
+	p := kernels.Small
+	if *preset == "default" {
+		p = kernels.Default
+	}
+	k := kernels.ByName(p, *kernel)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+	ports, err := parseInts(*portsList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fus, err := parseInts(*fuList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println("kernel,memory,fu_limit,ports,cycles,time_us,power_mw,datapath_mw,area_um2")
+	for _, memKind := range strings.Split(*memList, ",") {
+		for _, fu := range fus {
+			for _, port := range ports {
+				opts := salam.DefaultRunOpts()
+				opts.Accel.ReadPorts = port
+				opts.Accel.WritePorts = port
+				opts.Accel.MaxOutstanding = 2 * port
+				opts.SPMPortsPer = port
+				if fu > 0 {
+					opts.Accel.FULimits = map[hw.FUClass]int{
+						hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
+					}
+				}
+				switch strings.TrimSpace(memKind) {
+				case "spm":
+					opts.Mem = salam.MemSPM
+				case "cache":
+					opts.Mem = salam.MemCache
+				default:
+					fmt.Fprintf(os.Stderr, "unknown memory %q\n", memKind)
+					os.Exit(2)
+				}
+				res, err := salam.RunKernel(k, opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
+					k.Name, memKind, fu, port, res.Cycles,
+					float64(res.Ticks)/1e6, res.Power.TotalMW(),
+					res.Power.DatapathMW(), res.Power.TotalAreaUM2())
+			}
+		}
+	}
+}

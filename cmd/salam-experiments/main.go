@@ -1,0 +1,95 @@
+// Command salam-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	salam-experiments [-run id[,id...]] [-scale smoke|full] [-csv dir] [-o file]
+//
+// With no -run flag every experiment executes in paper order. Markdown
+// goes to stdout (or -o); -csv additionally writes one CSV per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gosalam/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	scale := flag.String("scale", "smoke", "workload scale: smoke or full")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSVs")
+	outFile := flag.String("o", "", "write markdown to this file instead of stdout")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.AllRunners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "smoke":
+		sc = experiments.ScaleSmoke
+	case "full":
+		sc = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var runners []experiments.Runner
+	if *runIDs == "" {
+		runners = experiments.AllRunners()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			r, ok := experiments.RunnerByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	fmt.Fprintf(out, "# gosalam experiment results (scale=%s)\n\n", *scale)
+	for _, r := range runners {
+		start := time.Now()
+		tab, err := r.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s\n_Generated in %.1fs._\n\n", tab.Markdown(), time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "done %-8s (%.1fs)\n", r.ID, time.Since(start).Seconds())
+	}
+}

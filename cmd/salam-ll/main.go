@@ -1,0 +1,127 @@
+// Command salam-ll is the IR tool: it parses, verifies, optimizes, prints,
+// statically elaborates, and functionally executes textual IR or built-in
+// kernels.
+//
+// Usage:
+//
+//	salam-ll -kernel gemm            # print a MachSuite kernel's IR
+//	salam-ll -kernel fft -elaborate  # show the static CDFG report
+//	salam-ll -in kernel.ll -verify   # parse + verify a .ll file
+//	salam-ll -in kernel.ll -opt      # run constant folding + DCE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+func main() {
+	inFile := flag.String("in", "", "textual IR file to load")
+	kernel := flag.String("kernel", "", "built-in kernel name (e.g. gemm, fft, spmv)")
+	doVerify := flag.Bool("verify", false, "verify only; print nothing on success")
+	doOpt := flag.Bool("opt", false, "run constant folding, CSE and DCE before printing")
+	doElab := flag.Bool("elaborate", false, "print the static elaboration report")
+	doInterp := flag.Bool("interp", false, "functionally execute a built-in kernel and check its golden")
+	seed := flag.Int64("seed", 1, "dataset seed for -interp")
+	unroll := flag.Int("unroll", 0, "unroll canonical loops by this factor")
+	flag.Parse()
+
+	var m *ir.Module
+	var builtin *kernels.Kernel
+	switch {
+	case *kernel != "":
+		k := kernels.ByName(kernels.Default, *kernel)
+		builtin = k
+		if k == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q; available:", *kernel)
+			for _, kk := range kernels.All(kernels.Default) {
+				fmt.Fprintf(os.Stderr, " %s", kk.Name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		m = k.M
+	case *inFile != "":
+		src, err := os.ReadFile(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m, err = ir.Parse(*inFile, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -in or -kernel")
+		os.Exit(2)
+	}
+
+	if err := ir.VerifyModule(m); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+	for _, f := range m.Funcs {
+		if *unroll > 1 {
+			for _, l := range ir.FindLoops(f) {
+				if err := ir.Unroll(f, l, *unroll); err != nil {
+					fmt.Fprintf(os.Stderr, "unroll %s: %v\n", l.Header.Name(), err)
+				}
+			}
+			if err := ir.Verify(f); err != nil {
+				fmt.Fprintln(os.Stderr, "verify after unroll:", err)
+				os.Exit(1)
+			}
+		}
+		if *doOpt {
+			ir.Optimize(f)
+		}
+	}
+
+	if *doElab {
+		for _, f := range m.Funcs {
+			g, err := core.Elaborate(f, hw.Default40nm(), nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(g.Summary())
+			fmt.Printf("  datapath area: %.0f µm², leakage: %.3f mW\n",
+				g.AreaUM2(), g.StaticFULeakageMW()+g.StaticRegLeakageMW())
+		}
+		return
+	}
+	if *doInterp {
+		if builtin == nil {
+			fmt.Fprintln(os.Stderr, "-interp needs -kernel (goldens come from the workload generator)")
+			os.Exit(2)
+		}
+		mem := ir.NewFlatMem(0, 1<<24)
+		inst := builtin.Setup(mem, *seed)
+		_, stats, err := ir.Exec(builtin.F, inst.Args, mem, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := inst.Check(mem); err != nil {
+			fmt.Fprintln(os.Stderr, "golden mismatch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kernel:   %s (seed %d)\n", builtin.Name, *seed)
+		fmt.Printf("steps:    %d dynamic instructions\n", stats.Steps)
+		fmt.Printf("memory:   %d reads, %d writes\n", stats.MemReads, stats.MemWrites)
+		fmt.Printf("golden:   ok\n")
+		return
+	}
+	if *doVerify {
+		fmt.Fprintln(os.Stderr, "ok")
+		return
+	}
+	fmt.Print(ir.Print(m))
+}

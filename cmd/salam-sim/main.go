@@ -1,0 +1,72 @@
+// Command salam-sim runs one accelerator simulation from a JSON
+// configuration file (see configs/ for examples) and dumps results.
+//
+// Usage:
+//
+//	salam-sim -config configs/gemm_spm.json [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	salam "gosalam"
+	"gosalam/internal/config"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON run configuration")
+	dumpStats := flag.Bool("stats", false, "dump the full statistics tree")
+	profile := flag.String("profile", "", "write a per-cycle profile CSV here")
+	flag.Parse()
+
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "need -config")
+		os.Exit(2)
+	}
+	cfg, err := config.Load(*cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	k, opts, err := cfg.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *profile != "" {
+		opts.ProfileCycles = 1 << 20
+	}
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("kernel:          %s\n", k.Name)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("simulated time:  %.3f µs\n", float64(res.Ticks)/1e6)
+	fmt.Printf("golden check:    ok\n")
+	fmt.Printf("power:           %s\n", res.Power)
+	fmt.Printf("datapath area:   %.0f µm² (+ %.0f µm² memory)\n",
+		res.Power.AreaFU+res.Power.AreaReg, res.Power.AreaSPM)
+	if *dumpStats {
+		fmt.Println("---- statistics ----")
+		res.Stats.Dump(os.Stdout)
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Acc.Profile().WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		iss, stall, avg := res.Acc.Profile().Summary()
+		fmt.Printf("profile:         %s (%d samples; %d issue cycles, %d stalls, avg queue %.1f)\n",
+			*profile, len(res.Acc.Profile().Samples), iss, stall, avg)
+	}
+}

@@ -1,0 +1,141 @@
+// Command salam-trace drives the Aladdin-style trace-based baseline: it
+// instruments a kernel run into a gzip trace file, reverse-engineers the
+// datapath under a chosen memory model, and schedules the trace graph —
+// the flow gem5-SALAM's Tables I, II and IV compare against.
+//
+// Usage:
+//
+//	salam-trace -kernel spmv -out spmv.trace.gz         # generate
+//	salam-trace -in spmv.trace.gz -mem spm:2            # simulate
+//	salam-trace -kernel gemm -mem cache:4096            # both in one go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gosalam/internal/hw"
+	"gosalam/internal/trace"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+func memModel(spec string) (trace.MemModel, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	switch parts[0] {
+	case "spm":
+		lat := 2
+		if len(parts) == 2 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			lat = v
+		}
+		return trace.FixedLatency{Cycles: lat, Label: "spm"}, nil
+	case "cache":
+		size := 4096
+		if len(parts) == 2 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			size = v
+		}
+		return trace.NewCacheProbe(size, 64, 2, 2, 20), nil
+	}
+	return nil, fmt.Errorf("unknown memory model %q (spm:N or cache:BYTES)", spec)
+}
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel to trace (generation)")
+	preset := flag.String("preset", "small", "workload preset")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	out := flag.String("out", "", "write the gzip trace here")
+	in := flag.String("in", "", "simulate an existing trace file")
+	memSpec := flag.String("mem", "spm:2", "memory model: spm:LAT or cache:BYTES")
+	ports := flag.Int("ports", 2, "read/write ports for trace scheduling")
+	flag.Parse()
+
+	mm, err := memModel(*memSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d entries in %.2fs\n", len(tr.Entries), time.Since(start).Seconds())
+	case *kernel != "":
+		p := kernels.Small
+		if *preset == "default" {
+			p = kernels.Default
+		}
+		k := kernels.ByName(p, *kernel)
+		if k == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+			os.Exit(2)
+		}
+		mem := ir.NewFlatMem(0, 1<<24)
+		inst := k.Setup(mem, *seed)
+		start := time.Now()
+		tr, err = trace.Generate(k.F, inst.Args, mem, hw.Default40nm())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "traced %d entries in %.2fs\n", len(tr.Entries), time.Since(start).Seconds())
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tr.Write(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fi, _ := os.Stat(*out)
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes gzip)\n", *out, fi.Size())
+			return
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -kernel (generate) or -in (simulate)")
+		os.Exit(2)
+	}
+
+	// Datapath reconstruction + trace-graph scheduling.
+	start := time.Now()
+	dp := trace.BuildDatapath(tr, mm)
+	cycles := trace.Simulate(tr, dp, mm, *ports, *ports)
+	fmt.Fprintf(os.Stderr, "scheduled in %.2fs\n", time.Since(start).Seconds())
+
+	fmt.Printf("memory model:  %s\n", mm.Name())
+	fmt.Printf("trace length:  %d dynamic instructions\n", len(tr.Entries))
+	fmt.Printf("cycles:        %d\n", cycles)
+	fmt.Printf("datapath (reverse-engineered, max per-cycle parallelism):\n")
+	for _, c := range hw.AllFUClasses() {
+		if n := dp.FUCount[c]; n > 0 {
+			fmt.Printf("  %-16s %d\n", c, n)
+		}
+	}
+	fmt.Printf("implied area:  %.0f µm²\n", dp.AreaUM2(hw.Default40nm()))
+}

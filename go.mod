@@ -1,0 +1,3 @@
+module gosalam
+
+go 1.22

@@ -1,0 +1,136 @@
+// Package config loads JSON simulation profiles — the counterpart of
+// gem5-SALAM's gem5-python device and system configuration files (Sec.
+// III-E): a single-accelerator run is described by kernel choice, device
+// config (clock, FU constraints, ports, queues), and memory configuration,
+// without recompiling anything.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	salam "gosalam"
+	"gosalam/internal/hw"
+	"gosalam/kernels"
+)
+
+// RunConfig describes a single-accelerator simulation.
+type RunConfig struct {
+	// Kernel selects a built-in MachSuite kernel by name.
+	Kernel string `json:"kernel"`
+	// Preset is "small" or "default".
+	Preset string `json:"preset,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+
+	// Device config.
+	ClockMHz      float64        `json:"clock_mhz,omitempty"`
+	ReadPorts     int            `json:"read_ports,omitempty"`
+	WritePorts    int            `json:"write_ports,omitempty"`
+	ResQueue      int            `json:"res_queue,omitempty"`
+	PipelineLoops *bool          `json:"pipeline_loops,omitempty"`
+	FULimits      map[string]int `json:"fu_limits,omitempty"`
+
+	// Memory configuration.
+	Memory     string `json:"memory,omitempty"` // "spm" (default) or "cache"
+	SPMLatency int    `json:"spm_latency,omitempty"`
+	SPMBanks   int    `json:"spm_banks,omitempty"`
+	SPMPorts   int    `json:"spm_ports,omitempty"`
+	CacheBytes int    `json:"cache_bytes,omitempty"`
+	CacheLine  int    `json:"cache_line,omitempty"`
+	CacheAssoc int    `json:"cache_assoc,omitempty"`
+}
+
+// Load reads a RunConfig from a JSON file.
+func Load(path string) (*RunConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes a RunConfig, rejecting unknown fields.
+func Parse(data []byte) (*RunConfig, error) {
+	var c RunConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if c.Kernel == "" {
+		return nil, fmt.Errorf("config: missing kernel")
+	}
+	return &c, nil
+}
+
+// Build resolves the config into a kernel and run options.
+func (c *RunConfig) Build() (*kernels.Kernel, salam.RunOpts, error) {
+	preset := kernels.Default
+	if c.Preset == "small" {
+		preset = kernels.Small
+	} else if c.Preset != "" && c.Preset != "default" {
+		return nil, salam.RunOpts{}, fmt.Errorf("config: unknown preset %q", c.Preset)
+	}
+	k := kernels.ByName(preset, c.Kernel)
+	if k == nil {
+		return nil, salam.RunOpts{}, fmt.Errorf("config: unknown kernel %q", c.Kernel)
+	}
+	opts := salam.DefaultRunOpts()
+	if c.Seed != 0 {
+		opts.Seed = c.Seed
+	}
+	if c.ClockMHz > 0 {
+		opts.Accel.ClockMHz = c.ClockMHz
+	}
+	if c.ReadPorts > 0 {
+		opts.Accel.ReadPorts = c.ReadPorts
+	}
+	if c.WritePorts > 0 {
+		opts.Accel.WritePorts = c.WritePorts
+	}
+	if c.ResQueue > 0 {
+		opts.Accel.ResQueueSize = c.ResQueue
+	}
+	if c.PipelineLoops != nil {
+		opts.Accel.PipelineLoops = *c.PipelineLoops
+	}
+	if len(c.FULimits) > 0 {
+		opts.Accel.FULimits = map[hw.FUClass]int{}
+		for name, n := range c.FULimits {
+			cls := hw.FUClassByName(name)
+			if cls == hw.FUNone {
+				return nil, salam.RunOpts{}, fmt.Errorf("config: unknown FU class %q", name)
+			}
+			opts.Accel.FULimits[cls] = n
+		}
+	}
+	switch c.Memory {
+	case "", "spm":
+		opts.Mem = salam.MemSPM
+	case "cache":
+		opts.Mem = salam.MemCache
+	default:
+		return nil, salam.RunOpts{}, fmt.Errorf("config: unknown memory %q", c.Memory)
+	}
+	if c.SPMLatency > 0 {
+		opts.SPMLatency = c.SPMLatency
+	}
+	if c.SPMBanks > 0 {
+		opts.SPMBanks = c.SPMBanks
+	}
+	if c.SPMPorts > 0 {
+		opts.SPMPortsPer = c.SPMPorts
+	}
+	if c.CacheBytes > 0 {
+		opts.CacheBytes = c.CacheBytes
+	}
+	if c.CacheLine > 0 {
+		opts.CacheLine = c.CacheLine
+	}
+	if c.CacheAssoc > 0 {
+		opts.CacheAssoc = c.CacheAssoc
+	}
+	return k, opts, nil
+}

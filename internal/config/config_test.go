@@ -1,0 +1,84 @@
+package config
+
+import (
+	"testing"
+
+	salam "gosalam"
+)
+
+func TestParseAndBuild(t *testing.T) {
+	src := `{
+		"kernel": "gemm", "preset": "small", "seed": 3,
+		"clock_mhz": 200, "read_ports": 4, "write_ports": 4,
+		"memory": "spm", "spm_latency": 1, "spm_banks": 8,
+		"fu_limits": {"fp_adder": 2}
+	}`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, opts, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "gemm" {
+		t.Fatalf("kernel = %s", k.Name)
+	}
+	if opts.Accel.ClockMHz != 200 || opts.Accel.ReadPorts != 4 {
+		t.Fatalf("device config not applied: %+v", opts.Accel)
+	}
+	if opts.SPMLatency != 1 || opts.SPMBanks != 8 {
+		t.Fatalf("memory config not applied")
+	}
+	if opts.Seed != 3 {
+		t.Fatalf("seed = %d", opts.Seed)
+	}
+	if len(opts.Accel.FULimits) != 1 {
+		t.Fatalf("fu limits = %v", opts.Accel.FULimits)
+	}
+
+	// Config-built runs execute and pass goldens.
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestParseRejectsBadConfigs(t *testing.T) {
+	cases := []string{
+		`{}`,                                   // no kernel
+		`{"kernel": "gemm", "bogus_field": 1}`, // unknown field
+		`{"kernel": "gemm", "preset": "huge"}`, // bad preset -> Build error
+		`{"kernel": "nope"}`,                   // bad kernel -> Build error
+		`{"kernel": "gemm", "memory": "tape"}`, // bad memory -> Build error
+		`{"kernel": "gemm", "fu_limits": {"warp_core": 1}}`,
+	}
+	for i, src := range cases {
+		c, err := Parse([]byte(src))
+		if err != nil {
+			continue // rejected at parse time: fine
+		}
+		if _, _, err := c.Build(); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	for _, path := range []string{
+		"../../configs/gemm_spm.json",
+		"../../configs/gemm_cache.json",
+		"../../configs/mdknn_fu_limited.json",
+	} {
+		c, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, _, err := c.Build(); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}

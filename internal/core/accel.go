@@ -1,0 +1,848 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+// AccelConfig are the "device config" knobs of Sec. III-E1.
+type AccelConfig struct {
+	// ClockMHz is the accelerator clock (independent of system clocks).
+	ClockMHz float64
+	// FULimits constrains functional units per class; absent/0 means a
+	// dedicated unit per static instruction (the default 1-to-1 map).
+	FULimits map[hw.FUClass]int
+	// ReadPorts/WritePorts bound memory issues per cycle.
+	ReadPorts, WritePorts int
+	// MaxOutstanding bounds in-flight memory requests per direction.
+	MaxOutstanding int
+	// ResQueueSize caps resident dynamic ops in the reservation queue.
+	ResQueueSize int
+	// PipelineLoops fetches the next basic block as soon as the
+	// terminator evaluates (loop pipelining). When false, a block must
+	// fully drain first — the ablation of design decision 3 in DESIGN.md.
+	PipelineLoops bool
+	// ConservativeMemOrder disables address-based dynamic disambiguation:
+	// memory ops issue strictly in program order (ablation 5).
+	ConservativeMemOrder bool
+}
+
+// DefaultConfig returns the paper-default accelerator configuration.
+func DefaultConfig() AccelConfig {
+	return AccelConfig{
+		ClockMHz:       100,
+		ReadPorts:      2,
+		WritePorts:     2,
+		MaxOutstanding: 16,
+		ResQueueSize:   128,
+		PipelineLoops:  true,
+	}
+}
+
+type opState uint8
+
+const (
+	stWaiting opState = iota
+	stInflight
+	stDone
+)
+
+// waiter records a consumer operand slot fed by a producer.
+type waiter struct {
+	op  *dynOp
+	idx int
+}
+
+// dynOp is a dynamic instance of a static op, created when its basic block
+// is imported into the reservation queue.
+type dynOp struct {
+	st  *StaticOp
+	seq uint64
+
+	operands []uint64
+	// pending marks operand slots still awaiting a producer: a store's
+	// address can disambiguate as soon as its pointer operand resolves,
+	// even while its data operand is pending.
+	pending   []bool
+	waitingOn int
+	waiters   []waiter
+
+	state opState
+	val   uint64
+
+	// Memory fields.
+	addr    uint64
+	size    int
+	arrived bool // response received, committing at next edge
+}
+
+func (d *dynOp) isLoad() bool  { return d.st.In.Op == ir.OpLoad }
+func (d *dynOp) isStore() bool { return d.st.In.Op == ir.OpStore }
+
+// defRec tracks the newest definition of a static SSA value: either a
+// committed bit pattern or the dynamic op that will produce it.
+type defRec struct {
+	val      uint64
+	producer *dynOp
+}
+
+// Accelerator is one modeled hardware accelerator: a statically elaborated
+// CDFG executed by the dynamic LLVM runtime engine, attached to the system
+// through a communications interface.
+type Accelerator struct {
+	sim.Clocked
+
+	CDFG *CDFG
+	Cfg  AccelConfig
+	Comm *CommInterface
+
+	// OnDone fires when the kernel returns and all queues drain.
+	OnDone func()
+
+	// engine state
+	resQ []*dynOp
+	// pendingMem holds unfinished memory ops in program order, so
+	// disambiguation scans only memory traffic instead of the whole
+	// reservation queue.
+	pendingMem []*dynOp
+	lastDef    map[*ir.Instr]*defRec
+	seq        uint64
+	inflight   int
+	argBits    []uint64
+	// zeroLatProgress is set when a zero-latency commit or block fetch
+	// happens inside the issue scan: only those events can unlock earlier
+	// queue entries within the same cycle.
+	zeroLatProgress bool
+	// Per-cycle structural-hazard flags: a ready op failed to issue
+	// because of read ports, write ports, FU pools, or memory ordering.
+	hazLoad, hazStore, hazFU, hazOrder bool
+	// profile, when non-nil, receives a per-cycle sample (EnableProfile).
+	profile *CycleProfile
+	// Per-cycle issue counters for the profile.
+	cycLoads, cycStores, cycFP, cycInt, cycOther uint16
+
+	finished bool
+	running  bool
+	retBits  uint64
+
+	fuBusy   map[hw.FUClass]int // unpipelined units occupied
+	fuIssued map[hw.FUClass]int // issue slots used this cycle
+	opIssued map[*StaticOp]bool // per-static-op II=1
+	fetches  int                // block fetches this cycle
+
+	startCycle uint64
+
+	// Stats.
+	ActiveCycles  *sim.Scalar
+	IssuedByClass *sim.Vector
+	Committed     *sim.Scalar
+	NewExecCycles *sim.Scalar
+	StallCycles   *sim.Scalar
+	StallKinds    *sim.Vector
+	// HazardCycles counts cycles where at least one ready operation was
+	// blocked by a structural hazard (even if other ops issued) — the
+	// per-source stall accounting behind Fig. 14(b).
+	HazardCycles *sim.Scalar
+	HazardKinds  *sim.Vector
+	Activity     *sim.Vector
+	OccupancySum *sim.Vector
+	FUEnergyPJ   *sim.Scalar
+	RegReadPJ    *sim.Scalar
+	RegWritePJ   *sim.Scalar
+	Invocations  *sim.Scalar
+	KernelCycles *sim.Distribution
+}
+
+// NewAccelerator builds an accelerator around an elaborated CDFG. The
+// communications interface must already be constructed; its port counts
+// are overridden from cfg.
+func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
+	comm *CommInterface, stats *sim.Group) *Accelerator {
+	if cfg.ResQueueSize <= 0 {
+		cfg.ResQueueSize = 128
+	}
+	if cfg.ReadPorts <= 0 {
+		cfg.ReadPorts = 1
+	}
+	if cfg.WritePorts <= 0 {
+		cfg.WritePorts = 1
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 16
+	}
+	a := &Accelerator{
+		CDFG: g, Cfg: cfg, Comm: comm,
+		lastDef:  map[*ir.Instr]*defRec{},
+		fuBusy:   map[hw.FUClass]int{},
+		fuIssued: map[hw.FUClass]int{},
+		opIssued: map[*StaticOp]bool{},
+	}
+	comm.ReadPorts = cfg.ReadPorts
+	comm.WritePorts = cfg.WritePorts
+	comm.MaxOutstanding = cfg.MaxOutstanding
+	clk := sim.NewClockDomainMHz(name+".clk", cfg.ClockMHz)
+	a.InitClocked(name, q, clk)
+	a.CycleFn = a.cycle
+
+	gr := stats.Child(name)
+	a.ActiveCycles = gr.Scalar("cycles", "active engine cycles")
+	a.IssuedByClass = gr.Vector("issued", "ops issued by FU class")
+	a.Committed = gr.Scalar("committed", "dynamic ops committed")
+	a.NewExecCycles = gr.Scalar("exec_cycles", "cycles issuing at least one op")
+	a.StallCycles = gr.Scalar("stall_cycles", "cycles with work but no issue")
+	a.StallKinds = gr.Vector("stall_kinds", "stalled cycles by pending-op mix")
+	a.HazardCycles = gr.Scalar("hazard_cycles", "cycles with a ready op blocked by a structural hazard")
+	a.HazardKinds = gr.Vector("hazard_kinds", "hazard cycles by blocking resource")
+	a.Activity = gr.Vector("activity", "cycles by load/store/fp overlap")
+	a.OccupancySum = gr.Vector("occupancy_sum", "in-flight op-cycles by class")
+	a.FUEnergyPJ = gr.Scalar("fu_energy_pj", "dynamic FU energy")
+	a.RegReadPJ = gr.Scalar("reg_read_pj", "register-file read energy")
+	a.RegWritePJ = gr.Scalar("reg_write_pj", "register-file write energy")
+	a.Invocations = gr.Scalar("invocations", "kernel invocations")
+	a.KernelCycles = gr.Distribution("kernel_cycles", "cycles per invocation")
+
+	// Wire the MMR start protocol: writing CTRL bit0 launches the kernel
+	// with arguments taken from the argument registers.
+	comm.MMR.OnWrite = func(idx int, val uint64) {
+		if idx == CtrlReg && val&1 != 0 && !a.running {
+			n := len(g.F.Params)
+			args := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				args[i] = comm.MMR.Reg(ArgReg0 + i)
+			}
+			a.Start(args)
+		}
+	}
+	return a
+}
+
+// Busy reports whether a kernel is executing.
+func (a *Accelerator) Busy() bool { return a.running }
+
+// RetBits returns the bits of the last kernel return value.
+func (a *Accelerator) RetBits() uint64 { return a.retBits }
+
+// LastKernelCycles returns the cycle count of the most recent invocation.
+func (a *Accelerator) LastKernelCycles() uint64 {
+	return uint64(a.KernelCycles.Max())
+}
+
+// Start launches the kernel with the given argument bits.
+func (a *Accelerator) Start(args []uint64) {
+	if a.running {
+		panic(fmt.Sprintf("core: accelerator %s started while busy", a.Name()))
+	}
+	f := a.CDFG.F
+	if len(args) != len(f.Params) {
+		panic(fmt.Sprintf("core: %s takes %d args, got %d", f.Name(), len(f.Params), len(args)))
+	}
+	a.running = true
+	a.finished = false
+	a.resQ = a.resQ[:0]
+	a.pendingMem = a.pendingMem[:0]
+	a.inflight = 0
+	a.lastDef = map[*ir.Instr]*defRec{}
+	a.fuBusy = map[hw.FUClass]int{}
+	a.argBits = append(a.argBits[:0], args...)
+	a.startCycle = a.Cycles
+	a.Invocations.Inc(1)
+	a.Comm.MMR.SetReg(StatusReg, 1) // busy
+	a.fetch(f.Entry(), nil)
+	a.Activate()
+}
+
+func (a *Accelerator) valueOf(v ir.Value, prev *ir.Block) (bits uint64, producer *dynOp) {
+	if b, ok := ir.ConstBits(v); ok {
+		return b, nil
+	}
+	switch vv := v.(type) {
+	case *ir.Global:
+		return vv.Addr, nil
+	case *ir.Param:
+		return a.argBits[vv.Index], nil
+	case *ir.Instr:
+		rec, ok := a.lastDef[vv]
+		if !ok {
+			panic(fmt.Sprintf("core: use of undefined value %%%s", vv.Name))
+		}
+		if rec.producer != nil {
+			return 0, rec.producer
+		}
+		return rec.val, nil
+	}
+	panic("core: unknown value kind")
+}
+
+// fetch imports a basic block into the reservation queue, generating
+// dynamic dependencies by searching the newest definitions (the paper's
+// upward search of the reservation and in-flight queues).
+func (a *Accelerator) fetch(b *ir.Block, prev *ir.Block) {
+	for _, st := range a.CDFG.BlockOps[b] {
+		in := st.In
+		d := &dynOp{st: st, seq: a.seq}
+		a.seq++
+		var vals []ir.Value
+		if in.Op == ir.OpPhi {
+			// Resolve the incoming edge now; the mux selects one operand.
+			found := false
+			for k, blk := range in.Blocks {
+				if blk == prev {
+					vals = []ir.Value{in.Args[k]}
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("core: phi %%%s has no incoming from %s", in.Name, prev.Name()))
+			}
+		} else {
+			vals = in.Args
+		}
+		d.operands = make([]uint64, len(vals))
+		d.pending = make([]bool, len(vals))
+		for k, v := range vals {
+			bits, prod := a.valueOf(v, prev)
+			if prod != nil {
+				d.waitingOn++
+				d.pending[k] = true
+				prod.waiters = append(prod.waiters, waiter{op: d, idx: k})
+			} else {
+				d.operands[k] = bits
+			}
+		}
+		if in.HasResult() {
+			a.lastDef[in] = &defRec{producer: d}
+		}
+		a.resQ = append(a.resQ, d)
+		if d.st.IsMem() {
+			a.pendingMem = append(a.pendingMem, d)
+		}
+	}
+}
+
+// commit finishes a dynamic op: writes its register, charges energy, wakes
+// consumers.
+func (a *Accelerator) commit(d *dynOp) {
+	d.state = stDone
+	a.Committed.Inc(1)
+	in := d.st.In
+	if d.st.Class != hw.FUNone {
+		a.FUEnergyPJ.Inc(a.CDFG.Profile.Spec(d.st.Class).EnergyPJ)
+		if !d.st.Pipelined {
+			a.fuBusy[d.st.Class]--
+		}
+	}
+	if in.HasResult() {
+		a.RegWritePJ.Inc(a.CDFG.Profile.Reg.WriteEnergyPJ * float64(in.T.Bits()))
+		if rec := a.lastDef[in]; rec != nil && rec.producer == d {
+			rec.val = d.val
+			rec.producer = nil
+		}
+	}
+	for _, w := range d.waiters {
+		w.op.operands[w.idx] = d.val
+		w.op.pending[w.idx] = false
+		w.op.waitingOn--
+	}
+	d.waiters = nil
+}
+
+// evaluate computes an op's value from its resolved operands — the
+// execute-in-execute step shared with the functional interpreter.
+func (a *Accelerator) evaluate(d *dynOp) uint64 {
+	in := d.st.In
+	ops := d.operands
+	switch {
+	case in.Op.IsBinOp():
+		return ir.EvalBin(in.Op, in.T, ops[0], ops[1])
+	case in.Op == ir.OpICmp:
+		return ir.EvalICmp(in.Pred, in.Args[0].Type(), ops[0], ops[1])
+	case in.Op == ir.OpFCmp:
+		return ir.EvalFCmp(in.Pred, in.Args[0].Type(), ops[0], ops[1])
+	case in.Op.IsCast():
+		return ir.EvalCast(in.Op, in.Args[0].Type(), in.T, ops[0])
+	case in.Op == ir.OpGEP:
+		return ir.EvalGEP(in, ops[0], ops[1:])
+	case in.Op == ir.OpPhi:
+		return ops[0]
+	case in.Op == ir.OpSelect:
+		if ops[0] != 0 {
+			return ops[1]
+		}
+		return ops[2]
+	case in.Op == ir.OpCall:
+		return ir.EvalCall(in.Callee, in.T, ops)
+	}
+	panic(fmt.Sprintf("core: cannot evaluate %s", in.Op))
+}
+
+// memOrderOK applies dynamic disambiguation: an access may issue only if
+// no older, unfinished access could alias it.
+func (a *Accelerator) memOrderOK(d *dynOp) bool {
+	for _, o := range a.pendingMem {
+		if o.seq >= d.seq {
+			break
+		}
+		if o.state == stDone {
+			continue
+		}
+		if a.Cfg.ConservativeMemOrder {
+			return false // strict program order among memory ops
+		}
+		dAddr, dSize := d.effAddr()
+		dWin := a.Comm.WindowIndex(dAddr)
+		if d.isLoad() && o.isLoad() {
+			// Loads reorder freely — except within a stream window, where
+			// pops must stay in program order.
+			if dWin < 0 {
+				continue
+			}
+			if !o.addrKnown() {
+				return false
+			}
+			oAddr, _ := o.effAddr()
+			if a.Comm.WindowIndex(oAddr) == dWin && o.state == stWaiting {
+				return false
+			}
+			continue
+		}
+		if !o.addrKnown() {
+			return false // older access with unknown address
+		}
+		oAddr, oSize := o.effAddr()
+		// Same-window stores (FIFO pushes) stay in program order even
+		// though their addresses never overlap.
+		if dWin >= 0 && a.Comm.WindowIndex(oAddr) == dWin && o.state == stWaiting {
+			return false
+		}
+		if oAddr < dAddr+uint64(dSize) && dAddr < oAddr+uint64(oSize) {
+			return false // overlap
+		}
+	}
+	return true
+}
+
+// addrKnown reports whether the op's address operand has resolved.
+func (d *dynOp) addrKnown() bool {
+	if d.isLoad() {
+		return !d.pending[0]
+	}
+	return !d.pending[1]
+}
+
+// effAddr returns the access address and size for a resolved memory op.
+func (d *dynOp) effAddr() (uint64, int) {
+	in := d.st.In
+	if d.isLoad() {
+		return d.operands[0], in.T.SizeBytes()
+	}
+	return d.operands[1], in.Args[0].Type().SizeBytes()
+}
+
+// tryIssueMem attempts to issue a resolved memory op. The O(1) port check
+// runs before the O(pending) disambiguation scan.
+func (a *Accelerator) tryIssueMem(d *dynOp) bool {
+	if d.isLoad() {
+		if !a.Comm.CanRead() {
+			a.hazLoad = true
+			return false
+		}
+		if !a.memOrderOK(d) {
+			a.hazOrder = true
+			return false
+		}
+		addr, size := d.effAddr()
+		d.addr, d.size = addr, size
+		a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * 64) // address register
+		ok := a.Comm.IssueRead(addr, size, func(data []byte) {
+			var bits uint64
+			switch size {
+			case 1:
+				bits = uint64(data[0])
+			case 2:
+				bits = uint64(binary.LittleEndian.Uint16(data))
+			case 4:
+				bits = uint64(binary.LittleEndian.Uint32(data))
+			default:
+				bits = binary.LittleEndian.Uint64(data)
+			}
+			d.val = bits
+			d.arrived = true
+			a.Activate() // wake to commit at the next edge
+		})
+		if !ok {
+			return false // stream empty; retry
+		}
+		d.state = stInflight
+		a.inflight++
+		return true
+	}
+	// Store.
+	if !a.Comm.CanWrite() {
+		a.hazStore = true
+		return false
+	}
+	if !a.memOrderOK(d) {
+		a.hazOrder = true
+		return false
+	}
+	addr, size := d.effAddr()
+	d.addr, d.size = addr, size
+	data := make([]byte, size)
+	switch size {
+	case 1:
+		data[0] = byte(d.operands[0])
+	case 2:
+		binary.LittleEndian.PutUint16(data, uint16(d.operands[0]))
+	case 4:
+		binary.LittleEndian.PutUint32(data, uint32(d.operands[0]))
+	default:
+		binary.LittleEndian.PutUint64(data, d.operands[0])
+	}
+	a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * float64(64+size*8))
+	ok := a.Comm.IssueWrite(addr, data, func() {
+		d.arrived = true
+		a.Activate()
+	})
+	if !ok {
+		return false
+	}
+	d.state = stInflight
+	a.inflight++
+	return true
+}
+
+// fuAvailable checks structural availability for a compute op. Only pool
+// exhaustion counts as a hazard for stall analysis: a second initiation of
+// the same static instruction in one cycle is ordinary pipelining
+// backpressure, not resource contention.
+func (a *Accelerator) fuAvailable(d *dynOp) bool {
+	c := d.st.Class
+	if c == hw.FUNone {
+		return true
+	}
+	if a.opIssued[d.st] {
+		return false // one initiation per static instruction per cycle
+	}
+	total := a.CDFG.FUTotal[c]
+	if a.fuIssued[c]+a.fuBusy[c] >= total {
+		a.hazFU = true
+		return false
+	}
+	return true
+}
+
+// issueCompute launches a compute op (immediate functional evaluation,
+// delayed commit — Sec. III-B2).
+func (a *Accelerator) issueCompute(d *dynOp) {
+	c := d.st.Class
+	if c != hw.FUNone {
+		a.fuIssued[c]++
+		a.opIssued[d.st] = true
+		if !d.st.Pipelined {
+			a.fuBusy[c]++
+		}
+	}
+	for _, v := range d.st.In.Args {
+		a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * float64(v.Type().Bits()))
+	}
+	d.val = a.evaluate(d)
+	if d.st.Latency <= 0 {
+		a.commit(d) // zero-latency chaining (muxes, control)
+		a.zeroLatProgress = true
+		return
+	}
+	d.state = stInflight
+	a.inflight++
+	lat := d.st.Latency
+	// PriBeforeClock: the result is ready when the commit edge runs, so a
+	// latency-L op commits exactly L cycles after issue.
+	a.Q.Schedule(a.Q.Now()+a.Clk.CyclesToTicks(uint64(lat)), sim.PriBeforeClock, func() {
+		d.arrived = true
+		a.Activate()
+	})
+}
+
+// handleTerminator evaluates a br/ret, triggering the next block fetch.
+func (a *Accelerator) handleTerminator(d *dynOp) bool {
+	in := d.st.In
+	if a.fetches >= 2 {
+		return false // bound control work per cycle
+	}
+	if !a.Cfg.PipelineLoops {
+		// Drain the queue (all older ops committed) before moving on.
+		for _, o := range a.resQ {
+			if o.seq < d.seq && o.state != stDone {
+				return false
+			}
+		}
+	}
+	switch in.Op {
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			a.retBits = d.operands[0]
+		}
+		a.finished = true
+		a.commit(d)
+		return true
+	case ir.OpBr:
+		var next *ir.Block
+		if len(in.Args) == 0 {
+			next = in.Blocks[0]
+		} else if d.operands[0] != 0 {
+			next = in.Blocks[0]
+		} else {
+			next = in.Blocks[1]
+		}
+		resident := 0
+		for _, o := range a.resQ {
+			if o.state != stDone {
+				resident++
+			}
+		}
+		// Window check: defer the fetch while other work is resident, but
+		// never wedge — once only this terminator remains, the next block
+		// must be admitted even if it exceeds the configured window.
+		if resident > 1 && resident-1+len(next.Instrs) > a.Cfg.ResQueueSize {
+			return false // window full; retry next cycle
+		}
+		from := in.Block()
+		a.commit(d)
+		a.fetches++
+		a.fetch(next, from)
+		a.zeroLatProgress = true
+		return true
+	}
+	panic("core: unknown terminator")
+}
+
+// cycle is the runtime scheduler: commit, then issue in program order.
+func (a *Accelerator) cycle() bool {
+	a.ActiveCycles.Inc(1)
+	a.Comm.NewCycle()
+	for c := range a.fuIssued {
+		delete(a.fuIssued, c)
+	}
+	for o := range a.opIssued {
+		delete(a.opIssued, o)
+	}
+	a.fetches = 0
+	a.hazLoad, a.hazStore, a.hazFU, a.hazOrder = false, false, false, false
+	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
+
+	// Commit phase: everything whose result arrived since the last edge.
+	for _, d := range a.resQ {
+		if d.state == stInflight && d.arrived {
+			a.inflight--
+			a.commit(d)
+		}
+	}
+
+	// Issue phase: scan in program order. A rescan is only useful when a
+	// zero-latency commit or a block fetch happened — those are the only
+	// same-cycle events that can unlock earlier queue entries or add new
+	// ones; latency-bearing issues commit at later edges.
+	issued := 0
+	issuedFP := false
+	for rescan := true; rescan; {
+		a.zeroLatProgress = false
+		for qi := 0; qi < len(a.resQ); qi++ {
+			d := a.resQ[qi]
+			if d.state != stWaiting || d.waitingOn > 0 {
+				continue
+			}
+			in := d.st.In
+			switch {
+			case in.Op.IsTerminator():
+				if a.handleTerminator(d) {
+					issued++
+					a.IssuedByClass.Inc(d.st.Class.String(), 1)
+				}
+			case d.st.IsMem():
+				if a.tryIssueMem(d) {
+					issued++
+					key := "load"
+					if d.isStore() {
+						key = "store"
+						a.cycStores++
+					} else {
+						a.cycLoads++
+					}
+					a.IssuedByClass.Inc(key, 1)
+				}
+			default:
+				if a.fuAvailable(d) {
+					a.issueCompute(d)
+					issued++
+					if d.st.IsFP() {
+						issuedFP = true
+						a.cycFP++
+					} else {
+						switch d.st.Class {
+						case hw.FUIntAdder, hw.FUIntMultiplier, hw.FUIntDivider,
+							hw.FUShifter, hw.FUBitwise, hw.FUComparator:
+							a.cycInt++
+						default:
+							a.cycOther++
+						}
+					}
+					a.IssuedByClass.Inc(d.st.Class.String(), 1)
+				}
+			}
+		}
+		rescan = a.zeroLatProgress
+	}
+
+	// Compact committed ops out of the queues.
+	kept := a.resQ[:0]
+	for _, d := range a.resQ {
+		if d.state != stDone {
+			kept = append(kept, d)
+		}
+	}
+	a.resQ = kept
+	keptMem := a.pendingMem[:0]
+	for _, d := range a.pendingMem {
+		if d.state != stDone {
+			keptMem = append(keptMem, d)
+		}
+	}
+	a.pendingMem = keptMem
+
+	// Cycle-level statistics (Sec. III-C2).
+	a.recordCycleStats(issued, issuedFP)
+
+	if a.finished && len(a.resQ) == 0 && a.inflight == 0 {
+		a.running = false
+		kc := a.Cycles - a.startCycle
+		a.KernelCycles.Sample(float64(kc))
+		a.Comm.MMR.SetReg(StatusReg, 2) // done
+		if a.Comm.MMR.Reg(CtrlReg)&2 != 0 && a.Comm.IRQ != nil {
+			a.Comm.IRQ()
+		}
+		if a.OnDone != nil {
+			a.OnDone()
+		}
+		return false
+	}
+	return true
+}
+
+// recordCycleStats classifies the cycle for the occupancy/stall analyses
+// behind Figs. 14 and 15.
+func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
+	loadsInFlight, storesInFlight := 0, 0
+	pendLoad, pendStore, pendComp := false, false, false
+	for _, d := range a.resQ {
+		switch {
+		case d.isLoad():
+			pendLoad = true
+			if d.state == stInflight {
+				loadsInFlight++
+			}
+		case d.isStore():
+			pendStore = true
+			if d.state == stInflight {
+				storesInFlight++
+			}
+		default:
+			pendComp = true
+		}
+	}
+	// FU occupancy: pipelined units are busy when they initiate an op
+	// this cycle; unpipelined units while an op is resident. fuAvailable
+	// keeps fuIssued+fuBusy <= total, so occupancy stays within [0, 1].
+	for c, n := range a.fuIssued {
+		if a.CDFG.Profile.Spec(c).Pipelined {
+			a.OccupancySum.Inc(c.String(), float64(n))
+		}
+	}
+	for c, n := range a.fuBusy {
+		a.OccupancySum.Inc(c.String(), float64(n))
+	}
+	if a.hazLoad || a.hazStore || a.hazFU || a.hazOrder {
+		a.HazardCycles.Inc(1)
+		hkey := ""
+		if a.hazLoad {
+			hkey += "load_ports+"
+		}
+		if a.hazStore {
+			hkey += "store_ports+"
+		}
+		if a.hazFU {
+			hkey += "fu+"
+		}
+		if a.hazOrder {
+			hkey += "mem_order+"
+		}
+		a.HazardKinds.Inc(hkey[:len(hkey)-1], 1)
+	}
+	if issued > 0 {
+		a.NewExecCycles.Inc(1)
+	} else if len(a.resQ) > 0 {
+		a.StallCycles.Inc(1)
+		key := ""
+		if pendLoad {
+			key += "load+"
+		}
+		if pendStore {
+			key += "store+"
+		}
+		if pendComp {
+			key += "compute+"
+		}
+		if key == "" {
+			key = "other+"
+		}
+		a.StallKinds.Inc(key[:len(key)-1], 1)
+	}
+	akey := ""
+	if loadsInFlight > 0 {
+		akey += "load+"
+	}
+	if storesInFlight > 0 {
+		akey += "store+"
+	}
+	if issuedFP {
+		akey += "fp+"
+	}
+	if akey == "" {
+		akey = "none+"
+	}
+	a.Activity.Inc(akey[:len(akey)-1], 1)
+
+	if a.profile != nil {
+		var haz uint8
+		if a.hazLoad {
+			haz |= HazLoadPorts
+		}
+		if a.hazStore {
+			haz |= HazStorePorts
+		}
+		if a.hazFU {
+			haz |= HazFUPool
+		}
+		if a.hazOrder {
+			haz |= HazMemOrder
+		}
+		resident := len(a.resQ)
+		if resident > 0xffff {
+			resident = 0xffff
+		}
+		a.profile.record(CycleSample{
+			Cycle:    a.Cycles - a.startCycle,
+			Loads:    a.cycLoads,
+			Stores:   a.cycStores,
+			FPOps:    a.cycFP,
+			IntOps:   a.cycInt,
+			Other:    a.cycOther,
+			Resident: uint16(resident),
+			Stalled:  issued == 0 && len(a.resQ) > 0,
+			Hazard:   haz,
+		})
+	}
+}

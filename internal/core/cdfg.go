@@ -1,0 +1,168 @@
+// Package core implements gem5-SALAM's contribution: LLVM-based
+// execute-in-execute accelerator modeling. Static elaboration turns an IR
+// function into a static control/data-flow graph with functional-unit and
+// register mappings (Sec. III-A2); the dynamic runtime engine (Sec. III-B)
+// instantiates it basic block by basic block through reservation, compute,
+// and read/write queues; the communications interface (Sec. III-D1)
+// connects the datapath to the rest of the memory system; and the metrics
+// layer produces the paper's power/area/occupancy outputs (Sec. III-C).
+package core
+
+import (
+	"fmt"
+
+	"gosalam/internal/hw"
+	"gosalam/ir"
+)
+
+// StaticOp is one statically elaborated instruction: the IR instruction
+// linked to its virtual hardware resources.
+type StaticOp struct {
+	In      *ir.Instr
+	Class   hw.FUClass
+	Latency int
+	// Pipelined mirrors the FU spec; unpipelined units stay busy for
+	// their full latency.
+	Pipelined bool
+	// RegBits is the width of the destination register (0 for void).
+	RegBits int
+}
+
+// IsMem reports whether the op uses the memory queues instead of an FU.
+func (s *StaticOp) IsMem() bool { return s.In.Op.IsMemAccess() }
+
+// IsFP reports whether the op occupies a floating-point functional unit.
+func (s *StaticOp) IsFP() bool {
+	switch s.Class {
+	case hw.FUFPAdder, hw.FUFPMultiplier, hw.FUFPDivider, hw.FUFPSqrt:
+		return true
+	}
+	return false
+}
+
+// CDFG is the statically elaborated datapath skeleton: the static half of
+// the paper's dual-CDFG design. Unlike the trace-based baseline, it is a
+// pure function of the IR and the hardware profile — input data and memory
+// configuration cannot change it (the property Tables I and II test).
+type CDFG struct {
+	F       *ir.Function
+	Profile *hw.Profile
+
+	Ops      map[*ir.Instr]*StaticOp
+	BlockOps map[*ir.Block][]*StaticOp
+
+	// FUTotal is the number of functional units instantiated per class:
+	// one per static instruction by default (dedicated 1:1 mapping), or
+	// the user-constrained pool size when a limit is set.
+	FUTotal map[hw.FUClass]int
+	// FULimit holds the user constraints that were applied (0 = none).
+	FULimit map[hw.FUClass]int
+
+	// RegBits is the total datapath register width: every SSA value plus
+	// the argument registers.
+	RegBits int
+	// RegCount is the number of registers.
+	RegCount int
+}
+
+// Elaborate builds the static CDFG for f under a hardware profile with
+// optional per-class FU limits ("hardware profile" constraints enforcing
+// reuse, Sec. III-A2).
+func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (*CDFG, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("core: elaborating unverifiable IR: %w", err)
+	}
+	g := &CDFG{
+		F:        f,
+		Profile:  profile,
+		Ops:      map[*ir.Instr]*StaticOp{},
+		BlockOps: map[*ir.Block][]*StaticOp{},
+		FUTotal:  map[hw.FUClass]int{},
+		FULimit:  map[hw.FUClass]int{},
+	}
+	for c, n := range limits {
+		g.FULimit[c] = n
+	}
+	demand := map[hw.FUClass]int{}
+	for _, b := range f.Blocks {
+		ops := make([]*StaticOp, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			class := hw.OpClass(in)
+			spec := profile.Spec(class)
+			op := &StaticOp{
+				In:        in,
+				Class:     class,
+				Latency:   profile.OpLatency(in),
+				Pipelined: spec.Pipelined || class == hw.FUNone,
+				RegBits:   in.T.Bits(),
+			}
+			g.Ops[in] = op
+			ops = append(ops, op)
+			if class != hw.FUNone {
+				demand[class]++
+			}
+			if in.HasResult() {
+				g.RegBits += in.T.Bits()
+				g.RegCount++
+			}
+		}
+		g.BlockOps[b] = ops
+	}
+	for _, p := range f.Params {
+		g.RegBits += p.T.Bits()
+		g.RegCount++
+	}
+	for c, n := range demand {
+		if lim := g.FULimit[c]; lim > 0 && lim < n {
+			g.FUTotal[c] = lim
+		} else {
+			g.FUTotal[c] = n
+		}
+	}
+	return g, nil
+}
+
+// AreaUM2 returns datapath area: functional units plus registers. Memory
+// macros are reported separately (they belong to the memory hierarchy,
+// which gem5-SALAM deliberately decouples from the datapath).
+func (g *CDFG) AreaUM2() float64 {
+	area := 0.0
+	for c, n := range g.FUTotal {
+		area += g.Profile.Spec(c).AreaUM2 * float64(n)
+	}
+	area += g.Profile.Reg.AreaUM2 * float64(g.RegBits)
+	return area
+}
+
+// StaticFULeakageMW returns functional-unit leakage power.
+func (g *CDFG) StaticFULeakageMW() float64 {
+	p := 0.0
+	for c, n := range g.FUTotal {
+		p += g.Profile.Spec(c).LeakageMW * float64(n)
+	}
+	return p
+}
+
+// StaticRegLeakageMW returns register leakage power.
+func (g *CDFG) StaticRegLeakageMW() float64 {
+	return g.Profile.Reg.LeakageMW * float64(g.RegBits)
+}
+
+// FUCount returns the instantiated unit count for one class.
+func (g *CDFG) FUCount(c hw.FUClass) int { return g.FUTotal[c] }
+
+// Summary renders a one-line-per-class inventory for reports.
+func (g *CDFG) Summary() string {
+	s := fmt.Sprintf("function %s: %d blocks, %d instrs, %d regs (%d bits)\n",
+		g.F.Name(), len(g.F.Blocks), g.F.NumInstrs(), g.RegCount, g.RegBits)
+	for _, c := range hw.AllFUClasses() {
+		if n := g.FUTotal[c]; n > 0 {
+			lim := ""
+			if g.FULimit[c] > 0 {
+				lim = fmt.Sprintf(" (limit %d)", g.FULimit[c])
+			}
+			s += fmt.Sprintf("  %-16s %d%s\n", c, n, lim)
+		}
+	}
+	return s
+}

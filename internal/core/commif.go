@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"gosalam/internal/mem"
+	"gosalam/internal/sim"
+)
+
+// StreamDir is the direction of a stream window.
+type StreamDir int
+
+// Stream window directions.
+const (
+	StreamIn  StreamDir = iota // kernel loads pop from the buffer
+	StreamOut                  // kernel stores push into the buffer
+)
+
+// streamWindow binds an address range seen by the kernel to a stream
+// buffer. Accesses inside the window become FIFO pops/pushes with a full/
+// empty handshake, modeling AXI-Stream ports (Fig. 16c): the address
+// offset is ignored, accesses are consumed in program order.
+type streamWindow struct {
+	rng mem.AddrRange
+	buf *mem.StreamBuffer
+	dir StreamDir
+}
+
+// CommInterface is the paper's communications interface (Fig. 5): MMRs for
+// control, up to two master memory ports (a local scratchpad port and a
+// global port), stream windows, bounded read/write request queues with a
+// configurable per-cycle issue width, and an interrupt line.
+type CommInterface struct {
+	q    *sim.EventQueue
+	clk  *sim.ClockDomain
+	name string
+
+	// MMR is the control/status/argument register file. Layout:
+	// reg0 = CTRL (bit0 start, bit1 IRQ enable), reg1 = STATUS (bit0 busy,
+	// bit1 done), regs 2..2+nargs-1 = kernel arguments.
+	MMR *mem.MMRBlock
+
+	local   mem.Ranged // scratchpad port (may be nil)
+	global  mem.Port   // cache/xbar port (may be nil)
+	streams []streamWindow
+
+	// ReadPorts and WritePorts bound memory issues per engine cycle — the
+	// read/write-port knob swept in Figs. 14 and 15.
+	ReadPorts  int
+	WritePorts int
+	// MaxOutstanding bounds in-flight requests per direction.
+	MaxOutstanding int
+
+	// IRQ, when set, is raised at kernel completion if CTRL bit1 is set.
+	IRQ func()
+
+	readsThisCycle  int
+	writesThisCycle int
+	outReads        int
+	outWrites       int
+
+	// Stats.
+	LoadsIssued, StoresIssued   *sim.Scalar
+	StreamPops, StreamPushes    *sim.Scalar
+	StreamStalls                *sim.Scalar
+	LocalAccesses, GlobalAccess *sim.Scalar
+	LoadLatency                 *sim.Distribution
+}
+
+// CtrlReg and friends name the fixed MMR indices.
+const (
+	CtrlReg   = 0
+	StatusReg = 1
+	ArgReg0   = 2
+)
+
+// NewCommInterface builds a communications interface with nargs argument
+// registers, MMRs based at mmrBase.
+func NewCommInterface(name string, q *sim.EventQueue, clk *sim.ClockDomain,
+	mmrBase uint64, nargs int, stats *sim.Group) *CommInterface {
+	c := &CommInterface{
+		q: q, clk: clk, name: name,
+		ReadPorts: 2, WritePorts: 2, MaxOutstanding: 16,
+	}
+	c.MMR = mem.NewMMRBlock(name+".mmr", q, clk, mmrBase, ArgReg0+nargs, stats)
+	g := stats.Child(name)
+	c.LoadsIssued = g.Scalar("loads", "load requests issued")
+	c.StoresIssued = g.Scalar("stores", "store requests issued")
+	c.StreamPops = g.Scalar("stream_pops", "stream window pops")
+	c.StreamPushes = g.Scalar("stream_pushes", "stream window pushes")
+	c.StreamStalls = g.Scalar("stream_stalls", "stream handshake stalls")
+	c.LocalAccesses = g.Scalar("local_accesses", "accesses via the SPM port")
+	c.GlobalAccess = g.Scalar("global_accesses", "accesses via the global port")
+	c.LoadLatency = g.Distribution("load_latency", "ticks from issue to data")
+	return c
+}
+
+// AttachLocal connects the scratchpad master port.
+func (c *CommInterface) AttachLocal(p mem.Ranged) { c.local = p }
+
+// AttachGlobal connects the global (cache/crossbar) master port.
+func (c *CommInterface) AttachGlobal(p mem.Port) { c.global = p }
+
+// AttachStream binds a stream buffer to an address window.
+func (c *CommInterface) AttachStream(rng mem.AddrRange, buf *mem.StreamBuffer, dir StreamDir) {
+	c.streams = append(c.streams, streamWindow{rng: rng, buf: buf, dir: dir})
+}
+
+// NewCycle resets the per-cycle port counters; the engine calls it at each
+// clock edge.
+func (c *CommInterface) NewCycle() {
+	c.readsThisCycle = 0
+	c.writesThisCycle = 0
+}
+
+// CanRead reports whether another read may issue this cycle.
+func (c *CommInterface) CanRead() bool {
+	return c.readsThisCycle < c.ReadPorts && c.outReads < c.MaxOutstanding
+}
+
+// CanWrite reports whether another write may issue this cycle.
+func (c *CommInterface) CanWrite() bool {
+	return c.writesThisCycle < c.WritePorts && c.outWrites < c.MaxOutstanding
+}
+
+// WindowIndex returns which stream window addr falls in (-1 for none).
+// The engine uses it to keep same-window accesses in program order: FIFO
+// pops and pushes must not reorder.
+func (c *CommInterface) WindowIndex(addr uint64) int {
+	for i := range c.streams {
+		if c.streams[i].rng.Contains(addr, 1) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *CommInterface) stream(addr uint64, size int) *streamWindow {
+	for i := range c.streams {
+		if c.streams[i].rng.Contains(addr, 1) {
+			return &c.streams[i]
+		}
+	}
+	return nil
+}
+
+func (c *CommInterface) route(addr uint64, size int) mem.Port {
+	if c.local != nil && c.local.Range().Contains(addr, size) {
+		c.LocalAccesses.Inc(1)
+		return c.local
+	}
+	if c.global == nil {
+		panic(fmt.Sprintf("core: %s: no port for address %#x", c.name, addr))
+	}
+	c.GlobalAccess.Inc(1)
+	return c.global
+}
+
+// IssueRead starts a read. It returns false when the access targets a
+// stream window that is currently empty (the op must retry). done receives
+// the data bits via the event queue.
+func (c *CommInterface) IssueRead(addr uint64, size int, done func(data []byte)) bool {
+	if w := c.stream(addr, size); w != nil {
+		if w.dir != StreamIn {
+			panic(fmt.Sprintf("core: %s: load from output stream window %#x", c.name, addr))
+		}
+		data, ok := w.buf.Pop(size)
+		if !ok {
+			c.StreamStalls.Inc(1)
+			return false
+		}
+		c.StreamPops.Inc(1)
+		c.readsThisCycle++
+		c.q.Schedule(c.q.Now()+c.clk.Period(), sim.PriMemResp, func() { done(data) })
+		return true
+	}
+	c.readsThisCycle++
+	c.outReads++
+	c.LoadsIssued.Inc(1)
+	start := c.q.Now()
+	c.route(addr, size).Send(mem.NewRead(addr, size, func(r *mem.Request) {
+		c.outReads--
+		c.LoadLatency.Sample(float64(c.q.Now() - start))
+		done(r.Data)
+	}))
+	return true
+}
+
+// IssueWrite starts a write. It returns false when the access targets a
+// stream window that is currently full.
+func (c *CommInterface) IssueWrite(addr uint64, data []byte, done func()) bool {
+	if w := c.stream(addr, len(data)); w != nil {
+		if w.dir != StreamOut {
+			panic(fmt.Sprintf("core: %s: store to input stream window %#x", c.name, addr))
+		}
+		if !w.buf.Push(data) {
+			c.StreamStalls.Inc(1)
+			return false
+		}
+		c.StreamPushes.Inc(1)
+		c.writesThisCycle++
+		c.q.Schedule(c.q.Now()+c.clk.Period(), sim.PriMemResp, func() { done() })
+		return true
+	}
+	c.writesThisCycle++
+	c.outWrites++
+	c.StoresIssued.Inc(1)
+	c.route(addr, len(data)).Send(mem.NewWrite(addr, data, func(*mem.Request) {
+		c.outWrites--
+		done()
+	}))
+	return true
+}
+
+// OutstandingReads returns in-flight read count (for stall classification).
+func (c *CommInterface) OutstandingReads() int { return c.outReads }
+
+// OutstandingWrites returns in-flight write count.
+func (c *CommInterface) OutstandingWrites() int { return c.outWrites }

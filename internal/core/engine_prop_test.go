@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gosalam/internal/hw"
+	"gosalam/ir"
+)
+
+// genRandomKernel builds a random but well-formed kernel mixing loops,
+// conditionals, integer/FP arithmetic and memory traffic over two buffers.
+func genRandomKernel(rng *rand.Rand) (*ir.Function, int) {
+	m := ir.NewModule("rand")
+	b := ir.NewBuilder(m)
+	f := b.Func("rand", ir.Void, ir.P("a", ir.Ptr(ir.F64)), ir.P("x", ir.Ptr(ir.I64)))
+	a, x := f.Params[0], f.Params[1]
+	n := 8 + rng.Intn(24)
+
+	// values available for use as FP/int operands
+	fvals := []ir.Value{ir.F64c(1.5), ir.F64c(-0.25)}
+	ivals := []ir.Value{ir.I64c(3), ir.I64c(-7)}
+
+	b.Loop("i", ir.I64c(0), ir.I64c(int64(n)), 1, func(iv ir.Value) {
+		ivals2 := append(append([]ir.Value{}, ivals...), iv)
+		pa := b.GEP(a, "pa", iv)
+		px := b.GEP(x, "px", iv)
+		fv := b.Load(pa, "fv")
+		iu := b.Load(px, "iu")
+		fvals2 := append(append([]ir.Value{}, fvals...), fv)
+		ivals2 = append(ivals2, iu)
+
+		steps := 2 + rng.Intn(6)
+		for s := 0; s < steps; s++ {
+			switch rng.Intn(5) {
+			case 0:
+				v := b.FAdd(pick(rng, fvals2), pick(rng, fvals2), "f")
+				fvals2 = append(fvals2, v)
+			case 1:
+				v := b.FMul(pick(rng, fvals2), pick(rng, fvals2), "g")
+				fvals2 = append(fvals2, v)
+			case 2:
+				v := b.Add(pick(rng, ivals2), pick(rng, ivals2), "k")
+				ivals2 = append(ivals2, v)
+			case 3:
+				v := b.Xor(pick(rng, ivals2), pick(rng, ivals2), "m")
+				ivals2 = append(ivals2, v)
+			case 4:
+				c := b.ICmp(ir.ISLT, pick(rng, ivals2), pick(rng, ivals2), "c")
+				v := b.Select(c, pick(rng, ivals2), pick(rng, ivals2), "s")
+				ivals2 = append(ivals2, v)
+			}
+		}
+		// Conditional store keeps control flow data-dependent.
+		cond := b.ICmp(ir.ISGE, pick(rng, ivals2), ir.I64c(0), "cc")
+		fOut := pick(rng, fvals2)
+		iOut := pick(rng, ivals2)
+		b.IfElse(cond, "w", func() {
+			b.Store(fOut, pa)
+		}, func() {
+			b.Store(iOut, px)
+		})
+	})
+	b.Ret(nil)
+	return f, n
+}
+
+func pick(rng *rand.Rand, vals []ir.Value) ir.Value {
+	return vals[rng.Intn(len(vals))]
+}
+
+// The execute-in-execute invariant: for random kernels, random data and
+// random device configurations, the cycle-accurate engine leaves memory in
+// exactly the state the functional interpreter does.
+func TestEngineInterpreterEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f, n := genRandomKernel(rng)
+		if err := ir.Verify(f); err != nil {
+			t.Logf("generated invalid IR: %v", err)
+			return false
+		}
+		ref := ir.NewFlatMem(0, 1<<16)
+		refArgs := setupWith(ref, n, seed)
+		if _, _, err := ir.Exec(f, refArgs, ref, nil); err != nil {
+			t.Logf("interp: %v", err)
+			return false
+		}
+
+		cfg := DefaultConfig()
+		cfg.ReadPorts = 1 + rng.Intn(4)
+		cfg.WritePorts = 1 + rng.Intn(4)
+		cfg.ResQueueSize = 24 + rng.Intn(200)
+		cfg.PipelineLoops = rng.Intn(2) == 0
+		cfg.ConservativeMemOrder = rng.Intn(2) == 0
+
+		r := newRig(t, f, cfg, map[hw.FUClass]int{hw.FUFPAdder: 1 + rng.Intn(3)})
+		args := setupWith(r.space, n, seed)
+		runToDone(t, r, args)
+
+		for i := range ref.Data {
+			if ref.Data[i] != r.space.Data[i] {
+				t.Logf("seed %d: memory diverges at byte %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// setupWith deterministically initializes the two buffers from a seed.
+func setupWith(mem *ir.FlatMem, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+	aA := mem.AllocFor(ir.F64, n)
+	xA := mem.AllocFor(ir.I64, n)
+	for i := 0; i < n; i++ {
+		mem.WriteF64(aA+uint64(i*8), rng.Float64()*8-4)
+		mem.WriteI64(xA+uint64(i*8), rng.Int63n(64)-32)
+	}
+	return []uint64{aA, xA}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"gosalam/internal/hw"
+	"gosalam/internal/mem"
+	"gosalam/internal/sim"
+)
+
+// PowerReport is the paper's seven-category power breakdown (Fig. 4) plus
+// area, computed from static elaboration, runtime activity, and the
+// CACTI-like SRAM model.
+type PowerReport struct {
+	// Dynamic power (mW).
+	DynFU       float64
+	DynReg      float64
+	DynSPMRead  float64
+	DynSPMWrite float64
+	// Static power (mW).
+	StaticFU  float64
+	StaticReg float64
+	StaticSPM float64
+	// Area (µm²).
+	AreaFU  float64
+	AreaReg float64
+	AreaSPM float64
+}
+
+// TotalMW returns total power.
+func (p PowerReport) TotalMW() float64 {
+	return p.DynamicMW() + p.StaticMW()
+}
+
+// DynamicMW returns total dynamic power.
+func (p PowerReport) DynamicMW() float64 {
+	return p.DynFU + p.DynReg + p.DynSPMRead + p.DynSPMWrite
+}
+
+// StaticMW returns total static power.
+func (p PowerReport) StaticMW() float64 {
+	return p.StaticFU + p.StaticReg + p.StaticSPM
+}
+
+// DatapathMW returns power excluding SPM categories (Fig. 13's
+// "datapath only" series).
+func (p PowerReport) DatapathMW() float64 {
+	return p.DynFU + p.DynReg + p.StaticFU + p.StaticReg
+}
+
+// TotalAreaUM2 returns total area.
+func (p PowerReport) TotalAreaUM2() float64 { return p.AreaFU + p.AreaReg + p.AreaSPM }
+
+func (p PowerReport) String() string {
+	return fmt.Sprintf(
+		"dyn: fu=%.3f reg=%.3f spmR=%.3f spmW=%.3f | static: fu=%.3f reg=%.3f spm=%.3f | total=%.3f mW",
+		p.DynFU, p.DynReg, p.DynSPMRead, p.DynSPMWrite,
+		p.StaticFU, p.StaticReg, p.StaticSPM, p.TotalMW())
+}
+
+// Power computes the report for an accelerator over an elapsed wall time.
+// spm, when non-nil, contributes private-memory categories through the
+// CACTI model. elapsed is the runtime the dynamic energy was spent over;
+// pass the kernel's active window for per-invocation power.
+func (a *Accelerator) Power(spm *mem.Scratchpad, elapsed sim.Tick) PowerReport {
+	var r PowerReport
+	g := a.CDFG
+	r.StaticFU = g.StaticFULeakageMW()
+	r.StaticReg = g.StaticRegLeakageMW()
+	r.AreaFU = g.AreaUM2() - g.Profile.Reg.AreaUM2*float64(g.RegBits)
+	r.AreaReg = g.Profile.Reg.AreaUM2 * float64(g.RegBits)
+
+	ns := float64(elapsed) / 1000.0 // ticks are ps
+	if ns <= 0 {
+		ns = 1
+	}
+	// pJ / ns = mW.
+	r.DynFU = a.FUEnergyPJ.Value() / ns
+	r.DynReg = (a.RegReadPJ.Value() + a.RegWritePJ.Value()) / ns
+
+	if spm != nil {
+		c := spm.Cacti()
+		r.StaticSPM = c.LeakageMW()
+		r.AreaSPM = c.AreaUM2()
+		r.DynSPMRead = spm.Reads.Value() * c.ReadEnergyPJ() / ns
+		r.DynSPMWrite = spm.Writes.Value() * c.WriteEnergyPJ() / ns
+	}
+	return r
+}
+
+// FUOccupancy returns the average busy fraction of a class's units over
+// the active cycles: the co-design metric of Fig. 15(b).
+func (a *Accelerator) FUOccupancy(c hw.FUClass) float64 {
+	total := a.CDFG.FUTotal[c]
+	cyc := a.ActiveCycles.Value()
+	if total == 0 || cyc == 0 {
+		return 0
+	}
+	return a.OccupancySum.Get(c.String()) / (cyc * float64(total))
+}
+
+// ActivityFraction returns the fraction of active cycles whose in-flight
+// mix matches pred (keys are combinations of "load", "store", "fp").
+func (a *Accelerator) ActivityFraction(pred func(load, store, fp bool) bool) float64 {
+	cyc := a.ActiveCycles.Value()
+	if cyc == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, key := range a.Activity.Keys() {
+		load, store, fp := false, false, false
+		switch {
+		case key == "none":
+		default:
+			for _, part := range splitPlus(key) {
+				switch part {
+				case "load":
+					load = true
+				case "store":
+					store = true
+				case "fp":
+					fp = true
+				}
+			}
+		}
+		if pred(load, store, fp) {
+			sum += a.Activity.Get(key)
+		}
+	}
+	return sum / cyc
+}
+
+func splitPlus(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// CycleSample is one cycle of the fine-grained execution profile: what
+// issued, what was in flight, and why ready work stalled — the per-cycle
+// scheduling log behind the paper's occupancy/stall explorations
+// (Sec. III-C2, Figs. 14-15).
+type CycleSample struct {
+	Cycle  uint64
+	Loads  uint16
+	Stores uint16
+	FPOps  uint16
+	IntOps uint16
+	Other  uint16
+	// Resident is the reservation-queue depth at end of cycle.
+	Resident uint16
+	// Stalled marks a cycle that issued nothing despite pending work.
+	Stalled bool
+	// Hazard flags: bit0 load ports, bit1 store ports, bit2 FU pool,
+	// bit3 memory ordering.
+	Hazard uint8
+}
+
+// Hazard bit masks.
+const (
+	HazLoadPorts uint8 = 1 << iota
+	HazStorePorts
+	HazFUPool
+	HazMemOrder
+)
+
+// CycleProfile is a bounded per-cycle log. Enable with
+// Accelerator.EnableProfile before starting a kernel.
+type CycleProfile struct {
+	Samples []CycleSample
+	cap     int
+	Dropped uint64
+}
+
+// EnableProfile starts per-cycle logging, keeping at most capSamples
+// (default 1<<20 when <=0). Re-enabling clears previous samples.
+func (a *Accelerator) EnableProfile(capSamples int) *CycleProfile {
+	if capSamples <= 0 {
+		capSamples = 1 << 20
+	}
+	a.profile = &CycleProfile{cap: capSamples}
+	return a.profile
+}
+
+// Profile returns the current profile (nil when disabled).
+func (a *Accelerator) Profile() *CycleProfile { return a.profile }
+
+func (p *CycleProfile) record(s CycleSample) {
+	if len(p.Samples) >= p.cap {
+		p.Dropped++
+		return
+	}
+	p.Samples = append(p.Samples, s)
+}
+
+// WriteCSV dumps the profile.
+func (p *CycleProfile) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,loads,stores,fp_ops,int_ops,other,resident,stalled,haz_load,haz_store,haz_fu,haz_order"); err != nil {
+		return err
+	}
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, s := range p.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, s.Loads, s.Stores, s.FPOps, s.IntOps, s.Other, s.Resident,
+			b(s.Stalled), b(s.Hazard&HazLoadPorts != 0), b(s.Hazard&HazStorePorts != 0),
+			b(s.Hazard&HazFUPool != 0), b(s.Hazard&HazMemOrder != 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the samples for quick inspection.
+func (p *CycleProfile) Summary() (issueCycles, stallCycles int, avgResident float64) {
+	var res uint64
+	for _, s := range p.Samples {
+		if s.Stalled {
+			stallCycles++
+		} else if s.Loads+s.Stores+s.FPOps+s.IntOps+s.Other > 0 {
+			issueCycles++
+		}
+		res += uint64(s.Resident)
+	}
+	if len(p.Samples) > 0 {
+		avgResident = float64(res) / float64(len(p.Samples))
+	}
+	return
+}

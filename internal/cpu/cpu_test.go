@@ -1,0 +1,188 @@
+package cpu
+
+import (
+	"testing"
+
+	"gosalam/internal/mem"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+type env struct {
+	q     *sim.EventQueue
+	clk   *sim.ClockDomain
+	space *ir.FlatMem
+	stats *sim.Group
+	gic   *GIC
+	dram  *mem.DRAM
+	host  *Host
+}
+
+func newEnv() *env {
+	e := &env{
+		q:     sim.NewEventQueue(),
+		clk:   sim.NewClockDomainMHz("cpu", 1200),
+		space: ir.NewFlatMem(0, 1<<20),
+		stats: sim.NewGroup("sys"),
+	}
+	e.gic = NewGIC(e.stats)
+	e.dram = mem.NewDRAM("dram", e.q, e.clk, e.space, mem.AddrRange{Base: 0, Size: 1 << 20}, e.stats)
+	e.host = NewHost("host", e.q, e.clk, e.dram, e.gic, e.stats)
+	return e
+}
+
+func TestGICLatchAndWait(t *testing.T) {
+	e := newEnv()
+	fired := 0
+	// Wait first, then raise.
+	e.gic.Wait(3, func() { fired++ })
+	e.gic.Raise(3)
+	if fired != 1 {
+		t.Fatal("waiter not woken")
+	}
+	// Raise first, then wait (latched).
+	e.gic.Raise(5)
+	e.gic.Wait(5, func() { fired++ })
+	if fired != 2 {
+		t.Fatal("pending IRQ not delivered")
+	}
+	// Lines are independent.
+	e.gic.Wait(7, func() { fired++ })
+	e.gic.Raise(8)
+	if fired != 2 {
+		t.Fatal("wrong line woke a waiter")
+	}
+}
+
+func TestHostWriteReadPoll(t *testing.T) {
+	e := newEnv()
+	var got uint64
+	done := false
+	prog := []Op{
+		WriteReg{Addr: 0x100, Val: 42},
+		ReadReg{Addr: 0x100, Into: &got},
+	}
+	e.host.Run(prog, func() { done = true })
+	e.q.Run()
+	if !done || got != 42 {
+		t.Fatalf("done=%v got=%d", done, got)
+	}
+	if e.space.ReadI64(0x100) != 42 {
+		t.Fatal("write did not land")
+	}
+
+	// Poll until another event sets the value.
+	done = false
+	e.host.Run([]Op{PollReg{Addr: 0x200, Mask: 0xff, Want: 7}}, func() { done = true })
+	e.q.RunUntil(e.q.Now() + 100*e.clk.Period())
+	if done {
+		t.Fatal("poll satisfied too early")
+	}
+	e.space.WriteI64(0x200, 7)
+	e.q.Run()
+	if !done {
+		t.Fatal("poll never satisfied")
+	}
+}
+
+func TestHostWaitIRQ(t *testing.T) {
+	e := newEnv()
+	done := false
+	e.host.Run([]Op{WaitIRQ{Line: 1}, Compute{Cycles: 5}}, func() { done = true })
+	e.q.RunUntil(1000)
+	if done {
+		t.Fatal("finished before IRQ")
+	}
+	e.gic.Raise(1)
+	e.q.Run()
+	if !done {
+		t.Fatal("IRQ did not unblock")
+	}
+}
+
+func TestHostMemcpy(t *testing.T) {
+	e := newEnv()
+	for i := 0; i < 100; i++ {
+		e.space.Data[0x300+i] = byte(i)
+	}
+	done := false
+	e.host.Run([]Op{Memcpy{Dst: 0x1000, Src: 0x300, N: 100}}, func() { done = true })
+	e.q.Run()
+	if !done {
+		t.Fatal("memcpy incomplete")
+	}
+	for i := 0; i < 100; i++ {
+		if e.space.Data[0x1000+i] != byte(i) {
+			t.Fatalf("byte %d corrupt", i)
+		}
+	}
+	// CPU-driven copy costs at least one bus round trip per word.
+	if e.host.BusReads.Value() < 13 {
+		t.Fatalf("bus reads = %g", e.host.BusReads.Value())
+	}
+}
+
+func TestMemcpySlowerThanDMA(t *testing.T) {
+	// The motivation for DMA offload: host memcpy of a block takes longer
+	// than a DMA transfer of the same block.
+	e := newEnv()
+	n := uint64(4096)
+	var hostTicks sim.Tick
+	e.host.Run([]Op{Memcpy{Dst: 0x10000, Src: 0, N: n}}, func() { hostTicks = e.q.Now() })
+	e.q.Run()
+
+	e2 := newEnv()
+	dma := mem.NewBlockDMA("dma", e2.q, e2.clk, 0xF0000000, e2.dram, e2.stats)
+	var dmaTicks sim.Tick
+	dma.Transfer(0, 0x10000, n, 256, func() { dmaTicks = e2.q.Now() })
+	e2.q.Run()
+	if !(dmaTicks < hostTicks/2) {
+		t.Fatalf("DMA (%d) not much faster than memcpy (%d)", dmaTicks, hostTicks)
+	}
+}
+
+func TestStartAccelAndDMAOpBuilders(t *testing.T) {
+	ops := StartAccel(0x9000, []uint64{1, 2, 3}, true)
+	if len(ops) != 4 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	last := ops[3].(WriteReg)
+	if last.Addr != 0x9000 || last.Val != 3 {
+		t.Fatalf("ctrl write = %+v", last)
+	}
+	arg0 := ops[0].(WriteReg)
+	if arg0.Addr != 0x9010 || arg0.Val != 1 {
+		t.Fatalf("arg0 write = %+v", arg0)
+	}
+
+	dops := StartDMA(0x8000, 0x1, 0x2, 64, 32, false)
+	if len(dops) != 5 {
+		t.Fatalf("dma ops = %d", len(dops))
+	}
+	if dops[4].(WriteReg).Val != 1 {
+		t.Fatal("dma ctrl without IRQ should be 1")
+	}
+}
+
+func TestHostDoubleRunPanics(t *testing.T) {
+	e := newEnv()
+	e.host.Run([]Op{Compute{Cycles: 100}}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Run did not panic")
+		}
+	}()
+	e.host.Run([]Op{Compute{Cycles: 1}}, nil)
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, op := range []Op{
+		WriteReg{1, 2}, ReadReg{1, nil}, PollReg{Addr: 1, Mask: 2, Want: 3},
+		WaitIRQ{4}, Memcpy{1, 2, 3}, Compute{9},
+		Call{Fn: func(h *Host, done func()) { done() }, Desc: "x"},
+	} {
+		if op.String() == "" {
+			t.Fatalf("%T has empty String", op)
+		}
+	}
+}

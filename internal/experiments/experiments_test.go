@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run at smoke scale, produce rows, and render.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, r := range AllRunners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(ScaleSmoke)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			md := tab.Markdown()
+			if !strings.Contains(md, tab.Header[0]) {
+				t.Fatal("markdown missing header")
+			}
+			if csv := tab.CSV(); !strings.Contains(csv, ",") {
+				t.Fatal("csv render broken")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(tab.Header), row)
+				}
+			}
+		})
+	}
+}
+
+func TestRunnerByID(t *testing.T) {
+	if _, ok := RunnerByID("fig10"); !ok {
+		t.Fatal("fig10 missing")
+	}
+	if _, ok := RunnerByID("nope"); ok {
+		t.Fatal("found nonexistent runner")
+	}
+}
+
+// Table 1's headline property: baseline shifter count differs across
+// datasets while SALAM's rows are identical.
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows: trace ds1, trace ds2, salam ds1, salam ds2
+	shifter := func(row []string) string { return row[4] }
+	if shifter(tab.Rows[0]) == shifter(tab.Rows[1]) {
+		t.Fatalf("baseline shifters identical across datasets: %v", tab.Rows)
+	}
+	if shifter(tab.Rows[0]) != "0" {
+		t.Fatalf("dataset 1 baseline should have no shifter: %v", tab.Rows[0])
+	}
+	if tab.Rows[2][2] != tab.Rows[3][2] || tab.Rows[2][3] != tab.Rows[3][3] ||
+		shifter(tab.Rows[2]) != shifter(tab.Rows[3]) {
+		t.Fatalf("SALAM datapath varies with data: %v vs %v", tab.Rows[2], tab.Rows[3])
+	}
+}
+
+// Table 2's headline property: baseline FU counts vary across memory
+// configurations; SALAM emits a single invariant row.
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineCounts := map[string]bool{}
+	for _, row := range tab.Rows {
+		if row[0] == "trace-based" {
+			baselineCounts[row[2]+"/"+row[3]] = true
+		}
+	}
+	if len(baselineCounts) < 2 {
+		t.Fatalf("baseline datapath did not vary across memories: %v", baselineCounts)
+	}
+}
+
+// Fig 14's headline property: stalls decrease (weakly) as ports increase.
+func TestFig14Shape(t *testing.T) {
+	tab, err := Fig14(ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows ordered wide -> narrow; stall fraction should not decrease as
+	// ports shrink.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", s)
+		}
+		return v
+	}
+	first := parse(tab.Rows[0][2])
+	last := parse(tab.Rows[len(tab.Rows)-1][2])
+	if !(last >= first) {
+		t.Fatalf("stalls with few ports (%g%%) < stalls with many (%g%%)", last, first)
+	}
+}
+
+// Fig 16's headline property: shared SPM beats private, streams beat both.
+func TestFig16Shape(t *testing.T) {
+	tab, err := Fig16(ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad time %q", s)
+		}
+		return v
+	}
+	private := parse(tab.Rows[0][1])
+	shared := parse(tab.Rows[1][1])
+	stream := parse(tab.Rows[2][1])
+	if !(shared < private) {
+		t.Fatalf("shared SPM (%g) not faster than private (%g)", shared, private)
+	}
+	if !(stream < shared) {
+		t.Fatalf("streaming (%g) not faster than shared (%g)", stream, shared)
+	}
+}
+
+// Fig 10's average error should land in a credible validation band.
+func TestFig10ErrorBand(t *testing.T) {
+	tab, err := Fig10(ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := tab.Rows[len(tab.Rows)-1][3]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(avg, "%"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 40 {
+		t.Fatalf("average timing error %g%% outside credible band", v)
+	}
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+
+	salam "gosalam"
+	"gosalam/internal/core"
+	"gosalam/internal/cpu"
+	"gosalam/internal/hls"
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+// Fig4 reproduces Fig. 4: the seven-category total power breakdown for
+// the MachSuite set running with private SPMs.
+func Fig4(s Scale) (*Table, error) {
+	preset := kernels.Small
+	if s == ScaleFull {
+		preset = kernels.Default
+	}
+	t := &Table{
+		ID:    "fig4",
+		Title: "Total power analysis with private SPM (% contribution)",
+		Header: []string{"Benchmark", "Dyn FU", "Dyn Reg", "Dyn SPM Rd", "Dyn SPM Wr",
+			"Static FU", "Static Reg", "Static SPM", "Total (mW)"},
+	}
+	for _, k := range kernels.All(preset) {
+		res, err := salam.RunKernel(k, salam.DefaultRunOpts())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		p := res.Power
+		tot := p.TotalMW()
+		t.AddRow(k.Name,
+			pct(p.DynFU/tot), pct(p.DynReg/tot), pct(p.DynSPMRead/tot), pct(p.DynSPMWrite/tot),
+			pct(p.StaticFU/tot), pct(p.StaticReg/tot), pct(p.StaticSPM/tot), f2(tot))
+	}
+	t.Note("Paper Fig. 4 shows the same seven stacked categories; FP-heavy kernels " +
+		"are dominated by dynamic FU power, memory-bound ones by SPM power. (The paper " +
+		"ran the benchmarks concurrently; with private SPMs each accelerator's breakdown " +
+		"is independent, so per-kernel runs report the same mix.)")
+	return t, nil
+}
+
+// valBenchmarks is the Fig. 10-12 benchmark set (the paper evaluates 8;
+// we run the full suite and note exclusions where the paper had them).
+func valBenchmarks(preset kernels.Preset) []*kernels.Kernel {
+	return kernels.All(preset)
+}
+
+// hlsConfigFor matches the static scheduler's view to the RunKernel
+// configuration.
+func hlsConfigFor(opts salam.RunOpts) hls.Config {
+	return hls.Config{
+		ReadPorts:  opts.Accel.ReadPorts,
+		WritePorts: opts.Accel.WritePorts,
+		// Engine-observed SPM round trip: issue edge + SPM service +
+		// latency cycles + commit edge.
+		MemLatency: opts.SPMLatency + 1,
+		// The engine resolves and redirects within about one cycle.
+		BranchCycles: 0,
+	}
+}
+
+// Fig10 reproduces Fig. 10: cycle counts from the dynamic engine vs the
+// static HLS reference, with per-benchmark error.
+func Fig10(s Scale) (*Table, error) {
+	preset := kernels.Small
+	if s == ScaleFull {
+		preset = kernels.Default
+	}
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Performance validation (cycles, gosalam vs HLS reference)",
+		Header: []string{"Benchmark", "gosalam (cy)", "HLS (cy)", "Error"},
+	}
+	opts := salam.DefaultRunOpts()
+	var sumErr float64
+	var n int
+	for _, k := range valBenchmarks(preset) {
+		res, err := salam.RunKernel(k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		mem := ir.NewFlatMem(0, 1<<24)
+		inst := k.Setup(mem, opts.Seed)
+		g, err := core.Elaborate(k.F, hw.Default40nm(), opts.Accel.FULimits)
+		if err != nil {
+			return nil, err
+		}
+		est, err := hls.EstimateCycles(g, hlsConfigFor(opts), inst.Args, mem)
+		if err != nil {
+			return nil, err
+		}
+		e := errPct(float64(res.Cycles), float64(est.Cycles))
+		sumErr += e
+		n++
+		t.AddRow(k.Name, u64(res.Cycles), u64(est.Cycles), f2(e)+"%")
+	}
+	t.AddRow("Average", "-", "-", f2(sumErr/float64(n))+"%")
+	t.Note("Paper Fig. 10: ~1%% average timing error vs Vivado HLS, with regular " +
+		"kernels (FFT, GEMM, Stencil2D, NW) lowest and FP-reuse-heavy MD-KNN highest.")
+	return t, nil
+}
+
+// powerAreaRows runs a kernel under both hardware calibrations and
+// reports power or area error.
+func powerAreaRows(preset kernels.Preset, area bool, skip map[string]string) (*Table, error) {
+	what := "Power (mW)"
+	if area {
+		what = "Area (µm²)"
+	}
+	t := &Table{
+		Header: []string{"Benchmark", "gosalam " + what, "Reference " + what, "Error"},
+	}
+	opts := salam.DefaultRunOpts()
+	refOpts := opts
+	refOpts.Profile = hw.SynthesisRef()
+	var sumErr float64
+	var n int
+	for _, k := range valBenchmarks(preset) {
+		if why, ok := skip[k.Name]; ok {
+			t.AddRow(k.Name, "-", "-", "excluded: "+why)
+			continue
+		}
+		res, err := salam.RunKernel(k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		refRes, err := salam.RunKernel(k, refOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s (ref): %w", k.Name, err)
+		}
+		var a, b float64
+		if area {
+			a = res.Power.AreaFU + res.Power.AreaReg
+			b = refRes.Power.AreaFU + refRes.Power.AreaReg
+		} else {
+			a = res.Power.DatapathMW()
+			b = refRes.Power.DatapathMW()
+		}
+		e := errPct(a, b)
+		sumErr += e
+		n++
+		t.AddRow(k.Name, f2(a), f2(b), f2(e)+"%")
+	}
+	t.AddRow("Average", "-", "-", f2(sumErr/float64(n))+"%")
+	return t, nil
+}
+
+// Fig11 reproduces Fig. 11: datapath power under the simulator profile vs
+// the independent synthesis-reference calibration.
+func Fig11(s Scale) (*Table, error) {
+	preset := kernels.Small
+	if s == ScaleFull {
+		preset = kernels.Default
+	}
+	t, err := powerAreaRows(preset, false, map[string]string{
+		"stencil3d": "Design Compiler ran out of memory during elaboration (paper Sec. IV-A)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.ID = "fig11"
+	t.Title = "Power validation vs synthesis reference"
+	t.Note("Paper Fig. 11: average power error 3.25%%; MD-KNN/MD-Grid/NW highest " +
+		"due to mux/non-arithmetic operators.")
+	return t, nil
+}
+
+// Fig12 reproduces Fig. 12: datapath area under both calibrations.
+func Fig12(s Scale) (*Table, error) {
+	preset := kernels.Small
+	if s == ScaleFull {
+		preset = kernels.Default
+	}
+	t, err := powerAreaRows(preset, true, map[string]string{
+		"md-grid": "custom IPs prevented Design Compiler area estimation (paper Sec. IV-A)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.ID = "fig12"
+	t.Title = "Area validation vs synthesis reference"
+	t.Note("Paper Fig. 12: average area error 2.24%%.")
+	return t, nil
+}
+
+// Table3 reproduces Table III: end-to-end system validation. The
+// simulation side runs the full SoC (DMA staging + MMR control + IRQs);
+// the board side is the analytic ZCU102 model.
+func Table3(s Scale) (*Table, error) {
+	preset := kernels.Small
+	if s == ScaleFull {
+		preset = kernels.Default
+	}
+	// The synthesized GEMM uses a reduction-tree inner loop, matching how
+	// Vivado HLS unrolls the constant-bound k-loop on the board.
+	table3Kernels := []*kernels.Kernel{
+		kernels.ByName(preset, "fft"),
+		kernels.GEMMTree(16),
+		kernels.ByName(preset, "stencil2d"),
+		kernels.ByName(preset, "stencil3d"),
+		kernels.ByName(preset, "md-knn"),
+	}
+	t := &Table{
+		ID:    "table3",
+		Title: "System validation (simulation vs FPGA model)",
+		Header: []string{"Benchmark", "FPGA Comp (µs)", "FPGA Xfer (µs)", "FPGA Total (µs)",
+			"Sim Comp (µs)", "Sim Xfer (µs)", "Sim Total (µs)",
+			"Comp Err", "Xfer Err", "Total Err"},
+	}
+	var sumC, sumX, sumT float64
+	for _, k := range table3Kernels {
+		simT, moved, err := runSystem(k)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		// Board model over the same workload.
+		mem := ir.NewFlatMem(0, 1<<24)
+		inst := k.Setup(mem, 1)
+		g, err := core.Elaborate(k.F, hw.Default40nm(), nil)
+		if err != nil {
+			return nil, err
+		}
+		fpga, err := hls.DefaultZCU102().Run(g, hls.Config{ReadPorts: 2, WritePorts: 2, MemLatency: 4},
+			inst.Args, mem, moved, 0)
+		if err != nil {
+			return nil, err
+		}
+		ce := signedErrPct(simT.ComputeUS, fpga.ComputeUS)
+		xe := signedErrPct(simT.XferUS, fpga.XferUS)
+		te := signedErrPct(simT.TotalUS, fpga.TotalUS)
+		sumC += abs(ce)
+		sumX += abs(xe)
+		sumT += abs(te)
+		t.AddRow(k.Name, f2(fpga.ComputeUS), f2(fpga.XferUS), f2(fpga.TotalUS),
+			f2(simT.ComputeUS), f2(simT.XferUS), f2(simT.TotalUS),
+			f2(ce)+"%", f2(xe)+"%", f2(te)+"%")
+	}
+	n := float64(len(table3Kernels))
+	t.AddRow("Average |err|", "-", "-", "-", "-", "-", "-",
+		f2(sumC/n)+"%", f2(sumX/n)+"%", f2(sumT/n)+"%")
+	t.Note("Paper Table III: average errors ~1.9%% compute, ~2.4%% transfer, ~1.6%% total " +
+		"on a ZCU102. Positive error = simulation faster.")
+	return t, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// runSystem executes one kernel through the full SoC flow: DMA input from
+// DRAM into the accelerator SPM, run under MMR/IRQ control, DMA results
+// back — and splits the time into compute and bulk-transfer phases.
+func runSystem(k *kernels.Kernel) (hls.Times, uint64, error) {
+	soc := salam.NewSoC(32)
+	// Stage the workload in DRAM.
+	soc.Space.SetAllocBase(1 << 20)
+	inst := k.Setup(soc.Space, 1)
+	footprint := soc.Space.AllocCursor() - (1 << 20)
+
+	spmBytes := uint64(nextPow2(int(footprint) + 4096))
+	cfg := salam.AccelConfig{
+		ClockMHz:       100,
+		ReadPorts:      2,
+		WritePorts:     2,
+		MaxOutstanding: 16,
+		// Room for wide unrolled blocks so loop pipelining matches the
+		// board pipeline.
+		ResQueueSize:  512,
+		PipelineLoops: true,
+	}
+	node, err := soc.AddAccel(k.Name, k.F, salam.AccelOpts{SPMBytes: spmBytes, Cfg: cfg})
+	if err != nil {
+		return hls.Times{}, 0, err
+	}
+	dma, dmaIRQ := soc.AddBlockDMA("dma")
+
+	// Remap pointer args from DRAM into the SPM.
+	dramLo := uint64(1 << 20)
+	dramHi := dramLo + footprint
+	delta := node.SPM.Range().Base - dramLo
+	args := make([]uint64, len(inst.Args))
+	for i, a := range inst.Args {
+		if ir.IsPtr(k.F.Params[i].T) && a >= dramLo && a < dramHi {
+			args[i] = a + delta
+		} else {
+			args[i] = a
+		}
+	}
+	// Bulk-copy the whole footprint in (inputs + workspace), run, copy
+	// outputs back.
+	var t0, t1, t2, t3 sim.Tick
+	prog := []cpu.Op{salam.Stamp(soc, &t0)}
+	prog = append(prog, cpu.StartDMA(dma.MMR.Range().Base, dramLo, dramLo+delta, footprint, 128, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: dmaIRQ}, salam.Stamp(soc, &t1))
+	prog = append(prog, cpu.StartAccel(node.MMRBase, args, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: node.IRQLine}, salam.Stamp(soc, &t2))
+	prog = append(prog, cpu.StartDMA(dma.MMR.Range().Base, inst.OutAddr+delta, inst.OutAddr, inst.OutBytes, 128, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: dmaIRQ}, salam.Stamp(soc, &t3))
+	if _, err := soc.RunHost(prog); err != nil {
+		return hls.Times{}, 0, err
+	}
+	soc.Run()
+	if err := inst.Check(soc.Space); err != nil {
+		return hls.Times{}, 0, fmt.Errorf("system run produced wrong results: %w", err)
+	}
+	us := func(d sim.Tick) float64 { return float64(d) / 1e6 }
+	return hls.Times{
+		ComputeUS: us(t2 - t1),
+		XferUS:    us(t1-t0) + us(t3-t2),
+		TotalUS:   us(t3 - t0),
+	}, footprint + inst.OutBytes, nil
+}
+
+func nextPow2(v int) int {
+	n := 1 << 12
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package hls
+
+import (
+	"gosalam/internal/core"
+	"gosalam/ir"
+)
+
+// FPGAModel is the ZCU102 board stand-in for Table III's system
+// validation: HLS-scheduled compute at the programmable-logic clock plus a
+// DDR bulk-transfer model with the cache-maintenance overheads the paper
+// attributes its transfer-time error to.
+type FPGAModel struct {
+	// PLClockMHz is the programmable-logic clock.
+	PLClockMHz float64
+	// DDRBandwidthGBs is the effective data-mover bandwidth.
+	DDRBandwidthGBs float64
+	// XferFixedUS is the per-transfer setup cost (driver + descriptor).
+	XferFixedUS float64
+	// InvalidateUSPerKB models cache invalidation cost per KB moved —
+	// the ZCU102 effect behind the paper's transfer-time discrepancies.
+	InvalidateUSPerKB float64
+	// FPLatencyDelta models the DSP-IP pipeline depth difference vs the
+	// simulator's 3-stage FP units.
+	FPLatencyDelta int
+}
+
+// DefaultZCU102 returns board parameters in the ZCU102's regime.
+func DefaultZCU102() FPGAModel {
+	return FPGAModel{
+		PLClockMHz:        100,
+		DDRBandwidthGBs:   2.1,
+		XferFixedUS:       2.5,
+		InvalidateUSPerKB: 0.55,
+		FPLatencyDelta:    1,
+	}
+}
+
+// Times is the Table III triple.
+type Times struct {
+	ComputeUS float64
+	XferUS    float64
+	TotalUS   float64
+}
+
+// Run produces the board-side reference times for a kernel: compute from
+// the static schedule at the PL clock, transfer from the DDR model over
+// the kernel's input+output footprint.
+func (m FPGAModel) Run(g *core.CDFG, cfg Config, args []uint64, mem *ir.FlatMem,
+	bytesIn, bytesOut uint64) (Times, error) {
+	cfg.FPLatencyDelta = m.FPLatencyDelta
+	est, err := EstimateCycles(g, cfg, args, mem)
+	if err != nil {
+		return Times{}, err
+	}
+	computeUS := float64(est.Cycles) / m.PLClockMHz
+
+	bytes := float64(bytesIn + bytesOut)
+	xferUS := 2*m.XferFixedUS + bytes/(m.DDRBandwidthGBs*1e3) +
+		m.InvalidateUSPerKB*bytes/1024
+	return Times{ComputeUS: computeUS, XferUS: xferUS, TotalUS: computeUS + xferUS}, nil
+}

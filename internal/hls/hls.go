@@ -1,0 +1,256 @@
+// Package hls is the validation reference for gosalam's timing model,
+// standing in for Vivado HLS in the paper's validation flow (Fig. 9). It
+// produces an idealized *static* schedule of the kernel's full computation:
+// with trip counts known, an HLS tool's unrolled/pipelined schedule is an
+// ASAP list schedule of the dataflow graph under functional-unit and
+// memory-port constraints, with fixed-latency local memory and true
+// memory-carried dependences. The dynamic engine discovers the same
+// parallelism at runtime but pays control, queueing and handshake costs
+// the static schedule does not — the gap between the two models is the
+// quantity Fig. 10 reports.
+package hls
+
+import (
+	"fmt"
+
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/ir"
+)
+
+// Config mirrors the schedule-relevant device knobs.
+type Config struct {
+	ReadPorts  int
+	WritePorts int
+	// MemLatency is the scheduled latency of a memory access in cycles
+	// (SPM-class memory; HLS pipelines assume fixed-latency local BRAM).
+	MemLatency int
+	// BranchCycles is the pipeline-redirect cost of a *conditional*
+	// branch: operations after a data-dependent branch cannot be
+	// scheduled before it resolves. Counted-loop pipelining in real HLS
+	// hides most of this; irregular control pays it in full.
+	BranchCycles int
+	// FPLatencyDelta adjusts floating-point op latencies relative to the
+	// simulator profile — the FPGA DSP IPs the paper notes do not exactly
+	// match SALAM's 3-stage units (Sec. IV-B).
+	FPLatencyDelta int
+}
+
+// DefaultConfig matches core.DefaultConfig.
+func DefaultConfig() Config {
+	return Config{ReadPorts: 2, WritePorts: 2, MemLatency: 4, BranchCycles: 2}
+}
+
+// Estimate is a static performance estimate.
+type Estimate struct {
+	// Cycles is the scheduled makespan.
+	Cycles uint64
+	// Ops is the number of scheduled operations.
+	Ops uint64
+	// Visits is the profiled execution count per block.
+	Visits map[*ir.Block]uint64
+}
+
+// EstimateCycles statically schedules the kernel's complete computation
+// for the given workload: every dynamic operation is placed at its
+// earliest cycle subject to data dependences (register and memory RAW),
+// one initiation per mapped functional unit per cycle, class-wide FU pool
+// limits, and the configured memory ports. The caller's memory is not
+// modified (profiling runs on a scratch copy).
+func EstimateCycles(g *core.CDFG, cfg Config, args []uint64, mem *ir.FlatMem) (*Estimate, error) {
+	if cfg.ReadPorts <= 0 {
+		cfg.ReadPorts = 1
+	}
+	if cfg.WritePorts <= 0 {
+		cfg.WritePorts = 1
+	}
+	if cfg.MemLatency <= 0 {
+		cfg.MemLatency = 1
+	}
+	scratch := ir.NewFlatMem(mem.Base, len(mem.Data))
+	copy(scratch.Data, mem.Data)
+
+	sched := &scheduler{
+		g:        g,
+		cfg:      cfg,
+		lastDef:  map[*ir.Instr]int{},
+		lastSt:   map[uint64]int{},
+		nextFree: map[*ir.Instr]int{},
+		classUse: map[classCycle]int{},
+		readUse:  map[int]int{},
+		writeUse: map[int]int{},
+	}
+	_, stats, err := ir.Exec(g.F, args, scratch, &ir.ExecOpts{Trace: sched.place})
+	if err != nil {
+		return nil, fmt.Errorf("hls: scheduling run: %w", err)
+	}
+	return &Estimate{
+		Cycles: uint64(sched.makespan),
+		Ops:    sched.ops,
+		Visits: stats.BlockVisits,
+	}, nil
+}
+
+type opCycle struct {
+	in    *ir.Instr
+	cycle int
+}
+
+type classCycle struct {
+	class hw.FUClass
+	cycle int
+}
+
+// scheduler performs on-the-fly ASAP list scheduling as the interpreter
+// streams the dynamic instruction sequence.
+type scheduler struct {
+	g   *core.CDFG
+	cfg Config
+
+	// lastDef maps a static SSA value to the finish cycle of its most
+	// recent dynamic instance.
+	lastDef map[*ir.Instr]int
+	// lastSt maps an 8-byte word to the finish cycle of the last store.
+	lastSt map[uint64]int
+
+	// nextFree is the first cycle each mapped unit (static instruction)
+	// can initiate again: +1 for pipelined units, +latency for
+	// unpipelined ones (dividers, sqrt).
+	nextFree map[*ir.Instr]int
+	classUse map[classCycle]int // pooled class limits
+	readUse  map[int]int
+	writeUse map[int]int
+
+	// ctrlFinish is the resolve cycle of the most recent conditional
+	// branch; later operations issue at or after it.
+	ctrlFinish int
+
+	makespan int
+	ops      uint64
+}
+
+func (s *scheduler) latency(in *ir.Instr) int {
+	op := s.g.Ops[in]
+	if op == nil {
+		return 0
+	}
+	if op.IsMem() {
+		return s.cfg.MemLatency
+	}
+	lat := op.Latency
+	if op.IsFP() {
+		lat += s.cfg.FPLatencyDelta
+		if lat < 1 {
+			lat = 1
+		}
+	}
+	return lat
+}
+
+func (s *scheduler) place(ev ir.TraceEvent) {
+	in := ev.I
+	op := s.g.Ops[in]
+	s.ops++
+
+	// Earliest start: after the last unresolved conditional branch and
+	// all register operands...
+	start := s.ctrlFinish
+	args := in.Args
+	if in.Op == ir.OpPhi {
+		args = nil // wiring; incoming value's producer already constrains users via lastDef below
+	}
+	for _, a := range args {
+		if ai, ok := a.(*ir.Instr); ok {
+			if f, ok := s.lastDef[ai]; ok && f > start {
+				start = f
+			}
+		}
+	}
+	// ...and memory RAW dependences.
+	isLoad := in.Op == ir.OpLoad
+	isStore := in.Op == ir.OpStore
+	if isLoad || isStore {
+		w := ev.Addr &^ 7
+		if f, ok := s.lastSt[w]; ok && f > start {
+			start = f
+		}
+	}
+
+	// Structural hazards.
+	class := hw.FUNone
+	pooled := false
+	if op != nil {
+		class = op.Class
+	}
+	if class != hw.FUNone && class != hw.FUControl && class != hw.FUMux && !isLoad && !isStore {
+		pooled = s.g.FULimit[class] > 0
+	}
+	for {
+		switch {
+		case isLoad:
+			if s.readUse[start] < s.cfg.ReadPorts {
+				s.readUse[start]++
+				goto placed
+			}
+		case isStore:
+			if s.writeUse[start] < s.cfg.WritePorts {
+				s.writeUse[start]++
+				goto placed
+			}
+		case class == hw.FUNone || class == hw.FUControl || class == hw.FUMux:
+			goto placed // free wiring / control
+		default:
+			// The mapped unit must be free; pooled classes also respect
+			// the pool width.
+			if start < s.nextFree[in] {
+				start = s.nextFree[in]
+				continue
+			}
+			if !pooled || s.classUse[classCycle{class, start}] < s.g.FUTotal[class] {
+				if s.g.Profile.Spec(class).Pipelined {
+					s.nextFree[in] = start + 1
+				} else {
+					s.nextFree[in] = start + s.latency(in)
+				}
+				if pooled {
+					s.classUse[classCycle{class, start}]++
+				}
+				goto placed
+			}
+		}
+		start++
+	}
+placed:
+	finish := start + s.latency(in)
+	if in.Op == ir.OpBr && len(in.Args) == 1 {
+		// Conditional branch: redirect cost gates younger operations.
+		resolve := start + s.cfg.BranchCycles
+		if resolve > s.ctrlFinish {
+			s.ctrlFinish = resolve
+		}
+		if resolve > finish {
+			finish = resolve
+		}
+	}
+	if in.HasResult() {
+		s.lastDef[in] = finish
+	}
+	if isStore {
+		s.lastSt[ev.Addr&^7] = finish
+	}
+	if in.Op == ir.OpPhi {
+		// The phi forwards its incoming value's availability.
+		for k, blk := range in.Blocks {
+			_ = blk
+			if ai, ok := in.Args[k].(*ir.Instr); ok {
+				if f, ok := s.lastDef[ai]; ok && f > finish {
+					finish = f
+				}
+			}
+		}
+		s.lastDef[in] = finish
+	}
+	if finish > s.makespan {
+		s.makespan = finish
+	}
+}

@@ -1,0 +1,204 @@
+package hls
+
+import (
+	"testing"
+
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+func estimateFor(t *testing.T, k *kernels.Kernel, cfg Config, seed int64) *Estimate {
+	t.Helper()
+	mem := ir.NewFlatMem(0, 1<<24)
+	inst := k.Setup(mem, seed)
+	g, err := core.Elaborate(k.F, hw.Default40nm(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCycles(g, cfg, inst.Args, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestEstimateBasics(t *testing.T) {
+	est := estimateFor(t, kernels.GEMM(8, 1), DefaultConfig(), 1)
+	if est.Cycles == 0 {
+		t.Fatal("zero cycle estimate")
+	}
+	if est.Ops == 0 {
+		t.Fatal("no ops scheduled")
+	}
+	// The schedule cannot beat the memory-port bound: 2*8^3 loads over
+	// ReadPorts per cycle.
+	minCycles := uint64(2 * 8 * 8 * 8 / DefaultConfig().ReadPorts)
+	if est.Cycles < minCycles {
+		t.Fatalf("estimate %d below port bound %d", est.Cycles, minCycles)
+	}
+	if len(est.Visits) == 0 {
+		t.Fatal("no profile data")
+	}
+}
+
+func TestEstimateRespectsMemoryCarriedDeps(t *testing.T) {
+	// NW's DP fill has true memory-carried dependences (cell (i,j) reads
+	// cells written moments earlier); the schedule must be far longer
+	// than the pure port bound.
+	est := estimateFor(t, kernels.NW(12), DefaultConfig(), 1)
+	if est.Cycles < 12*12 {
+		t.Fatalf("NW schedule %d ignores memory-carried deps", est.Cycles)
+	}
+}
+
+func TestEstimateScalesWithWork(t *testing.T) {
+	small := estimateFor(t, kernels.GEMM(4, 1), DefaultConfig(), 1)
+	big := estimateFor(t, kernels.GEMM(8, 1), DefaultConfig(), 1)
+	// 8^3 vs 4^3: about 8x the work.
+	ratio := float64(big.Cycles) / float64(small.Cycles)
+	if ratio < 4 || ratio > 16 {
+		t.Fatalf("cycle ratio %g for 8x work", ratio)
+	}
+}
+
+// scaleKernel builds an unrolled elementwise kernel with no loop-carried
+// FP recurrence, so ports and FU pools (not the reduction chain) bound II.
+func scaleKernel() (*ir.Function, func(*ir.FlatMem) []uint64) {
+	m := ir.NewModule("scale")
+	b := ir.NewBuilder(m)
+	f := b.Func("scale8", ir.Void,
+		ir.P("a", ir.Ptr(ir.F64)), ir.P("c", ir.Ptr(ir.F64)), ir.P("n", ir.I64))
+	a, cp, n := f.Params[0], f.Params[1], f.Params[2]
+	b.LoopUnrolled("i", ir.I64c(0), n, 1, 8, func(iv ir.Value) {
+		v := b.Load(b.GEP(a, "pa", iv), "v")
+		b.Store(b.FMul(v, ir.F64c(2), "d"), b.GEP(cp, "pc", iv))
+	})
+	b.Ret(nil)
+	setup := func(mem *ir.FlatMem) []uint64 {
+		aA := mem.AllocFor(ir.F64, 64)
+		cA := mem.AllocFor(ir.F64, 64)
+		return []uint64{aA, cA, 64}
+	}
+	return f, setup
+}
+
+func TestEstimateRespectsPorts(t *testing.T) {
+	f, setup := scaleKernel()
+	mem := ir.NewFlatMem(0, 1<<20)
+	args := setup(mem)
+	g, err := core.Elaborate(f, hw.Default40nm(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := DefaultConfig()
+	wide.ReadPorts, wide.WritePorts = 8, 8
+	narrow := DefaultConfig()
+	narrow.ReadPorts, narrow.WritePorts = 1, 1
+	w, err := EstimateCycles(g, wide, args, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := EstimateCycles(g, narrow, args, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w.Cycles < n.Cycles) {
+		t.Fatalf("wide (%d) not faster than narrow (%d)", w.Cycles, n.Cycles)
+	}
+}
+
+func TestRecurrenceBoundsII(t *testing.T) {
+	// GEMM's serial FP accumulation dominates II: making ports wider must
+	// NOT change the estimate (the recurrence, not bandwidth, binds).
+	wide := DefaultConfig()
+	wide.ReadPorts, wide.WritePorts = 8, 8
+	narrow := DefaultConfig()
+	narrow.ReadPorts, narrow.WritePorts = 2, 2
+	k := kernels.GEMM(8, 8)
+	w := estimateFor(t, k, wide, 1)
+	n := estimateFor(t, k, narrow, 1)
+	if w.Cycles != n.Cycles {
+		t.Fatalf("recurrence-bound loop changed with ports: %d vs %d", w.Cycles, n.Cycles)
+	}
+}
+
+func TestEstimateRespectsFULimits(t *testing.T) {
+	f, setup := scaleKernel()
+	mem := ir.NewFlatMem(0, 1<<20)
+	args := setup(mem)
+	free, err := core.Elaborate(f, hw.Default40nm(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim, err := core.Elaborate(f, hw.Default40nm(),
+		map[hw.FUClass]int{hw.FUFPMultiplier: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ReadPorts, cfg.WritePorts = 8, 8
+	estFree, err := EstimateCycles(free, cfg, args, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estLim, err := EstimateCycles(lim, cfg, args, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(estLim.Cycles > estFree.Cycles) {
+		t.Fatalf("limited (%d) not slower than free (%d)", estLim.Cycles, estFree.Cycles)
+	}
+}
+
+func TestEstimateDoesNotPerturbMemory(t *testing.T) {
+	k := kernels.GEMM(4, 1)
+	mem := ir.NewFlatMem(0, 1<<24)
+	inst := k.Setup(mem, 1)
+	before := append([]byte(nil), mem.Data...)
+	g, _ := core.Elaborate(k.F, hw.Default40nm(), nil)
+	if _, err := EstimateCycles(g, DefaultConfig(), inst.Args, mem); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if mem.Data[i] != before[i] {
+			t.Fatal("profiling run mutated caller memory")
+		}
+	}
+}
+
+func TestFPLatencyDeltaShifts(t *testing.T) {
+	base := DefaultConfig()
+	bumped := DefaultConfig()
+	bumped.FPLatencyDelta = 2
+	k := kernels.MDKnn(8, 8) // FP-dominated
+	b := estimateFor(t, k, base, 1)
+	d := estimateFor(t, k, bumped, 1)
+	if !(d.Cycles > b.Cycles) {
+		t.Fatalf("FP latency delta had no effect: %d vs %d", b.Cycles, d.Cycles)
+	}
+}
+
+func TestFPGAModel(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	mem := ir.NewFlatMem(0, 1<<24)
+	inst := k.Setup(mem, 1)
+	g, _ := core.Elaborate(k.F, hw.Default40nm(), nil)
+	m := DefaultZCU102()
+	times, err := m.Run(g, DefaultConfig(), inst.Args, mem, inst.InBytes, inst.OutBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.ComputeUS <= 0 || times.XferUS <= 0 {
+		t.Fatalf("times: %+v", times)
+	}
+	if times.TotalUS != times.ComputeUS+times.XferUS {
+		t.Fatal("total != compute + xfer")
+	}
+	// Transfer time grows with footprint.
+	times2, _ := m.Run(g, DefaultConfig(), inst.Args, mem, inst.InBytes*10, inst.OutBytes*10)
+	if !(times2.XferUS > times.XferUS) {
+		t.Fatal("transfer time not monotonic in bytes")
+	}
+}

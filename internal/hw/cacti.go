@@ -1,0 +1,110 @@
+package hw
+
+import "math"
+
+// CactiSRAM is an analytic SRAM power/area model standing in for the
+// McPAT/CACTI flow gem5-SALAM shells out to for private memories (Sec.
+// III-C1). The fits follow CACTI's first-order scaling behaviour at 40nm:
+// area and leakage grow linearly with capacity plus a per-port overhead;
+// access energy grows with the square root of capacity (bitline/wordline
+// length) and falls with banking.
+type CactiSRAM struct {
+	Bytes int
+	Ports int
+	Banks int
+}
+
+// NewCactiSRAM builds a model, clamping degenerate configurations.
+func NewCactiSRAM(bytes, ports, banks int) CactiSRAM {
+	if bytes < 64 {
+		bytes = 64
+	}
+	if ports < 1 {
+		ports = 1
+	}
+	if banks < 1 {
+		banks = 1
+	}
+	return CactiSRAM{Bytes: bytes, Ports: ports, Banks: banks}
+}
+
+// AreaUM2 returns the macro area in square microns.
+func (c CactiSRAM) AreaUM2() float64 {
+	// ~1.9 µm²/byte cell+periphery at 40nm; each extra port costs ~35%;
+	// banking adds ~6% duplication overhead per extra bank.
+	base := 1.9 * float64(c.Bytes)
+	portMul := 1 + 0.35*float64(c.Ports-1)
+	bankMul := 1 + 0.06*float64(c.Banks-1)
+	return base*portMul*bankMul + 900 // fixed decoder/controller overhead
+}
+
+// LeakageMW returns static power in milliwatts.
+func (c CactiSRAM) LeakageMW() float64 {
+	base := 0.0000115 * float64(c.Bytes)
+	portMul := 1 + 0.22*float64(c.Ports-1)
+	return base*portMul + 0.004
+}
+
+// ReadEnergyPJ returns energy per read access in picojoules.
+func (c CactiSRAM) ReadEnergyPJ() float64 {
+	bankBytes := float64(c.Bytes) / float64(c.Banks)
+	return 0.45 + 0.11*math.Sqrt(bankBytes/1024)*8
+}
+
+// WriteEnergyPJ returns energy per write access in picojoules.
+func (c CactiSRAM) WriteEnergyPJ() float64 {
+	return c.ReadEnergyPJ() * 1.18
+}
+
+// CactiCache extends the SRAM model with tag-array overheads for caches.
+type CactiCache struct {
+	Data CactiSRAM
+	// Assoc and LineBytes size the tag array.
+	Assoc     int
+	LineBytes int
+}
+
+// NewCactiCache builds a cache model.
+func NewCactiCache(bytes, lineBytes, assoc int) CactiCache {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	if assoc <= 0 {
+		assoc = 1
+	}
+	return CactiCache{Data: NewCactiSRAM(bytes, 1, 1), Assoc: assoc, LineBytes: lineBytes}
+}
+
+func (c CactiCache) tagBytes() int {
+	lines := c.Data.Bytes / c.LineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	// ~4 tag+state bytes per line.
+	return lines * 4
+}
+
+// AreaUM2 returns total (data + tag) area.
+func (c CactiCache) AreaUM2() float64 {
+	tag := NewCactiSRAM(c.tagBytes(), 1, 1)
+	assocMul := 1 + 0.03*float64(c.Assoc-1) // comparators/way muxing
+	return (c.Data.AreaUM2() + tag.AreaUM2()) * assocMul
+}
+
+// LeakageMW returns total static power.
+func (c CactiCache) LeakageMW() float64 {
+	tag := NewCactiSRAM(c.tagBytes(), 1, 1)
+	return c.Data.LeakageMW() + tag.LeakageMW()
+}
+
+// ReadEnergyPJ returns per-access read energy including the tag probe of
+// all ways.
+func (c CactiCache) ReadEnergyPJ() float64 {
+	tag := NewCactiSRAM(c.tagBytes(), 1, 1)
+	return c.Data.ReadEnergyPJ() + tag.ReadEnergyPJ()*float64(c.Assoc)*0.25
+}
+
+// WriteEnergyPJ returns per-access write energy.
+func (c CactiCache) WriteEnergyPJ() float64 {
+	return c.ReadEnergyPJ() * 1.15
+}

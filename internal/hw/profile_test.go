@@ -1,0 +1,195 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"gosalam/ir"
+)
+
+func TestOpClassCoversAllOpcodes(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.Func("f", ir.F64,
+		ir.P("p", ir.Ptr(ir.F64)), ir.P("q", ir.Ptr(ir.I32)),
+		ir.P("n", ir.I64), ir.P("x", ir.F64))
+	p, q, n, x := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+
+	checks := map[*ir.Instr]FUClass{
+		b.Add(n, n, "a"):                                FUIntAdder,
+		b.Sub(n, n, "s"):                                FUIntAdder,
+		b.Mul(n, n, "m"):                                FUIntMultiplier,
+		b.SDiv(n, ir.I64c(3), "d"):                      FUIntDivider,
+		b.SRem(n, ir.I64c(3), "r"):                      FUIntDivider,
+		b.Shl(n, ir.I64c(1), "sh"):                      FUShifter,
+		b.And(n, n, "an"):                               FUBitwise,
+		b.ICmp(ir.ISLT, n, n, "c"):                      FUComparator,
+		b.FCmp(ir.FOLT, x, x, "fc"):                     FUComparator,
+		b.FAdd(x, x, "fa"):                              FUFPAdder,
+		b.FSub(x, x, "fs"):                              FUFPAdder,
+		b.FMul(x, x, "fm"):                              FUFPMultiplier,
+		b.FDiv(x, x, "fd"):                              FUFPDivider,
+		b.GEP(p, "g", n):                                FUIntAdder,
+		b.Load(p, "l"):                                  FUNone,
+		b.Store(x, p):                                   FUNone,
+		b.Trunc(n, ir.I32, "t32"):                       FUBitwise,
+		b.SIToFP(b.Load(q, "qi"), ir.F64, "f"):          FUConversion,
+		b.Call("sqrt", ir.F64, "sq", x):                 FUFPSqrt,
+		b.Select(b.ICmp(ir.IEQ, n, n, "e"), x, x, "se"): FUMux,
+	}
+	ret := b.Ret(x)
+	checks[ret] = FUControl
+
+	for in, want := range checks {
+		if got := OpClass(in); got != want {
+			t.Errorf("OpClass(%s) = %s, want %s", in.Op, got, want)
+		}
+	}
+}
+
+func TestProfileLatencies(t *testing.T) {
+	p := Default40nm()
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.Func("f", ir.Void, ir.P("x", ir.F64), ir.P("n", ir.I64))
+	fa := b.FAdd(f.Params[0], f.Params[0], "fa")
+	ia := b.Add(f.Params[1], f.Params[1], "ia")
+	fd := b.FDiv(f.Params[0], f.Params[0], "fd")
+	b.Ret(nil)
+
+	if got := p.OpLatency(fa); got != 3 {
+		t.Errorf("fadd latency = %d, want 3 (paper: 3-stage FP adders)", got)
+	}
+	if got := p.OpLatency(ia); got != 1 {
+		t.Errorf("add latency = %d, want 1", got)
+	}
+	if got := p.OpLatency(fd); got != 16 {
+		t.Errorf("fdiv latency = %d", got)
+	}
+	// Override wins.
+	p.CycleOverride = map[ir.Opcode]int{ir.OpFAdd: 5}
+	if got := p.OpLatency(fa); got != 5 {
+		t.Errorf("override latency = %d, want 5", got)
+	}
+}
+
+func TestProfileRelativeMagnitudes(t *testing.T) {
+	p := Default40nm()
+	if !(p.FUs[FUFPMultiplier].AreaUM2 > p.FUs[FUFPAdder].AreaUM2) {
+		t.Error("FP multiplier should be larger than FP adder")
+	}
+	if !(p.FUs[FUFPAdder].AreaUM2 > p.FUs[FUIntAdder].AreaUM2) {
+		t.Error("FP adder should be larger than int adder")
+	}
+	if !(p.FUs[FUFPDivider].Latency > p.FUs[FUFPAdder].Latency) {
+		t.Error("FP divider should be slower than FP adder")
+	}
+	if p.FUs[FUFPDivider].Pipelined {
+		t.Error("FP divider should be unpipelined")
+	}
+	if !p.FUs[FUFPAdder].Pipelined {
+		t.Error("FP adder should be pipelined")
+	}
+}
+
+func TestSynthesisRefDiffersByFewPercent(t *testing.T) {
+	def := Default40nm()
+	ref := SynthesisRef()
+	for _, c := range AllFUClasses() {
+		d, r := def.FUs[c], ref.FUs[c]
+		for _, pair := range [][2]float64{
+			{d.AreaUM2, r.AreaUM2},
+			{d.LeakageMW, r.LeakageMW},
+			{d.EnergyPJ, r.EnergyPJ},
+		} {
+			if pair[0] == 0 {
+				continue
+			}
+			ratio := pair[1] / pair[0]
+			if ratio < 0.9 || ratio > 1.12 {
+				t.Errorf("%s: reference deviates by %.1f%%, want within ~10%%", c, (ratio-1)*100)
+			}
+			if ratio == 1.0 {
+				t.Errorf("%s: reference identical to default — not an independent calibration", c)
+			}
+		}
+		if d.Latency != r.Latency {
+			t.Errorf("%s: latencies must match (same RTL)", c)
+		}
+	}
+	// Cloning must not alias.
+	cl := def.Clone()
+	spec := cl.FUs[FUFPAdder]
+	spec.AreaUM2 = 1
+	cl.FUs[FUFPAdder] = spec
+	if def.FUs[FUFPAdder].AreaUM2 == 1 {
+		t.Error("Clone aliases FU map")
+	}
+}
+
+func TestFUClassNames(t *testing.T) {
+	for _, c := range AllFUClasses() {
+		if FUClassByName(c.String()) != c {
+			t.Errorf("name round trip failed for %s", c)
+		}
+	}
+	if FUClassByName("bogus") != FUNone {
+		t.Error("unknown name should map to FUNone")
+	}
+}
+
+func TestCactiSRAMScaling(t *testing.T) {
+	small := NewCactiSRAM(1024, 1, 1)
+	big := NewCactiSRAM(16*1024, 1, 1)
+	if !(big.AreaUM2() > small.AreaUM2()) {
+		t.Error("area should grow with capacity")
+	}
+	if !(big.LeakageMW() > small.LeakageMW()) {
+		t.Error("leakage should grow with capacity")
+	}
+	if !(big.ReadEnergyPJ() > small.ReadEnergyPJ()) {
+		t.Error("read energy should grow with capacity")
+	}
+	// Energy sublinear in capacity (sqrt-ish).
+	ratio := big.ReadEnergyPJ() / small.ReadEnergyPJ()
+	if ratio >= 16 {
+		t.Errorf("energy ratio %g should be far sublinear", ratio)
+	}
+	// Ports increase area and leakage.
+	multi := NewCactiSRAM(1024, 4, 1)
+	if !(multi.AreaUM2() > small.AreaUM2()) {
+		t.Error("ports should cost area")
+	}
+	// Banking reduces per-access energy.
+	banked := NewCactiSRAM(16*1024, 1, 4)
+	if !(banked.ReadEnergyPJ() < big.ReadEnergyPJ()) {
+		t.Error("banking should reduce access energy")
+	}
+	// Write costs more than read.
+	if !(small.WriteEnergyPJ() > small.ReadEnergyPJ()) {
+		t.Error("write should cost more than read")
+	}
+	// Degenerate configs clamp.
+	c := NewCactiSRAM(0, 0, 0)
+	if c.Bytes < 64 || c.Ports < 1 || c.Banks < 1 {
+		t.Error("clamping failed")
+	}
+	if math.IsNaN(c.AreaUM2()) || math.IsInf(c.ReadEnergyPJ(), 0) {
+		t.Error("degenerate config produced NaN/Inf")
+	}
+}
+
+func TestCactiCache(t *testing.T) {
+	c := NewCactiCache(4096, 64, 4)
+	s := NewCactiSRAM(4096, 1, 1)
+	if !(c.AreaUM2() > s.AreaUM2()) {
+		t.Error("cache should cost more than raw SRAM (tags)")
+	}
+	if !(c.ReadEnergyPJ() > s.ReadEnergyPJ()) {
+		t.Error("cache access should cost more than raw SRAM access")
+	}
+	direct := NewCactiCache(4096, 64, 1)
+	if !(c.AreaUM2() > direct.AreaUM2()) {
+		t.Error("associativity should cost area")
+	}
+}

@@ -1,0 +1,213 @@
+package mem
+
+import (
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+// Cache is a set-associative, write-back, write-allocate, non-blocking
+// cache with LRU replacement and a bounded MSHR file. Data is functional
+// in the global backing store; the cache models timing (hits, misses,
+// fills, writebacks) — the gem5 classic-cache role in the paper's memory
+// hierarchy.
+type Cache struct {
+	sim.Clocked
+
+	rng        AddrRange // addresses this cache fronts
+	space      *ir.FlatMem
+	downstream Port
+
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitCycles  int
+	MSHRs      int
+	PortsPerCy int
+
+	sets     []cacheSet
+	incoming reqQueue
+	mshr     map[uint64]*mshrEntry
+	lruTick  uint64
+
+	// Stats.
+	Hits, Misses, Writebacks, Fills *sim.Scalar
+	MSHRStallCycles                 *sim.Scalar
+	Accesses                        *sim.Scalar
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	waiting  []*Request
+}
+
+// NewCache builds a cache fronting rng, forwarding misses downstream.
+func NewCache(name string, q *sim.EventQueue, clk *sim.ClockDomain,
+	space *ir.FlatMem, rng AddrRange, downstream Port,
+	sizeBytes, lineBytes, assoc, hitCycles, mshrs int, stats *sim.Group) *Cache {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	if assoc <= 0 {
+		assoc = 1
+	}
+	nLines := sizeBytes / lineBytes
+	if nLines < assoc {
+		assoc = max(1, nLines)
+	}
+	nSets := max(1, nLines/assoc)
+	c := &Cache{
+		rng: rng, space: space, downstream: downstream,
+		SizeBytes: sizeBytes, LineBytes: lineBytes, Assoc: assoc,
+		HitCycles: hitCycles, MSHRs: max(1, mshrs), PortsPerCy: 2,
+		sets: make([]cacheSet, nSets),
+		mshr: map[uint64]*mshrEntry{},
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, assoc)
+	}
+	c.InitClocked(name, q, clk)
+	c.CycleFn = c.cycle
+	g := stats.Child(name)
+	c.Accesses = g.Scalar("accesses", "total accesses")
+	c.Hits = g.Scalar("hits", "hits")
+	c.Misses = g.Scalar("misses", "misses")
+	c.Writebacks = g.Scalar("writebacks", "dirty evictions written back")
+	c.Fills = g.Scalar("fills", "line fills from downstream")
+	c.MSHRStallCycles = g.Scalar("mshr_stall_cycles", "cycles stalled on full MSHRs")
+	g.Formula("miss_rate", "misses / accesses", func() float64 {
+		if c.Accesses.Value() == 0 {
+			return 0
+		}
+		return c.Misses.Value() / c.Accesses.Value()
+	})
+	return c
+}
+
+// Range returns the address range the cache fronts.
+func (c *Cache) Range() AddrRange { return c.rng }
+
+// Cacti returns the analytic power/area model for this configuration.
+func (c *Cache) Cacti() hw.CactiCache {
+	return hw.NewCactiCache(c.SizeBytes, c.LineBytes, c.Assoc)
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ uint64(c.LineBytes-1) }
+func (c *Cache) setIdx(lineAddr uint64) int {
+	return int(lineAddr/uint64(c.LineBytes)) % len(c.sets)
+}
+
+// Send enqueues a request.
+func (c *Cache) Send(r *Request) {
+	r.Issued = c.Q.Now()
+	c.incoming.push(r)
+	c.Activate()
+}
+
+func (c *Cache) cycle() bool {
+	served := 0
+	for served < c.PortsPerCy && !c.incoming.empty() {
+		r := c.incoming.peek()
+		if !c.tryAccess(r) {
+			c.MSHRStallCycles.Inc(1)
+			break // head-of-line stall on full MSHRs
+		}
+		c.incoming.pop()
+		served++
+	}
+	return !c.incoming.empty() || len(c.mshr) > 0
+}
+
+// tryAccess handles one request; false means it must retry (MSHRs full).
+func (c *Cache) tryAccess(r *Request) bool {
+	la := c.lineAddr(r.Addr)
+	// Accesses that straddle a line are split conservatively by treating
+	// the first line as the homed line; kernels here are aligned.
+	set := &c.sets[c.setIdx(la)]
+	c.Accesses.Inc(1)
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == la {
+			// Hit.
+			c.Hits.Inc(1)
+			c.lruTick++
+			ln.lru = c.lruTick
+			if r.Write {
+				ln.dirty = true
+			}
+			complete(c.Q, c.space, r, c.Q.Now()+c.Clk.CyclesToTicks(uint64(c.HitCycles)))
+			return true
+		}
+	}
+	// Miss.
+	if e, ok := c.mshr[la]; ok {
+		c.Misses.Inc(1)
+		e.waiting = append(e.waiting, r)
+		return true
+	}
+	if len(c.mshr) >= c.MSHRs {
+		return false
+	}
+	c.Misses.Inc(1)
+	e := &mshrEntry{lineAddr: la, waiting: []*Request{r}}
+	c.mshr[la] = e
+	// Fetch the line from downstream.
+	fill := NewRead(la, c.LineBytes, func(*Request) { c.fill(e) })
+	c.downstream.Send(fill)
+	return true
+}
+
+// fill installs the fetched line and releases waiters.
+func (c *Cache) fill(e *mshrEntry) {
+	c.Fills.Inc(1)
+	set := &c.sets[c.setIdx(e.lineAddr)]
+	// Choose LRU victim.
+	victim := 0
+	for i := range set.lines {
+		if !set.lines[i].valid {
+			victim = i
+			break
+		}
+		if set.lines[i].lru < set.lines[victim].lru {
+			victim = i
+		}
+	}
+	v := &set.lines[victim]
+	if v.valid && v.dirty {
+		c.Writebacks.Inc(1)
+		// The backing store is already functionally current; the
+		// writeback only models downstream bandwidth and latency.
+		wb := NewWrite(v.tag, make([]byte, c.LineBytes), nil)
+		wb.TimingOnly = true
+		c.downstream.Send(wb)
+	}
+	c.lruTick++
+	*v = cacheLine{tag: e.lineAddr, valid: true, lru: c.lruTick}
+	delete(c.mshr, e.lineAddr)
+	lat := c.Clk.CyclesToTicks(uint64(c.HitCycles))
+	for _, r := range e.waiting {
+		if r.Write {
+			v.dirty = true
+		}
+		complete(c.Q, c.space, r, c.Q.Now()+lat)
+	}
+	c.Activate()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+// Package mem implements gosalam's memory system: the gem5-side substrate
+// gem5-SALAM's communications interface talks to. It provides scratchpads,
+// set-associative caches, DRAM, crossbars, block and stream DMA engines,
+// stream buffers, and memory-mapped register blocks, all as clocked
+// discrete-event models.
+//
+// Functional data lives in a single global backing store (an ir.FlatMem
+// covering the simulated physical address space); devices are timing
+// models over ranges of it. Writes take functional effect when the owning
+// device completes them. Contention is modeled with bounded per-cycle
+// service on device queues, so overload appears as queueing latency.
+package mem
+
+import (
+	"fmt"
+
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+// AddrRange is a half-open physical address range [Base, Base+Size).
+type AddrRange struct {
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether the whole access [addr, addr+size) lies inside.
+func (r AddrRange) Contains(addr uint64, size int) bool {
+	return addr >= r.Base && addr+uint64(size) <= r.Base+r.Size
+}
+
+// End returns the first address past the range.
+func (r AddrRange) End() uint64 { return r.Base + r.Size }
+
+// Overlaps reports whether two ranges intersect.
+func (r AddrRange) Overlaps(o AddrRange) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+func (r AddrRange) String() string {
+	return fmt.Sprintf("[%#x, %#x)", r.Base, r.End())
+}
+
+// Request is one memory transaction. The issuer fills Addr/Size/Write
+// (and Data for writes) and Done; the servicing device fills Data for
+// reads and invokes Done exactly once from an event when the access
+// completes.
+type Request struct {
+	Addr  uint64
+	Size  int
+	Write bool
+	Data  []byte
+	Done  func(*Request)
+
+	// TimingOnly requests consume bandwidth and latency but have no
+	// functional effect on the backing store. Cache writebacks use this:
+	// the store is always functionally current, so re-applying a possibly
+	// stale line snapshot would clobber newer writes.
+	TimingOnly bool
+
+	// Issued is stamped by the first device that accepts the request.
+	Issued sim.Tick
+}
+
+// NewRead builds a read request.
+func NewRead(addr uint64, size int, done func(*Request)) *Request {
+	return &Request{Addr: addr, Size: size, Done: done}
+}
+
+// NewWrite builds a write request carrying data.
+func NewWrite(addr uint64, data []byte, done func(*Request)) *Request {
+	return &Request{Addr: addr, Size: len(data), Write: true, Data: data, Done: done}
+}
+
+// Port is the request entry point of a device or interconnect.
+type Port interface {
+	Send(r *Request)
+}
+
+// Ranged is a Port that claims an address range (routable by a crossbar).
+type Ranged interface {
+	Port
+	Range() AddrRange
+}
+
+// complete finishes a request against the backing store and fires Done at
+// the given tick via the event queue.
+func complete(q *sim.EventQueue, space *ir.FlatMem, r *Request, when sim.Tick) {
+	q.Schedule(when, sim.PriMemResp, func() {
+		if !r.TimingOnly {
+			if r.Write {
+				space.WriteRaw(r.Addr, r.Data)
+			} else {
+				if r.Data == nil {
+					r.Data = make([]byte, r.Size)
+				}
+				space.ReadRaw(r.Addr, r.Data)
+			}
+		}
+		if r.Done != nil {
+			r.Done(r)
+		}
+	})
+}
+
+// reqQueue is a simple FIFO of requests.
+type reqQueue struct {
+	items []*Request
+}
+
+func (q *reqQueue) push(r *Request) { q.items = append(q.items, r) }
+func (q *reqQueue) empty() bool     { return len(q.items) == 0 }
+func (q *reqQueue) len() int        { return len(q.items) }
+func (q *reqQueue) peek() *Request  { return q.items[0] }
+func (q *reqQueue) pop() *Request {
+	r := q.items[0]
+	q.items = q.items[1:]
+	return r
+}

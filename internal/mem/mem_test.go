@@ -1,0 +1,375 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+// testEnv wires a queue, clock, space and stats root.
+type testEnv struct {
+	q     *sim.EventQueue
+	clk   *sim.ClockDomain
+	space *ir.FlatMem
+	stats *sim.Group
+}
+
+func newEnv(spaceSize int) *testEnv {
+	return &testEnv{
+		q:     sim.NewEventQueue(),
+		clk:   sim.NewClockDomain("clk", 1000), // 1 GHz
+		space: ir.NewFlatMem(0, spaceSize),
+		stats: sim.NewGroup("sys"),
+	}
+}
+
+func TestAddrRange(t *testing.T) {
+	r := AddrRange{Base: 0x1000, Size: 0x100}
+	if !r.Contains(0x1000, 1) || !r.Contains(0x10f8, 8) {
+		t.Fatal("Contains false negative")
+	}
+	if r.Contains(0xfff, 1) || r.Contains(0x10f9, 8) {
+		t.Fatal("Contains false positive")
+	}
+	if !r.Overlaps(AddrRange{Base: 0x10ff, Size: 1}) {
+		t.Fatal("Overlaps false negative")
+	}
+	if r.Overlaps(AddrRange{Base: 0x1100, Size: 1}) {
+		t.Fatal("Overlaps false positive")
+	}
+}
+
+func TestScratchpadReadWrite(t *testing.T) {
+	env := newEnv(1 << 16)
+	spm := NewScratchpad("spm", env.q, env.clk, env.space,
+		AddrRange{Base: 0x0, Size: 0x1000}, 1, 2, 2, env.stats)
+
+	env.space.WriteI64(0x100, 42)
+	var got int64
+	doneTick := sim.Tick(0)
+	spm.Send(NewRead(0x100, 8, func(r *Request) {
+		got = int64(binary.LittleEndian.Uint64(r.Data))
+		doneTick = env.q.Now()
+	}))
+	env.q.Run()
+	if got != 42 {
+		t.Fatalf("read = %d, want 42", got)
+	}
+	if doneTick == 0 {
+		t.Fatal("completion tick not recorded")
+	}
+
+	// Write lands in backing store.
+	data := make([]byte, 8)
+	binary.LittleEndian.PutUint64(data, 99)
+	spm.Send(NewWrite(0x108, data, nil))
+	env.q.Run()
+	if env.space.ReadI64(0x108) != 99 {
+		t.Fatal("write did not reach backing store")
+	}
+	if spm.Reads.Value() != 1 || spm.Writes.Value() != 1 {
+		t.Fatalf("stats: reads=%g writes=%g", spm.Reads.Value(), spm.Writes.Value())
+	}
+}
+
+func TestScratchpadBankConflicts(t *testing.T) {
+	env := newEnv(1 << 16)
+	// 1 bank, 1 port: N requests serialize over N cycles.
+	spm := NewScratchpad("spm1", env.q, env.clk, env.space,
+		AddrRange{Base: 0, Size: 0x1000}, 1, 1, 1, env.stats)
+	n := 8
+	doneCount := 0
+	var last sim.Tick
+	for i := 0; i < n; i++ {
+		spm.Send(NewRead(uint64(i*8), 8, func(*Request) {
+			doneCount++
+			last = env.q.Now()
+		}))
+	}
+	env.q.Run()
+	if doneCount != n {
+		t.Fatalf("completed %d of %d", doneCount, n)
+	}
+	serialized := last
+
+	// 4 banks, 2 ports each: same requests finish much sooner.
+	env2 := newEnv(1 << 16)
+	spm2 := NewScratchpad("spm8", env2.q, env2.clk, env2.space,
+		AddrRange{Base: 0, Size: 0x1000}, 1, 4, 2, env2.stats)
+	var last2 sim.Tick
+	for i := 0; i < n; i++ {
+		spm2.Send(NewRead(uint64(i*8), 8, func(*Request) { last2 = env2.q.Now() }))
+	}
+	env2.q.Run()
+	if !(last2 < serialized) {
+		t.Fatalf("banked SPM (%d) not faster than single-port (%d)", last2, serialized)
+	}
+	if spm.BankConflictCycles.Value() == 0 {
+		t.Fatal("single-port SPM should report conflicts")
+	}
+}
+
+func TestScratchpadPartitioning(t *testing.T) {
+	env := newEnv(1 << 16)
+	spm := NewScratchpad("spm", env.q, env.clk, env.space,
+		AddrRange{Base: 0, Size: 1024}, 1, 4, 1, env.stats)
+	// Cyclic: consecutive words hit different banks.
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[spm.bank(uint64(i*8))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cyclic partitioning used %d banks, want 4", len(seen))
+	}
+	// Block: consecutive words hit the same bank.
+	spm.BlockPartition = true
+	if spm.bank(0) != spm.bank(8) {
+		t.Fatal("block partitioning split adjacent words")
+	}
+	if spm.bank(0) == spm.bank(1023) {
+		t.Fatal("block partitioning put far addresses in one bank")
+	}
+}
+
+func TestScratchpadOutOfRangePanics(t *testing.T) {
+	env := newEnv(1 << 16)
+	spm := NewScratchpad("spm", env.q, env.clk, env.space,
+		AddrRange{Base: 0, Size: 64}, 1, 1, 1, env.stats)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	spm.Send(NewRead(128, 8, nil))
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	env := newEnv(1 << 20)
+	d := NewDRAM("dram", env.q, env.clk, env.space,
+		AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	// Sequential accesses within one row: first misses, rest hit.
+	n := 8
+	done := 0
+	for i := 0; i < n; i++ {
+		d.Send(NewRead(uint64(i*64), 64, func(*Request) { done++ }))
+	}
+	env.q.Run()
+	if done != n {
+		t.Fatalf("done = %d", done)
+	}
+	if d.RowMisses.Value() != 1 || d.RowHits.Value() != float64(n-1) {
+		t.Fatalf("row hits=%g misses=%g", d.RowHits.Value(), d.RowMisses.Value())
+	}
+
+	// Strided accesses across banks*rows: many misses.
+	env2 := newEnv(1 << 20)
+	d2 := NewDRAM("dram", env2.q, env2.clk, env2.space,
+		AddrRange{Base: 0, Size: 1 << 20}, env2.stats)
+	for i := 0; i < n; i++ {
+		d2.Send(NewRead(uint64(i*d2.RowBytes*d2.Banks), 64, nil))
+	}
+	env2.q.Run()
+	if d2.RowMisses.Value() != float64(n) {
+		t.Fatalf("strided misses = %g, want %d", d2.RowMisses.Value(), n)
+	}
+}
+
+func TestDRAMBandwidthLimits(t *testing.T) {
+	// Time to move N bytes should scale with N / BytesPerCycle.
+	env := newEnv(1 << 20)
+	d := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	var t1 sim.Tick
+	for i := 0; i < 64; i++ {
+		d.Send(NewRead(uint64(i*64), 64, func(*Request) { t1 = env.q.Now() }))
+	}
+	env.q.Run()
+	minTicks := sim.Tick(64 * 64 / d.BytesPerCycle * int(env.clk.Period()))
+	if t1 < minTicks {
+		t.Fatalf("4KB moved in %d ticks; bandwidth limit would need >= %d", t1, minTicks)
+	}
+}
+
+func TestCacheHitMissAndWriteback(t *testing.T) {
+	env := newEnv(1 << 20)
+	dram := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	c := NewCache("l1", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20},
+		dram, 1024, 64, 2, 1, 4, env.stats)
+
+	env.space.WriteI64(0x40, 7)
+	var v1, v2 int64
+	var t1, t2 sim.Tick
+	c.Send(NewRead(0x40, 8, func(r *Request) {
+		v1 = int64(binary.LittleEndian.Uint64(r.Data))
+		t1 = env.q.Now()
+		// Second access to the same line: hit, much faster.
+		start := env.q.Now()
+		c.Send(NewRead(0x48, 8, func(r2 *Request) {
+			v2 = int64(binary.LittleEndian.Uint64(r2.Data))
+			t2 = env.q.Now() - start
+		}))
+	}))
+	env.q.Run()
+	if v1 != 7 || v2 != 0 {
+		t.Fatalf("values %d %d", v1, v2)
+	}
+	if c.Hits.Value() != 1 || c.Misses.Value() != 1 {
+		t.Fatalf("hits=%g misses=%g", c.Hits.Value(), c.Misses.Value())
+	}
+	if t2 >= t1 {
+		t.Fatalf("hit latency %d not faster than miss %d", t2, t1)
+	}
+
+	// Fill the cache with dirty lines, then evict: writebacks happen.
+	writes := 0
+	for i := 0; i < 64; i++ { // 64 lines > 16-line cache
+		data := make([]byte, 8)
+		binary.LittleEndian.PutUint64(data, uint64(i))
+		c.Send(NewWrite(uint64(i*64), data, func(*Request) { writes++ }))
+	}
+	env.q.Run()
+	if writes != 64 {
+		t.Fatalf("writes completed = %d", writes)
+	}
+	if c.Writebacks.Value() == 0 {
+		t.Fatal("no writebacks after evicting dirty lines")
+	}
+	// All data functionally correct.
+	for i := 0; i < 64; i++ {
+		if env.space.ReadI64(uint64(i*64)) != int64(i) {
+			t.Fatalf("space[%d] = %d", i*64, env.space.ReadI64(uint64(i*64)))
+		}
+	}
+}
+
+func TestCacheMSHRCoalescing(t *testing.T) {
+	env := newEnv(1 << 20)
+	dram := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	c := NewCache("l1", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20},
+		dram, 1024, 64, 2, 1, 2, env.stats)
+	// 4 requests to the same line: 1 fill, all complete.
+	done := 0
+	for i := 0; i < 4; i++ {
+		c.Send(NewRead(uint64(i*8), 8, func(*Request) { done++ }))
+	}
+	env.q.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if c.Fills.Value() != 1 {
+		t.Fatalf("fills = %g, want 1 (coalesced)", c.Fills.Value())
+	}
+	if dram.Reads.Value() != 1 {
+		t.Fatalf("dram reads = %g, want 1", dram.Reads.Value())
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	env := newEnv(1 << 20)
+	dram := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	// Direct-mapped-ish tiny cache: 2 sets x 2 ways of 64B lines = 256B.
+	c := NewCache("l1", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20},
+		dram, 256, 64, 2, 1, 4, env.stats)
+	// Lines mapping to set 0: addresses 0, 128, 256 (line/64 % 2).
+	seq := []uint64{0, 128, 0, 256, 0, 128}
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(seq) {
+			return
+		}
+		c.Send(NewRead(seq[i], 8, func(*Request) { run(i + 1) }))
+	}
+	run(0)
+	env.q.Run()
+	// 0 miss, 128 miss, 0 hit, 256 miss (evicts LRU=128), 0 hit, 128 miss.
+	if c.Misses.Value() != 4 || c.Hits.Value() != 2 {
+		t.Fatalf("hits=%g misses=%g, want 2/4 (LRU)", c.Hits.Value(), c.Misses.Value())
+	}
+}
+
+// Property: a cache in front of DRAM is functionally transparent for
+// random access streams.
+func TestCacheFunctionalTransparencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newEnv(1 << 16)
+		ref := make([]byte, 1<<16)
+		dram := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 16}, env.stats)
+		c := NewCache("l1", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 16},
+			dram, 512, 64, 2, 1, 4, env.stats)
+
+		type check struct {
+			want []byte
+			got  *Request
+		}
+		var checks []check
+		n := 50 + rng.Intn(100)
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= n {
+				return
+			}
+			addr := uint64(rng.Intn(1<<16-8)) &^ 7
+			if rng.Intn(2) == 0 {
+				data := make([]byte, 8)
+				rng.Read(data)
+				copy(ref[addr:], data)
+				c.Send(NewWrite(addr, data, func(*Request) { issue(k + 1) }))
+			} else {
+				want := make([]byte, 8)
+				copy(want, ref[addr:addr+8])
+				r := NewRead(addr, 8, func(rr *Request) { issue(k + 1) })
+				checks = append(checks, check{want: want, got: r})
+				c.Send(r)
+			}
+		}
+		issue(0)
+		env.q.Run()
+		for _, ch := range checks {
+			if !bytes.Equal(ch.want, ch.got.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: a dirty line evicted before its write's completion event has
+// fired must not clobber the newer data with a stale writeback snapshot.
+// (Writebacks are timing-only; the backing store is always current.)
+func TestCacheEvictionDoesNotClobberPendingWrites(t *testing.T) {
+	env := newEnv(1 << 20)
+	dram := NewDRAM("dram", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20}, env.stats)
+	// Tiny direct-mapped cache: 2 lines of 64B. Addresses 0 and 128 alias.
+	c := NewCache("l1", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 1 << 20},
+		dram, 128, 64, 1, 1, 4, env.stats)
+
+	data := func(v uint64) []byte {
+		d := make([]byte, 8)
+		binary.LittleEndian.PutUint64(d, v)
+		return d
+	}
+	// Dirty line 0, then evict it through the aliasing line and rewrite
+	// the word before the writeback's downstream completion lands. A
+	// data-carrying writeback would clobber the newer value.
+	c.Send(NewWrite(0, data(0xAAAA), nil))
+	env.q.Run()
+	c.Send(NewRead(128, 8, nil)) // evicts dirty line 0 -> writeback
+	env.q.RunWhile(func() bool { return c.Writebacks.Value() == 0 })
+	// The writeback is now in flight toward DRAM; newer data appears.
+	env.space.WriteI64(0, 0xBBBB)
+	env.q.Run()
+	if got := env.space.ReadI64(0); uint64(got) != 0xBBBB {
+		t.Fatalf("space[0] = %#x, want 0xBBBB (stale writeback clobbered it)", got)
+	}
+	if c.Writebacks.Value() == 0 {
+		t.Fatal("test did not exercise writebacks")
+	}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gosalam/internal/sim"
+)
+
+// MMRBlock is a bank of 64-bit memory-mapped registers: the control/status
+// /data register file every communications interface and DMA exposes to
+// the host (Sec. III-D3). Reads respond with current values; writes invoke
+// an optional callback so devices can react (e.g. a start bit).
+type MMRBlock struct {
+	q    *sim.EventQueue
+	clk  *sim.ClockDomain
+	name string
+	rng  AddrRange
+	regs []uint64
+
+	// OnWrite, if set, observes (index, newValue) after the write lands.
+	OnWrite func(idx int, val uint64)
+	// ReadHook, if set, can override the value returned for a register.
+	ReadHook func(idx int, cur uint64) uint64
+
+	AccessLatency int // cycles
+
+	Reads, Writes *sim.Scalar
+}
+
+// NewMMRBlock creates a block of n 64-bit registers based at rng.Base.
+func NewMMRBlock(name string, q *sim.EventQueue, clk *sim.ClockDomain,
+	base uint64, n int, stats *sim.Group) *MMRBlock {
+	m := &MMRBlock{
+		q: q, clk: clk, name: name,
+		rng:           AddrRange{Base: base, Size: uint64(n * 8)},
+		regs:          make([]uint64, n),
+		AccessLatency: 1,
+	}
+	g := stats.Child(name)
+	m.Reads = g.Scalar("mmr_reads", "register reads")
+	m.Writes = g.Scalar("mmr_writes", "register writes")
+	return m
+}
+
+// Range returns the register block's address range.
+func (m *MMRBlock) Range() AddrRange { return m.rng }
+
+// Reg returns the current value of register idx (direct, zero-time access
+// for device-internal use).
+func (m *MMRBlock) Reg(idx int) uint64 { return m.regs[idx] }
+
+// SetReg sets register idx directly (device-internal).
+func (m *MMRBlock) SetReg(idx int, v uint64) { m.regs[idx] = v }
+
+// NumRegs returns the register count.
+func (m *MMRBlock) NumRegs() int { return len(m.regs) }
+
+// AddrOf returns the bus address of register idx.
+func (m *MMRBlock) AddrOf(idx int) uint64 { return m.rng.Base + uint64(idx*8) }
+
+// Send services a bus access to the register file.
+func (m *MMRBlock) Send(r *Request) {
+	if !m.rng.Contains(r.Addr, r.Size) || r.Size != 8 || (r.Addr-m.rng.Base)%8 != 0 {
+		panic(fmt.Sprintf("mem: bad MMR access addr=%#x size=%d at %s", r.Addr, r.Size, m.name))
+	}
+	idx := int((r.Addr - m.rng.Base) / 8)
+	lat := m.clk.CyclesToTicks(uint64(m.AccessLatency))
+	m.q.Schedule(m.q.Now()+lat, sim.PriMemResp, func() {
+		if r.Write {
+			m.Writes.Inc(1)
+			m.regs[idx] = binary.LittleEndian.Uint64(r.Data)
+			if m.OnWrite != nil {
+				m.OnWrite(idx, m.regs[idx])
+			}
+		} else {
+			m.Reads.Inc(1)
+			v := m.regs[idx]
+			if m.ReadHook != nil {
+				v = m.ReadHook(idx, v)
+			}
+			if r.Data == nil {
+				r.Data = make([]byte, 8)
+			}
+			binary.LittleEndian.PutUint64(r.Data, v)
+		}
+		if r.Done != nil {
+			r.Done(r)
+		}
+	})
+}

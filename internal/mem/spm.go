@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+)
+
+// Scratchpad is a banked, multi-ported SPM: the paper's private/shared
+// scratchpad with configurable partitioning and bandwidth (Fig. 6).
+// Requests are serviced at up to PortsPerBank accesses per bank per cycle
+// and complete LatencyCycles later.
+type Scratchpad struct {
+	sim.Clocked
+
+	rng   AddrRange
+	space *ir.FlatMem
+
+	LatencyCycles int
+	Banks         int
+	PortsPerBank  int
+	// WordBytes is the interleaving granularity for bank selection
+	// (cyclic partitioning). Block partitioning uses contiguous regions.
+	WordBytes int
+	// BlockPartition switches bank selection from cyclic (word-
+	// interleaved) to block (contiguous) partitioning.
+	BlockPartition bool
+
+	queues []reqQueue // one per bank
+
+	// Stats.
+	Reads, Writes      *sim.Scalar
+	BytesRead, BytesWr *sim.Scalar
+	BankConflictCycles *sim.Scalar
+	QueueDelay         *sim.Distribution
+}
+
+// NewScratchpad creates an SPM over the given range of the global space.
+func NewScratchpad(name string, q *sim.EventQueue, clk *sim.ClockDomain,
+	space *ir.FlatMem, rng AddrRange, latency, banks, portsPerBank int,
+	stats *sim.Group) *Scratchpad {
+	if banks < 1 {
+		banks = 1
+	}
+	if portsPerBank < 1 {
+		portsPerBank = 1
+	}
+	s := &Scratchpad{
+		rng: rng, space: space,
+		LatencyCycles: latency, Banks: banks, PortsPerBank: portsPerBank,
+		WordBytes: 8,
+		queues:    make([]reqQueue, banks),
+	}
+	s.InitClocked(name, q, clk)
+	s.CycleFn = s.cycle
+	g := stats.Child(name)
+	s.Reads = g.Scalar("reads", "read accesses serviced")
+	s.Writes = g.Scalar("writes", "write accesses serviced")
+	s.BytesRead = g.Scalar("bytes_read", "bytes read")
+	s.BytesWr = g.Scalar("bytes_written", "bytes written")
+	s.BankConflictCycles = g.Scalar("bank_conflict_cycles", "bank-cycles with requests left waiting")
+	s.QueueDelay = g.Distribution("queue_delay", "ticks spent queued before service")
+	return s
+}
+
+// Range returns the SPM's address range.
+func (s *Scratchpad) Range() AddrRange { return s.rng }
+
+// Cacti returns the analytic power/area model for this configuration.
+func (s *Scratchpad) Cacti() hw.CactiSRAM {
+	return hw.NewCactiSRAM(int(s.rng.Size), s.PortsPerBank, s.Banks)
+}
+
+func (s *Scratchpad) bank(addr uint64) int {
+	off := addr - s.rng.Base
+	if s.BlockPartition {
+		blk := s.rng.Size / uint64(s.Banks)
+		if blk == 0 {
+			return 0
+		}
+		b := int(off / blk)
+		if b >= s.Banks {
+			b = s.Banks - 1
+		}
+		return b
+	}
+	return int(off/uint64(s.WordBytes)) % s.Banks
+}
+
+// Send enqueues a request.
+func (s *Scratchpad) Send(r *Request) {
+	if !s.rng.Contains(r.Addr, r.Size) {
+		panic("mem: scratchpad request outside range: " + s.rng.String())
+	}
+	r.Issued = s.Q.Now()
+	s.queues[s.bank(r.Addr)].push(r)
+	s.Activate()
+}
+
+func (s *Scratchpad) cycle() bool {
+	busy := false
+	lat := s.Clk.CyclesToTicks(uint64(s.LatencyCycles))
+	for b := range s.queues {
+		for i := 0; i < s.PortsPerBank && !s.queues[b].empty(); i++ {
+			r := s.queues[b].pop()
+			s.QueueDelay.Sample(float64(s.Q.Now() - r.Issued))
+			if r.Write {
+				s.Writes.Inc(1)
+				s.BytesWr.Inc(float64(r.Size))
+			} else {
+				s.Reads.Inc(1)
+				s.BytesRead.Inc(float64(r.Size))
+			}
+			complete(s.Q, s.space, r, s.Q.Now()+lat)
+		}
+		if !s.queues[b].empty() {
+			s.BankConflictCycles.Inc(1)
+			busy = true
+		}
+	}
+	return busy
+}

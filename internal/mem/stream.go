@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"gosalam/internal/sim"
+)
+
+// StreamBuffer is a bounded FIFO with a two-way handshake, modeling the
+// AXI-Stream-style links the paper uses for direct accelerator-to-
+// accelerator communication (Fig. 16c). Producers that find it full and
+// consumers that find it empty register one-shot wakeups.
+type StreamBuffer struct {
+	name     string
+	capacity int
+	data     []byte
+
+	onData  []func()
+	onSpace []func()
+
+	Pushes, Pops, StallsFull, StallsEmpty *sim.Scalar
+	Occupancy                             *sim.Distribution
+}
+
+// NewStreamBuffer creates a FIFO holding up to capacity bytes.
+func NewStreamBuffer(name string, capacity int, stats *sim.Group) *StreamBuffer {
+	s := &StreamBuffer{name: name, capacity: capacity}
+	g := stats.Child(name)
+	s.Pushes = g.Scalar("pushes", "bytes pushed")
+	s.Pops = g.Scalar("pops", "bytes popped")
+	s.StallsFull = g.Scalar("stalls_full", "rejected pushes (buffer full)")
+	s.StallsEmpty = g.Scalar("stalls_empty", "rejected pops (not enough data)")
+	s.Occupancy = g.Distribution("occupancy", "bytes resident at each push")
+	return s
+}
+
+// Capacity returns the byte capacity.
+func (s *StreamBuffer) Capacity() int { return s.capacity }
+
+// Len returns bytes currently buffered.
+func (s *StreamBuffer) Len() int { return len(s.data) }
+
+// Space returns free bytes.
+func (s *StreamBuffer) Space() int { return s.capacity - len(s.data) }
+
+// Push appends p if it fits, reporting success. On failure the producer
+// should retry after a NotifySpace wakeup.
+func (s *StreamBuffer) Push(p []byte) bool {
+	if len(p) > s.Space() {
+		s.StallsFull.Inc(1)
+		return false
+	}
+	s.data = append(s.data, p...)
+	s.Pushes.Inc(float64(len(p)))
+	s.Occupancy.Sample(float64(len(s.data)))
+	s.wake(&s.onData)
+	return true
+}
+
+// Pop removes and returns n bytes, or (nil, false) if fewer are buffered.
+func (s *StreamBuffer) Pop(n int) ([]byte, bool) {
+	if len(s.data) < n {
+		s.StallsEmpty.Inc(1)
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, s.data[:n])
+	s.data = s.data[n:]
+	s.Pops.Inc(float64(n))
+	s.wake(&s.onSpace)
+	return out, true
+}
+
+// NotifyData registers a one-shot callback for when data arrives.
+func (s *StreamBuffer) NotifyData(fn func()) { s.onData = append(s.onData, fn) }
+
+// NotifySpace registers a one-shot callback for when space frees.
+func (s *StreamBuffer) NotifySpace(fn func()) { s.onSpace = append(s.onSpace, fn) }
+
+func (s *StreamBuffer) wake(list *[]func()) {
+	fns := *list
+	*list = nil
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,0 +1,225 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gosalam/internal/sim"
+)
+
+func TestCrossbarRouting(t *testing.T) {
+	env := newEnv(1 << 16)
+	x := NewCrossbar("xbar", env.q, env.clk, 1, 4, env.stats)
+	spmA := NewScratchpad("spmA", env.q, env.clk, env.space,
+		AddrRange{Base: 0x0000, Size: 0x1000}, 1, 1, 2, env.stats)
+	spmB := NewScratchpad("spmB", env.q, env.clk, env.space,
+		AddrRange{Base: 0x2000, Size: 0x1000}, 1, 1, 2, env.stats)
+	x.Attach(spmA)
+	x.Attach(spmB)
+
+	env.space.WriteI64(0x100, 11)
+	env.space.WriteI64(0x2100, 22)
+	var a, b int64
+	x.Send(NewRead(0x100, 8, func(r *Request) { a = int64(binary.LittleEndian.Uint64(r.Data)) }))
+	x.Send(NewRead(0x2100, 8, func(r *Request) { b = int64(binary.LittleEndian.Uint64(r.Data)) }))
+	env.q.Run()
+	if a != 11 || b != 22 {
+		t.Fatalf("routed reads: a=%d b=%d", a, b)
+	}
+	if spmA.Reads.Value() != 1 || spmB.Reads.Value() != 1 {
+		t.Fatal("requests reached wrong targets")
+	}
+	if x.Routed.Value() != 2 {
+		t.Fatalf("routed = %g", x.Routed.Value())
+	}
+}
+
+func TestCrossbarDefaultRoute(t *testing.T) {
+	env := newEnv(1 << 20)
+	x := NewCrossbar("xbar", env.q, env.clk, 0, 4, env.stats)
+	spm := NewScratchpad("spm", env.q, env.clk, env.space,
+		AddrRange{Base: 0, Size: 0x1000}, 1, 1, 2, env.stats)
+	dram := NewDRAM("dram", env.q, env.clk, env.space,
+		AddrRange{Base: 0x10000, Size: 1 << 16}, env.stats)
+	x.Attach(spm)
+	x.SetDefault(dram)
+
+	env.space.WriteI64(0x10040, 5)
+	var v int64
+	x.Send(NewRead(0x10040, 8, func(r *Request) { v = int64(binary.LittleEndian.Uint64(r.Data)) }))
+	env.q.Run()
+	if v != 5 {
+		t.Fatalf("default route read = %d", v)
+	}
+	if dram.Reads.Value() != 1 {
+		t.Fatal("default target not used")
+	}
+}
+
+func TestCrossbarOverlapPanics(t *testing.T) {
+	env := newEnv(1 << 16)
+	x := NewCrossbar("xbar", env.q, env.clk, 0, 4, env.stats)
+	x.Attach(NewScratchpad("a", env.q, env.clk, env.space, AddrRange{Base: 0, Size: 0x1000}, 1, 1, 1, env.stats))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping attach did not panic")
+		}
+	}()
+	x.Attach(NewScratchpad("b", env.q, env.clk, env.space, AddrRange{Base: 0x800, Size: 0x1000}, 1, 1, 1, env.stats))
+}
+
+func TestCrossbarAddsLatency(t *testing.T) {
+	run := func(fwd int) sim.Tick {
+		env := newEnv(1 << 16)
+		x := NewCrossbar("xbar", env.q, env.clk, fwd, 4, env.stats)
+		spm := NewScratchpad("spm", env.q, env.clk, env.space,
+			AddrRange{Base: 0, Size: 0x1000}, 1, 1, 2, env.stats)
+		x.Attach(spm)
+		var done sim.Tick
+		x.Send(NewRead(0x10, 8, func(*Request) { done = env.q.Now() }))
+		env.q.Run()
+		return done
+	}
+	if !(run(3) > run(0)) {
+		t.Fatal("forward latency has no effect")
+	}
+}
+
+func TestMMRBlock(t *testing.T) {
+	env := newEnv(64)
+	mmr := NewMMRBlock("regs", env.q, env.clk, 0x9000, 4, env.stats)
+	var writes []struct {
+		idx int
+		val uint64
+	}
+	mmr.OnWrite = func(idx int, val uint64) {
+		writes = append(writes, struct {
+			idx int
+			val uint64
+		}{idx, val})
+	}
+
+	data := make([]byte, 8)
+	binary.LittleEndian.PutUint64(data, 0xdead)
+	mmr.Send(NewWrite(0x9008, data, nil))
+	env.q.Run()
+	if mmr.Reg(1) != 0xdead {
+		t.Fatalf("reg1 = %#x", mmr.Reg(1))
+	}
+	if len(writes) != 1 || writes[0].idx != 1 || writes[0].val != 0xdead {
+		t.Fatalf("write callback: %+v", writes)
+	}
+
+	var got uint64
+	mmr.Send(NewRead(0x9008, 8, func(r *Request) { got = binary.LittleEndian.Uint64(r.Data) }))
+	env.q.Run()
+	if got != 0xdead {
+		t.Fatalf("read = %#x", got)
+	}
+
+	// ReadHook can override (e.g. live status).
+	mmr.ReadHook = func(idx int, cur uint64) uint64 {
+		if idx == 0 {
+			return 0x1
+		}
+		return cur
+	}
+	mmr.Send(NewRead(0x9000, 8, func(r *Request) { got = binary.LittleEndian.Uint64(r.Data) }))
+	env.q.Run()
+	if got != 1 {
+		t.Fatalf("hooked read = %#x", got)
+	}
+	if mmr.AddrOf(3) != 0x9018 {
+		t.Fatalf("AddrOf(3) = %#x", mmr.AddrOf(3))
+	}
+}
+
+func TestMMRBadAccessPanics(t *testing.T) {
+	env := newEnv(64)
+	mmr := NewMMRBlock("regs", env.q, env.clk, 0x9000, 4, env.stats)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned MMR access did not panic")
+		}
+	}()
+	mmr.Send(NewRead(0x9004, 8, nil))
+}
+
+// Property: crossbar routing delivers every request to the device owning
+// its address, for random target layouts and access streams.
+func TestCrossbarRoutingProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newEnv(1 << 16)
+		x := NewCrossbar("xbar", env.q, env.clk, rng.Intn(3), 1+rng.Intn(8), env.stats)
+		nTargets := 2 + rng.Intn(4)
+		spms := make([]*Scratchpad, nTargets)
+		for i := range spms {
+			base := uint64(i) * 0x1000
+			spms[i] = NewScratchpad(fmt.Sprintf("spm%d", i), env.q, env.clk, env.space,
+				AddrRange{Base: base, Size: 0x1000}, 1, 1+rng.Intn(4), 1+rng.Intn(4), env.stats)
+			x.Attach(spms[i])
+		}
+		n := 20 + rng.Intn(60)
+		done := 0
+		for i := 0; i < n; i++ {
+			tgt := rng.Intn(nTargets)
+			addr := uint64(tgt)*0x1000 + uint64(rng.Intn(0x1000-8))&^7
+			x.Send(NewRead(addr, 8, func(*Request) { done++ }))
+		}
+		env.q.Run()
+		if done != n {
+			return false
+		}
+		total := 0.0
+		for _, s := range spms {
+			total += s.Reads.Value()
+		}
+		return total == float64(n) && x.Routed.Value() == float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cyclic vs block SPM partitioning are functionally identical;
+// only timing differs.
+func TestSPMPartitionFunctionalEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		run := func(block bool) []byte {
+			rng := rand.New(rand.NewSource(seed))
+			env := newEnv(1 << 12)
+			spm := NewScratchpad("spm", env.q, env.clk, env.space,
+				AddrRange{Base: 0, Size: 1 << 12}, 1, 4, 1, env.stats)
+			spm.BlockPartition = block
+			n := 30 + rng.Intn(50)
+			var issue func(k int)
+			issue = func(k int) {
+				if k >= n {
+					return
+				}
+				addr := uint64(rng.Intn(1<<12-8)) &^ 7
+				if rng.Intn(2) == 0 {
+					data := make([]byte, 8)
+					rng.Read(data)
+					spm.Send(NewWrite(addr, data, func(*Request) { issue(k + 1) }))
+				} else {
+					spm.Send(NewRead(addr, 8, func(*Request) { issue(k + 1) }))
+				}
+			}
+			issue(0)
+			env.q.Run()
+			return env.space.Data
+		}
+		a := run(false)
+		b := run(true)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import "fmt"
+
+// ClockDomain converts between cycles and ticks for objects sharing a clock.
+type ClockDomain struct {
+	period Tick
+	name   string
+}
+
+// NewClockDomain creates a domain with the given period in ticks.
+func NewClockDomain(name string, period Tick) *ClockDomain {
+	if period == 0 {
+		panic("sim: clock period must be nonzero")
+	}
+	return &ClockDomain{period: period, name: name}
+}
+
+// NewClockDomainMHz creates a domain from a frequency in MHz.
+func NewClockDomainMHz(name string, mhz float64) *ClockDomain {
+	if mhz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	period := Tick(1e6/mhz + 0.5)
+	return NewClockDomain(name, period)
+}
+
+// Period returns the clock period in ticks.
+func (c *ClockDomain) Period() Tick { return c.period }
+
+// FrequencyMHz returns the clock frequency in MHz.
+func (c *ClockDomain) FrequencyMHz() float64 { return 1e6 / float64(c.period) }
+
+// Name returns the domain name.
+func (c *ClockDomain) Name() string { return c.name }
+
+// CyclesToTicks converts a cycle count to ticks.
+func (c *ClockDomain) CyclesToTicks(cycles uint64) Tick {
+	return Tick(cycles) * c.period
+}
+
+// TicksToCycles converts ticks to whole elapsed cycles.
+func (c *ClockDomain) TicksToCycles(t Tick) uint64 {
+	return uint64(t / c.period)
+}
+
+// NextEdge returns the first clock edge at or after t.
+func (c *ClockDomain) NextEdge(t Tick) Tick {
+	rem := t % c.period
+	if rem == 0 {
+		return t
+	}
+	return t + (c.period - rem)
+}
+
+// Clocked is embedded by simulation objects that advance on clock edges.
+// It provides self-rescheduling "tick" behaviour: the object calls Activate
+// when it has work, the embedded logic calls Cycle() once per clock edge
+// while active, and the object calls Deactivate (or returns idle=true from
+// its cycle function) when it runs out of work. Idle objects consume no
+// events, which keeps large systems fast.
+type Clocked struct {
+	Q       *EventQueue
+	Clk     *ClockDomain
+	name    string
+	active  bool
+	pending EventID
+	// CycleFn is called once per clock edge while active. If it returns
+	// true the object stays active and another edge is scheduled.
+	CycleFn func() bool
+	// Cycles counts executed cycles (active edges only).
+	Cycles uint64
+}
+
+// InitClocked wires a Clocked helper. CycleFn must be set before Activate.
+func (c *Clocked) InitClocked(name string, q *EventQueue, clk *ClockDomain) {
+	c.name = name
+	c.Q = q
+	c.Clk = clk
+}
+
+// Name returns the object name.
+func (c *Clocked) Name() string { return c.name }
+
+// Active reports whether the object is currently self-scheduling.
+func (c *Clocked) Active() bool { return c.active }
+
+// Activate starts per-cycle execution at the next clock edge (or continues
+// it if already active).
+func (c *Clocked) Activate() {
+	if c.active {
+		return
+	}
+	if c.CycleFn == nil {
+		panic(fmt.Sprintf("sim: Clocked %q activated without CycleFn", c.name))
+	}
+	c.active = true
+	edge := c.Clk.NextEdge(c.Q.Now())
+	if edge == c.Q.Now() {
+		// Run at the next edge, not the current instant, so state set up
+		// "this cycle" is visible: schedule one period out if we are exactly
+		// on an edge and already inside event execution.
+		edge += c.Clk.Period()
+	}
+	c.pending = c.Q.Schedule(edge, PriClock, c.edge)
+}
+
+// ActivateNow behaves like Activate but will run on the current tick's edge
+// if the current tick is exactly an edge.
+func (c *Clocked) ActivateNow() {
+	if c.active {
+		return
+	}
+	if c.CycleFn == nil {
+		panic(fmt.Sprintf("sim: Clocked %q activated without CycleFn", c.name))
+	}
+	c.active = true
+	c.pending = c.Q.Schedule(c.Clk.NextEdge(c.Q.Now()), PriClock, c.edge)
+}
+
+// Deactivate stops per-cycle execution.
+func (c *Clocked) Deactivate() {
+	if !c.active {
+		return
+	}
+	c.active = false
+	c.pending.Cancel()
+	c.pending = EventID{}
+}
+
+func (c *Clocked) edge() {
+	if !c.active {
+		return
+	}
+	c.Cycles++
+	if c.CycleFn() {
+		c.pending = c.Q.Schedule(c.Q.Now()+c.Clk.Period(), PriClock, c.edge)
+	} else {
+		c.active = false
+		c.pending = EventID{}
+	}
+}
+
+// CurCycle returns the number of whole cycles elapsed at the current time.
+func (c *Clocked) CurCycle() uint64 { return c.Clk.TicksToCycles(c.Q.Now()) }

@@ -1,0 +1,187 @@
+// Package sim provides the discrete-event simulation substrate that the
+// rest of gosalam is built on. It plays the role that the gem5 framework
+// plays for gem5-SALAM: a deterministic event queue with picosecond ticks,
+// clock domains, clocked objects, and a statistics framework.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulation time unit. Following gem5 convention, one tick is
+// one picosecond, so a 1 GHz clock has a period of 1000 ticks.
+type Tick uint64
+
+// Common durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000
+	Microsecond Tick = 1000 * 1000
+	Millisecond Tick = 1000 * 1000 * 1000
+	Second      Tick = 1000 * 1000 * 1000 * 1000
+)
+
+// MaxTick is the largest representable simulation time.
+const MaxTick Tick = ^Tick(0)
+
+// Event priorities. Lower values run first when events share a tick.
+// The split mirrors gem5: device state updates run before generic CPU-side
+// callbacks, and stat dumps run last.
+const (
+	PriBeforeClock = 5  // state arriving "during" the previous cycle
+	PriClock       = 10 // clocked-object cycle updates
+	PriMemResp     = 20 // memory response delivery
+	PriDefault     = 50 // generic events
+	PriStatDump    = 90 // statistics dumps
+)
+
+// event is a scheduled callback.
+type event struct {
+	when Tick
+	pri  int
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+	index    int
+}
+
+// EventID identifies a scheduled event so that it can be canceled.
+type EventID struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (id EventID) Cancel() {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Valid reports whether the ID refers to a scheduled event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// EventQueue is a deterministic discrete-event scheduler. It is not safe
+// for concurrent use; a simulation is a single-threaded run over one queue,
+// which is what makes results reproducible.
+type EventQueue struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+	// fired counts events executed, for stats and runaway detection.
+	fired uint64
+}
+
+// NewEventQueue returns an empty queue at tick zero.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Now returns the current simulation time.
+func (q *EventQueue) Now() Tick { return q.now }
+
+// Fired returns the number of events executed so far.
+func (q *EventQueue) Fired() uint64 { return q.fired }
+
+// Pending returns the number of events still scheduled (including canceled
+// events that have not yet been discarded).
+func (q *EventQueue) Pending() int { return len(q.events) }
+
+// Schedule runs fn at the given absolute tick with the given priority.
+// Scheduling in the past panics: that is always a model bug.
+func (q *EventQueue) Schedule(when Tick, pri int, fn func()) EventID {
+	if when < q.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, q.now))
+	}
+	ev := &event{when: when, pri: pri, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.events, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn delta ticks from now at default priority.
+func (q *EventQueue) After(delta Tick, fn func()) EventID {
+	return q.Schedule(q.now+delta, PriDefault, fn)
+}
+
+// step executes the next event. It reports false if the queue is empty.
+func (q *EventQueue) step() bool {
+	for len(q.events) > 0 {
+		ev := heap.Pop(&q.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		q.now = ev.when
+		q.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. It returns the final time.
+func (q *EventQueue) Run() Tick {
+	for q.step() {
+	}
+	return q.now
+}
+
+// RunUntil executes events with time <= limit. Events scheduled beyond the
+// limit remain pending. It returns the current time afterwards.
+func (q *EventQueue) RunUntil(limit Tick) Tick {
+	for len(q.events) > 0 {
+		// Peek.
+		next := q.events[0]
+		if next.canceled {
+			heap.Pop(&q.events)
+			continue
+		}
+		if next.when > limit {
+			break
+		}
+		q.step()
+	}
+	if q.now < limit {
+		q.now = limit
+	}
+	return q.now
+}
+
+// RunWhile executes events while cond() remains true and events remain.
+// cond is checked after every event.
+func (q *EventQueue) RunWhile(cond func() bool) Tick {
+	for cond() && q.step() {
+	}
+	return q.now
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	q.Schedule(30, PriDefault, func() { got = append(got, 3) })
+	q.Schedule(10, PriDefault, func() { got = append(got, 1) })
+	q.Schedule(20, PriDefault, func() { got = append(got, 2) })
+	q.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", q.Now())
+	}
+}
+
+func TestEventPriorityAndFIFOTies(t *testing.T) {
+	q := NewEventQueue()
+	var got []string
+	q.Schedule(10, PriDefault, func() { got = append(got, "d1") })
+	q.Schedule(10, PriClock, func() { got = append(got, "c") })
+	q.Schedule(10, PriDefault, func() { got = append(got, "d2") })
+	q.Schedule(10, PriStatDump, func() { got = append(got, "s") })
+	q.Run()
+	want := []string{"c", "d1", "d2", "s"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewEventQueue()
+	q.Schedule(100, PriDefault, func() {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(50, PriDefault, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	id := q.Schedule(10, PriDefault, func() { fired = true })
+	id.Cancel()
+	q.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if q.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", q.Fired())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	var got []Tick
+	for _, tk := range []Tick{5, 15, 25} {
+		tk := tk
+		q.Schedule(tk, PriDefault, func() { got = append(got, tk) })
+	}
+	q.RunUntil(15)
+	if len(got) != 2 {
+		t.Fatalf("executed %d events by t=15, want 2", len(got))
+	}
+	if q.Now() != 15 {
+		t.Fatalf("Now() = %d, want 15", q.Now())
+	}
+	q.Run()
+	if len(got) != 3 {
+		t.Fatalf("executed %d events total, want 3", len(got))
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	q := NewEventQueue()
+	count := 0
+	var self func()
+	self = func() {
+		count++
+		q.After(10, self)
+	}
+	q.After(10, self)
+	q.RunWhile(func() bool { return count < 5 })
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	q := NewEventQueue()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			q.After(1, rec)
+		}
+	}
+	q.After(1, rec)
+	q.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if q.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", q.Now())
+	}
+}
+
+// Property: events fire in nondecreasing time order for random schedules.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewEventQueue()
+		var times []Tick
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			when := Tick(rng.Intn(1000))
+			q.Schedule(when, PriDefault, func() { times = append(times, q.Now()) })
+		}
+		q.Run()
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockDomain(t *testing.T) {
+	c := NewClockDomainMHz("acc", 100) // 100 MHz -> 10 ns = 10000 ps
+	if c.Period() != 10000 {
+		t.Fatalf("period = %d, want 10000", c.Period())
+	}
+	if c.NextEdge(0) != 0 {
+		t.Fatalf("NextEdge(0) = %d, want 0", c.NextEdge(0))
+	}
+	if c.NextEdge(1) != 10000 {
+		t.Fatalf("NextEdge(1) = %d, want 10000", c.NextEdge(1))
+	}
+	if c.NextEdge(10000) != 10000 {
+		t.Fatalf("NextEdge(10000) = %d, want 10000", c.NextEdge(10000))
+	}
+	if c.CyclesToTicks(3) != 30000 {
+		t.Fatalf("CyclesToTicks(3) = %d", c.CyclesToTicks(3))
+	}
+	if c.TicksToCycles(25000) != 2 {
+		t.Fatalf("TicksToCycles(25000) = %d", c.TicksToCycles(25000))
+	}
+	if got := c.FrequencyMHz(); got < 99.9 || got > 100.1 {
+		t.Fatalf("FrequencyMHz = %g", got)
+	}
+}
+
+func TestClockedRunsPerCycleAndDeactivates(t *testing.T) {
+	q := NewEventQueue()
+	clk := NewClockDomain("c", 100)
+	var c Clocked
+	c.InitClocked("obj", q, clk)
+	work := 5
+	c.CycleFn = func() bool {
+		work--
+		return work > 0
+	}
+	c.ActivateNow()
+	q.Run()
+	if work != 0 {
+		t.Fatalf("work = %d, want 0", work)
+	}
+	if c.Cycles != 5 {
+		t.Fatalf("Cycles = %d, want 5", c.Cycles)
+	}
+	if c.Active() {
+		t.Fatal("still active after CycleFn returned false")
+	}
+	// Reactivation works.
+	work = 2
+	c.Activate()
+	q.Run()
+	if work != 0 || c.Cycles != 7 {
+		t.Fatalf("after reactivation: work=%d cycles=%d", work, c.Cycles)
+	}
+}
+
+func TestClockedActivateIdempotent(t *testing.T) {
+	q := NewEventQueue()
+	clk := NewClockDomain("c", 100)
+	var c Clocked
+	c.InitClocked("obj", q, clk)
+	runs := 0
+	c.CycleFn = func() bool {
+		runs++
+		return false
+	}
+	c.Activate()
+	c.Activate()
+	c.Activate()
+	q.Run()
+	if runs != 1 {
+		t.Fatalf("runs = %d, want 1 (duplicate activation)", runs)
+	}
+}
+
+func TestClockedDeactivate(t *testing.T) {
+	q := NewEventQueue()
+	clk := NewClockDomain("c", 100)
+	var c Clocked
+	c.InitClocked("obj", q, clk)
+	c.CycleFn = func() bool { return true }
+	c.Activate()
+	q.Schedule(450, PriDefault, func() { c.Deactivate() })
+	q.RunUntil(2000)
+	// Edges at 100,200,300,400 fire; 500+ canceled.
+	if c.Cycles != 4 {
+		t.Fatalf("Cycles = %d, want 4", c.Cycles)
+	}
+}
+
+func TestClockEdgeAlignment(t *testing.T) {
+	q := NewEventQueue()
+	clk := NewClockDomain("c", 100)
+	var c Clocked
+	c.InitClocked("obj", q, clk)
+	var edges []Tick
+	c.CycleFn = func() bool {
+		edges = append(edges, q.Now())
+		return len(edges) < 3
+	}
+	q.Schedule(250, PriDefault, func() { c.Activate() })
+	q.Run()
+	want := []Tick{300, 400, 500}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}

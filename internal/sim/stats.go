@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stat is anything that can report itself into a stats dump.
+type Stat interface {
+	StatName() string
+	StatDesc() string
+	Rows() []StatRow
+}
+
+// StatRow is one line of a stats dump.
+type StatRow struct {
+	Name  string
+	Value float64
+	Desc  string
+}
+
+// Scalar is a single counter or gauge.
+type Scalar struct {
+	name, desc string
+	V          float64
+}
+
+// NewScalar registers nothing; attach it to a Group to have it dumped.
+func NewScalar(name, desc string) *Scalar { return &Scalar{name: name, desc: desc} }
+
+// Inc adds delta.
+func (s *Scalar) Inc(delta float64) { s.V += delta }
+
+// Set overwrites the value.
+func (s *Scalar) Set(v float64) { s.V = v }
+
+// Value returns the current value.
+func (s *Scalar) Value() float64 { return s.V }
+
+func (s *Scalar) StatName() string { return s.name }
+func (s *Scalar) StatDesc() string { return s.desc }
+func (s *Scalar) Rows() []StatRow {
+	return []StatRow{{Name: s.name, Value: s.V, Desc: s.desc}}
+}
+
+// Vector is a set of named counters under one stat (e.g. per-FU-class).
+type Vector struct {
+	name, desc string
+	keys       []string
+	vals       map[string]float64
+}
+
+// NewVector creates an empty vector stat.
+func NewVector(name, desc string) *Vector {
+	return &Vector{name: name, desc: desc, vals: map[string]float64{}}
+}
+
+// Inc adds delta to the named bucket, creating it if needed.
+func (v *Vector) Inc(key string, delta float64) {
+	if _, ok := v.vals[key]; !ok {
+		v.keys = append(v.keys, key)
+	}
+	v.vals[key] += delta
+}
+
+// Get returns the bucket value (0 if absent).
+func (v *Vector) Get(key string) float64 { return v.vals[key] }
+
+// Total returns the sum over buckets.
+func (v *Vector) Total() float64 {
+	t := 0.0
+	for _, x := range v.vals {
+		t += x
+	}
+	return t
+}
+
+// Keys returns bucket names in insertion order.
+func (v *Vector) Keys() []string { return append([]string(nil), v.keys...) }
+
+func (v *Vector) StatName() string { return v.name }
+func (v *Vector) StatDesc() string { return v.desc }
+func (v *Vector) Rows() []StatRow {
+	rows := make([]StatRow, 0, len(v.keys))
+	keys := append([]string(nil), v.keys...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows = append(rows, StatRow{Name: v.name + "::" + k, Value: v.vals[k], Desc: v.desc})
+	}
+	return rows
+}
+
+// Distribution tracks min/max/mean of samples plus a sample count.
+type Distribution struct {
+	name, desc string
+	n          uint64
+	sum        float64
+	min, max   float64
+}
+
+// NewDistribution creates an empty distribution stat.
+func NewDistribution(name, desc string) *Distribution {
+	return &Distribution{name: name, desc: desc}
+}
+
+// Sample records one observation.
+func (d *Distribution) Sample(v float64) {
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() uint64 { return d.n }
+
+// Mean returns the sample mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (d *Distribution) Min() float64 { return d.min }
+
+// Max returns the largest sample (0 when empty).
+func (d *Distribution) Max() float64 { return d.max }
+
+func (d *Distribution) StatName() string { return d.name }
+func (d *Distribution) StatDesc() string { return d.desc }
+func (d *Distribution) Rows() []StatRow {
+	return []StatRow{
+		{Name: d.name + "::count", Value: float64(d.n), Desc: d.desc},
+		{Name: d.name + "::mean", Value: d.Mean(), Desc: d.desc},
+		{Name: d.name + "::min", Value: d.min, Desc: d.desc},
+		{Name: d.name + "::max", Value: d.max, Desc: d.desc},
+	}
+}
+
+// Formula is a stat computed from others at dump time.
+type Formula struct {
+	name, desc string
+	Fn         func() float64
+}
+
+// NewFormula creates a derived stat evaluated lazily.
+func NewFormula(name, desc string, fn func() float64) *Formula {
+	return &Formula{name: name, desc: desc, Fn: fn}
+}
+
+func (f *Formula) StatName() string { return f.name }
+func (f *Formula) StatDesc() string { return f.desc }
+func (f *Formula) Rows() []StatRow {
+	return []StatRow{{Name: f.name, Value: f.Fn(), Desc: f.desc}}
+}
+
+// Group is a named collection of stats and child groups, mirroring gem5's
+// SimObject stat hierarchy.
+type Group struct {
+	name     string
+	stats    []Stat
+	children []*Group
+}
+
+// NewGroup creates a root or standalone group.
+func NewGroup(name string) *Group { return &Group{name: name} }
+
+// Child creates (or returns an existing) child group.
+func (g *Group) Child(name string) *Group {
+	for _, c := range g.children {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Group{name: name}
+	g.children = append(g.children, c)
+	return c
+}
+
+// Add registers stats into the group and returns the group for chaining.
+func (g *Group) Add(stats ...Stat) *Group {
+	g.stats = append(g.stats, stats...)
+	return g
+}
+
+// Scalar creates and registers a scalar in one step.
+func (g *Group) Scalar(name, desc string) *Scalar {
+	s := NewScalar(name, desc)
+	g.Add(s)
+	return s
+}
+
+// Vector creates and registers a vector in one step.
+func (g *Group) Vector(name, desc string) *Vector {
+	v := NewVector(name, desc)
+	g.Add(v)
+	return v
+}
+
+// Distribution creates and registers a distribution in one step.
+func (g *Group) Distribution(name, desc string) *Distribution {
+	d := NewDistribution(name, desc)
+	g.Add(d)
+	return d
+}
+
+// Formula creates and registers a formula in one step.
+func (g *Group) Formula(name, desc string, fn func() float64) *Formula {
+	f := NewFormula(name, desc, fn)
+	g.Add(f)
+	return f
+}
+
+// Dump writes all stats, depth-first, one per line, prefixed by the group
+// path, in a fixed-width gem5-like format.
+func (g *Group) Dump(w io.Writer) {
+	g.dump(w, "")
+}
+
+func (g *Group) dump(w io.Writer, prefix string) {
+	path := g.name
+	if prefix != "" {
+		path = prefix + "." + g.name
+	}
+	for _, s := range g.stats {
+		for _, row := range s.Rows() {
+			fmt.Fprintf(w, "%-58s %16.6g  # %s\n", path+"."+row.Name, row.Value, row.Desc)
+		}
+	}
+	for _, c := range g.children {
+		c.dump(w, path)
+	}
+}
+
+// Lookup finds a stat row value by dotted path ("sys.acc0.cycles"). It
+// returns false if the path does not resolve.
+func (g *Group) Lookup(path string) (float64, bool) {
+	var sb strings.Builder
+	g.Dump(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == path {
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

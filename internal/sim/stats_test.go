@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalar(t *testing.T) {
+	s := NewScalar("cycles", "total cycles")
+	s.Inc(3)
+	s.Inc(4)
+	if s.Value() != 7 {
+		t.Fatalf("value = %g, want 7", s.Value())
+	}
+	s.Set(2)
+	if s.Value() != 2 {
+		t.Fatalf("value = %g, want 2", s.Value())
+	}
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0].Name != "cycles" || rows[0].Value != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := NewVector("ops", "ops by class")
+	v.Inc("fadd", 2)
+	v.Inc("fmul", 3)
+	v.Inc("fadd", 1)
+	if v.Get("fadd") != 3 {
+		t.Fatalf("fadd = %g", v.Get("fadd"))
+	}
+	if v.Total() != 6 {
+		t.Fatalf("total = %g", v.Total())
+	}
+	if v.Get("missing") != 0 {
+		t.Fatal("missing key should read 0")
+	}
+	rows := v.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Rows sorted by key.
+	if rows[0].Name != "ops::fadd" || rows[1].Name != "ops::fmul" {
+		t.Fatalf("row order: %+v", rows)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution("lat", "latency")
+	if d.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	for _, v := range []float64{4, 2, 6} {
+		d.Sample(v)
+	}
+	if d.Count() != 3 || d.Min() != 2 || d.Max() != 6 || d.Mean() != 4 {
+		t.Fatalf("count=%d min=%g max=%g mean=%g", d.Count(), d.Min(), d.Max(), d.Mean())
+	}
+}
+
+func TestGroupDumpAndLookup(t *testing.T) {
+	root := NewGroup("sys")
+	acc := root.Child("acc0")
+	c := acc.Scalar("cycles", "cycles")
+	c.Set(123)
+	acc.Formula("freq", "derived", func() float64 { return 2 * c.Value() })
+	v := acc.Vector("ops", "per class")
+	v.Inc("fadd", 5)
+
+	var sb strings.Builder
+	root.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"sys.acc0.cycles", "sys.acc0.freq", "sys.acc0.ops::fadd"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	got, ok := root.Lookup("sys.acc0.cycles")
+	if !ok || got != 123 {
+		t.Fatalf("Lookup cycles = %g, %v", got, ok)
+	}
+	got, ok = root.Lookup("sys.acc0.freq")
+	if !ok || got != 246 {
+		t.Fatalf("Lookup freq = %g, %v", got, ok)
+	}
+	if _, ok := root.Lookup("sys.acc0.nonexistent"); ok {
+		t.Fatal("lookup of missing stat succeeded")
+	}
+}
+
+func TestGroupChildReuse(t *testing.T) {
+	root := NewGroup("sys")
+	a := root.Child("x")
+	b := root.Child("x")
+	if a != b {
+		t.Fatal("Child should return the existing group")
+	}
+}

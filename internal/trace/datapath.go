@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"gosalam/internal/hw"
+)
+
+// MemModel assigns a latency to each memory access during datapath
+// reconstruction. The baseline's defining weakness is that this model
+// leaks into the datapath: different cache configurations produce
+// different reverse-engineered FU allocations (Table II).
+type MemModel interface {
+	AccessLatency(addr uint64, size int, write bool) int
+	Name() string
+}
+
+// FixedLatency models a multi-ported scratchpad.
+type FixedLatency struct {
+	Cycles int
+	Label  string
+}
+
+// AccessLatency returns the fixed latency.
+func (m FixedLatency) AccessLatency(uint64, int, bool) int { return m.Cycles }
+
+// Name returns the label.
+func (m FixedLatency) Name() string { return m.Label }
+
+// CacheProbe is a stateful set-associative cache simulator: accesses in
+// trace order hit or miss, returning the corresponding latency.
+type CacheProbe struct {
+	SizeBytes    int
+	LineBytes    int
+	Assoc        int
+	HitCycles    int
+	MissCycles   int
+	sets         [][]cacheLine
+	tick         uint64
+	Hits, Misses uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewCacheProbe builds a probe.
+func NewCacheProbe(sizeBytes, lineBytes, assoc, hitCycles, missCycles int) *CacheProbe {
+	nLines := sizeBytes / lineBytes
+	if nLines < 1 {
+		nLines = 1
+	}
+	if assoc > nLines {
+		assoc = nLines
+	}
+	if assoc < 1 {
+		assoc = 1
+	}
+	nSets := nLines / assoc
+	if nSets < 1 {
+		nSets = 1
+	}
+	c := &CacheProbe{
+		SizeBytes: sizeBytes, LineBytes: lineBytes, Assoc: assoc,
+		HitCycles: hitCycles, MissCycles: missCycles,
+		sets: make([][]cacheLine, nSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, assoc)
+	}
+	return c
+}
+
+// AccessLatency simulates one access.
+func (c *CacheProbe) AccessLatency(addr uint64, size int, write bool) int {
+	line := addr / uint64(c.LineBytes)
+	set := c.sets[line%uint64(len(c.sets))]
+	c.tick++
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = c.tick
+			c.Hits++
+			return c.HitCycles
+		}
+	}
+	c.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: line, valid: true, lru: c.tick}
+	return c.MissCycles
+}
+
+// Name describes the configuration.
+func (c *CacheProbe) Name() string {
+	switch {
+	case c.SizeBytes >= 1024:
+		return formatKB(c.SizeBytes)
+	default:
+		return formatB(c.SizeBytes)
+	}
+}
+
+func formatKB(b int) string { return itoa(b/1024) + "kB cache" }
+func formatB(b int) string  { return itoa(b) + "B cache" }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Datapath is the reverse-engineered accelerator: per-class FU counts
+// derived from the trace's peak per-cycle parallelism.
+type Datapath struct {
+	FUCount map[hw.FUClass]int
+	// Levels is each entry's ASAP start cycle.
+	Levels []int
+	// Depth is the critical-path length in cycles.
+	Depth int
+}
+
+// BuildDatapath ASAP-levelizes the dynamic dependence graph under the
+// memory model and allocates max-per-cycle functional units per class —
+// Aladdin's datapath reconstruction.
+func BuildDatapath(t *Trace, mm MemModel) *Datapath {
+	n := len(t.Entries)
+	levels := make([]int, n)
+	finish := make([]int, n)
+	perCycle := map[int]map[hw.FUClass]int{}
+	depth := 0
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		start := 0
+		for _, d := range e.Deps {
+			if f := finish[d]; f > start {
+				start = f
+			}
+		}
+		lat := e.Latency
+		if e.IsLoad || e.IsStore {
+			lat = mm.AccessLatency(e.Addr, e.Size, e.IsStore)
+		}
+		levels[i] = start
+		finish[i] = start + lat
+		if finish[i] > depth {
+			depth = finish[i]
+		}
+		if e.Class != hw.FUNone && e.Class != hw.FUControl {
+			pc := perCycle[start]
+			if pc == nil {
+				pc = map[hw.FUClass]int{}
+				perCycle[start] = pc
+			}
+			pc[e.Class]++
+		}
+	}
+	dp := &Datapath{FUCount: map[hw.FUClass]int{}, Levels: levels, Depth: depth}
+	for _, pc := range perCycle {
+		for c, cnt := range pc {
+			if cnt > dp.FUCount[c] {
+				dp.FUCount[c] = cnt
+			}
+		}
+	}
+	return dp
+}
+
+// AreaUM2 returns the datapath area implied by the allocation.
+func (d *Datapath) AreaUM2(p *hw.Profile) float64 {
+	a := 0.0
+	for c, n := range d.FUCount {
+		a += p.Spec(c).AreaUM2 * float64(n)
+	}
+	return a
+}
+
+// Simulate list-schedules the trace graph under the allocated FUs and a
+// memory-port limit, returning the cycle count — the baseline's
+// trace-graph execution phase.
+func Simulate(t *Trace, dp *Datapath, mm MemModel, readPorts, writePorts int) uint64 {
+	n := len(t.Entries)
+	finish := make([]int, n)
+	classUse := map[int]map[hw.FUClass]int{}
+	readUse := map[int]int{}
+	writeUse := map[int]int{}
+	total := 0
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		start := 0
+		for _, d := range e.Deps {
+			if f := finish[d]; f > start {
+				start = f
+			}
+		}
+		for {
+			if e.IsLoad {
+				if readUse[start] < readPorts {
+					readUse[start]++
+					break
+				}
+			} else if e.IsStore {
+				if writeUse[start] < writePorts {
+					writeUse[start]++
+					break
+				}
+			} else if e.Class == hw.FUNone || e.Class == hw.FUControl || e.Class == hw.FUMux {
+				break
+			} else {
+				cu := classUse[start]
+				if cu == nil {
+					cu = map[hw.FUClass]int{}
+					classUse[start] = cu
+				}
+				if cu[e.Class] < dp.FUCount[e.Class] {
+					cu[e.Class]++
+					break
+				}
+			}
+			start++
+		}
+		lat := e.Latency
+		if e.IsLoad || e.IsStore {
+			lat = mm.AccessLatency(e.Addr, e.Size, e.IsStore)
+		}
+		finish[i] = start + lat
+		if finish[i] > total {
+			total = finish[i]
+		}
+	}
+	return uint64(total)
+}

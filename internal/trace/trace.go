@@ -1,0 +1,169 @@
+// Package trace implements the Aladdin-style trace-based baseline that
+// gem5-SALAM defines itself against. It instruments a functional run to
+// produce a dynamic LLVM instruction trace (serialized gzip-compressed,
+// as Aladdin's instrumented binaries do), reverse-engineers a datapath
+// from the trace's parallelism under a memory timing model, and schedules
+// the trace graph. Because the datapath is derived from the *dynamic*
+// trace, it inherits Aladdin's artifacts: functional-unit allocations
+// change with input data (Table I) and with cache configuration
+// (Table II), and preprocessing/simulation are far slower than SALAM's
+// execute-in-execute engine (Table IV).
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"gosalam/internal/hw"
+	"gosalam/ir"
+)
+
+// Entry is one dynamic instruction in the trace.
+type Entry struct {
+	Op      ir.Opcode
+	Class   hw.FUClass
+	Latency int
+	Deps    []int32 // producing trace indices (register + memory RAW)
+	IsLoad  bool
+	IsStore bool
+	Addr    uint64
+	Size    int
+}
+
+// Trace is a dynamic instruction stream.
+type Trace struct {
+	Entries []Entry
+}
+
+// Generate runs the kernel functionally and records the dynamic trace —
+// Aladdin's binary instrumentation step.
+func Generate(f *ir.Function, args []uint64, mem *ir.FlatMem, profile *hw.Profile) (*Trace, error) {
+	tr := &Trace{}
+	lastDef := map[*ir.Instr]int32{}
+	lastStore := map[uint64]int32{} // per 8-byte word
+	word := func(addr uint64) uint64 { return addr &^ 7 }
+
+	hook := func(ev ir.TraceEvent) {
+		in := ev.I
+		idx := int32(len(tr.Entries))
+		e := Entry{
+			Op:      in.Op,
+			Class:   hw.OpClass(in),
+			Latency: profile.OpLatency(in),
+		}
+		seen := map[int32]bool{}
+		addDep := func(d int32, ok bool) {
+			if ok && !seen[d] {
+				seen[d] = true
+				e.Deps = append(e.Deps, d)
+			}
+		}
+		args := in.Args
+		if in.Op == ir.OpPhi {
+			args = nil // incoming already executed; treat as wire
+		}
+		for _, a := range args {
+			if ai, ok := a.(*ir.Instr); ok {
+				d, found := lastDef[ai]
+				addDep(d, found)
+			}
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			e.IsLoad = true
+			e.Addr, e.Size = ev.Addr, ev.Bytes
+			d, found := lastStore[word(ev.Addr)]
+			addDep(d, found)
+		case ir.OpStore:
+			e.IsStore = true
+			e.Addr, e.Size = ev.Addr, ev.Bytes
+			lastStore[word(ev.Addr)] = idx
+		}
+		if in.HasResult() {
+			lastDef[in] = idx
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+	scratch := ir.NewFlatMem(mem.Base, len(mem.Data))
+	copy(scratch.Data, mem.Data)
+	if _, _, err := ir.Exec(f, args, scratch, &ir.ExecOpts{Trace: hook}); err != nil {
+		return nil, fmt.Errorf("trace: generation: %w", err)
+	}
+	return tr, nil
+}
+
+// Write serializes the trace as gzip-compressed text, one line per
+// dynamic instruction — the on-disk trace Aladdin's flow produces.
+func (t *Trace) Write(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	for _, e := range t.Entries {
+		fmt.Fprintf(bw, "%d %d %d %t %t %d %d", int(e.Op), int(e.Class), e.Latency,
+			e.IsLoad, e.IsStore, e.Addr, e.Size)
+		for _, d := range e.Deps {
+			fmt.Fprintf(bw, " %d", d)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Read deserializes a trace written by Write — the trace-loading phase
+// of baseline simulation.
+func Read(r io.Reader) (*Trace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer gz.Close()
+	tr := &Trace{}
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e Entry
+		var op, class int
+		fields := splitFields(sc.Text())
+		if len(fields) < 7 {
+			return nil, fmt.Errorf("trace: short line %q", sc.Text())
+		}
+		if _, err := fmt.Sscanf(fields[0], "%d", &op); err != nil {
+			return nil, err
+		}
+		fmt.Sscanf(fields[1], "%d", &class)
+		fmt.Sscanf(fields[2], "%d", &e.Latency)
+		fmt.Sscanf(fields[3], "%t", &e.IsLoad)
+		fmt.Sscanf(fields[4], "%t", &e.IsStore)
+		fmt.Sscanf(fields[5], "%d", &e.Addr)
+		fmt.Sscanf(fields[6], "%d", &e.Size)
+		e.Op = ir.Opcode(op)
+		e.Class = hw.FUClass(class)
+		for _, f := range fields[7:] {
+			var d int32
+			fmt.Sscanf(f, "%d", &d)
+			e.Deps = append(e.Deps, d)
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+	return tr, sc.Err()
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}

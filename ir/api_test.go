@@ -1,0 +1,163 @@
+package ir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBuilderConvenienceOps drives every arithmetic convenience through
+// the interpreter against hand-computed expectations.
+func TestBuilderConvenienceOps(t *testing.T) {
+	m := NewModule("api")
+	b := NewBuilder(m)
+	f := b.Func("f", I64, P("x", I64), P("y", I64))
+	x, y := f.Params[0], f.Params[1]
+
+	sd := b.SDiv(x, y, "sd")       // -20 / 3 = -6
+	ud := b.UDiv(y, I64c(2), "ud") // 3 / 2 = 1
+	ur := b.URem(y, I64c(2), "ur") // 3 % 2 = 1
+	an := b.And(y, I64c(1), "an")  // 1
+	or := b.Or(an, I64c(4), "or")  // 5
+	sum := b.Add(sd, ud, "s1")     // -5
+	sum = b.Add(sum, ur, "s2")     // -4
+	sum = b.Add(sum, or, "s3")     // 1
+	b.Ret(sum)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewFlatMem(0, 8)
+	neg20 := int64(-20)
+	ret, _, err := Exec(f, []uint64{uint64(neg20), 3}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SignExt(I64, ret); got != 1 {
+		t.Fatalf("ret = %d, want 1", got)
+	}
+}
+
+func TestBuilderIfElseBothArms(t *testing.T) {
+	m := NewModule("ie")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("p", Ptr(I64)), P("x", I64))
+	p, x := f.Params[0], f.Params[1]
+	c := b.ICmp(ISGE, x, I64c(0), "c")
+	b.IfElse(c, "br", func() {
+		b.Store(I64c(1), p)
+	}, func() {
+		b.Store(I64c(-1), p)
+	})
+	b.Ret(nil)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewFlatMem(0, 64)
+	addr := mem.AllocFor(I64, 1)
+	if _, _, err := Exec(f, []uint64{addr, 7}, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mem.ReadI64(addr) != 1 {
+		t.Fatal("then arm not taken")
+	}
+	neg := int64(-7)
+	if _, _, err := Exec(f, []uint64{addr, uint64(neg)}, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mem.ReadI64(addr) != -1 {
+		t.Fatal("else arm not taken")
+	}
+}
+
+func TestFlatMemRawAndCursor(t *testing.T) {
+	mem := NewFlatMem(0x100, 256)
+	src := []byte{1, 2, 3, 4, 5}
+	mem.WriteRaw(0x110, src)
+	dst := make([]byte, 5)
+	mem.ReadRaw(0x110, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("raw round trip failed")
+	}
+	mem.SetAllocBase(0x140)
+	if mem.AllocCursor() != 0x140 {
+		t.Fatalf("cursor = %#x", mem.AllocCursor())
+	}
+	a := mem.Alloc(8, 8)
+	if a != 0x140 {
+		t.Fatalf("alloc after SetAllocBase = %#x", a)
+	}
+	// F64/I64 typed helpers.
+	mem.WriteF64(0x150, 2.5)
+	if mem.ReadF64(0x150) != 2.5 {
+		t.Fatal("f64 helpers")
+	}
+	mem.WriteI64(0x158, -9)
+	if mem.ReadI64(0x158) != -9 {
+		t.Fatal("i64 helpers")
+	}
+}
+
+func TestInstrAccessors(t *testing.T) {
+	m := NewModule("acc")
+	b := NewBuilder(m)
+	f := b.Func("fn", Void, P("p", Ptr(I64)))
+	ld := b.Load(f.Params[0], "v")
+	st := b.Store(ld, f.Params[0])
+	b.Ret(nil)
+
+	if !ld.Op.IsMemAccess() || !st.Op.IsMemAccess() {
+		t.Fatal("IsMemAccess")
+	}
+	if ld.Block().Func() != f {
+		t.Fatal("Block().Func()")
+	}
+	if f.Name() != "fn" {
+		t.Fatal("Function.Name")
+	}
+	if f.Entry().Name() != "entry" {
+		t.Fatal("Entry")
+	}
+	if FormatValue(ld) != "i64 %v" {
+		t.Fatalf("FormatValue = %q", FormatValue(ld))
+	}
+	if ld.Ident() != "%v" || f.Params[0].Ident() != "%p" {
+		t.Fatal("Ident")
+	}
+	g := m.AddGlobal("gbl", F64)
+	if g.Ident() != "@gbl" || !Equal(g.Type(), Ptr(F64)) {
+		t.Fatal("global accessors")
+	}
+}
+
+func TestEvalFCmpF32AndIntrinsicsF32(t *testing.T) {
+	a, b := FloatToBits(F32, 1.5), FloatToBits(F32, 2.5)
+	if EvalFCmp(FOLT, F32, a, b) != 1 {
+		t.Fatal("f32 olt")
+	}
+	if EvalFCmp(FONE, F32, a, a) != 0 {
+		t.Fatal("f32 one")
+	}
+	if got := FloatFromBits(F32, EvalCall("sqrt", F32, []uint64{FloatToBits(F32, 4)})); got != 2 {
+		t.Fatalf("f32 sqrt = %g", got)
+	}
+	if got := FloatFromBits(F32, EvalCall("exp", F32, []uint64{FloatToBits(F32, 0)})); got != 1 {
+		t.Fatalf("f32 exp = %g", got)
+	}
+	if got := FloatFromBits(F64, EvalCall("log", F64, []uint64{FloatToBits(F64, 1)})); got != 0 {
+		t.Fatalf("log = %g", got)
+	}
+	if got := FloatFromBits(F64, EvalCall("sin", F64, []uint64{0})); got != 0 {
+		t.Fatalf("sin = %g", got)
+	}
+	if got := FloatFromBits(F64, EvalCall("cos", F64, []uint64{0})); got != 1 {
+		t.Fatalf("cos = %g", got)
+	}
+}
+
+func TestUnknownIntrinsicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown intrinsic did not panic")
+		}
+	}()
+	EvalCall("bogus", F64, []uint64{0})
+}

@@ -1,0 +1,329 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Builder constructs IR imperatively, mirroring LLVM's IRBuilder. Its loop
+// and if helpers play the role that clang's structured lowering plus
+// pragmas (unroll factors, if-conversion) play in the original gem5-SALAM
+// flow.
+type Builder struct {
+	M *Module
+	F *Function
+	B *Block
+
+	names map[string]int
+}
+
+// NewBuilder creates a builder over a module.
+func NewBuilder(m *Module) *Builder {
+	return &Builder{M: m, names: map[string]int{}}
+}
+
+// Func starts a new function and positions the builder at a fresh entry
+// block.
+func (b *Builder) Func(name string, ret Type, params ...*Param) *Function {
+	b.F = b.M.NewFunction(name, ret, params...)
+	b.names = map[string]int{}
+	for _, p := range params {
+		b.names[p.PName]++
+	}
+	b.B = b.F.NewBlock("entry")
+	return b.F
+}
+
+// Block creates a new block in the current function without moving to it.
+func (b *Builder) Block(name string) *Block { return b.F.NewBlock(name) }
+
+// SetBlock repositions the builder.
+func (b *Builder) SetBlock(blk *Block) { b.B = blk }
+
+// uniq returns a unique SSA name derived from base.
+func (b *Builder) uniq(base string) string {
+	if base == "" {
+		base = "v"
+	}
+	n := b.names[base]
+	b.names[base] = n + 1
+	if n == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s%d", base, n)
+}
+
+// emit appends an instruction to the current block.
+func (b *Builder) emit(i *Instr) *Instr {
+	if b.B == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := b.B.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in block %s", i.Op, b.B.BName))
+	}
+	b.B.append(i)
+	return i
+}
+
+// Bin emits a binary op; the result type is the operand type.
+func (b *Builder) Bin(op Opcode, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: op, T: x.Type(), Name: b.uniq(name), Args: []Value{x, y}})
+}
+
+// Arithmetic conveniences. Each takes an optional result-name hint.
+
+func (b *Builder) Add(x, y Value, name string) *Instr  { return b.Bin(OpAdd, x, y, name) }
+func (b *Builder) Sub(x, y Value, name string) *Instr  { return b.Bin(OpSub, x, y, name) }
+func (b *Builder) Mul(x, y Value, name string) *Instr  { return b.Bin(OpMul, x, y, name) }
+func (b *Builder) SDiv(x, y Value, name string) *Instr { return b.Bin(OpSDiv, x, y, name) }
+func (b *Builder) UDiv(x, y Value, name string) *Instr { return b.Bin(OpUDiv, x, y, name) }
+func (b *Builder) SRem(x, y Value, name string) *Instr { return b.Bin(OpSRem, x, y, name) }
+func (b *Builder) URem(x, y Value, name string) *Instr { return b.Bin(OpURem, x, y, name) }
+func (b *Builder) And(x, y Value, name string) *Instr  { return b.Bin(OpAnd, x, y, name) }
+func (b *Builder) Or(x, y Value, name string) *Instr   { return b.Bin(OpOr, x, y, name) }
+func (b *Builder) Xor(x, y Value, name string) *Instr  { return b.Bin(OpXor, x, y, name) }
+func (b *Builder) Shl(x, y Value, name string) *Instr  { return b.Bin(OpShl, x, y, name) }
+func (b *Builder) LShr(x, y Value, name string) *Instr { return b.Bin(OpLShr, x, y, name) }
+func (b *Builder) AShr(x, y Value, name string) *Instr { return b.Bin(OpAShr, x, y, name) }
+func (b *Builder) FAdd(x, y Value, name string) *Instr { return b.Bin(OpFAdd, x, y, name) }
+func (b *Builder) FSub(x, y Value, name string) *Instr { return b.Bin(OpFSub, x, y, name) }
+func (b *Builder) FMul(x, y Value, name string) *Instr { return b.Bin(OpFMul, x, y, name) }
+func (b *Builder) FDiv(x, y Value, name string) *Instr { return b.Bin(OpFDiv, x, y, name) }
+
+// ICmp emits an integer comparison producing i1.
+func (b *Builder) ICmp(p Pred, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpICmp, T: I1, Name: b.uniq(name), Pred: p, Args: []Value{x, y}})
+}
+
+// FCmp emits a float comparison producing i1.
+func (b *Builder) FCmp(p Pred, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpFCmp, T: I1, Name: b.uniq(name), Pred: p, Args: []Value{x, y}})
+}
+
+// Load reads through a pointer.
+func (b *Builder) Load(ptr Value, name string) *Instr {
+	pt, ok := ptr.Type().(PtrType)
+	if !ok {
+		panic("ir: load from non-pointer")
+	}
+	return b.emit(&Instr{Op: OpLoad, T: pt.Elem, Name: b.uniq(name), Args: []Value{ptr}})
+}
+
+// Store writes through a pointer.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, T: Void, Name: b.uniq("st"), Args: []Value{val, ptr}})
+}
+
+// GEP computes an element address.
+func (b *Builder) GEP(ptr Value, name string, idxs ...Value) *Instr {
+	pt, ok := ptr.Type().(PtrType)
+	if !ok {
+		panic("ir: gep on non-pointer")
+	}
+	res := Ptr(GEPResultElem(pt, len(idxs)))
+	args := append([]Value{ptr}, idxs...)
+	return b.emit(&Instr{Op: OpGEP, T: res, Name: b.uniq(name), Args: args})
+}
+
+// Phi emits a phi node; incoming edges are added with AddIncoming or
+// supplied as (value, block) pairs via PhiIn.
+func (b *Builder) Phi(t Type, name string) *Instr {
+	return b.emit(&Instr{Op: OpPhi, T: t, Name: b.uniq(name)})
+}
+
+// AddIncoming appends an incoming (value, predecessor) edge to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Blocks = append(phi.Blocks, from)
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpSelect, T: x.Type(), Name: b.uniq(name), Args: []Value{cond, x, y}})
+}
+
+// Br emits an unconditional branch and leaves the block terminated.
+func (b *Builder) Br(dst *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, T: Void, Name: b.uniq("br"), Blocks: []*Block{dst}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, T: Void, Name: b.uniq("br"), Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	i := &Instr{Op: OpRet, T: Void, Name: b.uniq("ret")}
+	if v != nil {
+		i.Args = []Value{v}
+	}
+	return b.emit(i)
+}
+
+// Call emits an intrinsic call.
+func (b *Builder) Call(callee string, t Type, name string, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, T: t, Name: b.uniq(name), Callee: callee, Args: args})
+}
+
+// Cast emits a conversion to type t.
+func (b *Builder) Cast(op Opcode, v Value, t Type, name string) *Instr {
+	return b.emit(&Instr{Op: op, T: t, Name: b.uniq(name), Args: []Value{v}})
+}
+
+func (b *Builder) ZExt(v Value, t Type, name string) *Instr  { return b.Cast(OpZExt, v, t, name) }
+func (b *Builder) SExt(v Value, t Type, name string) *Instr  { return b.Cast(OpSExt, v, t, name) }
+func (b *Builder) Trunc(v Value, t Type, name string) *Instr { return b.Cast(OpTrunc, v, t, name) }
+func (b *Builder) SIToFP(v Value, t Type, name string) *Instr {
+	return b.Cast(OpSIToFP, v, t, name)
+}
+func (b *Builder) FPToSI(v Value, t Type, name string) *Instr {
+	return b.Cast(OpFPToSI, v, t, name)
+}
+
+// Loop builds a canonical counted loop:
+//
+//	for (iv = lo; iv < hi; iv += step) body(iv)
+//
+// and leaves the builder at the exit block. lo and hi must share an integer
+// type.
+func (b *Builder) Loop(name string, lo, hi Value, step int64, body func(iv Value)) {
+	b.LoopCarried(name, lo, hi, step, nil, func(iv Value, _ []Value) []Value {
+		body(iv)
+		return nil
+	})
+}
+
+// LoopCarried builds a counted loop with loop-carried values (reduction
+// phis). init supplies the entry values; body receives the current carried
+// values and returns the next-iteration values. The final values are
+// returned, valid in the exit block.
+func (b *Builder) LoopCarried(name string, lo, hi Value, step int64,
+	init []Value, body func(iv Value, carried []Value) []Value) []Value {
+	return b.loopImpl(name, lo, hi, step, 1, init, body)
+}
+
+// LoopUnrolled is Loop with the body replicated `factor` times per
+// iteration (clang's "#pragma unroll factor"). The trip count should be
+// divisible by factor; a remainder would be skipped.
+func (b *Builder) LoopUnrolled(name string, lo, hi Value, step int64, factor int, body func(iv Value)) {
+	b.LoopCarriedUnrolled(name, lo, hi, step, factor, nil, func(iv Value, _ []Value) []Value {
+		body(iv)
+		return nil
+	})
+}
+
+// LoopCarriedUnrolled combines LoopCarried and LoopUnrolled.
+func (b *Builder) LoopCarriedUnrolled(name string, lo, hi Value, step int64, factor int,
+	init []Value, body func(iv Value, carried []Value) []Value) []Value {
+	return b.loopImpl(name, lo, hi, step, factor, init, body)
+}
+
+func (b *Builder) loopImpl(name string, lo, hi Value, step int64, factor int,
+	init []Value, body func(iv Value, carried []Value) []Value) []Value {
+	if factor < 1 {
+		panic("ir: unroll factor must be >= 1")
+	}
+	ivType := lo.Type()
+	header := b.Block(name + ".head")
+	bodyBlk := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+
+	pre := b.B
+	b.Br(header)
+
+	// Header: iv phi, carried phis, bounds check.
+	b.SetBlock(header)
+	iv := b.Phi(ivType, name+".iv")
+	AddIncoming(iv, lo, pre)
+	carried := make([]Value, len(init))
+	phis := make([]*Instr, len(init))
+	for k, v := range init {
+		phis[k] = b.Phi(v.Type(), name+".carry")
+		AddIncoming(phis[k], v, pre)
+		carried[k] = phis[k]
+	}
+	cond := b.ICmp(ISLT, iv, hi, name+".cond")
+	b.CondBr(cond, bodyBlk, exit)
+
+	// Body (+latch): factor copies, then iv advance and back edge.
+	b.SetBlock(bodyBlk)
+	cur := carried
+	for k := 0; k < factor; k++ {
+		ivK := Value(iv)
+		if k > 0 {
+			ivK = b.Add(iv, IC(ivType, int64(k)*step), name+".iv.u")
+		}
+		cur = body(ivK, cur)
+		if len(cur) != len(init) {
+			panic("ir: loop body returned wrong carried count")
+		}
+	}
+	next := b.Add(iv, IC(ivType, step*int64(factor)), name+".iv.next")
+	latch := b.B
+	b.Br(header)
+	AddIncoming(iv, next, latch)
+	for k, phi := range phis {
+		AddIncoming(phi, cur[k], latch)
+	}
+
+	b.SetBlock(exit)
+	out := make([]Value, len(phis))
+	for k, phi := range phis {
+		out[k] = phi
+	}
+	return out
+}
+
+// If builds a one-armed conditional: then() runs when cond is true, and the
+// builder continues at the merge block.
+func (b *Builder) If(cond Value, name string, then func()) {
+	thenBlk := b.Block(name + ".then")
+	merge := b.Block(name + ".end")
+	b.CondBr(cond, thenBlk, merge)
+	b.SetBlock(thenBlk)
+	then()
+	b.Br(merge)
+	b.SetBlock(merge)
+}
+
+// IfElse builds a two-armed conditional.
+func (b *Builder) IfElse(cond Value, name string, then, els func()) {
+	thenBlk := b.Block(name + ".then")
+	elseBlk := b.Block(name + ".else")
+	merge := b.Block(name + ".end")
+	b.CondBr(cond, thenBlk, elseBlk)
+	b.SetBlock(thenBlk)
+	then()
+	b.Br(merge)
+	b.SetBlock(elseBlk)
+	els()
+	b.Br(merge)
+	b.SetBlock(merge)
+}
+
+// IfValue builds a diamond returning a merged value via phi.
+func (b *Builder) IfValue(cond Value, name string, then, els func() Value) Value {
+	thenBlk := b.Block(name + ".then")
+	elseBlk := b.Block(name + ".else")
+	merge := b.Block(name + ".end")
+	b.CondBr(cond, thenBlk, elseBlk)
+
+	b.SetBlock(thenBlk)
+	tv := then()
+	tEnd := b.B
+	b.Br(merge)
+
+	b.SetBlock(elseBlk)
+	ev := els()
+	eEnd := b.B
+	b.Br(merge)
+
+	b.SetBlock(merge)
+	phi := b.Phi(tv.Type(), name+".phi")
+	AddIncoming(phi, tv, tEnd)
+	AddIncoming(phi, ev, eEnd)
+	return phi
+}

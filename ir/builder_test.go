@@ -1,0 +1,236 @@
+package ir
+
+import (
+	"testing"
+)
+
+// buildDot builds: double dot(double* a, double* b, i64 n) — the canonical
+// loop-carried reduction.
+func buildDot(t *testing.T, unroll int) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("dot")
+	b := NewBuilder(m)
+	f := b.Func("dot", F64, P("a", Ptr(F64)), P("b", Ptr(F64)), P("n", I64))
+	a, bp, n := f.Params[0], f.Params[1], f.Params[2]
+	sum := b.LoopCarriedUnrolled("i", I64c(0), n, 1, unroll,
+		[]Value{F64c(0)}, func(iv Value, carried []Value) []Value {
+			av := b.Load(b.GEP(a, "pa", iv), "va")
+			bv := b.Load(b.GEP(bp, "pb", iv), "vb")
+			return []Value{b.FAdd(carried[0], b.FMul(av, bv, "prod"), "acc")}
+		})
+	b.Ret(sum[0])
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m, f
+}
+
+func runDot(t *testing.T, f *Function, n int) float64 {
+	t.Helper()
+	mem := NewFlatMem(0x1000, 1<<16)
+	aAddr := mem.AllocFor(F64, n)
+	bAddr := mem.AllocFor(F64, n)
+	for i := 0; i < n; i++ {
+		mem.WriteF64(aAddr+uint64(i*8), float64(i+1))
+		mem.WriteF64(bAddr+uint64(i*8), 2)
+	}
+	ret, _, err := Exec(f, []uint64{aAddr, bAddr, uint64(n)}, mem, nil)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return FloatFromBits(F64, ret)
+}
+
+func TestBuilderLoopCarried(t *testing.T) {
+	_, f := buildDot(t, 1)
+	got := runDot(t, f, 8)
+	// sum 2*(1..8) = 72
+	if got != 72 {
+		t.Fatalf("dot = %g, want 72", got)
+	}
+}
+
+func TestBuilderLoopUnrolled(t *testing.T) {
+	_, f1 := buildDot(t, 1)
+	_, f4 := buildDot(t, 4)
+	if got, want := runDot(t, f4, 16), runDot(t, f1, 16); got != want {
+		t.Fatalf("unrolled dot = %g, want %g", got, want)
+	}
+	// Unrolled body must contain 4x the FP work in one block.
+	var body *Block
+	for _, b := range f4.Blocks {
+		if b.BName == "i.body" {
+			body = b
+		}
+	}
+	if body == nil {
+		t.Fatal("no body block")
+	}
+	fmuls := 0
+	for _, in := range body.Instrs {
+		if in.Op == OpFMul {
+			fmuls++
+		}
+	}
+	if fmuls != 4 {
+		t.Fatalf("unrolled body has %d fmuls, want 4", fmuls)
+	}
+}
+
+func TestBuilderNestedLoops(t *testing.T) {
+	// 4x4 matrix sum via nested loops.
+	m := NewModule("msum")
+	b := NewBuilder(m)
+	f := b.Func("msum", F64, P("a", Ptr(F64)))
+	var outer []Value
+	outer = b.LoopCarried("i", I64c(0), I64c(4), 1, []Value{F64c(0)},
+		func(i Value, ci []Value) []Value {
+			inner := b.LoopCarried("j", I64c(0), I64c(4), 1, []Value{ci[0]},
+				func(j Value, cj []Value) []Value {
+					idx := b.Add(b.Mul(i, I64c(4), "row"), j, "idx")
+					v := b.Load(b.GEP(f.Params[0], "p", idx), "v")
+					return []Value{b.FAdd(cj[0], v, "acc")}
+				})
+			return []Value{inner[0]}
+		})
+	b.Ret(outer[0])
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	mem := NewFlatMem(0, 1<<12)
+	base := mem.AllocFor(F64, 16)
+	for i := 0; i < 16; i++ {
+		mem.WriteF64(base+uint64(i*8), 1)
+	}
+	ret, _, err := Exec(f, []uint64{base}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 16 {
+		t.Fatalf("msum = %g, want 16", got)
+	}
+}
+
+func TestBuilderIfElseAndIfValue(t *testing.T) {
+	m := NewModule("cond")
+	b := NewBuilder(m)
+	f := b.Func("clamp", I64, P("x", I64))
+	x := f.Params[0]
+	isNeg := b.ICmp(ISLT, x, I64c(0), "neg")
+	v := b.IfValue(isNeg, "c", func() Value { return I64c(0) }, func() Value { return x })
+	b.Ret(v)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewFlatMem(0, 16)
+	neg5 := int64(-5)
+	ret, _, _ := Exec(f, []uint64{uint64(neg5)}, mem, nil)
+	if SignExt(I64, ret) != 0 {
+		t.Fatalf("clamp(-5) = %d", SignExt(I64, ret))
+	}
+	ret, _, _ = Exec(f, []uint64{7}, mem, nil)
+	if ret != 7 {
+		t.Fatalf("clamp(7) = %d", ret)
+	}
+}
+
+func TestBuilderIfStoresConditionally(t *testing.T) {
+	m := NewModule("cs")
+	b := NewBuilder(m)
+	f := b.Func("condstore", Void, P("p", Ptr(I64)), P("x", I64))
+	p, x := f.Params[0], f.Params[1]
+	big := b.ICmp(ISGT, x, I64c(10), "big")
+	b.If(big, "w", func() { b.Store(x, p) })
+	b.Ret(nil)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewFlatMem(0, 64)
+	addr := mem.AllocFor(I64, 1)
+	if _, _, err := Exec(f, []uint64{addr, 5}, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mem.ReadI64(addr) != 0 {
+		t.Fatal("store happened for x=5")
+	}
+	if _, _, err := Exec(f, []uint64{addr, 50}, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mem.ReadI64(addr) != 50 {
+		t.Fatal("store missing for x=50")
+	}
+}
+
+func TestBuilderUniqueNames(t *testing.T) {
+	m := NewModule("u")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("x", I64))
+	x := f.Params[0]
+	i1 := b.Add(x, x, "t")
+	i2 := b.Add(x, x, "t")
+	b.Ret(nil)
+	if i1.Name == i2.Name {
+		t.Fatalf("duplicate SSA names: %s", i1.Name)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderEmitAfterTerminatorPanics(t *testing.T) {
+	m := NewModule("p")
+	b := NewBuilder(m)
+	b.Func("f", Void)
+	b.Ret(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit after terminator did not panic")
+		}
+	}()
+	b.Add(I64c(1), I64c(1), "t")
+}
+
+func TestFlatMemTypedAccess(t *testing.T) {
+	mem := NewFlatMem(0x100, 256)
+	mem.WriteF32(0x100, 1.25)
+	if mem.ReadF32(0x100) != 1.25 {
+		t.Fatal("f32 round trip")
+	}
+	mem.WriteI32(0x108, -42)
+	if mem.ReadI32(0x108) != -42 {
+		t.Fatal("i32 round trip")
+	}
+	mem.WriteBits(I16, 0x110, 0xbeef)
+	if mem.ReadBits(I16, 0x110) != 0xbeef {
+		t.Fatal("i16 round trip")
+	}
+	mem.WriteBits(I8, 0x112, 0x7a)
+	if mem.ReadBits(I8, 0x112) != 0x7a {
+		t.Fatal("i8 round trip")
+	}
+	if !mem.Contains(0x100, 256) || mem.Contains(0x100, 257) || mem.Contains(0xff, 1) {
+		t.Fatal("Contains bounds wrong")
+	}
+}
+
+func TestFlatMemAllocAlignment(t *testing.T) {
+	mem := NewFlatMem(0x1000, 4096)
+	a := mem.Alloc(3, 8)
+	b := mem.Alloc(8, 8)
+	if a%8 != 0 || b%8 != 0 {
+		t.Fatalf("misaligned allocs %#x %#x", a, b)
+	}
+	if b < a+3 {
+		t.Fatal("overlapping allocs")
+	}
+}
+
+func TestFlatMemOOBPanics(t *testing.T) {
+	mem := NewFlatMem(0x1000, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OOB access did not panic")
+		}
+	}()
+	mem.ReadBits(I64, 0x1010)
+}

@@ -1,0 +1,606 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the textual IR form produced by Print back into a Module.
+// It accepts comments (';' to end of line) and flexible whitespace.
+func Parse(name, src string) (*Module, error) {
+	p := &parser{toks: lex(src), m: NewModule(name)}
+	if err := p.parseModule(); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// fwdRef is a placeholder for a value referenced before its definition
+// (e.g. a phi naming the loop-latch increment). Resolved after the function
+// body is parsed.
+type fwdRef struct {
+	name string
+	t    Type
+}
+
+func (f *fwdRef) Type() Type    { return f.t }
+func (f *fwdRef) Ident() string { return "%" + f.name }
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.ContainsRune("=,()[]{}*:", rune(c)):
+			toks = append(toks, token{string(c), line})
+			i++
+		case c == '%' || c == '@':
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		default:
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i { // unknown byte; skip defensively
+				i++
+				continue
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' || c == '+' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	m    *Module
+
+	// per-function state
+	f      *Function
+	vals   map[string]Value
+	blocks map[string]*Block
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("ir: parse line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		p.pos--
+		return p.errf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) parseModule() error {
+	for p.pos < len(p.toks) {
+		switch {
+		case strings.HasPrefix(p.peek(), "@"):
+			if err := p.parseGlobal(); err != nil {
+				return err
+			}
+		case p.peek() == "define":
+			if err := p.parseFunc(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected top-level token %q", p.peek())
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseGlobal() error {
+	name := strings.TrimPrefix(p.next(), "@")
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	if err := p.expect("global"); err != nil {
+		return err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	p.m.AddGlobal(name, t)
+	return nil
+}
+
+// parseType consumes a type from the token stream.
+func (p *parser) parseType() (Type, error) {
+	var base Type
+	if p.peek() == "[" {
+		p.next()
+		n, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, p.errf("bad array length")
+		}
+		if err := p.expect("x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		base = Arr(n, elem)
+	} else {
+		t, err := ParseType(p.next())
+		if err != nil {
+			p.pos--
+			return nil, p.errf("%v", err)
+		}
+		base = t
+	}
+	for p.peek() == "*" {
+		p.next()
+		base = Ptr(base)
+	}
+	return base, nil
+}
+
+func (p *parser) parseFunc() error {
+	p.next() // define
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	fname := p.next()
+	if !strings.HasPrefix(fname, "@") {
+		return p.errf("expected @name, got %q", fname)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var params []*Param
+	for p.peek() != ")" {
+		if len(params) > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		pn := p.next()
+		if !strings.HasPrefix(pn, "%") {
+			return p.errf("expected %%param, got %q", pn)
+		}
+		params = append(params, P(strings.TrimPrefix(pn, "%"), t))
+	}
+	p.next() // )
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+
+	p.f = p.m.NewFunction(strings.TrimPrefix(fname, "@"), ret, params...)
+	p.vals = map[string]Value{}
+	p.blocks = map[string]*Block{}
+	for _, prm := range params {
+		p.vals[prm.PName] = prm
+	}
+	for _, g := range p.m.Globals {
+		p.vals["@"+g.GName] = g
+	}
+
+	// Pre-scan for block labels so branches and phis can resolve forward.
+	depth := 1
+	for i := p.pos; i < len(p.toks) && depth > 0; i++ {
+		switch p.toks[i].text {
+		case "{":
+			depth++
+		case "}":
+			depth--
+		case ":":
+			if i > p.pos || i > 0 {
+				label := p.toks[i-1].text
+				if !strings.HasPrefix(label, "%") && !strings.HasPrefix(label, "@") {
+					if _, ok := p.blocks[label]; !ok {
+						p.blocks[label] = p.f.NewBlock(label)
+					}
+				}
+			}
+		}
+	}
+
+	var cur *Block
+	for p.peek() != "}" {
+		if p.pos >= len(p.toks) {
+			return p.errf("unexpected EOF in function %s", p.f.FName)
+		}
+		// Label?
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == ":" {
+			cur = p.blocks[p.next()]
+			p.next() // :
+			continue
+		}
+		if cur == nil {
+			return p.errf("instruction before first label")
+		}
+		in, err := p.parseInstr()
+		if err != nil {
+			return err
+		}
+		cur.append(in)
+		if in.HasResult() {
+			p.vals[in.Name] = in
+		}
+	}
+	p.next() // }
+
+	// Resolve forward references.
+	for _, b := range p.f.Blocks {
+		for _, in := range b.Instrs {
+			for k, a := range in.Args {
+				if fr, ok := a.(*fwdRef); ok {
+					v, ok := p.vals[fr.name]
+					if !ok {
+						return fmt.Errorf("ir: parse: undefined value %%%s in %s", fr.name, p.f.FName)
+					}
+					if !Equal(v.Type(), fr.t) {
+						return fmt.Errorf("ir: parse: %%%s used as %s but defined as %s",
+							fr.name, fr.t, v.Type())
+					}
+					in.Args[k] = v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseOperandIdent converts an operand token of a known type into a Value.
+func (p *parser) operand(tok string, t Type) (Value, error) {
+	switch {
+	case strings.HasPrefix(tok, "%"):
+		name := strings.TrimPrefix(tok, "%")
+		if v, ok := p.vals[name]; ok {
+			return v, nil
+		}
+		return &fwdRef{name: name, t: t}, nil
+	case strings.HasPrefix(tok, "@"):
+		g := p.m.GlobalByName(strings.TrimPrefix(tok, "@"))
+		if g == nil {
+			return nil, p.errf("unknown global %s", tok)
+		}
+		return g, nil
+	case tok == "true":
+		return I1c(true), nil
+	case tok == "false":
+		return I1c(false), nil
+	default:
+		if IsFloat(t) {
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, p.errf("bad float literal %q", tok)
+			}
+			return FC(t, f), nil
+		}
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			return nil, p.errf("bad int literal %q", tok)
+		}
+		return IC(t, v), nil
+	}
+}
+
+// typedOperand parses "<type> <ident>".
+func (p *parser) typedOperand() (Value, error) {
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	return p.operand(p.next(), t)
+}
+
+func (p *parser) parseInstr() (*Instr, error) {
+	name := ""
+	if strings.HasPrefix(p.peek(), "%") {
+		name = strings.TrimPrefix(p.next(), "%")
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+	}
+	mnem := p.next()
+	op := OpcodeByName(mnem)
+	if op == OpInvalid {
+		return nil, p.errf("unknown instruction %q", mnem)
+	}
+	in := &Instr{Op: op, Name: name, T: Void}
+
+	switch {
+	case op.IsBinOp():
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.operand(p.next(), t)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		b, err := p.operand(p.next(), t)
+		if err != nil {
+			return nil, err
+		}
+		in.T = t
+		in.Args = []Value{a, b}
+
+	case op == OpICmp || op == OpFCmp:
+		pred := PredByName(p.next())
+		if pred == PredInvalid {
+			return nil, p.errf("bad predicate")
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.operand(p.next(), t)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		b, err := p.operand(p.next(), t)
+		if err != nil {
+			return nil, err
+		}
+		in.T = I1
+		in.Pred = pred
+		in.Args = []Value{a, b}
+
+	case op == OpLoad:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		ptr, err := p.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		in.T = t
+		in.Args = []Value{ptr}
+
+	case op == OpStore:
+		val, err := p.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		ptr, err := p.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []Value{val, ptr}
+
+	case op == OpGEP:
+		if _, err := p.parseType(); err != nil { // pointee type, redundant
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		base, err := p.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []Value{base}
+		for p.peek() == "," {
+			p.next()
+			idx, err := p.typedOperand()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, idx)
+		}
+		pt, ok := base.Type().(PtrType)
+		if !ok {
+			return nil, p.errf("gep base is not a pointer")
+		}
+		in.T = Ptr(GEPResultElem(pt, len(in.Args)-1))
+
+	case op == OpPhi:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.T = t
+		for {
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			v, err := p.operand(p.next(), t)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			blkTok := p.next()
+			blk := p.blocks[strings.TrimPrefix(blkTok, "%")]
+			if blk == nil {
+				return nil, p.errf("phi references unknown block %q", blkTok)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+			in.Blocks = append(in.Blocks, blk)
+			if p.peek() != "," {
+				break
+			}
+			p.next()
+		}
+
+	case op == OpSelect:
+		for k := 0; k < 3; k++ {
+			if k > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			v, err := p.typedOperand()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+		}
+		in.T = in.Args[1].Type()
+
+	case op == OpBr:
+		if p.peek() == "label" {
+			p.next()
+			blk := p.blocks[strings.TrimPrefix(p.next(), "%")]
+			if blk == nil {
+				return nil, p.errf("br to unknown block")
+			}
+			in.Blocks = []*Block{blk}
+		} else {
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			cond, err := p.operand(p.next(), t)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = []Value{cond}
+			for k := 0; k < 2; k++ {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+				if err := p.expect("label"); err != nil {
+					return nil, err
+				}
+				blk := p.blocks[strings.TrimPrefix(p.next(), "%")]
+				if blk == nil {
+					return nil, p.errf("br to unknown block")
+				}
+				in.Blocks = append(in.Blocks, blk)
+			}
+		}
+
+	case op == OpRet:
+		if p.peek() == "void" {
+			p.next()
+		} else {
+			v, err := p.typedOperand()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = []Value{v}
+		}
+
+	case op == OpCall:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.T = t
+		callee := p.next()
+		if !strings.HasPrefix(callee, "@") {
+			return nil, p.errf("call target must be @name")
+		}
+		in.Callee = strings.TrimPrefix(callee, "@")
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for p.peek() != ")" {
+			if len(in.Args) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			v, err := p.typedOperand()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+		}
+		p.next() // )
+
+	case op.IsCast():
+		v, err := p.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("to"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.T = t
+		in.Args = []Value{v}
+
+	default:
+		return nil, p.errf("unsupported opcode %s", mnem)
+	}
+
+	if in.HasResult() && in.Name == "" {
+		return nil, p.errf("%s result must be named", mnem)
+	}
+	return in, nil
+}

@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrintParseRoundTripDot(t *testing.T) {
+	m, _ := buildDot(t, 2)
+	text := Print(m)
+	m2, err := Parse("dot2", text)
+	if err != nil {
+		t.Fatalf("parse:\n%s\nerror: %v", text, err)
+	}
+	f2 := m2.Func("dot")
+	if f2 == nil {
+		t.Fatal("function lost in round trip")
+	}
+	if err := Verify(f2); err != nil {
+		t.Fatalf("verify reparsed: %v", err)
+	}
+	// Same semantics after round trip.
+	got := runDot(t, f2, 8)
+	if got != 72 {
+		t.Fatalf("reparsed dot = %g, want 72", got)
+	}
+	// Printing again is a fixed point.
+	text2 := Print(m2)
+	if normalize(text) != normalize(text2) {
+		t.Fatalf("print not idempotent:\n--- first\n%s\n--- second\n%s", text, text2)
+	}
+}
+
+func normalize(s string) string {
+	// Module name comment differs; drop comment lines.
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(l), ";") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestParseHandlesCommentsAndWhitespace(t *testing.T) {
+	src := `
+; leading comment
+define i64 @f(i64 %x) {
+entry:
+	%y = add i64 %x, 1   ; trailing comment
+
+	ret i64 %y
+}
+`
+	m, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("f")
+	mem := NewFlatMem(0, 8)
+	ret, _, err := Exec(f, []uint64{41}, mem, nil)
+	if err != nil || ret != 42 {
+		t.Fatalf("ret = %d, err = %v", ret, err)
+	}
+}
+
+func TestParseGlobalsAndCalls(t *testing.T) {
+	src := `
+@buf = global [4 x double]
+define double @f(i64 %i) {
+entry:
+  %p = getelementptr [4 x double], [4 x double]* @buf, i64 0, i64 %i
+  %v = load double, double* %p
+  %r = call double @sqrt(double %v)
+  ret double %r
+}
+`
+	m, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.GlobalByName("buf")
+	if g == nil {
+		t.Fatal("global missing")
+	}
+	mem := NewFlatMem(0, 64)
+	g.Addr = mem.AllocFor(F64, 4)
+	mem.WriteF64(g.Addr+16, 9)
+	ret, _, err := Exec(m.Func("f"), []uint64{2}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 3 {
+		t.Fatalf("sqrt(buf[2]) = %g", got)
+	}
+}
+
+func TestParseAllConstructsRoundTrip(t *testing.T) {
+	// A function exercising every opcode family.
+	m := NewModule("all")
+	b := NewBuilder(m)
+	f := b.Func("all", F64, P("p", Ptr(F64)), P("q", Ptr(I32)), P("n", I64), P("x", F64))
+	p, q, n, x := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	ni := b.Trunc(n, I32, "ni")
+	nz := b.ZExt(ni, I64, "nz")
+	ns := b.SExt(ni, I64, "ns")
+	_ = b.Xor(nz, ns, "mix")
+	fv := b.SIToFP(ni, F64, "fv")
+	iv := b.FPToSI(x, I64, "iv2")
+	_ = b.Shl(iv, I64c(1), "sh")
+	_ = b.AShr(iv, I64c(1), "sa")
+	_ = b.LShr(iv, I64c(1), "sl")
+	c := b.FCmp(FOGT, x, fv, "c")
+	sel := b.Select(c, x, fv, "sel")
+	sq := b.Call("sqrt", F64, "sq", b.Call("fabs", F64, "ab", sel))
+	sum := b.LoopCarried("i", I64c(0), n, 1, []Value{sq}, func(i Value, cv []Value) []Value {
+		pv := b.Load(b.GEP(p, "pp", i), "pv")
+		qv := b.Load(b.GEP(q, "qq", i), "qv")
+		qf := b.SIToFP(qv, F64, "qf")
+		d := b.FDiv(pv, qf, "d")
+		s := b.FSub(cv[0], d, "s")
+		rem := b.SRem(i, I64c(3), "rem")
+		isz := b.ICmp(IEQ, rem, I64c(0), "isz")
+		upd := b.IfValue(isz, "br", func() Value { return b.FMul(s, F64c(2), "s2") },
+			func() Value { return s })
+		b.Store(upd, b.GEP(p, "wp", i))
+		return []Value{upd}
+	})
+	b.Ret(sum[0])
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	text := Print(m)
+	m2, err := Parse("all2", text)
+	if err != nil {
+		t.Fatalf("parse error: %v\n%s", err, text)
+	}
+	f2 := m2.Func("all")
+	if err := Verify(f2); err != nil {
+		t.Fatalf("verify reparsed: %v", err)
+	}
+
+	// Semantics preserved: execute both on identical memory.
+	run := func(fn *Function) (uint64, []byte) {
+		mem := NewFlatMem(0, 4096)
+		pA := mem.AllocFor(F64, 8)
+		qA := mem.AllocFor(I32, 8)
+		for i := 0; i < 8; i++ {
+			mem.WriteF64(pA+uint64(i*8), float64(i)+0.5)
+			mem.WriteI32(qA+uint64(i*4), int32(i+1))
+		}
+		ret, _, err := Exec(fn, []uint64{pA, qA, 8, FloatToBits(F64, -3.25)}, mem, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ret, mem.Data
+	}
+	r1, d1 := run(f)
+	r2, d2 := run(f2)
+	if r1 != r2 {
+		t.Fatalf("return bits differ: %#x vs %#x", r1, r2)
+	}
+	if string(d1) != string(d2) {
+		t.Fatal("memory effects differ after round trip")
+	}
+}
+
+// Property: random straight-line integer programs round-trip through
+// print/parse with identical results.
+func TestRoundTripProperty(t *testing.T) {
+	ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModule("rnd")
+		b := NewBuilder(m)
+		f := b.Func("rnd", I64, P("a", I64), P("b", I64))
+		vals := []Value{f.Params[0], f.Params[1], I64c(rng.Int63n(100))}
+		for i := 0; i < 10+rng.Intn(20); i++ {
+			op := ops[rng.Intn(len(ops))]
+			x := vals[rng.Intn(len(vals))]
+			y := vals[rng.Intn(len(vals))]
+			vals = append(vals, b.Bin(op, x, y, "v"))
+		}
+		b.Ret(vals[len(vals)-1])
+		if err := Verify(f); err != nil {
+			return false
+		}
+		text := Print(m)
+		m2, err := Parse("rnd2", text)
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, text)
+			return false
+		}
+		mem1 := NewFlatMem(0, 8)
+		mem2 := NewFlatMem(0, 8)
+		args := []uint64{rng.Uint64(), rng.Uint64()}
+		r1, _, err1 := Exec(f, args, mem1, nil)
+		r2, _, err2 := Exec(m2.Func("rnd"), args, mem2, nil)
+		return err1 == nil && err2 == nil && r1 == r2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"define i64 @f( {", // malformed params
+		"define i64 @f() {\nentry:\n  %x = bogus i64 %a, %b\n  ret i64 %x\n}",
+		"define i64 @f() {\nentry:\n  ret i64 %undefined\n}",
+		"define void @f() {\nentry:\n  br label %nowhere\n}",
+		"wibble",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse succeeded on %q", src)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the optimization passes that, in the original flow,
+// clang/opt would run before the IR reaches gem5-SALAM: constant folding,
+// dead-code elimination, and loop unrolling. The builder also supports
+// unrolling at construction time (mirroring "#pragma unroll"); the pass
+// here additionally works on already-built canonical loops.
+
+// replaceUses rewrites every operand equal to old with new, function-wide.
+func replaceUses(f *Function, old Value, new Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for k, a := range in.Args {
+				if a == old {
+					in.Args[k] = new
+				}
+			}
+		}
+	}
+}
+
+// ConstFold folds instructions whose operands are all constants, replacing
+// their uses with the computed constant. It returns the number of folds.
+func ConstFold(f *Function) int {
+	folded := 0
+	done := map[*Instr]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if done[in] {
+					continue
+				}
+				c, ok := foldInstr(in)
+				if !ok {
+					continue
+				}
+				replaceUses(f, in, c)
+				done[in] = true
+				folded++
+				changed = true
+			}
+		}
+	}
+	return folded
+}
+
+func foldInstr(in *Instr) (Value, bool) {
+	allConst := len(in.Args) > 0
+	bits := make([]uint64, len(in.Args))
+	for k, a := range in.Args {
+		v, ok := ConstBits(a)
+		if !ok {
+			allConst = false
+			break
+		}
+		bits[k] = v
+	}
+	if !allConst {
+		return nil, false
+	}
+	mk := func(v uint64) (Value, bool) {
+		if IsFloat(in.T) {
+			return FC(in.T, FloatFromBits(in.T, v)), true
+		}
+		return IC(in.T, SignExt(in.T, v)), true
+	}
+	switch {
+	case in.Op.IsBinOp():
+		return mk(EvalBin(in.Op, in.T, bits[0], bits[1]))
+	case in.Op == OpICmp:
+		return IC(I1, int64(EvalICmp(in.Pred, in.Args[0].Type(), bits[0], bits[1]))), true
+	case in.Op == OpFCmp:
+		return IC(I1, int64(EvalFCmp(in.Pred, in.Args[0].Type(), bits[0], bits[1]))), true
+	case in.Op.IsCast():
+		return mk(EvalCast(in.Op, in.Args[0].Type(), in.T, bits[0]))
+	case in.Op == OpSelect:
+		if bits[0] != 0 {
+			return in.Args[1], true
+		}
+		return in.Args[2], true
+	case in.Op == OpCall:
+		return mk(EvalCall(in.Callee, in.T, bits))
+	}
+	return nil, false
+}
+
+// DCE removes unused side-effect-free instructions. Loads are considered
+// removable (pure); stores and terminators never are. Returns removals.
+func DCE(f *Function) int {
+	removed := 0
+	for {
+		used := map[Value]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		n := 0
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := in.HasResult() && !used[in] && in.Op != OpStore && !in.Op.IsTerminator()
+				if dead {
+					n++
+				} else {
+					kept = append(kept, in)
+				}
+			}
+			b.Instrs = kept
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// Loop describes a canonical counted loop: a header with an induction phi,
+// a compare feeding a conditional branch to a single body block that is
+// also the latch, and an exit.
+type Loop struct {
+	Header *Block
+	Body   *Block
+	Exit   *Block
+	IV     *Instr // induction phi
+	Cmp    *Instr // bounds compare
+	Step   *Instr // iv increment in the body
+}
+
+// FindLoops detects canonical loops (as produced by Builder.Loop).
+func FindLoops(f *Function) []Loop {
+	var loops []Loop
+	for _, h := range f.Blocks {
+		t := h.Terminator()
+		if t == nil || t.Op != OpBr || len(t.Blocks) != 2 {
+			continue
+		}
+		body, exit := t.Blocks[0], t.Blocks[1]
+		// Body must be a single block branching straight back to header.
+		bt := body.Terminator()
+		if bt == nil || bt.Op != OpBr || len(bt.Blocks) != 1 || bt.Blocks[0] != h {
+			continue
+		}
+		if len(t.Args) != 1 {
+			continue
+		}
+		cmp, ok := t.Args[0].(*Instr)
+		if !ok || cmp.Op != OpICmp || cmp.Block() != h {
+			continue
+		}
+		iv, ok := cmp.Args[0].(*Instr)
+		if !ok || iv.Op != OpPhi || iv.Block() != h {
+			continue
+		}
+		// Latch incoming of the iv must be an add in the body.
+		var step *Instr
+		for k, blk := range iv.Blocks {
+			if blk == body {
+				if s, ok := iv.Args[k].(*Instr); ok && s.Op == OpAdd && s.Block() == body && s.Args[0] == Value(iv) {
+					step = s
+				}
+			}
+		}
+		if step == nil {
+			continue
+		}
+		loops = append(loops, Loop{Header: h, Body: body, Exit: exit, IV: iv, Cmp: cmp, Step: step})
+	}
+	return loops
+}
+
+// TripCount returns the loop's constant trip count if its bounds and step
+// are constants.
+func (l Loop) TripCount() (int64, bool) {
+	var lo int64
+	found := false
+	for k, blk := range l.IV.Blocks {
+		if blk != l.Body {
+			if c, ok := l.IV.Args[k].(*ConstInt); ok {
+				lo, found = c.V, true
+			}
+		}
+	}
+	hiC, okHi := l.Cmp.Args[1].(*ConstInt)
+	stC, okSt := l.Step.Args[1].(*ConstInt)
+	if !found || !okHi || !okSt || stC.V <= 0 || l.Cmp.Pred != ISLT {
+		return 0, false
+	}
+	n := (hiC.V - lo + stC.V - 1) / stC.V
+	if n < 0 {
+		n = 0
+	}
+	return n, true
+}
+
+// Unroll replicates the loop body factor times per iteration, multiplying
+// the induction step. The loop must be canonical with a constant trip
+// count divisible by factor.
+func Unroll(f *Function, l Loop, factor int) error {
+	if factor < 2 {
+		return nil
+	}
+	trips, ok := l.TripCount()
+	if !ok {
+		return fmt.Errorf("ir: unroll: loop at %s has non-constant trip count", l.Header.BName)
+	}
+	if trips%int64(factor) != 0 {
+		return fmt.Errorf("ir: unroll: trip count %d not divisible by %d", trips, factor)
+	}
+
+	// Header phis and their latch incomings.
+	var phis []*Instr
+	latchIn := map[*Instr]Value{}
+	for _, in := range l.Header.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		phis = append(phis, in)
+		for k, blk := range in.Blocks {
+			if blk == l.Body {
+				latchIn[in] = in.Args[k]
+			}
+		}
+	}
+
+	origBody := append([]*Instr(nil), l.Body.Instrs...)
+	origBody = origBody[:len(origBody)-1] // drop the back-edge br
+	// prevOut maps original body values to their latest-copy equivalents.
+	prevOut := map[Value]Value{}
+	for _, in := range origBody {
+		prevOut[in] = in
+	}
+
+	nameCnt := 0
+	fresh := func(base string) string {
+		nameCnt++
+		return fmt.Sprintf("%s.u%d", base, nameCnt)
+	}
+
+	// Remove the back-edge temporarily.
+	backEdge := l.Body.Instrs[len(l.Body.Instrs)-1]
+	l.Body.Instrs = l.Body.Instrs[:len(l.Body.Instrs)-1]
+
+	for k := 1; k < factor; k++ {
+		// Map loop-carried values into this copy.
+		m := map[Value]Value{}
+		for _, phi := range phis {
+			li := latchIn[phi]
+			if mapped, ok := prevOut[li]; ok {
+				m[phi] = mapped
+			} else {
+				m[phi] = li
+			}
+		}
+		curOut := map[Value]Value{}
+		for _, orig := range origBody {
+			cp := &Instr{
+				Op: orig.Op, T: orig.T, Name: fresh(orig.Name),
+				Pred: orig.Pred, Callee: orig.Callee,
+				Args:   append([]Value(nil), orig.Args...),
+				Blocks: append([]*Block(nil), orig.Blocks...),
+			}
+			for ai, a := range cp.Args {
+				if v, ok := m[a]; ok {
+					cp.Args[ai] = v
+				} else if v, ok := curOut[a]; ok {
+					cp.Args[ai] = v
+				}
+			}
+			curOut[orig] = cp
+			l.Body.append(cp)
+		}
+		// Next copy reads from this one.
+		for ov, nv := range curOut {
+			prevOut[ov] = nv
+		}
+	}
+
+	// Restore back edge; patch phi latch incomings to final copies.
+	l.Body.Instrs = append(l.Body.Instrs, backEdge)
+	for _, phi := range phis {
+		for k, blk := range phi.Blocks {
+			if blk == l.Body {
+				if mapped, ok := prevOut[latchIn[phi]]; ok {
+					phi.Args[k] = mapped
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CSE removes redundant pure computations within each basic block:
+// instructions with the same opcode, type, predicate/callee and operands
+// collapse to the first occurrence. Loads are not pure (memory may change
+// between them) and are left alone.
+func CSE(f *Function) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		seen := map[string]*Instr{}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if !csePure(in) {
+				kept = append(kept, in)
+				continue
+			}
+			k := cseKey(in)
+			if prev, ok := seen[k]; ok {
+				replaceUses(f, in, prev)
+				removed++
+				continue
+			}
+			seen[k] = in
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}
+
+func csePure(in *Instr) bool {
+	switch {
+	case in.Op.IsBinOp(), in.Op.IsCast():
+		return true
+	case in.Op == OpICmp, in.Op == OpFCmp, in.Op == OpGEP,
+		in.Op == OpSelect, in.Op == OpCall:
+		return true
+	}
+	return false
+}
+
+func cseKey(in *Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%d|%s", in.Op, in.T, in.Pred, in.Callee)
+	for _, a := range in.Args {
+		switch v := a.(type) {
+		case *ConstInt:
+			fmt.Fprintf(&sb, "|ci:%s:%d", v.T, v.V)
+		case *ConstFloat:
+			fmt.Fprintf(&sb, "|cf:%s:%x", v.T, v.Bits())
+		default:
+			fmt.Fprintf(&sb, "|p:%p", a)
+		}
+	}
+	return sb.String()
+}
+
+// Optimize runs the standard pipeline: constant folding, common-
+// subexpression elimination, then DCE.
+func Optimize(f *Function) {
+	ConstFold(f)
+	CSE(f)
+	DCE(f)
+}

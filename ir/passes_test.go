@@ -1,0 +1,295 @@
+package ir
+
+import (
+	"testing"
+)
+
+func TestConstFold(t *testing.T) {
+	m := NewModule("cf")
+	b := NewBuilder(m)
+	f := b.Func("f", I64, P("x", I64))
+	c := b.Add(I64c(2), I64c(3), "c") // foldable
+	d := b.Mul(c, I64c(4), "d")       // foldable after c
+	e := b.Add(f.Params[0], d, "e")   // not foldable
+	b.Ret(e)
+	n := ConstFold(f)
+	if n != 2 {
+		t.Fatalf("folded %d, want 2", n)
+	}
+	DCE(f)
+	if got := f.NumInstrs(); got != 2 { // add + ret
+		t.Fatalf("instrs after fold+dce = %d, want 2", got)
+	}
+	mem := NewFlatMem(0, 8)
+	ret, _, err := Exec(f, []uint64{1}, mem, nil)
+	if err != nil || ret != 21 {
+		t.Fatalf("ret = %d, err %v", ret, err)
+	}
+}
+
+func TestConstFoldSelectAndCmp(t *testing.T) {
+	m := NewModule("cf2")
+	b := NewBuilder(m)
+	f := b.Func("f", I64, P("x", I64))
+	c := b.ICmp(ISLT, I64c(1), I64c(2), "c")
+	s := b.Select(c, I64c(10), I64c(20), "s")
+	b.Ret(b.Add(f.Params[0], s, "r"))
+	ConstFold(f)
+	DCE(f)
+	mem := NewFlatMem(0, 8)
+	ret, _, _ := Exec(f, []uint64{5}, mem, nil)
+	if ret != 15 {
+		t.Fatalf("ret = %d, want 15", ret)
+	}
+	if f.NumInstrs() != 2 {
+		t.Fatalf("instrs = %d, want 2", f.NumInstrs())
+	}
+}
+
+func TestDCERemovesUnusedChains(t *testing.T) {
+	m := NewModule("dce")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("p", Ptr(I64)))
+	v := b.Load(f.Params[0], "v")
+	_ = b.Add(v, I64c(1), "dead1") // dead; keeps v alive until removed
+	b.Ret(nil)
+	removed := DCE(f)
+	if removed != 2 { // dead1 then v
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if f.NumInstrs() != 1 {
+		t.Fatalf("instrs = %d, want 1 (ret)", f.NumInstrs())
+	}
+}
+
+func TestDCEKeepsStores(t *testing.T) {
+	m := NewModule("dce2")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("p", Ptr(I64)))
+	b.Store(I64c(7), f.Params[0])
+	b.Ret(nil)
+	if DCE(f) != 0 {
+		t.Fatal("DCE removed a store")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	_, f := buildDot(t, 1)
+	loops := FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header.BName != "i.head" || l.Body.BName != "i.body" {
+		t.Fatalf("loop blocks: %s / %s", l.Header.BName, l.Body.BName)
+	}
+	if _, ok := l.TripCount(); ok {
+		t.Fatal("trip count should be unknown (bound is a parameter)")
+	}
+}
+
+func TestUnrollPass(t *testing.T) {
+	// Constant-bound dot product, trip count 8, unroll by 4.
+	build := func() (*Module, *Function) {
+		m := NewModule("d")
+		b := NewBuilder(m)
+		f := b.Func("dot", F64, P("a", Ptr(F64)), P("b", Ptr(F64)))
+		a, bp := f.Params[0], f.Params[1]
+		sum := b.LoopCarried("i", I64c(0), I64c(8), 1, []Value{F64c(0)},
+			func(iv Value, cv []Value) []Value {
+				av := b.Load(b.GEP(a, "pa", iv), "va")
+				bv := b.Load(b.GEP(bp, "pb", iv), "vb")
+				return []Value{b.FAdd(cv[0], b.FMul(av, bv, "m"), "acc")}
+			})
+		b.Ret(sum[0])
+		return m, f
+	}
+	_, f := build()
+	loops := FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	tc, ok := loops[0].TripCount()
+	if !ok || tc != 8 {
+		t.Fatalf("trip count = %d, %v", tc, ok)
+	}
+	if err := Unroll(f, loops[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after unroll: %v", err)
+	}
+	// 4 fmuls in the body now.
+	fmuls := 0
+	for _, in := range loops[0].Body.Instrs {
+		if in.Op == OpFMul {
+			fmuls++
+		}
+	}
+	if fmuls != 4 {
+		t.Fatalf("fmuls = %d, want 4", fmuls)
+	}
+
+	// Same answer as the original.
+	run := func(fn *Function) float64 {
+		mem := NewFlatMem(0, 4096)
+		aA := mem.AllocFor(F64, 8)
+		bA := mem.AllocFor(F64, 8)
+		for i := 0; i < 8; i++ {
+			mem.WriteF64(aA+uint64(i*8), float64(i+1))
+			mem.WriteF64(bA+uint64(i*8), float64(i+1))
+		}
+		ret, _, err := Exec(fn, []uint64{aA, bA}, mem, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FloatFromBits(F64, ret)
+	}
+	_, orig := build()
+	if got, want := run(f), run(orig); got != want {
+		t.Fatalf("unrolled = %g, want %g", got, want)
+	}
+	// Iteration count shrank: body visited 2x instead of 8x.
+	mem := NewFlatMem(0, 4096)
+	mem.AllocFor(F64, 16)
+	_, stats, err := Exec(f, []uint64{0, 64}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := stats.BlockVisits[loops[0].Body]; v != 2 {
+		t.Fatalf("body visits = %d, want 2", v)
+	}
+}
+
+func TestUnrollRejectsIndivisible(t *testing.T) {
+	m := NewModule("d")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("p", Ptr(I64)))
+	b.Loop("i", I64c(0), I64c(7), 1, func(iv Value) {
+		b.Store(iv, b.GEP(f.Params[0], "pp", iv))
+	})
+	b.Ret(nil)
+	loops := FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if err := Unroll(f, loops[0], 2); err == nil {
+		t.Fatal("unroll of trip count 7 by 2 succeeded")
+	}
+}
+
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	// Unterminated block.
+	m := NewModule("v")
+	f := m.NewFunction("f", Void)
+	f.NewBlock("entry")
+	if err := Verify(f); err == nil {
+		t.Fatal("missing terminator not caught")
+	}
+
+	// Type mismatch in binop.
+	m2 := NewModule("v2")
+	f2 := m2.NewFunction("f", Void, P("x", I64), P("y", I32))
+	b2 := f2.NewBlock("entry")
+	bad := &Instr{Op: OpAdd, T: I64, Name: "z", Args: []Value{f2.Params[0], f2.Params[1]}}
+	b2.Instrs = append(b2.Instrs, bad)
+	retI := &Instr{Op: OpRet, T: Void, Name: "r"}
+	b2.Instrs = append(b2.Instrs, retI)
+	if err := Verify(f2); err == nil {
+		t.Fatal("binop type mismatch not caught")
+	}
+
+	// FP opcode on int type.
+	m3 := NewModule("v3")
+	b3 := NewBuilder(m3)
+	f3 := b3.Func("f", Void, P("x", I64))
+	in := &Instr{Op: OpFAdd, T: I64, Name: "z", Args: []Value{f3.Params[0], f3.Params[0]}}
+	f3.Blocks[0].Instrs = append(f3.Blocks[0].Instrs, in)
+	b3.Ret(nil)
+	if err := Verify(f3); err == nil {
+		t.Fatal("fadd on i64 not caught")
+	}
+
+	// Unknown intrinsic.
+	m4 := NewModule("v4")
+	b4 := NewBuilder(m4)
+	f4 := b4.Func("f", F64, P("x", F64))
+	c := b4.Call("frobnicate", F64, "c", f4.Params[0])
+	b4.Ret(c)
+	if err := Verify(f4); err == nil {
+		t.Fatal("unknown intrinsic not caught")
+	}
+}
+
+func TestCSE(t *testing.T) {
+	m := NewModule("cse")
+	b := NewBuilder(m)
+	f := b.Func("f", F64, P("p", Ptr(F64)), P("i", I64))
+	p, i := f.Params[0], f.Params[1]
+	// Two identical GEPs and two identical fmuls; loads must NOT merge.
+	g1 := b.GEP(p, "g1", i)
+	g2 := b.GEP(p, "g2", i)
+	v1 := b.Load(g1, "v1")
+	v2 := b.Load(g2, "v2")
+	m1 := b.FMul(v1, F64c(2), "m1")
+	m2 := b.FMul(v1, F64c(2), "m2")
+	b.Ret(b.FAdd(b.FAdd(m1, m2, "s1"), v2, "s2"))
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	removed := CSE(f)
+	if removed != 2 { // g2 and m2
+		t.Fatalf("CSE removed %d, want 2", removed)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after CSE: %v", err)
+	}
+	loads := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == OpLoad {
+				loads++
+			}
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("CSE merged loads: %d left, want 2", loads)
+	}
+	// Semantics preserved.
+	mem := NewFlatMem(0, 64)
+	mem.WriteF64(0, 3)
+	ret, _, err := Exec(f, []uint64{0, 0}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 15 { // 6+6+3
+		t.Fatalf("ret = %g, want 15", got)
+	}
+}
+
+func TestCSEDistinguishesOps(t *testing.T) {
+	m := NewModule("cse2")
+	b := NewBuilder(m)
+	f := b.Func("f", I64, P("x", I64))
+	x := f.Params[0]
+	a := b.Add(x, I64c(1), "a")
+	s := b.Sub(x, I64c(1), "s") // different op
+	c1 := b.ICmp(ISLT, x, I64c(5), "c1")
+	c2 := b.ICmp(ISGT, x, I64c(5), "c2") // different predicate
+	sel := b.Select(c1, a, s, "sel")
+	sel2 := b.Select(c2, a, s, "sel2")
+	b.Ret(b.Add(sel, sel2, "r"))
+	if CSE(f) != 0 {
+		t.Fatal("CSE merged distinct computations")
+	}
+	// Optimize pipeline keeps semantics.
+	Optimize(f)
+	mem := NewFlatMem(0, 8)
+	ret, _, err := Exec(f, []uint64{3}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(ret) != 4+2 { // sel=a=4 (3<5), sel2=s=2 (!(3>5))
+		t.Fatalf("ret = %d", int64(ret))
+	}
+}

@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module in the textual IR form accepted by Parse. The
+// syntax is an LLVM-compatible subset: a module printed here is also valid
+// (modulo intrinsic declarations) LLVM assembly.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "@%s = global %s\n", g.GName, g.Elem)
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		PrintFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(sb *strings.Builder, f *Function) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.T, p.PName)
+	}
+	fmt.Fprintf(sb, "define %s @%s(%s) {\n", f.Ret, f.FName, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.BName)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "  %s\n", FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func operand(v Value) string {
+	return fmt.Sprintf("%s %s", v.Type(), v.Ident())
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(in *Instr) string {
+	assign := ""
+	if in.HasResult() {
+		assign = fmt.Sprintf("%%%s = ", in.Name)
+	}
+	switch {
+	case in.Op.IsBinOp():
+		return fmt.Sprintf("%s%s %s %s, %s", assign, in.Op, in.T,
+			in.Args[0].Ident(), in.Args[1].Ident())
+	case in.Op == OpICmp || in.Op == OpFCmp:
+		return fmt.Sprintf("%s%s %s %s %s, %s", assign, in.Op, in.Pred,
+			in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case in.Op == OpLoad:
+		return fmt.Sprintf("%sload %s, %s", assign, in.T, operand(in.Args[0]))
+	case in.Op == OpStore:
+		return fmt.Sprintf("store %s, %s", operand(in.Args[0]), operand(in.Args[1]))
+	case in.Op == OpGEP:
+		pt := in.Args[0].Type().(PtrType)
+		parts := []string{fmt.Sprintf("%s, %s", pt.Elem, operand(in.Args[0]))}
+		for _, idx := range in.Args[1:] {
+			parts = append(parts, operand(idx))
+		}
+		return fmt.Sprintf("%sgetelementptr %s", assign, strings.Join(parts, ", "))
+	case in.Op == OpPhi:
+		var edges []string
+		for k := range in.Args {
+			edges = append(edges, fmt.Sprintf("[ %s, %%%s ]", in.Args[k].Ident(), in.Blocks[k].BName))
+		}
+		return fmt.Sprintf("%sphi %s %s", assign, in.T, strings.Join(edges, ", "))
+	case in.Op == OpSelect:
+		return fmt.Sprintf("%sselect %s, %s, %s", assign,
+			operand(in.Args[0]), operand(in.Args[1]), operand(in.Args[2]))
+	case in.Op == OpBr:
+		if len(in.Blocks) == 1 {
+			return fmt.Sprintf("br label %%%s", in.Blocks[0].BName)
+		}
+		return fmt.Sprintf("br i1 %s, label %%%s, label %%%s",
+			in.Args[0].Ident(), in.Blocks[0].BName, in.Blocks[1].BName)
+	case in.Op == OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", operand(in.Args[0]))
+	case in.Op == OpCall:
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, operand(a))
+		}
+		return fmt.Sprintf("%scall %s @%s(%s)", assign, in.T, in.Callee, strings.Join(args, ", "))
+	case in.Op.IsCast():
+		return fmt.Sprintf("%s%s %s to %s", assign, in.Op, operand(in.Args[0]), in.T)
+	}
+	return fmt.Sprintf("%s<unknown op %d>", assign, in.Op)
+}

@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatInstrGolden(t *testing.T) {
+	m := NewModule("fmt")
+	b := NewBuilder(m)
+	f := b.Func("f", F64,
+		P("p", Ptr(F64)), P("q", Ptr(Arr(4, I32))), P("n", I64), P("x", F64))
+	p, q, n, x := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{b.Add(n, I64c(1), "a"), "%a = add i64 %n, 1"},
+		{b.FMul(x, F64c(2), "m"), "%m = fmul double %x, 0x1p+01"},
+		{b.ICmp(ISLT, n, I64c(10), "c"), "%c = icmp slt i64 %n, 10"},
+		{b.FCmp(FOGT, x, x, "fc"), "%fc = fcmp ogt double %x, %x"},
+		{b.Load(p, "v"), "%v = load double, double* %p"},
+		{b.GEP(p, "g", n), "%g = getelementptr double, double* %p, i64 %n"},
+		{b.GEP(q, "g2", n, I64c(2)), "%g2 = getelementptr [4 x i32], [4 x i32]* %q, i64 %n, i64 2"},
+		{b.Select(b.ICmp(IEQ, n, n, "e"), x, x, "s"), "%s = select i1 %e, double %x, double %x"},
+		{b.Call("sqrt", F64, "r", x), "%r = call double @sqrt(double %x)"},
+		{b.Trunc(n, I32, "t"), "%t = trunc i64 %n to i32"},
+		{b.SIToFP(n, F64, "fp"), "%fp = sitofp i64 %n to double"},
+	}
+	st := b.Store(x, p)
+	cases = append(cases, struct {
+		in   *Instr
+		want string
+	}{st, "store double %x, double* %p"})
+	ret := b.Ret(x)
+	cases = append(cases, struct {
+		in   *Instr
+		want string
+	}{ret, "ret double %x"})
+
+	for _, c := range cases {
+		if got := FormatInstr(c.in); got != c.want {
+			t.Errorf("FormatInstr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintBranchAndPhiForms(t *testing.T) {
+	m := NewModule("cf")
+	b := NewBuilder(m)
+	f := b.Func("f", I64, P("n", I64))
+	sum := b.LoopCarried("i", I64c(0), f.Params[0], 1, []Value{I64c(0)},
+		func(iv Value, cv []Value) []Value {
+			return []Value{b.Add(cv[0], iv, "acc")}
+		})
+	b.Ret(sum[0])
+	text := Print(m)
+	for _, want := range []string{
+		"br label %i.head",
+		"br i1 %i.cond, label %i.body, label %i.exit",
+		"phi i64 [ 0, %entry ], [ %i.iv.next, %i.body ]",
+		"define i64 @f(i64 %n) {",
+		"ret i64 %i.carry",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("print missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrintVoidRetAndGlobals(t *testing.T) {
+	m := NewModule("g")
+	m.AddGlobal("buf", Arr(8, F64))
+	b := NewBuilder(m)
+	b.Func("f", Void)
+	b.Ret(nil)
+	text := Print(m)
+	if !strings.Contains(text, "@buf = global [8 x double]") {
+		t.Errorf("global missing:\n%s", text)
+	}
+	if !strings.Contains(text, "ret void") {
+		t.Errorf("void ret missing:\n%s", text)
+	}
+}
+
+func TestOpcodeAndPredNames(t *testing.T) {
+	for _, op := range []Opcode{OpAdd, OpFMul, OpICmp, OpLoad, OpStore, OpGEP,
+		OpPhi, OpSelect, OpBr, OpRet, OpCall, OpZExt, OpBitcast} {
+		if OpcodeByName(op.String()) != op {
+			t.Errorf("opcode name round trip failed: %s", op)
+		}
+	}
+	if OpcodeByName("frobnicate") != OpInvalid {
+		t.Error("bogus opcode resolved")
+	}
+	for _, p := range []Pred{IEQ, INE, ISLT, IULE, FOEQ, FOGE} {
+		if PredByName(p.String()) != p {
+			t.Errorf("pred round trip failed: %s", p)
+		}
+	}
+	if PredByName("xyz") != PredInvalid {
+		t.Error("bogus pred resolved")
+	}
+}
+
+func TestBlockAndFunctionHelpers(t *testing.T) {
+	m := NewModule("h")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("n", I64))
+	b.Loop("i", I64c(0), f.Params[0], 1, func(iv Value) {})
+	b.Ret(nil)
+
+	if f.Entry().Name() != "entry" {
+		t.Fatalf("entry = %s", f.Entry().Name())
+	}
+	head := f.BlockByName("i.head")
+	if head == nil {
+		t.Fatal("BlockByName failed")
+	}
+	if f.BlockByName("nope") != nil {
+		t.Fatal("found nonexistent block")
+	}
+	succs := head.Succs()
+	if len(succs) != 2 {
+		t.Fatalf("header succs = %d", len(succs))
+	}
+	preds := f.Preds()
+	if len(preds[head]) != 2 { // entry + latch
+		t.Fatalf("header preds = %d", len(preds[head]))
+	}
+	if f.NumInstrs() == 0 {
+		t.Fatal("no instrs")
+	}
+	// NewBlock uniquifies.
+	b1 := f.NewBlock("dup")
+	b2 := f.NewBlock("dup")
+	if b1.Name() == b2.Name() {
+		t.Fatal("duplicate block names")
+	}
+	// Module helpers.
+	if m.Func("f") != f || m.Func("zzz") != nil {
+		t.Fatal("Module.Func broken")
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	// Wrong arg count.
+	m := NewModule("e")
+	b := NewBuilder(m)
+	f := b.Func("f", Void, P("n", I64))
+	b.Ret(nil)
+	mem := NewFlatMem(0, 8)
+	if _, _, err := Exec(f, nil, mem, nil); err == nil {
+		t.Fatal("wrong arg count accepted")
+	}
+
+	// Step limit.
+	m2 := NewModule("e2")
+	b2 := NewBuilder(m2)
+	f2 := b2.Func("spin", Void)
+	loop := b2.Block("loop")
+	b2.Br(loop)
+	b2.SetBlock(loop)
+	b2.Br(loop)
+	if _, _, err := Exec(f2, nil, mem, &ExecOpts{MaxSteps: 100}); err == nil {
+		t.Fatal("infinite loop not bounded")
+	}
+}

@@ -1,0 +1,180 @@
+// Package ir implements the LLVM-IR subset that gosalam models accelerators
+// with. It stands in for LLVM + clang in the original gem5-SALAM flow: a
+// typed SSA representation with basic blocks, a builder API whose loop and
+// if helpers mirror what clang pragmas (unrolling, if-conversion) give the
+// paper, a text printer/parser, a verifier, optimization passes, and a
+// functional interpreter used for golden checks, trace generation and HLS
+// profiling.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates Type implementations.
+type Kind int
+
+// Type kinds.
+const (
+	KVoid Kind = iota
+	KInt
+	KFloat
+	KPtr
+	KArray
+)
+
+// Type is an IR type. Types are immutable and compared with Equal.
+type Type interface {
+	Kind() Kind
+	// Bits is the value width in bits (pointers are 64, void is 0).
+	Bits() int
+	// SizeBytes is the in-memory footprint (void is 0).
+	SizeBytes() int
+	String() string
+}
+
+type voidType struct{}
+
+func (voidType) Kind() Kind     { return KVoid }
+func (voidType) Bits() int      { return 0 }
+func (voidType) SizeBytes() int { return 0 }
+func (voidType) String() string { return "void" }
+
+// IntType is an integer type of a fixed bit width (i1, i8, ... i64).
+type IntType struct{ W int }
+
+func (t IntType) Kind() Kind { return KInt }
+func (t IntType) Bits() int  { return t.W }
+func (t IntType) SizeBytes() int {
+	if t.W <= 8 {
+		return 1
+	}
+	return t.W / 8
+}
+func (t IntType) String() string { return fmt.Sprintf("i%d", t.W) }
+
+// FloatType is an IEEE float type (f32 or f64).
+type FloatType struct{ W int }
+
+func (t FloatType) Kind() Kind     { return KFloat }
+func (t FloatType) Bits() int      { return t.W }
+func (t FloatType) SizeBytes() int { return t.W / 8 }
+func (t FloatType) String() string {
+	if t.W == 32 {
+		return "float"
+	}
+	return "double"
+}
+
+// PtrType is a typed pointer.
+type PtrType struct{ Elem Type }
+
+func (t PtrType) Kind() Kind     { return KPtr }
+func (t PtrType) Bits() int      { return 64 }
+func (t PtrType) SizeBytes() int { return 8 }
+func (t PtrType) String() string { return t.Elem.String() + "*" }
+
+// ArrayType is a fixed-length array, used as a pointee for GEP addressing.
+type ArrayType struct {
+	N    int
+	Elem Type
+}
+
+func (t ArrayType) Kind() Kind     { return KArray }
+func (t ArrayType) Bits() int      { return t.N * t.Elem.Bits() }
+func (t ArrayType) SizeBytes() int { return t.N * t.Elem.SizeBytes() }
+func (t ArrayType) String() string {
+	return fmt.Sprintf("[%d x %s]", t.N, t.Elem.String())
+}
+
+// Singleton types.
+var (
+	Void Type = voidType{}
+	I1   Type = IntType{1}
+	I8   Type = IntType{8}
+	I16  Type = IntType{16}
+	I32  Type = IntType{32}
+	I64  Type = IntType{64}
+	F32  Type = FloatType{32}
+	F64  Type = FloatType{64}
+)
+
+// Ptr returns a pointer type to elem.
+func Ptr(elem Type) Type { return PtrType{Elem: elem} }
+
+// Arr returns an n-element array of elem.
+func Arr(n int, elem Type) Type { return ArrayType{N: n, Elem: elem} }
+
+// Equal reports structural type equality.
+func Equal(a, b Type) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch at := a.(type) {
+	case voidType:
+		return true
+	case IntType:
+		return at.W == b.(IntType).W
+	case FloatType:
+		return at.W == b.(FloatType).W
+	case PtrType:
+		return Equal(at.Elem, b.(PtrType).Elem)
+	case ArrayType:
+		bt := b.(ArrayType)
+		return at.N == bt.N && Equal(at.Elem, bt.Elem)
+	}
+	return false
+}
+
+// IsInt reports whether t is an integer type.
+func IsInt(t Type) bool { return t.Kind() == KInt }
+
+// IsFloat reports whether t is a float type.
+func IsFloat(t Type) bool { return t.Kind() == KFloat }
+
+// IsPtr reports whether t is a pointer type.
+func IsPtr(t Type) bool { return t.Kind() == KPtr }
+
+// ParseType parses a type string as emitted by Type.String.
+func ParseType(s string) (Type, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, "*") {
+		elem, err := ParseType(s[:len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		return Ptr(elem), nil
+	}
+	switch s {
+	case "void":
+		return Void, nil
+	case "float":
+		return F32, nil
+	case "double":
+		return F64, nil
+	}
+	if strings.HasPrefix(s, "i") {
+		var w int
+		if _, err := fmt.Sscanf(s, "i%d", &w); err == nil && w > 0 && w <= 64 {
+			return IntType{w}, nil
+		}
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := s[1 : len(s)-1]
+		idx := strings.Index(inner, " x ")
+		if idx < 0 {
+			return nil, fmt.Errorf("ir: bad array type %q", s)
+		}
+		var n int
+		if _, err := fmt.Sscanf(inner[:idx], "%d", &n); err != nil {
+			return nil, fmt.Errorf("ir: bad array length in %q", s)
+		}
+		elem, err := ParseType(inner[idx+3:])
+		if err != nil {
+			return nil, err
+		}
+		return Arr(n, elem), nil
+	}
+	return nil, fmt.Errorf("ir: unknown type %q", s)
+}

@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"testing"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		typ   Type
+		bits  int
+		bytes int
+		str   string
+	}{
+		{Void, 0, 0, "void"},
+		{I1, 1, 1, "i1"},
+		{I8, 8, 1, "i8"},
+		{I32, 32, 4, "i32"},
+		{I64, 64, 8, "i64"},
+		{F32, 32, 4, "float"},
+		{F64, 64, 8, "double"},
+		{Ptr(F64), 64, 8, "double*"},
+		{Ptr(Ptr(I32)), 64, 8, "i32**"},
+		{Arr(4, F64), 256, 32, "[4 x double]"},
+		{Ptr(Arr(8, I32)), 64, 8, "[8 x i32]*"},
+	}
+	for _, c := range cases {
+		if c.typ.Bits() != c.bits {
+			t.Errorf("%s Bits = %d, want %d", c.str, c.typ.Bits(), c.bits)
+		}
+		if c.typ.SizeBytes() != c.bytes {
+			t.Errorf("%s SizeBytes = %d, want %d", c.str, c.typ.SizeBytes(), c.bytes)
+		}
+		if c.typ.String() != c.str {
+			t.Errorf("String = %q, want %q", c.typ.String(), c.str)
+		}
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, typ := range []Type{
+		Void, I1, I8, I16, I32, I64, F32, F64,
+		Ptr(F64), Ptr(Ptr(I8)), Arr(16, F32), Ptr(Arr(3, I64)),
+	} {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if !Equal(got, typ) {
+			t.Fatalf("round trip %q -> %q", typ.String(), got.String())
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, s := range []string{"", "i0", "i65", "banana", "[x double]", "[2 double]"} {
+		if _, err := ParseType(s); err == nil {
+			t.Errorf("ParseType(%q) succeeded", s)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Ptr(F64), Ptr(F64)) {
+		t.Fatal("identical pointer types not equal")
+	}
+	if Equal(Ptr(F64), Ptr(F32)) {
+		t.Fatal("different pointer types equal")
+	}
+	if Equal(I32, F32) {
+		t.Fatal("i32 == float")
+	}
+	if !Equal(Arr(2, I8), Arr(2, I8)) || Equal(Arr(2, I8), Arr(3, I8)) {
+		t.Fatal("array equality broken")
+	}
+}
+
+func TestMaskAndSignExt(t *testing.T) {
+	if MaskInt(I8, 0x1ff) != 0xff {
+		t.Fatalf("MaskInt i8 = %#x", MaskInt(I8, 0x1ff))
+	}
+	if MaskInt(I64, ^uint64(0)) != ^uint64(0) {
+		t.Fatal("MaskInt i64 should be identity")
+	}
+	if SignExt(I8, 0xff) != -1 {
+		t.Fatalf("SignExt i8 0xff = %d", SignExt(I8, 0xff))
+	}
+	if SignExt(I8, 0x7f) != 127 {
+		t.Fatalf("SignExt i8 0x7f = %d", SignExt(I8, 0x7f))
+	}
+	if SignExt(I1, 1) != -1 {
+		t.Fatalf("SignExt i1 1 = %d", SignExt(I1, 1))
+	}
+	if SignExt(I64, 0xffffffffffffffff) != -1 {
+		t.Fatal("SignExt i64")
+	}
+}
+
+func TestConstBits(t *testing.T) {
+	if b, _ := ConstBits(I32c(-1)); b != 0xffffffff {
+		t.Fatalf("i32 -1 bits = %#x", b)
+	}
+	if b, _ := ConstBits(F64c(1.5)); FloatFromBits(F64, b) != 1.5 {
+		t.Fatal("f64 const bits")
+	}
+	if b, _ := ConstBits(F32c(2.5)); FloatFromBits(F32, b) != 2.5 {
+		t.Fatal("f32 const bits")
+	}
+	if _, ok := ConstBits(P("x", I64)); ok {
+		t.Fatal("param treated as constant")
+	}
+	if !IsConst(I64c(3)) || IsConst(P("x", I64)) {
+		t.Fatal("IsConst misclassifies")
+	}
+}

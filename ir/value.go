@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything usable as an instruction operand: constants, function
+// parameters, globals, and instruction results.
+type Value interface {
+	Type() Type
+	// Ident is the value as it appears as an operand in the text form
+	// ("%i", "@buf", "42", "0x1p+2").
+	Ident() string
+}
+
+// ConstInt is an integer constant. V holds the value sign-extended to 64
+// bits; Bits() of the type governs its width.
+type ConstInt struct {
+	T Type
+	V int64
+}
+
+func (c *ConstInt) Type() Type { return c.T }
+func (c *ConstInt) Ident() string {
+	if Equal(c.T, I1) {
+		if c.V != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return strconv.FormatInt(c.V, 10)
+}
+
+// Bits returns the constant in the runtime bit representation (masked to
+// the type width).
+func (c *ConstInt) Bits() uint64 { return MaskInt(c.T, uint64(c.V)) }
+
+// ConstFloat is a floating-point constant.
+type ConstFloat struct {
+	T Type
+	V float64
+}
+
+func (c *ConstFloat) Type() Type { return c.T }
+func (c *ConstFloat) Ident() string {
+	// Hex float form round-trips exactly.
+	return strconv.FormatFloat(c.V, 'x', -1, 64)
+}
+
+// Bits returns the runtime bit representation.
+func (c *ConstFloat) Bits() uint64 {
+	if c.T.Bits() == 32 {
+		return uint64(math.Float32bits(float32(c.V)))
+	}
+	return math.Float64bits(c.V)
+}
+
+// Param is a function parameter.
+type Param struct {
+	PName string
+	T     Type
+	Index int
+}
+
+func (p *Param) Type() Type    { return p.T }
+func (p *Param) Ident() string { return "%" + p.PName }
+
+// Global is a module-level buffer. Its value is its address, assigned by a
+// Layout before execution.
+type Global struct {
+	GName string
+	Elem  Type
+	Addr  uint64
+}
+
+func (g *Global) Type() Type    { return Ptr(g.Elem) }
+func (g *Global) Ident() string { return "@" + g.GName }
+
+// Convenience constant constructors.
+
+// IC builds an integer constant of the given type.
+func IC(t Type, v int64) *ConstInt { return &ConstInt{T: t, V: v} }
+
+// I64c builds an i64 constant.
+func I64c(v int64) *ConstInt { return IC(I64, v) }
+
+// I32c builds an i32 constant.
+func I32c(v int64) *ConstInt { return IC(I32, v) }
+
+// I1c builds a boolean constant.
+func I1c(b bool) *ConstInt {
+	if b {
+		return IC(I1, 1)
+	}
+	return IC(I1, 0)
+}
+
+// FC builds a float constant of the given type.
+func FC(t Type, v float64) *ConstFloat { return &ConstFloat{T: t, V: v} }
+
+// F64c builds a double constant.
+func F64c(v float64) *ConstFloat { return FC(F64, v) }
+
+// F32c builds a float constant.
+func F32c(v float64) *ConstFloat { return FC(F32, v) }
+
+// MaskInt truncates bits to the width of integer type t.
+func MaskInt(t Type, v uint64) uint64 {
+	w := t.Bits()
+	if w >= 64 {
+		return v
+	}
+	return v & ((1 << uint(w)) - 1)
+}
+
+// SignExt sign-extends the masked value of integer type t to int64.
+func SignExt(t Type, v uint64) int64 {
+	w := uint(t.Bits())
+	if w >= 64 {
+		return int64(v)
+	}
+	v = MaskInt(t, v)
+	sign := uint64(1) << (w - 1)
+	if v&sign != 0 {
+		return int64(v | ^((1 << w) - 1))
+	}
+	return int64(v)
+}
+
+// IsConst reports whether v is a constant value.
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *ConstInt, *ConstFloat:
+		return true
+	}
+	return false
+}
+
+// ConstBits returns the runtime bits of a constant value.
+func ConstBits(v Value) (uint64, bool) {
+	switch c := v.(type) {
+	case *ConstInt:
+		return c.Bits(), true
+	case *ConstFloat:
+		return c.Bits(), true
+	}
+	return 0, false
+}
+
+// FloatFromBits decodes the runtime bits of float type t.
+func FloatFromBits(t Type, bits uint64) float64 {
+	if t.Bits() == 32 {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}
+
+// FloatToBits encodes v into the runtime bits of float type t.
+func FloatToBits(t Type, v float64) uint64 {
+	if t.Bits() == 32 {
+		return uint64(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}
+
+// FormatValue renders "type ident" for diagnostics.
+func FormatValue(v Value) string {
+	return fmt.Sprintf("%s %s", v.Type(), v.Ident())
+}

@@ -1,0 +1,239 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// BFSQueue builds the MachSuite bfs/queue kernel: worklist breadth-first
+// search with an explicit FIFO of frontier nodes. Unlike the bulk variant,
+// the outer loop is a true data-dependent while (head < tail) whose trip
+// count is unknowable statically — built here with raw blocks and phis,
+// since no counted-loop helper fits. This is the strongest irregular-
+// control stress for the runtime engine.
+func BFSQueue(nNodes, avgDeg int) *Kernel {
+	const maxLevel = int64(127)
+	m := ir.NewModule("bfs-queue")
+	b := ir.NewBuilder(m)
+	f := b.Func("bfs_queue", ir.Void,
+		ir.P("nodesBegin", ir.Ptr(ir.I64)), ir.P("nodesEnd", ir.Ptr(ir.I64)),
+		ir.P("edges", ir.Ptr(ir.I64)), ir.P("level", ir.Ptr(ir.I64)),
+		ir.P("queue", ir.Ptr(ir.I64)))
+	nb, ne, ed, lv, qu := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+
+	// while (head < tail) { ... }
+	entry := b.B
+	whead := b.Block("while.head")
+	wbody := b.Block("while.body")
+	wexit := b.Block("while.exit")
+	b.Br(whead)
+
+	b.SetBlock(whead)
+	headPhi := b.Phi(ir.I64, "head")
+	tailPhi := b.Phi(ir.I64, "tail")
+	ir.AddIncoming(headPhi, ir.I64c(0), entry)
+	ir.AddIncoming(tailPhi, ir.I64c(1), entry) // node 0 pre-enqueued
+	cond := b.ICmp(ir.ISLT, headPhi, tailPhi, "more")
+	b.CondBr(cond, wbody, wexit)
+
+	b.SetBlock(wbody)
+	n := b.Load(b.GEP(qu, "pq", headPhi), "n")
+	ln := b.Load(b.GEP(lv, "pln", n), "ln")
+	nl := b.Add(ln, ir.I64c(1), "nl")
+	begin := b.Load(b.GEP(nb, "pb", n), "begin")
+	end := b.Load(b.GEP(ne, "pe", n), "end")
+	tailOut := b.LoopCarried("e", begin, end, 1, []ir.Value{tailPhi},
+		func(e ir.Value, cv []ir.Value) []ir.Value {
+			d := b.Load(b.GEP(ed, "pd", e), "d")
+			pl := b.GEP(lv, "pdl", d)
+			dl := b.Load(pl, "dl")
+			unseen := b.ICmp(ir.IEQ, dl, ir.I64c(maxLevel), "unseen")
+			newTail := b.IfValue(unseen, "push", func() ir.Value {
+				b.Store(nl, pl)
+				b.Store(d, b.GEP(qu, "pt", cv[0]))
+				return b.Add(cv[0], ir.I64c(1), "tinc")
+			}, func() ir.Value { return cv[0] })
+			return []ir.Value{newTail}
+		})
+	head1 := b.Add(headPhi, ir.I64c(1), "head1")
+	latch := b.B
+	b.Br(whead)
+	ir.AddIncoming(headPhi, head1, latch)
+	ir.AddIncoming(tailPhi, tailOut[0], latch)
+
+	b.SetBlock(wexit)
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "bfs-queue",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			begin, end, edges := csrGraph(nNodes, avgDeg, seed)
+			levels := make([]int64, nNodes)
+			for i := range levels {
+				levels[i] = maxLevel
+			}
+			levels[0] = 0
+
+			nbA := mem.AllocFor(ir.I64, nNodes)
+			neA := mem.AllocFor(ir.I64, nNodes)
+			edA := mem.AllocFor(ir.I64, len(edges))
+			lvA := mem.AllocFor(ir.I64, nNodes)
+			quA := mem.AllocFor(ir.I64, nNodes+1)
+			writeI64s(mem, nbA, begin)
+			writeI64s(mem, neA, end)
+			writeI64s(mem, edA, edges)
+			writeI64s(mem, lvA, levels)
+			mem.WriteI64(quA, 0) // frontier starts at node 0
+
+			// Golden worklist BFS.
+			want := append([]int64(nil), levels...)
+			queue := []int64{0}
+			for head := 0; head < len(queue); head++ {
+				nd := queue[head]
+				for e := begin[nd]; e < end[nd]; e++ {
+					d := edges[e]
+					if want[d] == maxLevel {
+						want[d] = want[nd] + 1
+						queue = append(queue, d)
+					}
+				}
+			}
+			return &Instance{
+				Args:   []uint64{nbA, neA, edA, lvA, quA},
+				Bytes:  (4*nNodes + len(edges) + 1) * 8,
+				InAddr: nbA, InBytes: lvA + uint64(nNodes*8) - nbA,
+				OutAddr: lvA, OutBytes: uint64(nNodes * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkI64(mm, lvA, want, "level")
+				},
+			}
+		},
+	}
+}
+
+// csrGraph builds a random mostly-connected directed graph in CSR form.
+func csrGraph(nNodes, avgDeg int, seed int64) (begin, end, edges []int64) {
+	r := rng(seed)
+	adj := make([][]int64, nNodes)
+	for i := 1; i < nNodes; i++ {
+		p := r.Intn(i) // spanning edge keeps nodes reachable
+		adj[p] = append(adj[p], int64(i))
+	}
+	for e := 0; e < nNodes*(avgDeg-1); e++ {
+		u, v := r.Intn(nNodes), r.Intn(nNodes)
+		adj[u] = append(adj[u], int64(v))
+	}
+	begin = make([]int64, nNodes)
+	end = make([]int64, nNodes)
+	for i := 0; i < nNodes; i++ {
+		begin[i] = int64(len(edges))
+		edges = append(edges, adj[i]...)
+		end[i] = int64(len(edges))
+	}
+	return begin, end, edges
+}
+
+// BFS builds the MachSuite bfs/bulk kernel: breadth-first search over a
+// CSR graph, sweeping horizons. Control flow is thoroughly data-dependent
+// (whether a node joins a horizon depends on graph structure), which is
+// what breaks trace-based datapath reconstruction — BFS is the paper's
+// headline irregular benchmark in Table IV.
+func BFS(nNodes, avgDeg int) *Kernel {
+	const maxLevel = int64(127)
+	m := ir.NewModule("bfs")
+	b := ir.NewBuilder(m)
+	f := b.Func("bfs", ir.Void,
+		ir.P("nodesBegin", ir.Ptr(ir.I64)), ir.P("nodesEnd", ir.Ptr(ir.I64)),
+		ir.P("edges", ir.Ptr(ir.I64)), ir.P("level", ir.Ptr(ir.I64)),
+		ir.P("levelCounts", ir.Ptr(ir.I64)))
+	nb, ne, ed, lv, lc := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+	N := ir.I64c(int64(nNodes))
+
+	maxHorizon := ir.I64c(int64(nNodes)) // worst-case diameter
+	b.Loop("h", ir.I64c(0), maxHorizon, 1, func(h ir.Value) {
+		cnt := b.LoopCarried("n", ir.I64c(0), N, 1, []ir.Value{ir.I64c(0)},
+			func(n ir.Value, cv []ir.Value) []ir.Value {
+				lvN := b.Load(b.GEP(lv, "plv", n), "lvN")
+				onHorizon := b.ICmp(ir.IEQ, lvN, h, "onH")
+				newCnt := b.IfValue(onHorizon, "visit", func() ir.Value {
+					begin := b.Load(b.GEP(nb, "pb", n), "begin")
+					end := b.Load(b.GEP(ne, "pe", n), "end")
+					found := b.LoopCarried("e", begin, end, 1, []ir.Value{ir.I64c(0)},
+						func(e ir.Value, cw []ir.Value) []ir.Value {
+							dst := b.Load(b.GEP(ed, "pd", e), "dst")
+							pl := b.GEP(lv, "pdl", dst)
+							dl := b.Load(pl, "dl")
+							unseen := b.ICmp(ir.IEQ, dl, ir.I64c(maxLevel), "unseen")
+							nf := b.IfValue(unseen, "mark", func() ir.Value {
+								b.Store(b.Add(h, ir.I64c(1), "h1"), pl)
+								return b.Add(cw[0], ir.I64c(1), "inc")
+							}, func() ir.Value { return cw[0] })
+							return []ir.Value{nf}
+						})
+					return b.Add(cv[0], found[0], "acc")
+				}, func() ir.Value { return cv[0] })
+				return []ir.Value{newCnt}
+			})
+		b.Store(cnt[0], b.GEP(lc, "pc", h))
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "bfs",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			begin, end, edges := csrGraph(nNodes, avgDeg, seed)
+			levels := make([]int64, nNodes)
+			for i := range levels {
+				levels[i] = maxLevel
+			}
+			levels[0] = 0
+
+			nbA := mem.AllocFor(ir.I64, nNodes)
+			neA := mem.AllocFor(ir.I64, nNodes)
+			edA := mem.AllocFor(ir.I64, len(edges))
+			lvA := mem.AllocFor(ir.I64, nNodes)
+			lcA := mem.AllocFor(ir.I64, nNodes)
+			writeI64s(mem, nbA, begin)
+			writeI64s(mem, neA, end)
+			writeI64s(mem, edA, edges)
+			writeI64s(mem, lvA, levels)
+
+			// Golden BFS.
+			want := append([]int64(nil), levels...)
+			wantCounts := make([]int64, nNodes)
+			for h := int64(0); h < int64(nNodes); h++ {
+				cnt := int64(0)
+				for n := 0; n < nNodes; n++ {
+					if want[n] != h {
+						continue
+					}
+					for e := begin[n]; e < end[n]; e++ {
+						d := edges[e]
+						if want[d] == maxLevel {
+							want[d] = h + 1
+							cnt++
+						}
+					}
+				}
+				wantCounts[h] = cnt
+			}
+			return &Instance{
+				Args:   []uint64{nbA, neA, edA, lvA, lcA},
+				Bytes:  (3*nNodes + len(edges) + nNodes) * 8,
+				InAddr: nbA, InBytes: lvA + uint64(nNodes*8) - nbA,
+				OutAddr: lvA, OutBytes: uint64(2 * nNodes * 8),
+				Check: func(mm *ir.FlatMem) error {
+					if err := checkI64(mm, lvA, want, "level"); err != nil {
+						return err
+					}
+					return checkI64(mm, lcA, wantCounts, "counts")
+				},
+			}
+		},
+	}
+}

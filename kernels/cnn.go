@@ -1,0 +1,296 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gosalam/ir"
+)
+
+// Conv2D builds a single-channel 2D convolution (3x3 kernel, valid
+// padding): the first stage of the paper's CNN-layer case study (Fig. 16).
+// Output is (h-2) x (w-2).
+func Conv2D(h, w int) *Kernel {
+	m := ir.NewModule("conv2d")
+	b := ir.NewBuilder(m)
+	f := b.Func("conv2d", ir.Void,
+		ir.P("in", ir.Ptr(ir.F64)), ir.P("weights", ir.Ptr(ir.F64)), ir.P("out", ir.Ptr(ir.F64)))
+	in, wt, out := f.Params[0], f.Params[1], f.Params[2]
+	W := ir.I64c(int64(w))
+	OW := ir.I64c(int64(w - 2))
+
+	// The 3x3 filter loops are fully unrolled into a 9-term multiply tree,
+	// as HLS does for constant-bound filter loops: 9 parallel loads per
+	// output pixel and a log-depth reduction.
+	b.Loop("r", ir.I64c(0), ir.I64c(int64(h-2)), 1, func(r ir.Value) {
+		b.Loop("c", ir.I64c(0), ir.I64c(int64(w-2)), 1, func(c ir.Value) {
+			var terms []ir.Value
+			for k1 := int64(0); k1 < 3; k1++ {
+				rowOff := b.Mul(b.Add(r, ir.I64c(k1), "ir"), W, "irw")
+				for k2 := int64(0); k2 < 3; k2++ {
+					wv := b.Load(b.GEP(wt, "pw", ir.I64c(k1*3+k2)), "wv")
+					iv := b.Load(b.GEP(in, "pi",
+						b.Add(rowOff, b.Add(c, ir.I64c(k2), "ic"), "ii")), "iv")
+					terms = append(terms, b.FMul(wv, iv, "m"))
+				}
+			}
+			for len(terms) > 1 {
+				var next []ir.Value
+				for k := 0; k+1 < len(terms); k += 2 {
+					next = append(next, b.FAdd(terms[k], terms[k+1], "t"))
+				}
+				if len(terms)%2 == 1 {
+					next = append(next, terms[len(terms)-1])
+				}
+				terms = next
+			}
+			b.Store(terms[0], b.GEP(out, "po", b.Add(b.Mul(r, OW, "or"), c, "oi")))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "conv2d",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			img := make([]float64, h*w)
+			for i := range img {
+				img[i] = r.Float64()*2 - 1
+			}
+			weights := []float64{1, 0, -1, 2, 0, -2, 1, 0, -1} // Sobel-x
+			iA := mem.AllocFor(ir.F64, h*w)
+			wA := mem.AllocFor(ir.F64, 9)
+			oA := mem.AllocFor(ir.F64, (h-2)*(w-2))
+			writeF64s(mem, iA, img)
+			writeF64s(mem, wA, weights)
+			want := ConvGolden(img, weights, h, w)
+			return &Instance{
+				Args:   []uint64{iA, wA, oA},
+				Bytes:  (h*w + 9 + (h-2)*(w-2)) * 8,
+				InAddr: iA, InBytes: uint64(h*w*8) + 72,
+				OutAddr: oA, OutBytes: uint64((h - 2) * (w - 2) * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, oA, want, "out")
+				},
+			}
+		},
+	}
+}
+
+// ConvGolden computes the 3x3 valid convolution reference.
+func ConvGolden(img, weights []float64, h, w int) []float64 {
+	out := make([]float64, (h-2)*(w-2))
+	for r := 0; r < h-2; r++ {
+		for c := 0; c < w-2; c++ {
+			s := 0.0
+			for k1 := 0; k1 < 3; k1++ {
+				for k2 := 0; k2 < 3; k2++ {
+					s += weights[k1*3+k2] * img[(r+k1)*w+c+k2]
+				}
+			}
+			out[r*(w-2)+c] = s
+		}
+	}
+	return out
+}
+
+// ReLU builds the elementwise rectifier: out[i] = max(0, in[i]).
+func ReLU(n int) *Kernel {
+	m := ir.NewModule("relu")
+	b := ir.NewBuilder(m)
+	f := b.Func("relu", ir.Void, ir.P("in", ir.Ptr(ir.F64)), ir.P("out", ir.Ptr(ir.F64)))
+	in, out := f.Params[0], f.Params[1]
+	b.Loop("i", ir.I64c(0), ir.I64c(int64(n)), 1, func(i ir.Value) {
+		v := b.Load(b.GEP(in, "pi", i), "v")
+		pos := b.FCmp(ir.FOGT, v, ir.F64c(0), "pos")
+		b.Store(b.Select(pos, v, ir.F64c(0), "r"), b.GEP(out, "po", i))
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "relu",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = r.Float64()*2 - 1
+			}
+			iA := mem.AllocFor(ir.F64, n)
+			oA := mem.AllocFor(ir.F64, n)
+			writeF64s(mem, iA, data)
+			want := ReLUGolden(data)
+			return &Instance{
+				Args:   []uint64{iA, oA},
+				Bytes:  2 * n * 8,
+				InAddr: iA, InBytes: uint64(n * 8),
+				OutAddr: oA, OutBytes: uint64(n * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, oA, want, "out")
+				},
+			}
+		},
+	}
+}
+
+// ReLUGolden computes the rectifier reference.
+func ReLUGolden(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// MaxPool builds a 2x2/stride-2 max-pool over an h x w grid; h and w must
+// be even. Output is (h/2) x (w/2).
+func MaxPool(h, w int) *Kernel {
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("kernels: maxpool needs even dims, got %dx%d", h, w))
+	}
+	m := ir.NewModule("maxpool")
+	b := ir.NewBuilder(m)
+	f := b.Func("maxpool", ir.Void, ir.P("in", ir.Ptr(ir.F64)), ir.P("out", ir.Ptr(ir.F64)))
+	in, out := f.Params[0], f.Params[1]
+	W := ir.I64c(int64(w))
+	OW := ir.I64c(int64(w / 2))
+
+	b.Loop("r", ir.I64c(0), ir.I64c(int64(h/2)), 1, func(r ir.Value) {
+		b.Loop("c", ir.I64c(0), ir.I64c(int64(w/2)), 1, func(c ir.Value) {
+			r2 := b.Mul(r, ir.I64c(2), "r2")
+			c2 := b.Mul(c, ir.I64c(2), "c2")
+			ld := func(dr, dc int64, nm string) ir.Value {
+				idx := b.Add(b.Mul(b.Add(r2, ir.I64c(dr), "rr"), W, "rw"),
+					b.Add(c2, ir.I64c(dc), "ccx"), "ix")
+				return b.Load(b.GEP(in, "p"+nm, idx), nm)
+			}
+			v00 := ld(0, 0, "v00")
+			v01 := ld(0, 1, "v01")
+			v10 := ld(1, 0, "v10")
+			v11 := ld(1, 1, "v11")
+			m1 := b.Call("fmax", ir.F64, "m1", v00, v01)
+			m2 := b.Call("fmax", ir.F64, "m2", v10, v11)
+			mx := b.Call("fmax", ir.F64, "mx", m1, m2)
+			b.Store(mx, b.GEP(out, "po", b.Add(b.Mul(r, OW, "orr"), c, "oi")))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "maxpool",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			data := make([]float64, h*w)
+			for i := range data {
+				data[i] = r.Float64()*2 - 1
+			}
+			iA := mem.AllocFor(ir.F64, h*w)
+			oA := mem.AllocFor(ir.F64, (h/2)*(w/2))
+			writeF64s(mem, iA, data)
+			want := MaxPoolGolden(data, h, w)
+			return &Instance{
+				Args:   []uint64{iA, oA},
+				Bytes:  (h*w + (h/2)*(w/2)) * 8,
+				InAddr: iA, InBytes: uint64(h * w * 8),
+				OutAddr: oA, OutBytes: uint64((h / 2) * (w / 2) * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, oA, want, "out")
+				},
+			}
+		},
+	}
+}
+
+// MaxPoolStream builds a 2x2/stride-2 max-pool that consumes its input
+// strictly sequentially (row-major), double-buffering two rows in a local
+// line buffer — the form needed to sit behind an AXI-Stream-style input in
+// the Fig. 16(c) pipeline, where a FIFO delivers elements in order.
+func MaxPoolStream(h, w int) *Kernel {
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("kernels: maxpool needs even dims, got %dx%d", h, w))
+	}
+	m := ir.NewModule("maxpool-stream")
+	b := ir.NewBuilder(m)
+	f := b.Func("maxpool_stream", ir.Void,
+		ir.P("in", ir.Ptr(ir.F64)), ir.P("lines", ir.Ptr(ir.F64)), ir.P("out", ir.Ptr(ir.F64)))
+	in, lines, out := f.Params[0], f.Params[1], f.Params[2]
+	W := ir.I64c(int64(w))
+	W2 := ir.I64c(int64(2 * w))
+	OW := ir.I64c(int64(w / 2))
+
+	b.Loop("r", ir.I64c(0), ir.I64c(int64(h/2)), 1, func(r ir.Value) {
+		// Fill the two line buffers with the next 2*w sequential inputs.
+		rowBase := b.Mul(b.Mul(r, ir.I64c(2), "r2"), W, "rowBase")
+		b.Loop("c", ir.I64c(0), W2, 1, func(c ir.Value) {
+			v := b.Load(b.GEP(in, "pi", b.Add(rowBase, c, "ii")), "v")
+			b.Store(v, b.GEP(lines, "pl", c))
+		})
+		// Pool from the line buffers.
+		b.Loop("o", ir.I64c(0), OW, 1, func(o ir.Value) {
+			c2 := b.Mul(o, ir.I64c(2), "c2")
+			v00 := b.Load(b.GEP(lines, "p00", c2), "v00")
+			v01 := b.Load(b.GEP(lines, "p01", b.Add(c2, ir.I64c(1), "c21")), "v01")
+			v10 := b.Load(b.GEP(lines, "p10", b.Add(c2, W, "cw")), "v10")
+			v11 := b.Load(b.GEP(lines, "p11", b.Add(b.Add(c2, W, "cw2"), ir.I64c(1), "cw21")), "v11")
+			m1 := b.Call("fmax", ir.F64, "m1", v00, v01)
+			m2 := b.Call("fmax", ir.F64, "m2", v10, v11)
+			mx := b.Call("fmax", ir.F64, "mx", m1, m2)
+			b.Store(mx, b.GEP(out, "po", b.Add(b.Mul(r, OW, "orr"), o, "oi")))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "maxpool-stream",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			data := make([]float64, h*w)
+			for i := range data {
+				data[i] = r.Float64()*2 - 1
+			}
+			iA := mem.AllocFor(ir.F64, h*w)
+			lA := mem.AllocFor(ir.F64, 2*w)
+			oA := mem.AllocFor(ir.F64, (h/2)*(w/2))
+			writeF64s(mem, iA, data)
+			want := MaxPoolGolden(data, h, w)
+			return &Instance{
+				Args:   []uint64{iA, lA, oA},
+				Bytes:  (h*w + 2*w + (h/2)*(w/2)) * 8,
+				InAddr: iA, InBytes: uint64(h * w * 8),
+				OutAddr: oA, OutBytes: uint64((h / 2) * (w / 2) * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, oA, want, "out")
+				},
+			}
+		},
+	}
+}
+
+// MaxPoolGolden computes the 2x2 max-pool reference.
+func MaxPoolGolden(in []float64, h, w int) []float64 {
+	out := make([]float64, (h/2)*(w/2))
+	for r := 0; r < h/2; r++ {
+		for c := 0; c < w/2; c++ {
+			mx := in[2*r*w+2*c]
+			for _, v := range []float64{in[2*r*w+2*c+1], in[(2*r+1)*w+2*c], in[(2*r+1)*w+2*c+1]} {
+				if v > mx {
+					mx = v
+				}
+			}
+			out[r*(w/2)+c] = mx
+		}
+	}
+	return out
+}

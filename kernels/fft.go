@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"math"
+
+	"gosalam/ir"
+)
+
+// FFT builds the MachSuite fft/strided kernel: an in-place radix-2 FFT
+// over n complex points held in separate real/imag arrays with
+// precomputed twiddle tables. n must be a power of two. The rootindex
+// test makes the butterfly's twiddle multiply data-dependent control —
+// part of why FFT stresses trace-based models less than SALAM (Fig. 10
+// reports 0.32% error thanks to its regular structure).
+func FFT(n int) *Kernel {
+	if n&(n-1) != 0 || n < 4 {
+		panic("kernels: FFT size must be a power of two >= 4")
+	}
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	m := ir.NewModule("fft")
+	b := ir.NewBuilder(m)
+	f := b.Func("fft", ir.Void,
+		ir.P("real", ir.Ptr(ir.F64)), ir.P("img", ir.Ptr(ir.F64)),
+		ir.P("real_twid", ir.Ptr(ir.F64)), ir.P("img_twid", ir.Ptr(ir.F64)))
+	re, im, reT, imT := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	N := ir.I64c(int64(n))
+
+	// for log in 0..logN-1: span = N >> (log+1)
+	b.Loop("log", ir.I64c(0), ir.I64c(int64(logN)), 1, func(log ir.Value) {
+		span := b.LShr(N, b.Add(log, ir.I64c(1), "log1"), "span")
+		b.Loop("j", ir.I64c(0), N, 1, func(j ir.Value) {
+			odd := b.Or(j, span, "odd")
+			// Process each pair once: only when j == odd.
+			isOwner := b.ICmp(ir.IEQ, j, odd, "owner")
+			b.If(isOwner, "pair", func() {
+				even := b.Xor(odd, span, "even")
+				pe := b.GEP(re, "pre", even)
+				po := b.GEP(re, "pro", odd)
+				qe := b.GEP(im, "pie", even)
+				qo := b.GEP(im, "pio", odd)
+				reE := b.Load(pe, "reE")
+				reO := b.Load(po, "reO")
+				imE := b.Load(qe, "imE")
+				imO := b.Load(qo, "imO")
+				// Butterfly.
+				b.Store(b.FAdd(reE, reO, "reSum"), pe)
+				reD := b.FSub(reE, reO, "reDiff")
+				b.Store(reD, po)
+				b.Store(b.FAdd(imE, imO, "imSum"), qe)
+				imD := b.FSub(imE, imO, "imDiff")
+				b.Store(imD, qo)
+				// Twiddle rotation when rootindex != 0.
+				root := b.And(b.Shl(even, log, "shifted"), ir.I64c(int64(n-1)), "root")
+				hasTwiddle := b.ICmp(ir.INE, root, ir.I64c(0), "twid")
+				b.If(hasTwiddle, "rot", func() {
+					rt := b.Load(b.GEP(reT, "prt", root), "rt")
+					it := b.Load(b.GEP(imT, "pit", root), "it")
+					ro := b.Load(po, "ro2")
+					io := b.Load(qo, "io2")
+					newRe := b.FSub(b.FMul(rt, ro, "m1"), b.FMul(it, io, "m2"), "newRe")
+					newIm := b.FAdd(b.FMul(rt, io, "m3"), b.FMul(it, ro, "m4"), "newIm")
+					b.Store(newRe, po)
+					b.Store(newIm, qo)
+				})
+			})
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "fft",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			real := make([]float64, n)
+			img := make([]float64, n)
+			for i := range real {
+				real[i] = r.Float64()*2 - 1
+				img[i] = r.Float64()*2 - 1
+			}
+			reTw := make([]float64, n)
+			imTw := make([]float64, n)
+			for i := 0; i < n; i++ {
+				ang := -2 * math.Pi * float64(i) / float64(n)
+				reTw[i] = math.Cos(ang)
+				imTw[i] = math.Sin(ang)
+			}
+			reA := mem.AllocFor(ir.F64, n)
+			imA := mem.AllocFor(ir.F64, n)
+			rtA := mem.AllocFor(ir.F64, n)
+			itA := mem.AllocFor(ir.F64, n)
+			writeF64s(mem, reA, real)
+			writeF64s(mem, imA, img)
+			writeF64s(mem, rtA, reTw)
+			writeF64s(mem, itA, imTw)
+
+			// Golden: the same strided algorithm in Go.
+			wr := append([]float64(nil), real...)
+			wi := append([]float64(nil), img...)
+			for lg := 0; lg < logN; lg++ {
+				span := n >> (lg + 1)
+				for j := 0; j < n; j++ {
+					odd := j | span
+					if j != odd {
+						continue
+					}
+					even := odd ^ span
+					sumR, diffR := wr[even]+wr[odd], wr[even]-wr[odd]
+					sumI, diffI := wi[even]+wi[odd], wi[even]-wi[odd]
+					wr[even], wr[odd] = sumR, diffR
+					wi[even], wi[odd] = sumI, diffI
+					if root := (even << lg) & (n - 1); root != 0 {
+						nr := reTw[root]*wr[odd] - imTw[root]*wi[odd]
+						ni := reTw[root]*wi[odd] + imTw[root]*wr[odd]
+						wr[odd], wi[odd] = nr, ni
+					}
+				}
+			}
+			return &Instance{
+				Args:   []uint64{reA, imA, rtA, itA},
+				Bytes:  4 * n * 8,
+				InAddr: reA, InBytes: uint64(4 * n * 8),
+				OutAddr: reA, OutBytes: uint64(2 * n * 8),
+				Check: func(mm *ir.FlatMem) error {
+					if err := checkF64(mm, reA, wr, "real"); err != nil {
+						return err
+					}
+					return checkF64(mm, imA, wi, "img")
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// GEMM builds the MachSuite gemm/ncubed kernel: C = A×B over n×n doubles
+// with the classic three-loop nest. unroll applies to the inner (k) loop,
+// mirroring the paper's ILP tuning knob; n must be divisible by unroll.
+func GEMM(n, unroll int) *Kernel {
+	if unroll < 1 {
+		unroll = 1
+	}
+	m := ir.NewModule("gemm")
+	b := ir.NewBuilder(m)
+	f := b.Func("gemm", ir.Void,
+		ir.P("a", ir.Ptr(ir.F64)), ir.P("b", ir.Ptr(ir.F64)), ir.P("c", ir.Ptr(ir.F64)))
+	a, bp, cp := f.Params[0], f.Params[1], f.Params[2]
+	N := ir.I64c(int64(n))
+
+	b.Loop("i", ir.I64c(0), N, 1, func(i ir.Value) {
+		rowI := b.Mul(i, N, "rowI")
+		b.Loop("j", ir.I64c(0), N, 1, func(j ir.Value) {
+			sum := b.LoopCarriedUnrolled("k", ir.I64c(0), N, 1, unroll,
+				[]ir.Value{ir.F64c(0)}, func(k ir.Value, cv []ir.Value) []ir.Value {
+					av := b.Load(b.GEP(a, "pa", b.Add(rowI, k, "ia")), "va")
+					bv := b.Load(b.GEP(bp, "pb", b.Add(b.Mul(k, N, "rowK"), j, "ib")), "vb")
+					return []ir.Value{b.FAdd(cv[0], b.FMul(av, bv, "prod"), "sum")}
+				})
+			b.Store(sum[0], b.GEP(cp, "pc", b.Add(rowI, j, "ic")))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "gemm",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			for i := range A {
+				A[i] = r.Float64()*2 - 1
+				B[i] = r.Float64()*2 - 1
+			}
+			aAddr := mem.AllocFor(ir.F64, n*n)
+			bAddr := mem.AllocFor(ir.F64, n*n)
+			cAddr := mem.AllocFor(ir.F64, n*n)
+			writeF64s(mem, aAddr, A)
+			writeF64s(mem, bAddr, B)
+
+			want := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for k := 0; k < n; k++ {
+						s += A[i*n+k] * B[k*n+j]
+					}
+					want[i*n+j] = s
+				}
+			}
+			return &Instance{
+				Args:   []uint64{aAddr, bAddr, cAddr},
+				Bytes:  3 * n * n * 8,
+				InAddr: aAddr, InBytes: uint64(2 * n * n * 8),
+				OutAddr: cAddr, OutBytes: uint64(n * n * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, cAddr, want, "c")
+				},
+			}
+		},
+	}
+}
+
+// GEMMUnrolledInner returns GEMM with the inner loop fully unrolled — the
+// "N-Cubed (Fully unrolled)" datapath of Table II.
+func GEMMUnrolledInner(n int) *Kernel {
+	k := GEMM(n, n)
+	k.Name = "gemm-unrolled"
+	return k
+}
+
+// GEMMTree builds GEMM with the inner (k) loop fully unrolled into a
+// balanced adder-tree reduction: 2n parallel loads, n multiplies, and a
+// log-depth sum per output element. This is the wide, ILP-rich datapath
+// the paper's design-space exploration sweeps ports and FP units over
+// (Figs. 13-15): its performance is bound by memory bandwidth and FP
+// resources rather than a serial accumulation chain. n must be a power of
+// two.
+func GEMMTree(n int) *Kernel {
+	if n&(n-1) != 0 || n < 2 {
+		panic("kernels: GEMMTree size must be a power of two >= 2")
+	}
+	m := ir.NewModule("gemm-tree")
+	b := ir.NewBuilder(m)
+	f := b.Func("gemm_tree", ir.Void,
+		ir.P("a", ir.Ptr(ir.F64)), ir.P("b", ir.Ptr(ir.F64)), ir.P("c", ir.Ptr(ir.F64)))
+	a, bp, cp := f.Params[0], f.Params[1], f.Params[2]
+	N := ir.I64c(int64(n))
+
+	b.Loop("i", ir.I64c(0), N, 1, func(i ir.Value) {
+		rowI := b.Mul(i, N, "rowI")
+		b.Loop("j", ir.I64c(0), N, 1, func(j ir.Value) {
+			prods := make([]ir.Value, n)
+			for k := 0; k < n; k++ {
+				kc := ir.I64c(int64(k))
+				av := b.Load(b.GEP(a, "pa", b.Add(rowI, kc, "ia")), "va")
+				bv := b.Load(b.GEP(bp, "pb", b.Add(ir.I64c(int64(k*n)), j, "ib")), "vb")
+				prods[k] = b.FMul(av, bv, "prod")
+			}
+			for len(prods) > 1 {
+				next := make([]ir.Value, 0, len(prods)/2)
+				for k := 0; k+1 < len(prods); k += 2 {
+					next = append(next, b.FAdd(prods[k], prods[k+1], "t"))
+				}
+				prods = next
+			}
+			b.Store(prods[0], b.GEP(cp, "pc", b.Add(rowI, j, "ic")))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	base := GEMM(n, 1) // reuse the workload generator and golden
+	return &Kernel{
+		Name:  "gemm-tree",
+		M:     m,
+		F:     f,
+		Setup: base.Setup,
+	}
+}

@@ -1,0 +1,154 @@
+// Package kernels provides the MachSuite benchmark kernels the paper
+// validates gem5-SALAM on — BFS, FFT (strided), GEMM (n-cubed), MD-KNN,
+// MD-Grid, NW, SPMV-CRS, Stencil2D, Stencil3D — plus the CNN-layer kernels
+// (conv2d, ReLU, max-pool) of the multi-accelerator study, each as an IR
+// builder with deterministic input generators and golden Go reference
+// implementations. Goldens make every simulation functionally checkable,
+// which is the point of an execute-in-execute model.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gosalam/ir"
+)
+
+// Kernel is one accelerator benchmark: an IR function plus a workload
+// generator.
+type Kernel struct {
+	Name string
+	M    *ir.Module
+	F    *ir.Function
+	// Setup allocates and initializes the kernel's buffers in mem
+	// (using its allocation cursor) and returns the run instance.
+	Setup func(mem *ir.FlatMem, seed int64) *Instance
+}
+
+// Instance is one prepared invocation: argument bits, a golden checker,
+// and bookkeeping for experiments.
+type Instance struct {
+	Args []uint64
+	// Check verifies the outputs against the golden model.
+	Check func(mem *ir.FlatMem) error
+	// Bytes is the approximate data footprint (for sizing memories).
+	Bytes int
+	// In/Out name the primary input and output buffers for DMA staging.
+	InAddr, InBytes   uint64
+	OutAddr, OutBytes uint64
+}
+
+// verify panics on malformed generated IR — a kernel construction bug.
+func verify(f *ir.Function) {
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("kernels: %s: %v", f.Name(), err))
+	}
+}
+
+// rng returns a deterministic generator for workload data.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Preset selects workload sizes.
+type Preset int
+
+// Presets: Small keeps go test fast; Default matches the bench harness.
+const (
+	Small Preset = iota
+	Default
+)
+
+// All returns the full MachSuite set at a preset size, in the order the
+// paper's figures list them.
+func All(p Preset) []*Kernel {
+	switch p {
+	case Small:
+		return []*Kernel{
+			BFS(64, 4), FFT(64), GEMM(8, 1), MDKnn(16, 16), MDGrid(2, 4),
+			NW(16), SPMV(32, 4), Stencil2D(12, 12), Stencil3D(6, 6, 6),
+		}
+	default:
+		return []*Kernel{
+			BFS(256, 4), FFT(256), GEMM(24, 1), MDKnn(64, 16), MDGrid(3, 6),
+			NW(48), SPMV(128, 5), Stencil2D(32, 32), Stencil3D(12, 12, 12),
+		}
+	}
+}
+
+// Extras returns the variant and CNN kernels at a preset size: the
+// Table I probe, the Table II / DSE GEMM variants, and the Fig. 16 layer.
+func Extras(p Preset) []*Kernel {
+	switch p {
+	case Small:
+		return []*Kernel{
+			SPMVCondShift(32, 4), GEMMUnrolledInner(6), GEMMTree(8), BFSQueue(64, 4),
+			Conv2D(18, 18), ReLU(256), MaxPool(16, 16), MaxPoolStream(16, 16),
+		}
+	default:
+		return []*Kernel{
+			SPMVCondShift(128, 5), GEMMUnrolledInner(10), GEMMTree(32), BFSQueue(256, 4),
+			Conv2D(34, 34), ReLU(1024), MaxPool(32, 32), MaxPoolStream(32, 32),
+		}
+	}
+}
+
+// ByName returns a kernel from All(p) or Extras(p) by name (nil if absent).
+func ByName(p Preset, name string) *Kernel {
+	for _, k := range All(p) {
+		if k.Name == name {
+			return k
+		}
+	}
+	for _, k := range Extras(p) {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if -a > scale {
+		scale = -a
+	}
+	return d <= 1e-9*scale
+}
+
+func checkF64(mem *ir.FlatMem, addr uint64, want []float64, what string) error {
+	for i, w := range want {
+		got := mem.ReadF64(addr + uint64(i*8))
+		if !almostEqual(got, w) {
+			return fmt.Errorf("%s[%d] = %g, want %g", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+func checkI64(mem *ir.FlatMem, addr uint64, want []int64, what string) error {
+	for i, w := range want {
+		got := mem.ReadI64(addr + uint64(i*8))
+		if got != w {
+			return fmt.Errorf("%s[%d] = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+func writeF64s(mem *ir.FlatMem, addr uint64, vals []float64) {
+	for i, v := range vals {
+		mem.WriteF64(addr+uint64(i*8), v)
+	}
+}
+
+func writeI64s(mem *ir.FlatMem, addr uint64, vals []int64) {
+	for i, v := range vals {
+		mem.WriteI64(addr+uint64(i*8), v)
+	}
+}

@@ -1,0 +1,280 @@
+package kernels
+
+import (
+	"testing"
+
+	"gosalam/ir"
+)
+
+// runKernel executes a kernel functionally and checks the golden.
+func runKernel(t *testing.T, k *Kernel, seed int64) ir.ExecStats {
+	t.Helper()
+	mem := ir.NewFlatMem(0, 1<<24)
+	inst := k.Setup(mem, seed)
+	_, stats, err := ir.Exec(k.F, inst.Args, mem, nil)
+	if err != nil {
+		t.Fatalf("%s: exec: %v", k.Name, err)
+	}
+	if err := inst.Check(mem); err != nil {
+		t.Fatalf("%s: golden mismatch: %v", k.Name, err)
+	}
+	return stats
+}
+
+func TestAllKernelsSmallPreset(t *testing.T) {
+	for _, k := range All(Small) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			stats := runKernel(t, k, 1)
+			if stats.Steps == 0 {
+				t.Fatal("kernel executed no instructions")
+			}
+			if stats.MemReads == 0 || stats.MemWrites == 0 {
+				t.Fatalf("no memory traffic: r=%d w=%d", stats.MemReads, stats.MemWrites)
+			}
+		})
+	}
+}
+
+func TestAllKernelsMultipleSeeds(t *testing.T) {
+	for _, k := range All(Small) {
+		for seed := int64(2); seed <= 4; seed++ {
+			runKernel(t, k, seed)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName(Small, "gemm") == nil {
+		t.Fatal("gemm missing")
+	}
+	if ByName(Small, "nope") != nil {
+		t.Fatal("found nonexistent kernel")
+	}
+	names := map[string]bool{}
+	for _, k := range All(Default) {
+		if names[k.Name] {
+			t.Fatalf("duplicate kernel name %s", k.Name)
+		}
+		names[k.Name] = true
+	}
+	if len(names) != 9 {
+		t.Fatalf("expected 9 MachSuite kernels, got %d", len(names))
+	}
+}
+
+func TestGEMMUnrollEquivalence(t *testing.T) {
+	// Unrolled GEMM computes the same product.
+	for _, unroll := range []int{1, 2, 4, 8} {
+		k := GEMM(8, unroll)
+		runKernel(t, k, 7)
+	}
+	// Fully unrolled variant.
+	runKernel(t, GEMMUnrolledInner(8), 7)
+}
+
+func TestSPMVCondShiftDatasets(t *testing.T) {
+	k := SPMVCondShift(32, 4)
+	// Even seed: no triggering values; odd seed: triggering values. Both
+	// must pass their goldens.
+	runKernel(t, k, 2)
+	runKernel(t, k, 3)
+
+	// The shift must actually execute for the odd dataset and not for the
+	// even one — the Table I probe.
+	countShifts := func(seed int64) int {
+		mem := ir.NewFlatMem(0, 1<<22)
+		inst := k.Setup(mem, seed)
+		shifts := 0
+		_, _, err := ir.Exec(k.F, inst.Args, mem, &ir.ExecOpts{
+			Trace: func(ev ir.TraceEvent) {
+				if ev.I.Op == ir.OpShl {
+					shifts++
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shifts
+	}
+	if n := countShifts(2); n != 0 {
+		t.Fatalf("even dataset executed %d shifts, want 0", n)
+	}
+	if n := countShifts(3); n == 0 {
+		t.Fatal("odd dataset executed no shifts")
+	}
+}
+
+func TestBFSLevelsReachable(t *testing.T) {
+	k := BFS(64, 4)
+	mem := ir.NewFlatMem(0, 1<<22)
+	inst := k.Setup(mem, 1)
+	if _, _, err := ir.Exec(k.F, inst.Args, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(mem); err != nil {
+		t.Fatal(err)
+	}
+	// The spanning-tree construction keeps every node reachable.
+	lvA := inst.Args[3]
+	for i := 0; i < 64; i++ {
+		if lv := mem.ReadI64(lvA + uint64(i*8)); lv >= 127 {
+			t.Fatalf("node %d unreached (level %d)", i, lv)
+		}
+	}
+}
+
+func TestCNNKernels(t *testing.T) {
+	runKernel(t, Conv2D(12, 12), 5)
+	runKernel(t, ReLU(100), 5)
+	runKernel(t, MaxPool(10, 10), 5)
+}
+
+func TestCNNPipelineComposition(t *testing.T) {
+	// conv -> relu -> pool goldens compose: feeding conv output through
+	// relu and pool goldens matches an end-to-end manual computation.
+	h, w := 10, 10
+	r := rng(11)
+	img := make([]float64, h*w)
+	for i := range img {
+		img[i] = r.Float64()*2 - 1
+	}
+	weights := []float64{1, 0, -1, 2, 0, -2, 1, 0, -1}
+	conv := ConvGolden(img, weights, h, w)
+	rel := ReLUGolden(conv)
+	pool := MaxPoolGolden(rel, h-2, w-2)
+	if len(pool) != ((h-2)/2)*((w-2)/2) {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	// Spot-check positivity: relu output is nonnegative, so pooled too.
+	for i, v := range pool {
+		if v < 0 {
+			t.Fatalf("pool[%d] = %g < 0", i, v)
+		}
+	}
+}
+
+func TestInstanceMetadata(t *testing.T) {
+	for _, k := range All(Small) {
+		mem := ir.NewFlatMem(0, 1<<24)
+		inst := k.Setup(mem, 1)
+		if inst.Bytes <= 0 {
+			t.Fatalf("%s: bytes = %d", k.Name, inst.Bytes)
+		}
+		if inst.InBytes == 0 || inst.OutBytes == 0 {
+			t.Fatalf("%s: missing in/out ranges", k.Name)
+		}
+		if !mem.Contains(inst.InAddr, int(inst.InBytes)) ||
+			!mem.Contains(inst.OutAddr, int(inst.OutBytes)) {
+			t.Fatalf("%s: in/out ranges outside memory", k.Name)
+		}
+	}
+}
+
+func TestKernelsPrintable(t *testing.T) {
+	// Every kernel's module prints and reparses (round trip through the
+	// textual IR) and still verifies.
+	for _, k := range All(Small) {
+		text := ir.Print(k.M)
+		m2, err := ir.Parse(k.Name, text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", k.Name, err)
+		}
+		f2 := m2.Func(k.F.Name())
+		if f2 == nil {
+			t.Fatalf("%s: function lost", k.Name)
+		}
+		if err := ir.Verify(f2); err != nil {
+			t.Fatalf("%s: reverify: %v", k.Name, err)
+		}
+	}
+}
+
+func TestMaxPoolStreamMatchesMaxPool(t *testing.T) {
+	runKernel(t, MaxPoolStream(8, 8), 9)
+	// Loads from `in` must be strictly sequential — the stream contract.
+	k := MaxPoolStream(8, 8)
+	mem := ir.NewFlatMem(0, 1<<20)
+	inst := k.Setup(mem, 9)
+	inBase := inst.Args[0]
+	var last int64 = -1
+	ok := true
+	_, _, err := ir.Exec(k.F, inst.Args, mem, &ir.ExecOpts{
+		Trace: func(ev ir.TraceEvent) {
+			if ev.I.Op == ir.OpLoad && ev.Addr >= inBase && ev.Addr < inBase+inst.InBytes {
+				idx := int64(ev.Addr-inBase) / 8
+				if idx != last+1 {
+					ok = false
+				}
+				last = idx
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("stream-pool input loads are not sequential")
+	}
+	if last != 63 {
+		t.Fatalf("consumed %d inputs, want 64", last+1)
+	}
+}
+
+func TestGEMMTree(t *testing.T) {
+	runKernel(t, GEMMTree(8), 7)
+	// The tree kernel has n fmuls and n-1 fadds per output, all in one
+	// block: wide ILP.
+	k := GEMMTree(8)
+	fmuls := 0
+	for _, blk := range k.F.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpFMul {
+				fmuls++
+			}
+		}
+	}
+	if fmuls != 8 {
+		t.Fatalf("static fmuls = %d, want 8", fmuls)
+	}
+}
+
+func TestExtrasRunAndResolve(t *testing.T) {
+	for _, k := range Extras(Small) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			runKernel(t, k, 3)
+			if ByName(Small, k.Name) == nil {
+				t.Fatalf("%s not resolvable by name", k.Name)
+			}
+		})
+	}
+}
+
+func TestBFSQueueMatchesBulk(t *testing.T) {
+	// The worklist and bulk variants must label every node identically
+	// (same graph, same seed).
+	qk := BFSQueue(64, 4)
+	runKernel(t, qk, 1)
+	bk := BFS(64, 4)
+
+	memQ := ir.NewFlatMem(0, 1<<22)
+	instQ := qk.Setup(memQ, 5)
+	if _, _, err := ir.Exec(qk.F, instQ.Args, memQ, nil); err != nil {
+		t.Fatal(err)
+	}
+	memB := ir.NewFlatMem(0, 1<<22)
+	instB := bk.Setup(memB, 5)
+	if _, _, err := ir.Exec(bk.F, instB.Args, memB, nil); err != nil {
+		t.Fatal(err)
+	}
+	lvQ, lvB := instQ.Args[3], instB.Args[3]
+	for i := 0; i < 64; i++ {
+		a := memQ.ReadI64(lvQ + uint64(i*8))
+		c := memB.ReadI64(lvB + uint64(i*8))
+		if a != c {
+			t.Fatalf("node %d: queue level %d != bulk level %d", i, a, c)
+		}
+	}
+}

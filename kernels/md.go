@@ -1,0 +1,322 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// MDKnn builds the MachSuite md/knn kernel: Lennard-Jones forces for each
+// atom over a precomputed k-nearest-neighbor list. Heavily floating-point
+// bound (fmul/fdiv chains) — the paper's worst-case timing benchmark
+// (Fig. 10) because HLS aggressively reuses FP units there.
+func MDKnn(nAtoms, nNeighbors int) *Kernel {
+	m := ir.NewModule("md-knn")
+	b := ir.NewBuilder(m)
+	f := b.Func("md_kernel", ir.Void,
+		ir.P("forceX", ir.Ptr(ir.F64)), ir.P("forceY", ir.Ptr(ir.F64)), ir.P("forceZ", ir.Ptr(ir.F64)),
+		ir.P("posX", ir.Ptr(ir.F64)), ir.P("posY", ir.Ptr(ir.F64)), ir.P("posZ", ir.Ptr(ir.F64)),
+		ir.P("NL", ir.Ptr(ir.I64)))
+	fx, fy, fz := f.Params[0], f.Params[1], f.Params[2]
+	px, py, pz := f.Params[3], f.Params[4], f.Params[5]
+	nl := f.Params[6]
+	const lj1, lj2 = 1.5, 2.0
+
+	b.Loop("i", ir.I64c(0), ir.I64c(int64(nAtoms)), 1, func(i ir.Value) {
+		xi := b.Load(b.GEP(px, "pxi", i), "xi")
+		yi := b.Load(b.GEP(py, "pyi", i), "yi")
+		zi := b.Load(b.GEP(pz, "pzi", i), "zi")
+		base := b.Mul(i, ir.I64c(int64(nNeighbors)), "nlBase")
+		acc := b.LoopCarried("j", ir.I64c(0), ir.I64c(int64(nNeighbors)), 1,
+			[]ir.Value{ir.F64c(0), ir.F64c(0), ir.F64c(0)},
+			func(j ir.Value, cv []ir.Value) []ir.Value {
+				jidx := b.Load(b.GEP(nl, "pnl", b.Add(base, j, "nli")), "jidx")
+				dx := b.FSub(xi, b.Load(b.GEP(px, "pxj", jidx), "xj"), "dx")
+				dy := b.FSub(yi, b.Load(b.GEP(py, "pyj", jidx), "yj"), "dy")
+				dz := b.FSub(zi, b.Load(b.GEP(pz, "pzj", jidx), "zj"), "dz")
+				r2 := b.FAdd(b.FAdd(b.FMul(dx, dx, "dx2"), b.FMul(dy, dy, "dy2"), "s1"),
+					b.FMul(dz, dz, "dz2"), "r2")
+				r2inv := b.FDiv(ir.F64c(1), r2, "r2inv")
+				r6inv := b.FMul(b.FMul(r2inv, r2inv, "r4"), r2inv, "r6inv")
+				pot := b.FMul(r6inv,
+					b.FSub(b.FMul(ir.F64c(lj1), r6inv, "l1r6"), ir.F64c(lj2), "inner"), "pot")
+				force := b.FMul(r2inv, pot, "force")
+				return []ir.Value{
+					b.FAdd(cv[0], b.FMul(dx, force, "fxd"), "axn"),
+					b.FAdd(cv[1], b.FMul(dy, force, "fyd"), "ayn"),
+					b.FAdd(cv[2], b.FMul(dz, force, "fzd"), "azn"),
+				}
+			})
+		b.Store(acc[0], b.GEP(fx, "pfx", i))
+		b.Store(acc[1], b.GEP(fy, "pfy", i))
+		b.Store(acc[2], b.GEP(fz, "pfz", i))
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "md-knn",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			n := nAtoms
+			X := make([]float64, n)
+			Y := make([]float64, n)
+			Z := make([]float64, n)
+			for i := 0; i < n; i++ {
+				X[i] = r.Float64() * 10
+				Y[i] = r.Float64() * 10
+				Z[i] = r.Float64() * 10
+			}
+			NL := make([]int64, n*nNeighbors)
+			for i := 0; i < n; i++ {
+				for j := 0; j < nNeighbors; j++ {
+					// Any distinct atom works as a "neighbor".
+					nb := (i + 1 + r.Intn(n-1)) % n
+					NL[i*nNeighbors+j] = int64(nb)
+				}
+			}
+			fxA := mem.AllocFor(ir.F64, n)
+			fyA := mem.AllocFor(ir.F64, n)
+			fzA := mem.AllocFor(ir.F64, n)
+			pxA := mem.AllocFor(ir.F64, n)
+			pyA := mem.AllocFor(ir.F64, n)
+			pzA := mem.AllocFor(ir.F64, n)
+			nlA := mem.AllocFor(ir.I64, n*nNeighbors)
+			writeF64s(mem, pxA, X)
+			writeF64s(mem, pyA, Y)
+			writeF64s(mem, pzA, Z)
+			writeI64s(mem, nlA, NL)
+
+			wantX := make([]float64, n)
+			wantY := make([]float64, n)
+			wantZ := make([]float64, n)
+			for i := 0; i < n; i++ {
+				var ax, ay, az float64
+				for j := 0; j < nNeighbors; j++ {
+					jidx := NL[i*nNeighbors+j]
+					dx := X[i] - X[jidx]
+					dy := Y[i] - Y[jidx]
+					dz := Z[i] - Z[jidx]
+					r2 := dx*dx + dy*dy + dz*dz
+					r2inv := 1.0 / r2
+					r6inv := r2inv * r2inv * r2inv
+					pot := r6inv * (lj1*r6inv - lj2)
+					force := r2inv * pot
+					ax += dx * force
+					ay += dy * force
+					az += dz * force
+				}
+				wantX[i], wantY[i], wantZ[i] = ax, ay, az
+			}
+			return &Instance{
+				Args:   []uint64{fxA, fyA, fzA, pxA, pyA, pzA, nlA},
+				Bytes:  (6*n + n*nNeighbors) * 8,
+				InAddr: pxA, InBytes: nlA + uint64(n*nNeighbors*8) - pxA,
+				OutAddr: fxA, OutBytes: uint64(3 * n * 8),
+				Check: func(mm *ir.FlatMem) error {
+					if err := checkF64(mm, fxA, wantX, "fx"); err != nil {
+						return err
+					}
+					if err := checkF64(mm, fyA, wantY, "fy"); err != nil {
+						return err
+					}
+					return checkF64(mm, fzA, wantZ, "fz")
+				},
+			}
+		},
+	}
+}
+
+// MDGrid builds the MachSuite md/grid kernel: Lennard-Jones interactions
+// between particles in adjacent cells of a 3D spatial grid — a deep
+// counted-loop nest (6 levels) over blocks, neighbor cells, and particle
+// pairs.
+func MDGrid(blockSide, density int) *Kernel {
+	m := ir.NewModule("md-grid")
+	b := ir.NewBuilder(m)
+	// Positions and forces are [cell][particle] arrays, flattened.
+	f := b.Func("md_grid", ir.Void,
+		ir.P("nPoints", ir.Ptr(ir.I64)),
+		ir.P("posX", ir.Ptr(ir.F64)), ir.P("posY", ir.Ptr(ir.F64)), ir.P("posZ", ir.Ptr(ir.F64)),
+		ir.P("frcX", ir.Ptr(ir.F64)), ir.P("frcY", ir.Ptr(ir.F64)), ir.P("frcZ", ir.Ptr(ir.F64)))
+	nP := f.Params[0]
+	px, py, pz := f.Params[1], f.Params[2], f.Params[3]
+	gx, gy, gz := f.Params[4], f.Params[5], f.Params[6]
+	side := int64(blockSide)
+	S := ir.I64c(side)
+	D := ir.I64c(int64(density))
+	const lj1, lj2 = 1.5, 2.0
+
+	cellIdx := func(bx, by, bz ir.Value) ir.Value {
+		return b.Add(b.Mul(b.Add(b.Mul(bx, S, "cx"), by, "cxy"), S, "cxyz"), bz, "cell")
+	}
+	b.Loop("bx", ir.I64c(0), S, 1, func(bx ir.Value) {
+		b.Loop("by", ir.I64c(0), S, 1, func(by ir.Value) {
+			b.Loop("bz", ir.I64c(0), S, 1, func(bz ir.Value) {
+				home := cellIdx(bx, by, bz)
+				homeBase := b.Mul(home, D, "homeBase")
+				nHome := b.Load(b.GEP(nP, "pnh", home), "nHome")
+				// Neighbor cells within +/-1 in each dimension (clamped).
+				b.Loop("nx", ir.I64c(-1), ir.I64c(2), 1, func(dxi ir.Value) {
+					b.Loop("ny", ir.I64c(-1), ir.I64c(2), 1, func(dyi ir.Value) {
+						b.Loop("nz", ir.I64c(-1), ir.I64c(2), 1, func(dzi ir.Value) {
+							tx := b.Add(bx, dxi, "tx")
+							ty := b.Add(by, dyi, "ty")
+							tz := b.Add(bz, dzi, "tz")
+							inX := b.And(b.ICmp(ir.ISGE, tx, ir.I64c(0), "x0"),
+								b.ICmp(ir.ISLT, tx, S, "x1"), "inX")
+							inY := b.And(b.ICmp(ir.ISGE, ty, ir.I64c(0), "y0"),
+								b.ICmp(ir.ISLT, ty, S, "y1"), "inY")
+							inZ := b.And(b.ICmp(ir.ISGE, tz, ir.I64c(0), "z0"),
+								b.ICmp(ir.ISLT, tz, S, "z1"), "inZ")
+							ok := b.And(b.And(inX, inY, "inXY"), inZ, "inCell")
+							b.If(ok, "nb", func() {
+								nbr := cellIdx(tx, ty, tz)
+								nbrBase := b.Mul(nbr, D, "nbrBase")
+								nNbr := b.Load(b.GEP(nP, "pnn", nbr), "nNbr")
+								b.Loop("p", ir.I64c(0), nHome, 1, func(p ir.Value) {
+									ip := b.Add(homeBase, p, "ip")
+									xi := b.Load(b.GEP(px, "pxi", ip), "xi")
+									yi := b.Load(b.GEP(py, "pyi", ip), "yi")
+									zi := b.Load(b.GEP(pz, "pzi", ip), "zi")
+									acc := b.LoopCarried("q", ir.I64c(0), nNbr, 1,
+										[]ir.Value{ir.F64c(0), ir.F64c(0), ir.F64c(0)},
+										func(qv ir.Value, cv []ir.Value) []ir.Value {
+											iq := b.Add(nbrBase, qv, "iq")
+											// Skip self-interaction.
+											same := b.ICmp(ir.IEQ, ip, iq, "same")
+											dx := b.FSub(xi, b.Load(b.GEP(px, "pxq", iq), "xq"), "dx")
+											dy := b.FSub(yi, b.Load(b.GEP(py, "pyq", iq), "yq"), "dy")
+											dz := b.FSub(zi, b.Load(b.GEP(pz, "pzq", iq), "zq"), "dz")
+											r2 := b.FAdd(b.FAdd(b.FMul(dx, dx, "dx2"), b.FMul(dy, dy, "dy2"), "s"),
+												b.FMul(dz, dz, "dz2"), "r2")
+											r2inv := b.FDiv(ir.F64c(1), r2, "r2inv")
+											r6 := b.FMul(b.FMul(r2inv, r2inv, "r4"), r2inv, "r6")
+											pot := b.FMul(r6, b.FSub(b.FMul(ir.F64c(lj1), r6, "a"),
+												ir.F64c(lj2), "in"), "pot")
+											force := b.FMul(r2inv, pot, "force")
+											zero := ir.F64c(0)
+											fxv := b.Select(same, zero, b.FMul(dx, force, "fx"), "fxs")
+											fyv := b.Select(same, zero, b.FMul(dy, force, "fy"), "fys")
+											fzv := b.Select(same, zero, b.FMul(dz, force, "fz"), "fzs")
+											return []ir.Value{
+												b.FAdd(cv[0], fxv, "ax"),
+												b.FAdd(cv[1], fyv, "ay"),
+												b.FAdd(cv[2], fzv, "az"),
+											}
+										})
+									// Accumulate into the force arrays.
+									pfx := b.GEP(gx, "pfx", ip)
+									pfy := b.GEP(gy, "pfy", ip)
+									pfz := b.GEP(gz, "pfz", ip)
+									b.Store(b.FAdd(b.Load(pfx, "ofx"), acc[0], "nfx"), pfx)
+									b.Store(b.FAdd(b.Load(pfy, "ofy"), acc[1], "nfy"), pfy)
+									b.Store(b.FAdd(b.Load(pfz, "ofz"), acc[2], "nfz"), pfz)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	nCells := blockSide * blockSide * blockSide
+	maxPts := nCells * density
+	return &Kernel{
+		Name: "md-grid",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			counts := make([]int64, nCells)
+			X := make([]float64, maxPts)
+			Y := make([]float64, maxPts)
+			Z := make([]float64, maxPts)
+			for c := 0; c < nCells; c++ {
+				counts[c] = int64(2 + r.Intn(density-1))
+				for p := 0; p < int(counts[c]); p++ {
+					X[c*density+p] = r.Float64() * 10
+					Y[c*density+p] = r.Float64() * 10
+					Z[c*density+p] = r.Float64() * 10
+				}
+			}
+			nA := mem.AllocFor(ir.I64, nCells)
+			pxA := mem.AllocFor(ir.F64, maxPts)
+			pyA := mem.AllocFor(ir.F64, maxPts)
+			pzA := mem.AllocFor(ir.F64, maxPts)
+			fxA := mem.AllocFor(ir.F64, maxPts)
+			fyA := mem.AllocFor(ir.F64, maxPts)
+			fzA := mem.AllocFor(ir.F64, maxPts)
+			writeI64s(mem, nA, counts)
+			writeF64s(mem, pxA, X)
+			writeF64s(mem, pyA, Y)
+			writeF64s(mem, pzA, Z)
+
+			wantX := make([]float64, maxPts)
+			wantY := make([]float64, maxPts)
+			wantZ := make([]float64, maxPts)
+			cell := func(x, y, z int) int { return (x*blockSide+y)*blockSide + z }
+			for bx := 0; bx < blockSide; bx++ {
+				for by := 0; by < blockSide; by++ {
+					for bz := 0; bz < blockSide; bz++ {
+						home := cell(bx, by, bz)
+						for dx := -1; dx <= 1; dx++ {
+							for dy := -1; dy <= 1; dy++ {
+								for dz := -1; dz <= 1; dz++ {
+									tx, ty, tz := bx+dx, by+dy, bz+dz
+									if tx < 0 || tx >= blockSide || ty < 0 || ty >= blockSide ||
+										tz < 0 || tz >= blockSide {
+										continue
+									}
+									nbr := cell(tx, ty, tz)
+									for p := 0; p < int(counts[home]); p++ {
+										ip := home*density + p
+										var ax, ay, az float64
+										for q := 0; q < int(counts[nbr]); q++ {
+											iq := nbr*density + q
+											if ip == iq {
+												continue
+											}
+											ddx := X[ip] - X[iq]
+											ddy := Y[ip] - Y[iq]
+											ddz := Z[ip] - Z[iq]
+											r2 := ddx*ddx + ddy*ddy + ddz*ddz
+											r2inv := 1.0 / r2
+											r6 := r2inv * r2inv * r2inv
+											pot := r6 * (lj1*r6 - lj2)
+											force := r2inv * pot
+											ax += ddx * force
+											ay += ddy * force
+											az += ddz * force
+										}
+										wantX[ip] += ax
+										wantY[ip] += ay
+										wantZ[ip] += az
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			return &Instance{
+				Args:   []uint64{nA, pxA, pyA, pzA, fxA, fyA, fzA},
+				Bytes:  (nCells + 6*maxPts) * 8,
+				InAddr: nA, InBytes: pzA + uint64(maxPts*8) - nA,
+				OutAddr: fxA, OutBytes: uint64(3 * maxPts * 8),
+				Check: func(mm *ir.FlatMem) error {
+					if err := checkF64(mm, fxA, wantX, "fx"); err != nil {
+						return err
+					}
+					if err := checkF64(mm, fyA, wantY, "fy"); err != nil {
+						return err
+					}
+					return checkF64(mm, fzA, wantZ, "fz")
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// NW builds the MachSuite nw kernel: the Needleman-Wunsch dynamic-
+// programming matrix fill for sequence alignment over integer scores.
+// Its runtime control dependencies (max selection) map onto MUXes in both
+// HLS and SALAM — the property behind NW's very low timing error in
+// Fig. 10.
+func NW(seqLen int) *Kernel {
+	const (
+		matchScore    = 1
+		mismatchScore = -1
+		gapScore      = -1
+	)
+	m := ir.NewModule("nw")
+	b := ir.NewBuilder(m)
+	f := b.Func("needwun", ir.Void,
+		ir.P("seqA", ir.Ptr(ir.I64)), ir.P("seqB", ir.Ptr(ir.I64)),
+		ir.P("M", ir.Ptr(ir.I64))) // (n+1) x (n+1) score matrix
+	sa, sb, mat := f.Params[0], f.Params[1], f.Params[2]
+	n := int64(seqLen)
+	W := ir.I64c(n + 1)
+
+	// Boundary rows/cols.
+	b.Loop("bi", ir.I64c(0), ir.I64c(n+1), 1, func(i ir.Value) {
+		g := b.Mul(i, ir.I64c(gapScore), "grow")
+		b.Store(g, b.GEP(mat, "pr", b.Mul(i, W, "ri")))
+		b.Store(g, b.GEP(mat, "pcn", i))
+	})
+	// Fill. The left neighbor is carried in a register across the inner
+	// loop (the score was just computed), matching the ILP tuning HLS
+	// performs; diagonal and up neighbors come from the previous row.
+	b.Loop("i", ir.I64c(1), ir.I64c(n+1), 1, func(i ir.Value) {
+		ai := b.Load(b.GEP(sa, "pa", b.Sub(i, ir.I64c(1), "im1")), "ai")
+		row := b.Mul(i, W, "row")
+		prow := b.Mul(b.Sub(i, ir.I64c(1), "ip"), W, "prow")
+		rowInit := b.Mul(i, ir.I64c(gapScore), "ginit") // M[i][0]
+		b.LoopCarried("j", ir.I64c(1), ir.I64c(n+1), 1, []ir.Value{rowInit},
+			func(j ir.Value, cv []ir.Value) []ir.Value {
+				bj := b.Load(b.GEP(sb, "pbj", b.Sub(j, ir.I64c(1), "jm1")), "bj")
+				isMatch := b.ICmp(ir.IEQ, ai, bj, "eq")
+				sub := b.Select(isMatch, ir.I64c(matchScore), ir.I64c(mismatchScore), "sub")
+				diag := b.Add(b.Load(b.GEP(mat, "pd", b.Add(prow, b.Sub(j, ir.I64c(1), "jd"), "di")), "d"), sub, "diag")
+				up := b.Add(b.Load(b.GEP(mat, "pu", b.Add(prow, j, "ui")), "u"), ir.I64c(gapScore), "up")
+				left := b.Add(cv[0], ir.I64c(gapScore), "left")
+				var best ir.Value = b.Select(b.ICmp(ir.ISGT, diag, up, "c1"), diag, up, "m1")
+				best = b.Select(b.ICmp(ir.ISGT, best, left, "c2"), best, left, "m2")
+				b.Store(best, b.GEP(mat, "pm", b.Add(row, j, "mi")))
+				return []ir.Value{best}
+			})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "nw",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			A := make([]int64, seqLen)
+			B := make([]int64, seqLen)
+			for i := range A {
+				A[i] = int64(r.Intn(4)) // ACGT
+				B[i] = int64(r.Intn(4))
+			}
+			w := seqLen + 1
+			aA := mem.AllocFor(ir.I64, seqLen)
+			bA := mem.AllocFor(ir.I64, seqLen)
+			mA := mem.AllocFor(ir.I64, w*w)
+			writeI64s(mem, aA, A)
+			writeI64s(mem, bA, B)
+
+			want := make([]int64, w*w)
+			for i := 0; i <= seqLen; i++ {
+				want[i*w] = int64(i * gapScore)
+				want[i] = int64(i * gapScore)
+			}
+			for i := 1; i <= seqLen; i++ {
+				for j := 1; j <= seqLen; j++ {
+					sub := int64(mismatchScore)
+					if A[i-1] == B[j-1] {
+						sub = matchScore
+					}
+					diag := want[(i-1)*w+j-1] + sub
+					up := want[(i-1)*w+j] + gapScore
+					left := want[i*w+j-1] + gapScore
+					best := diag
+					if up > best {
+						best = up
+					}
+					if left > best {
+						best = left
+					}
+					want[i*w+j] = best
+				}
+			}
+			return &Instance{
+				Args:   []uint64{aA, bA, mA},
+				Bytes:  (2*seqLen + w*w) * 8,
+				InAddr: aA, InBytes: uint64(2 * seqLen * 8),
+				OutAddr: mA, OutBytes: uint64(w * w * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkI64(mm, mA, want, "M")
+				},
+			}
+		},
+	}
+}

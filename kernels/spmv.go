@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// spmvBuild constructs SPMV over CRS with an optional conditional-shift
+// (the paper's Table I probe: a shifter that only appears in a runtime
+// trace when the input data triggers it).
+func spmvBuild(name string, n, nnzPerRow int, condShift bool) *Kernel {
+	m := ir.NewModule(name)
+	b := ir.NewBuilder(m)
+	params := []*ir.Param{
+		ir.P("val", ir.Ptr(ir.F64)), ir.P("cols", ir.Ptr(ir.I64)),
+		ir.P("rowDelim", ir.Ptr(ir.I64)), ir.P("vec", ir.Ptr(ir.F64)),
+		ir.P("out", ir.Ptr(ir.F64)),
+	}
+	if condShift {
+		params = append(params, ir.P("flags", ir.Ptr(ir.I64)))
+	}
+	f := b.Func("spmv", ir.Void, params...)
+	val, cols, rowD, vec, out := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+
+	b.Loop("i", ir.I64c(0), ir.I64c(int64(n)), 1, func(i ir.Value) {
+		lo := b.Load(b.GEP(rowD, "plo", i), "lo")
+		hi := b.Load(b.GEP(rowD, "phi", b.Add(i, ir.I64c(1), "i1")), "hi")
+		// Irregular inner loop: bounds come from the data.
+		sum := b.LoopCarried("j", lo, hi, 1, []ir.Value{ir.F64c(0)},
+			func(j ir.Value, cv []ir.Value) []ir.Value {
+				v := b.Load(b.GEP(val, "pv", j), "v")
+				c := b.Load(b.GEP(cols, "pcl", j), "c")
+				x := b.Load(b.GEP(vec, "px", c), "x")
+				acc := b.FAdd(cv[0], b.FMul(v, x, "prod"), "acc")
+				if condShift {
+					// The probe: when val > 1.0, record cols[j] << 1 —
+					// a shift that exists in the trace only for datasets
+					// containing such values.
+					big := b.FCmp(ir.FOGT, v, ir.F64c(1.0), "big")
+					b.If(big, "shift", func() {
+						sh := b.Shl(c, ir.I64c(1), "sh")
+						b.Store(sh, b.GEP(f.Params[5], "pf", i))
+					})
+				}
+				return []ir.Value{acc}
+			})
+		b.Store(sum[0], b.GEP(out, "po", i))
+	})
+	b.Ret(nil)
+	verify(f)
+
+	nnz := n * nnzPerRow
+	return &Kernel{
+		Name: name,
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			vals := make([]float64, nnz)
+			colIdx := make([]int64, nnz)
+			rowDelim := make([]int64, n+1)
+			for i := 0; i <= n; i++ {
+				rowDelim[i] = int64(i * nnzPerRow)
+			}
+			for i := range vals {
+				vals[i] = r.Float64() // in [0,1): never triggers the shift
+				colIdx[i] = int64(r.Intn(n))
+			}
+			// Seed parity selects the dataset family: odd seeds include
+			// values > 1.0 that trigger the conditional shift (Table I's
+			// "dataset 2").
+			if seed%2 == 1 {
+				for i := 0; i < len(vals); i += 7 {
+					vals[i] = 1.5 + r.Float64()
+				}
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.Float64()*2 - 1
+			}
+
+			valA := mem.AllocFor(ir.F64, nnz)
+			colA := mem.AllocFor(ir.I64, nnz)
+			rowA := mem.AllocFor(ir.I64, n+1)
+			vecA := mem.AllocFor(ir.F64, n)
+			outA := mem.AllocFor(ir.F64, n)
+			writeF64s(mem, valA, vals)
+			writeI64s(mem, colA, colIdx)
+			writeI64s(mem, rowA, rowDelim)
+			writeF64s(mem, vecA, x)
+			args := []uint64{valA, colA, rowA, vecA, outA}
+
+			want := make([]float64, n)
+			wantFlags := make([]int64, n)
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for j := rowDelim[i]; j < rowDelim[i+1]; j++ {
+					s += vals[j] * x[colIdx[j]]
+					if condShift && vals[j] > 1.0 {
+						wantFlags[i] = colIdx[j] << 1
+					}
+				}
+				want[i] = s
+			}
+			var flagA uint64
+			if condShift {
+				flagA = mem.AllocFor(ir.I64, n)
+				args = append(args, flagA)
+			}
+			return &Instance{
+				Args:   args,
+				Bytes:  (nnz*2 + n*3 + 1) * 8,
+				InAddr: valA, InBytes: vecA + uint64(n*8) - valA,
+				OutAddr: outA, OutBytes: uint64(n * 8),
+				Check: func(mm *ir.FlatMem) error {
+					if err := checkF64(mm, outA, want, "out"); err != nil {
+						return err
+					}
+					if condShift {
+						return checkI64(mm, flagA, wantFlags, "flags")
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// SPMV builds the MachSuite spmv/crs kernel: y = A·x with A in compact
+// row storage. The inner-loop trip counts are data-dependent, making it
+// the paper's canonical irregular kernel.
+func SPMV(n, nnzPerRow int) *Kernel {
+	return spmvBuild("spmv", n, nnzPerRow, false)
+}
+
+// SPMVCondShift is the Table I variant with the data-activated shift.
+func SPMVCondShift(n, nnzPerRow int) *Kernel {
+	return spmvBuild("spmv-condshift", n, nnzPerRow, true)
+}

@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"gosalam/ir"
+)
+
+// Stencil2D builds the MachSuite stencil/stencil2d kernel: a 3x3 filter
+// convolution over a rows x cols grid of doubles, writing the valid
+// interior of the output.
+func Stencil2D(rows, cols int) *Kernel {
+	m := ir.NewModule("stencil2d")
+	b := ir.NewBuilder(m)
+	f := b.Func("stencil2d", ir.Void,
+		ir.P("orig", ir.Ptr(ir.F64)), ir.P("sol", ir.Ptr(ir.F64)), ir.P("filter", ir.Ptr(ir.F64)))
+	orig, sol, filt := f.Params[0], f.Params[1], f.Params[2]
+	C := ir.I64c(int64(cols))
+
+	b.Loop("r", ir.I64c(0), ir.I64c(int64(rows-2)), 1, func(rr ir.Value) {
+		b.Loop("c", ir.I64c(0), ir.I64c(int64(cols-2)), 1, func(cc ir.Value) {
+			acc := b.LoopCarried("k1", ir.I64c(0), ir.I64c(3), 1, []ir.Value{ir.F64c(0)},
+				func(k1 ir.Value, cv []ir.Value) []ir.Value {
+					inner := b.LoopCarried("k2", ir.I64c(0), ir.I64c(3), 1, []ir.Value{cv[0]},
+						func(k2 ir.Value, cw []ir.Value) []ir.Value {
+							fIdx := b.Add(b.Mul(k1, ir.I64c(3), "f3"), k2, "fi")
+							fv := b.Load(b.GEP(filt, "pf", fIdx), "fv")
+							gIdx := b.Add(b.Mul(b.Add(rr, k1, "gr"), C, "grow"),
+								b.Add(cc, k2, "gc"), "gi")
+							gv := b.Load(b.GEP(orig, "pg", gIdx), "gv")
+							return []ir.Value{b.FAdd(cw[0], b.FMul(fv, gv, "mul"), "acc")}
+						})
+					return []ir.Value{inner[0]}
+				})
+			outIdx := b.Add(b.Mul(rr, C, "orow"), cc, "oi")
+			b.Store(acc[0], b.GEP(sol, "ps", outIdx))
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "stencil2d",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			grid := make([]float64, rows*cols)
+			for i := range grid {
+				grid[i] = r.Float64()*2 - 1
+			}
+			filter := []float64{0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625}
+			oA := mem.AllocFor(ir.F64, rows*cols)
+			sA := mem.AllocFor(ir.F64, rows*cols)
+			fA := mem.AllocFor(ir.F64, 9)
+			writeF64s(mem, oA, grid)
+			writeF64s(mem, fA, filter)
+
+			want := make([]float64, rows*cols)
+			for rr := 0; rr < rows-2; rr++ {
+				for cc := 0; cc < cols-2; cc++ {
+					s := 0.0
+					for k1 := 0; k1 < 3; k1++ {
+						for k2 := 0; k2 < 3; k2++ {
+							s += filter[k1*3+k2] * grid[(rr+k1)*cols+cc+k2]
+						}
+					}
+					want[rr*cols+cc] = s
+				}
+			}
+			return &Instance{
+				Args:   []uint64{oA, sA, fA},
+				Bytes:  (2*rows*cols + 9) * 8,
+				InAddr: oA, InBytes: uint64(rows*cols*8) + 72,
+				OutAddr: sA, OutBytes: uint64(rows * cols * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, sA, want, "sol")
+				},
+			}
+		},
+	}
+}
+
+// Stencil3D builds the MachSuite stencil/stencil3d kernel: a 7-point
+// stencil over an X x Y x Z integer-indexed grid of doubles. Boundary
+// cells are copied through; interior cells combine the six face
+// neighbors and the center with two coefficients.
+func Stencil3D(nx, ny, nz int) *Kernel {
+	const c0, c1 = 0.5, 0.0833
+	m := ir.NewModule("stencil3d")
+	b := ir.NewBuilder(m)
+	f := b.Func("stencil3d", ir.Void,
+		ir.P("orig", ir.Ptr(ir.F64)), ir.P("sol", ir.Ptr(ir.F64)))
+	orig, sol := f.Params[0], f.Params[1]
+	NX, NY := ir.I64c(int64(nx)), ir.I64c(int64(ny))
+	idx := func(x, y, z ir.Value) ir.Value {
+		// linear = (z*ny + y)*nx + x
+		return b.Add(b.Mul(b.Add(b.Mul(z, NY, "zy"), y, "zyy"), NX, "zyx"), x, "lin")
+	}
+
+	// Copy boundaries, then compute interior.
+	b.Loop("z", ir.I64c(0), ir.I64c(int64(nz)), 1, func(z ir.Value) {
+		b.Loop("y", ir.I64c(0), ir.I64c(int64(ny)), 1, func(y ir.Value) {
+			b.Loop("x", ir.I64c(0), ir.I64c(int64(nx)), 1, func(x ir.Value) {
+				i := idx(x, y, z)
+				onBx := b.Or(b.ICmp(ir.IEQ, x, ir.I64c(0), "x0"),
+					b.ICmp(ir.IEQ, x, ir.I64c(int64(nx-1)), "x1"), "bx")
+				onBy := b.Or(b.ICmp(ir.IEQ, y, ir.I64c(0), "y0"),
+					b.ICmp(ir.IEQ, y, ir.I64c(int64(ny-1)), "y1"), "by")
+				onBz := b.Or(b.ICmp(ir.IEQ, z, ir.I64c(0), "z0"),
+					b.ICmp(ir.IEQ, z, ir.I64c(int64(nz-1)), "z1"), "bz")
+				onB := b.Or(b.Or(onBx, onBy, "bxy"), onBz, "bnd")
+				b.IfElse(onB, "edge", func() {
+					b.Store(b.Load(b.GEP(orig, "pb", i), "bv"), b.GEP(sol, "sb", i))
+				}, func() {
+					center := b.Load(b.GEP(orig, "pc", i), "cv")
+					sum := b.FAdd(
+						b.FAdd(
+							b.FAdd(b.Load(b.GEP(orig, "pxm", idx(b.Sub(x, ir.I64c(1), "xm"), y, z)), "vxm"),
+								b.Load(b.GEP(orig, "pxp", idx(b.Add(x, ir.I64c(1), "xp"), y, z)), "vxp"), "sx"),
+							b.FAdd(b.Load(b.GEP(orig, "pym", idx(x, b.Sub(y, ir.I64c(1), "ym"), z)), "vym"),
+								b.Load(b.GEP(orig, "pyp", idx(x, b.Add(y, ir.I64c(1), "yp"), z)), "vyp"), "sy"), "sxy"),
+						b.FAdd(b.Load(b.GEP(orig, "pzm", idx(x, y, b.Sub(z, ir.I64c(1), "zm"))), "vzm"),
+							b.Load(b.GEP(orig, "pzp", idx(x, y, b.Add(z, ir.I64c(1), "zp"))), "vzp"), "sz"), "sum")
+					out := b.FAdd(b.FMul(center, ir.F64c(c0), "c0v"),
+						b.FMul(sum, ir.F64c(c1), "c1v"), "out")
+					b.Store(out, b.GEP(sol, "po", i))
+				})
+			})
+		})
+	})
+	b.Ret(nil)
+	verify(f)
+
+	return &Kernel{
+		Name: "stencil3d",
+		M:    m,
+		F:    f,
+		Setup: func(mem *ir.FlatMem, seed int64) *Instance {
+			r := rng(seed)
+			total := nx * ny * nz
+			grid := make([]float64, total)
+			for i := range grid {
+				grid[i] = r.Float64()*2 - 1
+			}
+			oA := mem.AllocFor(ir.F64, total)
+			sA := mem.AllocFor(ir.F64, total)
+			writeF64s(mem, oA, grid)
+
+			lin := func(x, y, z int) int { return (z*ny+y)*nx + x }
+			want := make([]float64, total)
+			for z := 0; z < nz; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						i := lin(x, y, z)
+						if x == 0 || x == nx-1 || y == 0 || y == ny-1 || z == 0 || z == nz-1 {
+							want[i] = grid[i]
+							continue
+						}
+						sum := grid[lin(x-1, y, z)] + grid[lin(x+1, y, z)] +
+							grid[lin(x, y-1, z)] + grid[lin(x, y+1, z)] +
+							grid[lin(x, y, z-1)] + grid[lin(x, y, z+1)]
+						want[i] = c0*grid[i] + c1*sum
+					}
+				}
+			}
+			return &Instance{
+				Args:   []uint64{oA, sA},
+				Bytes:  2 * total * 8,
+				InAddr: oA, InBytes: uint64(total * 8),
+				OutAddr: sA, OutBytes: uint64(total * 8),
+				Check: func(mm *ir.FlatMem) error {
+					return checkF64(mm, sA, want, "sol")
+				},
+			}
+		},
+	}
+}

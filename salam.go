@@ -1,0 +1,216 @@
+// Package salam is the public API of gosalam, a from-scratch Go
+// reproduction of gem5-SALAM (MICRO 2020): LLVM-based, execute-in-execute
+// modeling of custom hardware accelerators inside a full-system
+// discrete-event simulation.
+//
+// The quickest entry point is RunKernel, which simulates one accelerator
+// kernel against a private scratchpad or cache and returns timing, power,
+// area, and occupancy results:
+//
+//	res, err := salam.RunKernel(kernels.GEMM(16, 1), salam.DefaultRunOpts())
+//
+// For multi-accelerator SoCs (clusters, DMAs, hosts, stream links), build
+// a SoC with NewSoC and wire components explicitly.
+package salam
+
+import (
+	"fmt"
+
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/internal/mem"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+// Re-exported configuration types so callers need only this package.
+type (
+	// AccelConfig is the accelerator "device config" (clock, FU limits,
+	// ports, queue sizes).
+	AccelConfig = core.AccelConfig
+	// PowerReport is the seven-category power/area breakdown.
+	PowerReport = core.PowerReport
+	// FUClass names functional-unit classes for FULimits.
+	FUClass = hw.FUClass
+)
+
+// Functional-unit classes (for AccelConfig.FULimits).
+const (
+	FUIntAdder      = hw.FUIntAdder
+	FUIntMultiplier = hw.FUIntMultiplier
+	FUIntDivider    = hw.FUIntDivider
+	FUShifter       = hw.FUShifter
+	FUBitwise       = hw.FUBitwise
+	FUComparator    = hw.FUComparator
+	FUFPAdder       = hw.FUFPAdder
+	FUFPMultiplier  = hw.FUFPMultiplier
+	FUFPDivider     = hw.FUFPDivider
+	FUFPSqrt        = hw.FUFPSqrt
+)
+
+// MemKind selects the accelerator's data memory.
+type MemKind int
+
+// Memory hierarchy options for RunKernel.
+const (
+	// MemSPM gives the accelerator a private scratchpad sized to the
+	// workload (the paper's default configuration).
+	MemSPM MemKind = iota
+	// MemCache backs the accelerator with a private L1 cache over DRAM.
+	MemCache
+)
+
+// RunOpts configures a single-accelerator simulation.
+type RunOpts struct {
+	Accel AccelConfig
+	// Profile is the hardware profile (nil = Default40nm).
+	Profile *hw.Profile
+
+	Mem MemKind
+	// SPM knobs (MemSPM).
+	SPMLatency  int
+	SPMBanks    int
+	SPMPortsPer int
+	// Cache knobs (MemCache).
+	CacheBytes int
+	CacheLine  int
+	CacheAssoc int
+	CacheMSHRs int
+
+	// Seed selects the workload dataset.
+	Seed int64
+	// SkipCheck disables the golden comparison (for sweeps where only
+	// timing matters).
+	SkipCheck bool
+	// ProfileCycles enables per-cycle profiling, keeping up to this many
+	// samples (0 = off). Read the result via Result.Acc.Profile().
+	ProfileCycles int
+}
+
+// DefaultRunOpts returns the paper-default configuration: a 100 MHz
+// accelerator with dedicated FUs and a 2-cycle, 4-bank private SPM.
+func DefaultRunOpts() RunOpts {
+	return RunOpts{
+		Accel:       core.DefaultConfig(),
+		Mem:         MemSPM,
+		SPMLatency:  2,
+		SPMBanks:    4,
+		SPMPortsPer: 2,
+		CacheBytes:  4096,
+		CacheLine:   64,
+		CacheAssoc:  2,
+		CacheMSHRs:  8,
+		Seed:        1,
+	}
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// Cycles is the kernel's accelerator-cycle count.
+	Cycles uint64
+	// Ticks is total simulated time.
+	Ticks sim.Tick
+	// Power is the full power/area report over the kernel's runtime.
+	Power PowerReport
+	// Acc exposes the accelerator's detailed statistics.
+	Acc *core.Accelerator
+	// SPM is non-nil in MemSPM mode.
+	SPM *mem.Scratchpad
+	// Cache is non-nil in MemCache mode.
+	Cache *mem.Cache
+	// Stats is the stat-group root for dumping.
+	Stats *sim.Group
+	// Instance is the workload that ran.
+	Instance *kernels.Instance
+	// Space is the simulated physical memory.
+	Space *ir.FlatMem
+}
+
+// RunKernel builds a single-accelerator system around k, runs it to
+// completion, verifies the outputs against the kernel's golden model, and
+// reports metrics.
+func RunKernel(k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	profile := opts.Profile
+	if profile == nil {
+		profile = hw.Default40nm()
+	}
+	g, err := core.Elaborate(k.F, profile, opts.Accel.FULimits)
+	if err != nil {
+		return nil, err
+	}
+
+	q := sim.NewEventQueue()
+	stats := sim.NewGroup("system")
+	// Size the space generously around the workload.
+	probe := ir.NewFlatMem(0, 1<<26)
+	probeInst := k.Setup(probe, opts.Seed)
+	spaceSize := nextPow2(probeInst.Bytes*2 + 1<<16)
+	space := ir.NewFlatMem(0, spaceSize)
+	inst := k.Setup(space, opts.Seed)
+
+	memClk := sim.NewClockDomainMHz("memclk", opts.Accel.ClockMHz)
+	comm := core.NewCommInterface(k.Name+".comm", q, memClk, 0xF0000000, len(k.F.Params), stats)
+
+	res := &Result{Stats: stats, Instance: inst, Space: space}
+	switch opts.Mem {
+	case MemSPM:
+		spm := mem.NewScratchpad(k.Name+".spm", q, memClk, space,
+			mem.AddrRange{Base: 0, Size: uint64(spaceSize)},
+			opts.SPMLatency, opts.SPMBanks, opts.SPMPortsPer, stats)
+		comm.AttachLocal(spm)
+		res.SPM = spm
+	case MemCache:
+		dram := mem.NewDRAM(k.Name+".dram", q, memClk, space,
+			mem.AddrRange{Base: 0, Size: uint64(spaceSize)}, stats)
+		cache := mem.NewCache(k.Name+".l1", q, memClk, space,
+			mem.AddrRange{Base: 0, Size: uint64(spaceSize)}, dram,
+			opts.CacheBytes, opts.CacheLine, opts.CacheAssoc, 2, opts.CacheMSHRs, stats)
+		comm.AttachGlobal(cache)
+		res.Cache = cache
+	default:
+		return nil, fmt.Errorf("salam: unknown memory kind %d", opts.Mem)
+	}
+
+	acc := core.NewAccelerator(k.Name, q, g, opts.Accel, comm, stats)
+	res.Acc = acc
+	if opts.ProfileCycles > 0 {
+		acc.EnableProfile(opts.ProfileCycles)
+	}
+
+	done := false
+	acc.OnDone = func() { done = true }
+	acc.Start(inst.Args)
+	q.RunWhile(func() bool { return !done })
+	if !done {
+		return nil, fmt.Errorf("salam: %s did not finish (deadlock?)", k.Name)
+	}
+	q.Run() // drain trailing events (writebacks etc.)
+
+	if !opts.SkipCheck {
+		if err := inst.Check(space); err != nil {
+			return nil, fmt.Errorf("salam: %s output mismatch: %w", k.Name, err)
+		}
+	}
+	res.Cycles = acc.LastKernelCycles()
+	res.Ticks = q.Now()
+	res.Power = acc.Power(res.SPM, res.Ticks)
+	return res, nil
+}
+
+func nextPow2(v int) int {
+	n := 1 << 16
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Elaborate exposes static elaboration for tooling (cmd/salam-ll and the
+// experiments).
+func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (*core.CDFG, error) {
+	if profile == nil {
+		profile = hw.Default40nm()
+	}
+	return core.Elaborate(f, profile, limits)
+}

@@ -1,0 +1,260 @@
+package salam
+
+import (
+	"strings"
+	"testing"
+
+	"gosalam/internal/cpu"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+// Every MachSuite kernel must run to completion on the cycle-accurate
+// engine and match its golden outputs — the end-to-end execute-in-execute
+// guarantee.
+func TestAllKernelsOnEngineSPM(t *testing.T) {
+	for _, k := range kernels.All(kernels.Small) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := RunKernel(k, DefaultRunOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("no cycles")
+			}
+			if res.Power.TotalMW() <= 0 {
+				t.Fatal("no power")
+			}
+		})
+	}
+}
+
+func TestKernelOnEngineCache(t *testing.T) {
+	opts := DefaultRunOpts()
+	opts.Mem = MemCache
+	res, err := RunKernel(kernels.GEMM(8, 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache == nil || res.Cache.Accesses.Value() == 0 {
+		t.Fatal("cache unused")
+	}
+	if res.Cache.Misses.Value() == 0 {
+		t.Fatal("no cold misses?")
+	}
+	// Cache-backed run is slower than SPM-backed.
+	spmRes, err := RunKernel(kernels.GEMM(8, 1), DefaultRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Cycles > spmRes.Cycles) {
+		t.Fatalf("cache (%d cy) not slower than SPM (%d cy)", res.Cycles, spmRes.Cycles)
+	}
+}
+
+func TestFULimitsKnob(t *testing.T) {
+	opts := DefaultRunOpts()
+	base, err := RunKernel(kernels.GEMM(8, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Accel.FULimits = map[FUClass]int{FUFPMultiplier: 1, FUFPAdder: 1}
+	lim, err := RunKernel(kernels.GEMM(8, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lim.Power.AreaFU < base.Power.AreaFU) {
+		t.Fatal("FU limits did not shrink area")
+	}
+}
+
+func TestStatsDump(t *testing.T) {
+	res, err := RunKernel(kernels.ReLU(64), DefaultRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Stats.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"relu.cycles", "relu.spm.reads", "relu.comm.loads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats dump missing %q", want)
+		}
+	}
+}
+
+func TestSoCHostDrivenAccelerator(t *testing.T) {
+	// Full-system flow (Table III shape): host stages data into the
+	// accelerator SPM by DMA, starts it over MMRs, waits for the IRQ, and
+	// DMAs results back to DRAM.
+	soc := NewSoC(16)
+	k := kernels.ReLU(128)
+
+	node, err := soc.AddAccel("relu", k.F, AccelOpts{SPMBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma, dmaIRQ := soc.AddBlockDMA("dma")
+	_ = dma
+
+	// Build the workload in DRAM first.
+	inst := k.Setup(soc.Space, 3)
+	dramIn, dramOut := inst.Args[0], inst.Args[1]
+	n := uint64(128 * 8)
+
+	// SPM-resident copies.
+	spmIn := node.SPM.Range().Base
+	spmOut := spmIn + n
+
+	var tXferIn, tCompute, tXferOut sim.Tick
+	prog := []cpu.Op{}
+	prog = append(prog, cpu.StartDMA(dma.MMR.Range().Base, dramIn, spmIn, n, 64, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: dmaIRQ}, Stamp(soc, &tXferIn))
+	prog = append(prog, cpu.StartAccel(node.MMRBase, []uint64{spmIn, spmOut}, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: node.IRQLine}, Stamp(soc, &tCompute))
+	prog = append(prog, cpu.StartDMA(dma.MMR.Range().Base, spmOut, dramOut, n, 64, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: dmaIRQ}, Stamp(soc, &tXferOut))
+
+	if _, err := soc.RunHost(prog); err != nil {
+		t.Fatal(err)
+	}
+	soc.Run()
+	if err := inst.Check(soc.Space); err != nil {
+		t.Fatalf("end-to-end output wrong: %v", err)
+	}
+	if !(tXferIn < tCompute && tCompute < tXferOut) {
+		t.Fatalf("phase timestamps out of order: %d %d %d", tXferIn, tCompute, tXferOut)
+	}
+	if node.Acc.LastKernelCycles() == 0 {
+		t.Fatal("accelerator did not run")
+	}
+}
+
+func TestSoCStreamPipeline(t *testing.T) {
+	// Two accelerators connected by a stream link (Fig. 16c mechanics):
+	// the producer writes its output to the stream window; the consumer
+	// reads its input from it. Stream ports deliver FIFO order, so both
+	// sides must access sequentially — here relu feeding relu.
+	soc := NewSoC(16)
+	reluK := kernels.ReLU(64)
+	relu2K := kernels.ReLU(64)
+
+	prod, err := soc.AddAccel("relu", reluK.F, AccelOpts{SPMBytes: 16 << 10, Global: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := soc.AddAccel("relu2", relu2K.F, AccelOpts{SPMBytes: 16 << 10, Global: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outWin, inWin := soc.StreamLink("link", prod, cons, 256)
+
+	// Input in producer SPM; final output in consumer SPM.
+	soc.Space.SetAllocBase(prod.SPM.Range().Base)
+	inA := soc.Space.AllocFor(ir.F64, 64)
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i%7) - 3
+	}
+	for i, v := range vals {
+		soc.Space.WriteF64(inA+uint64(i*8), v)
+	}
+	outA := cons.SPM.Range().Base
+
+	doneCount := 0
+	prod.Acc.OnDone = func() { doneCount++ }
+	cons.Acc.OnDone = func() { doneCount++ }
+	// Start both; they self-synchronize through the FIFO handshake with
+	// no host involvement.
+	prod.Acc.Start([]uint64{inA, outWin})
+	cons.Acc.Start([]uint64{inWin, outA})
+	soc.Q.RunWhile(func() bool { return doneCount < 2 })
+	soc.Run()
+	if doneCount != 2 {
+		t.Fatal("pipeline did not complete")
+	}
+
+	want := kernels.ReLUGolden(kernels.ReLUGolden(vals))
+	for i, w := range want {
+		if got := soc.Space.ReadF64(outA + uint64(i*8)); got != w {
+			t.Fatalf("out[%d] = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestSharedSPMBetweenAccelerators(t *testing.T) {
+	// Fig. 16(b) mechanics: two accelerators share one scratchpad; the
+	// producer's output buffer is the consumer's input buffer, no copies.
+	soc := NewSoC(16)
+	shared := soc.AddSPM("shared", 64<<10, 2, 4, 4)
+
+	reluK := kernels.ReLU(64)
+	poolK := kernels.MaxPool(8, 8)
+	prod, err := soc.AddAccel("relu", reluK.F, AccelOpts{SharedSPM: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := soc.AddAccel("pool", poolK.F, AccelOpts{SharedSPM: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := shared.Range().Base
+	inA, midA, outA := base, base+512, base+1024
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i%5) - 2
+		soc.Space.WriteF64(inA+uint64(i*8), vals[i])
+	}
+
+	// Host-sequenced: start relu, wait, start pool, wait (the central
+	// synchronization Fig. 16b requires).
+	prog := []cpu.Op{}
+	prog = append(prog, cpu.StartAccel(prod.MMRBase, []uint64{inA, midA}, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: prod.IRQLine})
+	prog = append(prog, cpu.StartAccel(cons.MMRBase, []uint64{midA, outA}, true)...)
+	prog = append(prog, cpu.WaitIRQ{Line: cons.IRQLine})
+	if _, err := soc.RunHost(prog); err != nil {
+		t.Fatal(err)
+	}
+	soc.Run()
+
+	want := kernels.MaxPoolGolden(kernels.ReLUGolden(vals), 8, 8)
+	for i, w := range want {
+		if got := soc.Space.ReadF64(outA + uint64(i*8)); got != w {
+			t.Fatalf("out[%d] = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestSoCAddressAllocation(t *testing.T) {
+	soc := NewSoC(16)
+	r1 := soc.AllocSPMRange(1024)
+	r2 := soc.AllocSPMRange(1024)
+	if r1.Overlaps(r2) {
+		t.Fatal("SPM ranges overlap")
+	}
+	m1 := soc.allocMMR(8)
+	m2 := soc.allocMMR(8)
+	if m1 == m2 {
+		t.Fatal("MMR bases collide")
+	}
+	if soc.allocIRQ() == soc.allocIRQ() {
+		t.Fatal("IRQ lines collide")
+	}
+}
+
+// The worklist BFS has a data-dependent while loop and RAW dependences
+// through its queue array — the hardest irregular-control case for the
+// engine's dynamic disambiguation. It must still match its golden.
+func TestBFSQueueOnEngine(t *testing.T) {
+	res, err := RunKernel(kernels.BFSQueue(64, 4), DefaultRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
