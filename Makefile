@@ -1,0 +1,35 @@
+# gosalam build/test entry points.
+#
+# `make check` is the tier-1 gate: full build + tests, vet, and the race
+# detector over the repo's concurrency layer (the campaign engine and the
+# experiment sweeps that ride on it).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench bench-campaign
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The campaign engine is the only concurrent subsystem; its tests (and the
+# experiments that drive real parallel simulations through it) must stay
+# race-clean by construction.
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/experiments/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# 1-worker vs all-cores sweep wall-time (the campaign speedup).
+bench-campaign:
+	$(GO) test -bench=BenchmarkDSECampaign -benchtime=3x .

@@ -7,9 +7,13 @@ package salam_test
 // recorded EXPERIMENTS.md numbers.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	salam "gosalam"
+	"gosalam/internal/campaign"
 	"gosalam/internal/experiments"
 	"gosalam/kernels"
 )
@@ -167,6 +171,46 @@ func BenchmarkAblationMemOrder(b *testing.B) {
 				cycles = res.Cycles
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkDSECampaign: the Fig. 13-style sweep through the campaign
+// engine at 1 worker vs all cores — the wall-clock win that motivates the
+// subsystem. Output ordering is identical at both settings; only the
+// elapsed time differs.
+func BenchmarkDSECampaign(b *testing.B) {
+	k := kernels.GEMMTree(8)
+	buildJobs := func() []campaign.Job {
+		var jobs []campaign.Job
+		for _, fu := range []int{2, 4, 8, 16} {
+			for _, port := range []int{2, 4, 8} {
+				opts := salam.DefaultRunOpts()
+				opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
+				opts.Accel.MaxOutstanding = 2 * port
+				opts.SPMPortsPer = port
+				opts.Accel.ResQueueSize = 1024
+				opts.Accel.FULimits = map[salam.FUClass]int{
+					salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+				}
+				jobs = append(jobs, campaign.Job{
+					ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
+					Kernel:    k,
+					KernelKey: "gemm_tree/n=8",
+					Opts:      opts,
+				})
+			}
+		}
+		return jobs
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := campaign.Run(context.Background(), campaign.Config{Workers: workers}, buildJobs())
+				if err := campaign.FirstError(out); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -3,12 +3,20 @@
 // where a script sweeps FU allocations and memory bandwidth and the
 // results are analyzed as a Pareto set.
 //
+// Points are independent simulations, so the sweep runs on the campaign
+// engine: a worker pool sized by -jobs, per-job fault isolation and
+// timeouts, optional content-addressed result caching (-cache), and
+// per-job progress on stderr. Output order and bytes are identical to the
+// serial sweep regardless of worker count.
+//
 // Usage:
 //
 //	salam-dse -kernel gemm -ports 2,4,8 -fu 4,8,16 > sweep.csv
+//	salam-dse -kernel gemm -jobs 8 -cache results/cache > sweep.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,16 +24,24 @@ import (
 	"strings"
 
 	salam "gosalam"
+	"gosalam/internal/campaign"
 	"gosalam/internal/hw"
+	"gosalam/internal/sim"
 	"gosalam/kernels"
 )
 
-func parseInts(s string) ([]int, error) {
+// parseInts parses a comma-separated int list, rejecting values < min so
+// degenerate configs (0 ports, negative FU pools) fail fast with a clear
+// message instead of producing meaningless rows.
+func parseInts(s, what string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("invalid %s %q: %v", what, part, err)
+		}
+		if v < min {
+			return nil, fmt.Errorf("invalid %s %d: must be >= %d", what, v, min)
 		}
 		out = append(out, v)
 	}
@@ -35,9 +51,14 @@ func parseInts(s string) ([]int, error) {
 func main() {
 	kernel := flag.String("kernel", "gemm", "kernel name")
 	preset := flag.String("preset", "small", "workload preset: small or default")
-	portsList := flag.String("ports", "2,4,8", "read/write port counts to sweep")
+	portsList := flag.String("ports", "2,4,8", "read/write port counts to sweep (each >= 1)")
 	fuList := flag.String("fu", "0", "FP adder+multiplier limits to sweep (0 = dedicated)")
 	memList := flag.String("mem", "spm", "memory kinds to sweep: spm,cache")
+	jobs := flag.Int("jobs", 0, "parallel simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "result-cache directory (e.g. results/cache); empty disables caching")
+	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
+	dumpStats := flag.Bool("stats", false, "dump campaign counters to stderr at the end")
 	flag.Parse()
 
 	p := kernels.Small
@@ -49,19 +70,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
-	ports, err := parseInts(*portsList)
+	ports, err := parseInts(*portsList, "port count", 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fus, err := parseInts(*fuList)
+	fus, err := parseInts(*fuList, "FU limit", 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Println("kernel,memory,fu_limit,ports,cycles,time_us,power_mw,datapath_mw,area_um2")
+	// Build the job list in output order; config errors (unknown memory
+	// kind) are rejected here, before any simulation runs.
+	type point struct {
+		mem      string
+		fu, port int
+	}
+	var pts []point
+	var jobSpecs []campaign.Job
+	kkey := fmt.Sprintf("%s/preset=%s", k.Name, *preset)
 	for _, memKind := range strings.Split(*memList, ",") {
+		memKind = strings.TrimSpace(memKind)
 		for _, fu := range fus {
 			for _, port := range ports {
 				opts := salam.DefaultRunOpts()
@@ -74,7 +104,7 @@ func main() {
 						hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
 					}
 				}
-				switch strings.TrimSpace(memKind) {
+				switch memKind {
 				case "spm":
 					opts.Mem = salam.MemSPM
 				case "cache":
@@ -83,16 +113,60 @@ func main() {
 					fmt.Fprintf(os.Stderr, "unknown memory %q\n", memKind)
 					os.Exit(2)
 				}
-				res, err := salam.RunKernel(k, opts)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				fmt.Printf("%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
-					k.Name, memKind, fu, port, res.Cycles,
-					float64(res.Ticks)/1e6, res.Power.TotalMW(),
-					res.Power.DatapathMW(), res.Power.TotalAreaUM2())
+				pts = append(pts, point{memKind, fu, port})
+				jobSpecs = append(jobSpecs, campaign.Job{
+					ID:        fmt.Sprintf("%s %s fu=%d ports=%d", k.Name, memKind, fu, port),
+					Kernel:    k,
+					KernelKey: kkey,
+					Opts:      opts,
+				})
 			}
 		}
+	}
+
+	cfg := campaign.Config{
+		Workers: *jobs,
+		Timeout: *timeout,
+		Stats:   sim.NewGroup("dse"),
+	}
+	if !*quiet {
+		cfg.Progress = campaign.NewWriterReporter(os.Stderr)
+	}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Cache = cache
+	}
+
+	outcomes := campaign.Run(context.Background(), cfg, jobSpecs)
+
+	// A failed point becomes an error row and a stderr warning; the sweep
+	// still finishes and reports every other point, then exits non-zero.
+	fmt.Println("kernel,memory,fu_limit,ports,cycles,time_us,power_mw,datapath_mw,area_um2")
+	failed := 0
+	for i, o := range outcomes {
+		pt := pts[i]
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "warning: %s: %v\n", o.Job.ID, o.Err)
+			msg := strings.NewReplacer(",", ";", "\n", " ").Replace(o.Err.Error())
+			fmt.Printf("%s,%s,%d,%d,error,%s\n", k.Name, pt.mem, pt.fu, pt.port, msg)
+			continue
+		}
+		m := o.Metrics
+		fmt.Printf("%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
+			k.Name, pt.mem, pt.fu, pt.port, m.Cycles,
+			float64(m.Ticks)/1e6, m.Power.TotalMW(),
+			m.Power.DatapathMW(), m.Power.TotalAreaUM2())
+	}
+	if *dumpStats {
+		cfg.Stats.Dump(os.Stderr)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d points failed\n", failed, len(outcomes))
+		os.Exit(1)
 	}
 }

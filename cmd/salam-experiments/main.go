@@ -24,8 +24,11 @@ func main() {
 	scale := flag.String("scale", "smoke", "workload scale: smoke or full")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSVs")
 	outFile := flag.String("o", "", "write markdown to this file instead of stdout")
+	jobs := flag.Int("jobs", 0, "parallel simulations for the DSE sweeps (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	experiments.SetWorkers(*jobs)
 
 	if *list {
 		for _, r := range experiments.AllRunners() {

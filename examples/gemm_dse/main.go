@@ -3,15 +3,23 @@
 // power/performance points plus the Pareto frontier — the workflow of the
 // paper's Figs. 13-15.
 //
+// The 16 sweep points are independent simulations, so they run through
+// the campaign engine (internal/campaign): all cores by default, per-job
+// progress on stderr, and results back in submission order so the table
+// prints exactly as the serial loop would.
+//
 //	go run ./examples/gemm_dse
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	salam "gosalam"
+	"gosalam/internal/campaign"
 	"gosalam/kernels"
 )
 
@@ -25,7 +33,14 @@ type point struct {
 
 func main() {
 	k := kernels.GEMMTree(8)
-	var pts []point
+	probe := func(res *salam.Result) map[string]float64 {
+		return map[string]float64{
+			"fpmul_occ": res.Acc.FUOccupancy(salam.FUFPMultiplier),
+			"stalled":   res.Acc.StallCycles.Value() / res.Acc.ActiveCycles.Value(),
+		}
+	}
+	var grid []point
+	var jobs []campaign.Job
 	for _, fu := range []int{2, 4, 8, 16} {
 		for _, ports := range []int{2, 4, 8, 16} {
 			opts := salam.DefaultRunOpts()
@@ -36,18 +51,33 @@ func main() {
 			opts.Accel.FULimits = map[salam.FUClass]int{
 				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
 			}
-			res, err := salam.RunKernel(k, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			pts = append(pts, point{
-				fu: fu, ports: ports,
-				timeUS:    float64(res.Ticks) / 1e6,
-				powerMW:   res.Power.TotalMW(),
-				occupancy: res.Acc.FUOccupancy(salam.FUFPMultiplier),
-				stalled:   res.Acc.StallCycles.Value() / res.Acc.ActiveCycles.Value(),
+			grid = append(grid, point{fu: fu, ports: ports})
+			jobs = append(jobs, campaign.Job{
+				ID:        fmt.Sprintf("gemm fu=%d ports=%d", fu, ports),
+				Kernel:    k,
+				KernelKey: "gemm_tree/n=8",
+				Opts:      opts,
+				Probe:     probe,
+				ProbeKey:  "gemm_dse/v1",
 			})
 		}
+	}
+
+	outcomes := campaign.Run(context.Background(), campaign.Config{
+		Progress: campaign.NewWriterReporter(os.Stderr),
+	}, jobs)
+	if err := campaign.FirstError(outcomes); err != nil {
+		log.Fatal(err)
+	}
+
+	var pts []point
+	for i, o := range outcomes {
+		p := grid[i]
+		p.timeUS = float64(o.Metrics.Ticks) / 1e6
+		p.powerMW = o.Metrics.Power.TotalMW()
+		p.occupancy = o.Metrics.Extra["fpmul_occ"]
+		p.stalled = o.Metrics.Extra["stalled"]
+		pts = append(pts, p)
 	}
 
 	fmt.Println("fp_units  ports  time_us  power_mw  fpmul_occ  stalled")

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	salam "gosalam"
+)
+
+// cacheSchema versions the on-disk entry layout; bump to invalidate every
+// entry after an incompatible Metrics change.
+const cacheSchema = 1
+
+// keyDoc is the canonical content of a cache key. encoding/json writes map
+// keys in sorted order, so marshaling this struct is a canonical encoding:
+// equal jobs hash equal, regardless of map iteration order.
+type keyDoc struct {
+	Schema int           `json:"schema"`
+	Kernel string        `json:"kernel"`
+	Probe  string        `json:"probe,omitempty"`
+	Opts   salam.RunOpts `json:"opts"`
+}
+
+// JobKey returns the job's content-addressed cache key: the hex SHA-256 of
+// the canonical JSON of kernel identity + probe version + run options.
+func JobKey(job Job) (string, error) {
+	name := job.KernelKey
+	if name == "" && job.Kernel != nil {
+		name = job.Kernel.Name
+	}
+	if name == "" {
+		return "", errors.New("job has neither KernelKey nor Kernel")
+	}
+	doc, err := json.Marshal(keyDoc{
+		Schema: cacheSchema,
+		Kernel: name,
+		Probe:  job.ProbeKey,
+		Opts:   job.Opts,
+	})
+	if err != nil {
+		return "", fmt.Errorf("canonicalizing job: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// entry is one cache file: the key document for debuggability plus the
+// stored metrics.
+type entry struct {
+	ID      string   `json:"id"`
+	Kernel  string   `json:"kernel"`
+	Probe   string   `json:"probe,omitempty"`
+	Metrics *Metrics `json:"metrics"`
+}
+
+// Cache is a directory-backed, content-addressed store of job metrics.
+// One JSON file per key keeps concurrent access trivial: reads of distinct
+// files never conflict, and writes go through a temp file + rename so a
+// crashed run can never leave a torn entry. A small in-memory memo avoids
+// re-reading files within a campaign; it is guarded for concurrent workers.
+type Cache struct {
+	dir string
+
+	mu   sync.Mutex
+	memo map[string]*Metrics
+}
+
+// OpenCache creates dir if needed and returns a cache over it.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening cache: %w", err)
+	}
+	return &Cache{dir: dir, memo: map[string]*Metrics{}}, nil
+}
+
+// Dir returns the backing directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the stored metrics for key, or false on a miss. Unreadable
+// or corrupt entries count as misses (the job just re-simulates).
+func (c *Cache) Get(key string) (*Metrics, bool) {
+	c.mu.Lock()
+	m, ok := c.memo[key]
+	c.mu.Unlock()
+	if ok {
+		return m, true
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Metrics == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.memo[key] = e.Metrics
+	c.mu.Unlock()
+	return e.Metrics, true
+}
+
+// Put stores metrics under key atomically (temp file + rename).
+func (c *Cache) Put(key string, job Job, m *Metrics) error {
+	e := entry{ID: job.ID, Kernel: job.KernelKey, Probe: job.ProbeKey, Metrics: m}
+	if e.Kernel == "" && job.Kernel != nil {
+		e.Kernel = job.Kernel.Name
+	}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.mu.Lock()
+	c.memo[key] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// Len counts the entries on disk (for tooling and tests).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/kernels"
+)
+
+// countingRunner wraps a fake simulation and counts invocations — the
+// "zero RunKernel calls on a warm cache" hook.
+func countingRunner(calls *atomic.Int32) Runner {
+	return func(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+		calls.Add(1)
+		return &salam.Result{
+			Cycles: uint64(100 + opts.Accel.ReadPorts),
+			Ticks:  sim.Tick(1000 * opts.Accel.ReadPorts),
+		}, nil
+	}
+}
+
+func cacheSweep(k *kernels.Kernel) []Job {
+	var jobs []Job
+	for _, port := range []int{2, 4, 8} {
+		opts := salam.DefaultRunOpts()
+		opts.Accel.ReadPorts = port
+		opts.Accel.WritePorts = port
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("p=%d", port),
+			Kernel:    k,
+			KernelKey: "gemm/n=8",
+			Opts:      opts,
+		})
+	}
+	return jobs
+}
+
+// TestCacheRoundTrip: the second run of an identical sweep performs zero
+// simulations; editing one knob re-simulates only that point.
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.GEMM(8, 1)
+	var calls atomic.Int32
+	cfg := Config{Workers: 2, Cache: cache, Runner: countingRunner(&calls)}
+
+	first := Run(context.Background(), cfg, cacheSweep(k))
+	if err := FirstError(first); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("cold run simulated %d jobs, want 3", got)
+	}
+	if n, err := cache.Len(); err != nil || n != 3 {
+		t.Fatalf("cache has %d entries (err %v), want 3", n, err)
+	}
+
+	// Warm run, fresh Cache handle (no in-memory memo): zero simulations.
+	cache2, err := OpenCache(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls.Store(0)
+	cfg.Cache = cache2
+	second := Run(context.Background(), cfg, cacheSweep(k))
+	if err := FirstError(second); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 0 {
+		t.Fatalf("warm run simulated %d jobs, want 0", got)
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("warm job %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(second[i].Metrics, first[i].Metrics) {
+			t.Fatalf("job %d metrics changed across cache round-trip:\nfirst  %+v\nsecond %+v",
+				i, first[i].Metrics, second[i].Metrics)
+		}
+	}
+
+	// Edit one knob: only the changed point re-simulates.
+	edited := cacheSweep(k)
+	edited[1].Opts.SPMLatency = 5
+	calls.Store(0)
+	third := Run(context.Background(), cfg, edited)
+	if err := FirstError(third); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("edited run simulated %d jobs, want 1", got)
+	}
+	if third[0].Cached != true || third[1].Cached != false || third[2].Cached != true {
+		t.Fatalf("cached flags = %v,%v,%v; want true,false,true",
+			third[0].Cached, third[1].Cached, third[2].Cached)
+	}
+}
+
+// TestCacheRealSimulation: metrics survive the JSON round-trip exactly for
+// a real simulation — floats must render identically on a warm run.
+func TestCacheRealSimulation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.GEMM(8, 1)
+	job := Job{
+		ID: "real", Kernel: k, KernelKey: "gemm/n=8", Opts: salam.DefaultRunOpts(),
+		Probe: func(res *salam.Result) map[string]float64 {
+			return map[string]float64{"stall": res.Acc.StallCycles.Value()}
+		},
+		ProbeKey: "test/v1",
+	}
+	cfg := Config{Workers: 1, Cache: cache}
+	cold := Run(context.Background(), cfg, []Job{job})
+	if err := FirstError(cold); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := OpenCache(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cache2
+	warm := Run(context.Background(), cfg, []Job{job})
+	if err := FirstError(warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm[0].Cached {
+		t.Fatal("second run was not a cache hit")
+	}
+	if !reflect.DeepEqual(cold[0].Metrics, warm[0].Metrics) {
+		t.Fatalf("metrics changed across disk round-trip:\ncold %+v\nwarm %+v",
+			cold[0].Metrics, warm[0].Metrics)
+	}
+}
+
+// TestJobKeyCanonical: keys ignore map insertion order but track every
+// semantic knob (kernel identity, probe version, options).
+func TestJobKeyCanonical(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	base := func() Job {
+		opts := salam.DefaultRunOpts()
+		opts.Accel.FULimits = map[hw.FUClass]int{hw.FUFPAdder: 4, hw.FUFPMultiplier: 8}
+		return Job{Kernel: k, KernelKey: "gemm/n=8", Opts: opts}
+	}
+	a := base()
+	b := base()
+	// Same limits, reversed insertion order.
+	b.Opts.Accel.FULimits = map[hw.FUClass]int{}
+	b.Opts.Accel.FULimits[hw.FUFPMultiplier] = 8
+	b.Opts.Accel.FULimits[hw.FUFPAdder] = 4
+	ka, err := JobKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := JobKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("map insertion order changed the key: %s vs %s", ka, kb)
+	}
+
+	for name, mutate := range map[string]func(*Job){
+		"kernel":  func(j *Job) { j.KernelKey = "gemm/n=16" },
+		"probe":   func(j *Job) { j.ProbeKey = "v2" },
+		"ports":   func(j *Job) { j.Opts.Accel.ReadPorts++ },
+		"seed":    func(j *Job) { j.Opts.Seed++ },
+		"mem":     func(j *Job) { j.Opts.Mem = salam.MemCache },
+		"fulimit": func(j *Job) { j.Opts.Accel.FULimits[hw.FUFPAdder] = 5 },
+	} {
+		j := base()
+		mutate(&j)
+		kj, err := JobKey(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kj == ka {
+			t.Fatalf("changing %s did not change the key", name)
+		}
+	}
+
+	// A job with neither KernelKey nor Kernel cannot be keyed.
+	if _, err := JobKey(Job{}); err == nil {
+		t.Fatal("JobKey accepted an unidentifiable job")
+	}
+	// KernelKey absent falls back to the kernel name.
+	named, err := JobKey(Job{Kernel: k, Opts: salam.DefaultRunOpts()})
+	if err != nil || named == "" {
+		t.Fatalf("fallback keying failed: %q, %v", named, err)
+	}
+}
+
+// TestCacheCorruptEntry: a torn or garbage entry is a miss, not an error.
+func TestCacheCorruptEntry(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.GEMM(8, 1)
+	job := Job{ID: "x", Kernel: k, KernelKey: "gemm/n=8", Opts: salam.DefaultRunOpts()}
+	key, err := JobKey(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cache.Dir(), key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	var calls atomic.Int32
+	out := Run(context.Background(), Config{Cache: cache, Runner: countingRunner(&calls)}, []Job{job})
+	if err := FirstError(out); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("corrupt entry should force a re-simulation; calls = %d", calls.Load())
+	}
+	// The re-simulation repaired the entry.
+	if _, ok := cache.Get(key); !ok {
+		t.Fatal("entry not rewritten after corruption")
+	}
+}

@@ -1,0 +1,331 @@
+// Package campaign runs many independent accelerator simulations as one
+// batch: the paper's design-space-exploration workflow (Sec. IV-D,
+// Figs. 13-15) is a sweep of hundreds of deterministic single-accelerator
+// runs, and this package owns "run many simulations" as a first-class
+// concern the way a serving stack owns a job queue.
+//
+// The engine is a fixed worker pool draining a job queue. Results flow
+// through a channel into an ordered collector, so Run always returns
+// outcomes in submission order regardless of completion order — a parallel
+// sweep renders byte-identical CSV to a serial one. Each job is fault
+// isolated: a panicking simulation becomes that job's error (not a crashed
+// campaign), and a per-job timeout cancels a runaway via context without
+// sinking its siblings. An optional content-addressed cache persists each
+// job's metrics as JSON keyed by the hash of the kernel identity and run
+// options, so re-running a sweep after editing one knob only simulates the
+// changed points.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/sim"
+	"gosalam/kernels"
+)
+
+// Job is one simulation in a campaign.
+type Job struct {
+	// ID is a human-readable label for progress lines ("fig13 spm fu=4 p=8").
+	ID string
+	// Kernel is the accelerator workload to simulate.
+	Kernel *kernels.Kernel
+	// KernelKey identifies the kernel's construction for cache keying
+	// (name plus size/preset, e.g. "gemm_tree/n=8"). Two jobs with equal
+	// KernelKey and equal Opts must be the same simulation. Empty falls
+	// back to Kernel.Name, which is only safe when the name pins the size.
+	KernelKey string
+	// Opts configures the run; part of the cache key.
+	Opts salam.RunOpts
+	// Timeout overrides Config.Timeout for this job (0 = inherit).
+	Timeout time.Duration
+	// Probe extracts derived metrics from a live result (occupancies,
+	// stall fractions, ...) into Metrics.Extra so they survive caching.
+	// It runs on the worker goroutine right after a successful simulation.
+	Probe func(*salam.Result) map[string]float64
+	// ProbeKey versions the Probe computation in the cache key; bump it
+	// when the probe's meaning changes so stale extras are not replayed.
+	ProbeKey string
+}
+
+// Metrics is the JSON-serializable projection of a run that the cache
+// stores and every sweep consumer reads: core timing/power plus the job
+// probe's derived values.
+type Metrics struct {
+	Cycles uint64            `json:"cycles"`
+	Ticks  sim.Tick          `json:"ticks"`
+	Power  salam.PowerReport `json:"power"`
+	// Extra holds the job Probe's derived metrics (may be nil).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Outcome is one job's result, delivered in submission order.
+type Outcome struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Job echoes the spec that produced this outcome.
+	Job Job
+	// Metrics is non-nil on success (fresh or cached).
+	Metrics *Metrics
+	// Result is the live simulation result; nil on error or cache hit.
+	Result *salam.Result
+	// Err is non-nil when the job failed (simulation error, panic, or
+	// timeout); sibling jobs are unaffected.
+	Err error
+	// Cached marks a cache hit (no simulation ran).
+	Cached bool
+	// Wall is the job's wall-clock time on the worker.
+	Wall time.Duration
+}
+
+// PanicError wraps a panic recovered from a simulation so one crashed job
+// cannot sink the campaign.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %v", e.Value)
+}
+
+// Runner simulates one job; the default wraps salam.RunKernelCtx.
+// Tests inject counting, panicking, or slow runners through Config.Runner.
+type Runner func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Workers sizes the pool (<=0 means GOMAXPROCS).
+	Workers int
+	// Timeout is the default per-job timeout (0 = none).
+	Timeout time.Duration
+	// Cache enables content-addressed result caching (nil = off).
+	Cache *Cache
+	// Progress receives per-job completion events from the collector
+	// goroutine (nil = silent). Events arrive in completion order.
+	Progress Reporter
+	// Stats, when non-nil, gets a "campaign" child group with job
+	// counters wired into the existing sim stats framework.
+	Stats *sim.Group
+	// Runner overrides the simulation function (nil = salam.RunKernelCtx).
+	Runner Runner
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) runner() Runner {
+	if c.Runner != nil {
+		return c.Runner
+	}
+	return func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+		return salam.RunKernelCtx(ctx, k, opts)
+	}
+}
+
+// counters is the campaign-level stat group (updated only on the
+// collector goroutine, so plain sim scalars are safe).
+type counters struct {
+	total, ok, failed, cached *sim.Scalar
+	wallMS                    *sim.Distribution
+}
+
+func newCounters(root *sim.Group) *counters {
+	if root == nil {
+		return nil
+	}
+	g := root.Child("campaign")
+	return &counters{
+		total:  g.Scalar("jobs", "jobs submitted"),
+		ok:     g.Scalar("jobs_ok", "jobs completed successfully"),
+		failed: g.Scalar("jobs_failed", "jobs that errored, panicked, or timed out"),
+		cached: g.Scalar("jobs_cached", "jobs served from the result cache"),
+		wallMS: g.Distribution("job_wall_ms", "per-job wall-clock (ms)"),
+	}
+}
+
+func (c *counters) observe(o Outcome) {
+	if c == nil {
+		return
+	}
+	switch {
+	case o.Err != nil:
+		c.failed.Inc(1)
+	case o.Cached:
+		c.cached.Inc(1)
+		c.ok.Inc(1)
+	default:
+		c.ok.Inc(1)
+	}
+	c.wallMS.Sample(float64(o.Wall) / float64(time.Millisecond))
+}
+
+// Run executes jobs on the worker pool and returns their outcomes in
+// submission order. Run never returns an error itself: per-job failures
+// are recorded in the corresponding Outcome.Err, and FirstError scans for
+// callers that want fail-on-any semantics. Canceling ctx stops feeding new
+// jobs and cancels in-flight ones; their outcomes carry the context error.
+func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outcomes := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes
+	}
+	stats := newCounters(cfg.Stats)
+	if stats != nil {
+		stats.total.Set(float64(len(jobs)))
+	}
+	if cfg.Progress != nil {
+		cfg.Progress.Start(len(jobs))
+	}
+
+	type item struct {
+		idx int
+		job Job
+	}
+	work := make(chan item)
+	results := make(chan Outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				results <- runJob(ctx, cfg, it.idx, it.job)
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i, j := range jobs {
+			select {
+			case work <- item{i, j}:
+			case <-ctx.Done():
+				// Unsubmitted jobs fail with the context error so the
+				// caller can tell "not run" from "ran and failed".
+				for k := i; k < len(jobs); k++ {
+					results <- Outcome{Index: k, Job: jobs[k], Err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ordered collector: outcomes land by index; progress and stats see
+	// them in completion order on this single goroutine. Exactly one
+	// outcome arrives per job (from a worker, or from the feeder for jobs
+	// never submitted after a cancel), and results closes after the last.
+	done := 0
+	for o := range results {
+		outcomes[o.Index] = o
+		done++
+		stats.observe(o)
+		if cfg.Progress != nil {
+			cfg.Progress.JobDone(o, done, len(jobs))
+		}
+	}
+	if cfg.Progress != nil {
+		cfg.Progress.Finish()
+	}
+	return outcomes
+}
+
+// runJob executes one job with cache lookup, panic recovery, and timeout.
+func runJob(ctx context.Context, cfg Config, idx int, job Job) (out Outcome) {
+	start := time.Now()
+	out = Outcome{Index: idx, Job: job}
+	defer func() { out.Wall = time.Since(start) }()
+
+	var key string
+	if cfg.Cache != nil {
+		var err error
+		key, err = JobKey(job)
+		if err != nil {
+			out.Err = fmt.Errorf("campaign: keying job %q: %w", job.ID, err)
+			return out
+		}
+		if m, ok := cfg.Cache.Get(key); ok {
+			out.Metrics = m
+			out.Cached = true
+			return out
+		}
+	}
+
+	jctx := ctx
+	timeout := job.Timeout
+	if timeout == 0 {
+		timeout = cfg.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := runIsolated(jctx, cfg.runner(), job)
+	if err != nil {
+		// Attribute timeouts precisely: the simulation reports a generic
+		// cancel, the deadline is the campaign's.
+		if jctx.Err() != nil && ctx.Err() == nil {
+			err = fmt.Errorf("campaign: job %q: %w", job.ID, jctx.Err())
+		}
+		out.Err = err
+		return out
+	}
+	out.Result = res
+	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power}
+	if job.Probe != nil {
+		m.Extra = job.Probe(res)
+	}
+	out.Metrics = m
+	if cfg.Cache != nil {
+		if err := cfg.Cache.Put(key, job, m); err != nil {
+			// A cache write failure degrades to "not cached", it does not
+			// fail the job; surface it through the progress reporter.
+			out.Err = nil
+			if cfg.Progress != nil {
+				cfg.Progress.Warn(fmt.Sprintf("cache write for %q failed: %v", job.ID, err))
+			}
+		}
+	}
+	return out
+}
+
+// runIsolated invokes the runner with panic recovery.
+func runIsolated(ctx context.Context, run Runner, job Job) (res *salam.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			res, err = nil, &PanicError{Value: r, Stack: buf}
+		}
+	}()
+	return run(ctx, job.Kernel, job.Opts)
+}
+
+// FirstError returns the first failed outcome's error in submission order
+// (nil when every job succeeded) — the fail-fast view for callers like the
+// experiments, which abort a whole table on any failed point.
+func FirstError(outcomes []Outcome) error {
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("job %d (%s): %w", o.Index, o.Job.ID, o.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/hw"
+	"gosalam/internal/sim"
+	"gosalam/kernels"
+)
+
+// sweepJobs builds a small real GEMM sweep (ports × FU limits).
+func sweepJobs(t testing.TB) []Job {
+	t.Helper()
+	k := kernels.GEMM(8, 1)
+	var jobs []Job
+	for _, fu := range []int{0, 2} {
+		for _, port := range []int{2, 4} {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ReadPorts = port
+			opts.Accel.WritePorts = port
+			opts.Accel.MaxOutstanding = 2 * port
+			opts.SPMPortsPer = port
+			if fu > 0 {
+				opts.Accel.FULimits = map[hw.FUClass]int{
+					hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
+				}
+			}
+			jobs = append(jobs, Job{
+				ID:        fmt.Sprintf("gemm fu=%d p=%d", fu, port),
+				Kernel:    k,
+				KernelKey: "gemm/n=8",
+				Opts:      opts,
+			})
+		}
+	}
+	return jobs
+}
+
+// renderCSV formats outcomes exactly the way cmd/salam-dse does, so the
+// test asserts the property users see: parallel sweeps emit the same bytes.
+func renderCSV(t *testing.T, outcomes []Outcome) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("job %d (%s): %v", o.Index, o.Job.ID, o.Err)
+		}
+		m := o.Metrics
+		fmt.Fprintf(&sb, "%s,%d,%.3f,%.3f,%.3f,%.0f\n",
+			o.Job.ID, m.Cycles, float64(m.Ticks)/1e6, m.Power.TotalMW(),
+			m.Power.DatapathMW(), m.Power.TotalAreaUM2())
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminism: a parallel campaign must produce byte-identical
+// output to the serial path for a real GEMM sweep, with outcomes in
+// submission order regardless of completion order.
+func TestParallelDeterminism(t *testing.T) {
+	serial := Run(context.Background(), Config{Workers: 1}, sweepJobs(t))
+	parallel := Run(context.Background(), Config{Workers: 8}, sweepJobs(t))
+	got, want := renderCSV(t, parallel), renderCSV(t, serial)
+	if got != want {
+		t.Fatalf("parallel CSV differs from serial:\n--- serial\n%s--- parallel\n%s", want, got)
+	}
+	for i, o := range parallel {
+		if o.Index != i {
+			t.Fatalf("outcome %d has index %d", i, o.Index)
+		}
+	}
+}
+
+// fakeResult builds a minimal live result for injected runners.
+func fakeResult(cycles uint64) *salam.Result {
+	return &salam.Result{Cycles: cycles, Ticks: sim.Tick(cycles) * 10}
+}
+
+// TestSubmissionOrder: completion order is scrambled by per-job delays;
+// outcomes must still come back in submission order.
+func TestSubmissionOrder(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("j%d", i), Kernel: k})
+	}
+	// Delays keyed off a shared counter: first-claimed jobs sleep longest,
+	// so completion order is roughly the reverse of submission order.
+	var claimed atomic.Int32
+	out := Run(context.Background(), Config{
+		Workers: 4,
+		Runner: func(ctx context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			n := claimed.Add(1)
+			time.Sleep(time.Duration(50-5*n) * time.Millisecond)
+			return fakeResult(uint64(opts.Seed)), nil
+		},
+	}, withSeeds(jobs))
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Metrics.Cycles != uint64(i+1) {
+			t.Fatalf("outcome %d carries job seed %d, want %d", i, o.Metrics.Cycles, i+1)
+		}
+	}
+}
+
+func withSeeds(jobs []Job) []Job {
+	for i := range jobs {
+		jobs[i].Opts.Seed = int64(i + 1)
+	}
+	return jobs
+}
+
+// TestPanicIsolation: one panicking job becomes that job's error; siblings
+// complete normally and campaign counters record the split.
+func TestPanicIsolation(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	jobs := []Job{
+		{ID: "ok-0", Kernel: k, Opts: salam.RunOpts{Seed: 1}},
+		{ID: "boom", Kernel: k, Opts: salam.RunOpts{Seed: 2}},
+		{ID: "ok-2", Kernel: k, Opts: salam.RunOpts{Seed: 3}},
+	}
+	stats := sim.NewGroup("test")
+	out := Run(context.Background(), Config{
+		Workers: 2,
+		Stats:   stats,
+		Runner: func(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			if opts.Seed == 2 {
+				panic("simulated engine bug")
+			}
+			return fakeResult(uint64(opts.Seed)), nil
+		},
+	}, jobs)
+
+	var pe *PanicError
+	if !errors.As(out[1].Err, &pe) {
+		t.Fatalf("job 1 error = %v, want PanicError", out[1].Err)
+	}
+	if !strings.Contains(pe.Error(), "simulated engine bug") {
+		t.Fatalf("panic error %q lost the panic value", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error has no stack")
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil || out[i].Metrics == nil {
+			t.Fatalf("sibling job %d affected by panic: %+v", i, out[i])
+		}
+	}
+	if v, ok := stats.Lookup("test.campaign.jobs_failed"); !ok || v != 1 {
+		t.Fatalf("jobs_failed = %v, want 1", v)
+	}
+	if v, ok := stats.Lookup("test.campaign.jobs_ok"); !ok || v != 2 {
+		t.Fatalf("jobs_ok = %v, want 2", v)
+	}
+}
+
+// TestTimeoutIsolation: a job that exceeds its timeout fails with
+// DeadlineExceeded while siblings complete.
+func TestTimeoutIsolation(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	jobs := []Job{
+		{ID: "fast", Kernel: k, Opts: salam.RunOpts{Seed: 1}},
+		{ID: "runaway", Kernel: k, Opts: salam.RunOpts{Seed: 2}, Timeout: 20 * time.Millisecond},
+		{ID: "fast-2", Kernel: k, Opts: salam.RunOpts{Seed: 3}},
+	}
+	out := Run(context.Background(), Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			if opts.Seed == 2 {
+				<-ctx.Done() // a runaway that only stops when killed
+				return nil, ctx.Err()
+			}
+			return fakeResult(uint64(opts.Seed)), nil
+		},
+	}, jobs)
+	if !errors.Is(out[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("runaway error = %v, want DeadlineExceeded", out[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil {
+			t.Fatalf("sibling job %d affected by timeout: %v", i, out[i].Err)
+		}
+	}
+}
+
+// TestRunKernelCtxTimeout: the real engine stops cooperatively when its
+// context expires mid-simulation — no goroutine is left simulating.
+func TestRunKernelCtxTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	// Big enough that the deadline fires mid-run on any machine.
+	_, err := salam.RunKernelCtx(ctx, kernels.GEMM(8, 1), salam.DefaultRunOpts())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCampaignCancel: canceling the campaign context fails remaining jobs
+// with the context error instead of hanging.
+func TestCampaignCancel(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("j%d", i), Kernel: k, Opts: salam.RunOpts{Seed: int64(i)}})
+	}
+	var started atomic.Int32
+	out := Run(ctx, Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, _ *kernels.Kernel, _ salam.RunOpts) (*salam.Result, error) {
+			if started.Add(1) == 2 {
+				cancel()
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return fakeResult(1), nil
+		},
+	}, jobs)
+	canceled := 0
+	for _, o := range out {
+		if errors.Is(o.Err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no job observed the cancellation")
+	}
+	if err := FirstError(out); err == nil {
+		t.Fatal("FirstError = nil on a canceled campaign")
+	}
+}
+
+// TestProgressReporter: per-job lines carry done/total, status, and the
+// summary counts cached/failed jobs.
+func TestProgressReporter(t *testing.T) {
+	var sb strings.Builder
+	base := time.Unix(1000, 0)
+	tick := 0
+	r := NewWriterReporter(&sb)
+	r.now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	}
+	r.Start(2)
+	r.JobDone(Outcome{Index: 0, Job: Job{ID: "a"}, Metrics: &Metrics{}}, 1, 2)
+	r.JobDone(Outcome{Index: 1, Job: Job{ID: "b"}, Err: errors.New("boom")}, 2, 2)
+	r.Warn("disk full")
+	r.Finish()
+	outStr := sb.String()
+	for _, want := range []string{"2 jobs", "[1/2] a", "[2/2] b", "FAIL: boom", "warning: disk full", "1 failed"} {
+		if !strings.Contains(outStr, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, outStr)
+		}
+	}
+}
+
+// TestEmptyCampaign: zero jobs is a no-op, not a hang.
+func TestEmptyCampaign(t *testing.T) {
+	out := Run(context.Background(), Config{Workers: 4}, nil)
+	if len(out) != 0 {
+		t.Fatalf("got %d outcomes for 0 jobs", len(out))
+	}
+}

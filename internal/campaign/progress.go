@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Reporter receives campaign progress. All methods are called from the
+// single collector goroutine (JobDone in completion order), except Warn,
+// which workers may call concurrently; implementations that buffer state
+// only need to guard what Warn touches.
+type Reporter interface {
+	// Start announces the campaign size before any job completes.
+	Start(total int)
+	// JobDone reports one finished job; done counts completions so far.
+	JobDone(o Outcome, done, total int)
+	// Warn surfaces a non-fatal campaign problem (e.g. a cache write
+	// failure). May be called from any worker goroutine.
+	Warn(msg string)
+	// Finish is called once after the last job.
+	Finish()
+}
+
+// WriterReporter streams per-job status lines — done/total, job id,
+// disposition, throughput and ETA — to w (normally stderr, keeping stdout
+// byte-identical to a serial sweep).
+type WriterReporter struct {
+	W io.Writer
+	// Quiet suppresses per-job lines, keeping only warnings and the
+	// final summary (for big campaigns where 1 line/job is noise).
+	Quiet bool
+
+	start  time.Time
+	failed int
+	cached int
+
+	// now is stubbed in tests for deterministic throughput/ETA text.
+	now func() time.Time
+}
+
+// NewWriterReporter reports to w.
+func NewWriterReporter(w io.Writer) *WriterReporter {
+	return &WriterReporter{W: w, now: time.Now}
+}
+
+func (r *WriterReporter) clock() time.Time {
+	if r.now == nil {
+		r.now = time.Now
+	}
+	return r.now()
+}
+
+// Start implements Reporter.
+func (r *WriterReporter) Start(total int) {
+	r.start = r.clock()
+	fmt.Fprintf(r.W, "campaign: %d jobs\n", total)
+}
+
+// JobDone implements Reporter.
+func (r *WriterReporter) JobDone(o Outcome, done, total int) {
+	status := "ok"
+	switch {
+	case o.Err != nil:
+		status = "FAIL: " + o.Err.Error()
+		r.failed++
+	case o.Cached:
+		status = "cached"
+		r.cached++
+	}
+	if r.Quiet {
+		return
+	}
+	elapsed := r.clock().Sub(r.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	rate := float64(done) / elapsed
+	eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+	id := o.Job.ID
+	if id == "" {
+		id = fmt.Sprintf("job %d", o.Index)
+	}
+	fmt.Fprintf(r.W, "campaign: [%d/%d] %-40s %s (%.0fms)  %.1f jobs/s eta %s\n",
+		done, total, id, status, float64(o.Wall)/float64(time.Millisecond),
+		rate, eta.Round(time.Second))
+}
+
+// Warn implements Reporter.
+func (r *WriterReporter) Warn(msg string) {
+	fmt.Fprintf(r.W, "campaign: warning: %s\n", msg)
+}
+
+// Finish implements Reporter.
+func (r *WriterReporter) Finish() {
+	fmt.Fprintf(r.W, "campaign: done in %s (%d cached, %d failed)\n",
+		r.clock().Sub(r.start).Round(time.Millisecond), r.cached, r.failed)
+}

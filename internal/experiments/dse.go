@@ -1,13 +1,36 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	salam "gosalam"
+	"gosalam/internal/campaign"
 	"gosalam/internal/hw"
 	"gosalam/kernels"
 )
+
+// campaignWorkers sizes the DSE worker pool (0 = GOMAXPROCS); see
+// SetWorkers.
+var campaignWorkers int
+
+// SetWorkers sets the parallelism for the DSE sweeps (Figs. 13-15).
+// n <= 0 restores the default (GOMAXPROCS). Table output is byte-identical
+// at any setting; the campaign engine returns results in submission order.
+func SetWorkers(n int) { campaignWorkers = n }
+
+// runCampaign drains jobs through the campaign engine, failing the whole
+// experiment on the first failed point (in submission order) — the same
+// semantics the serial loops had, minus the pile of already-simulated
+// siblings being thrown away.
+func runCampaign(jobs []campaign.Job) ([]campaign.Outcome, error) {
+	out := campaign.Run(context.Background(), campaign.Config{Workers: campaignWorkers}, jobs)
+	if err := campaign.FirstError(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // gemmFor returns the DSE GEMM: inner loop fully unrolled into an adder
 // tree, so the datapath is 2n loads wide (the paper's 64-wide datapath at
@@ -20,8 +43,8 @@ func gemmFor(s Scale) (*kernels.Kernel, int) {
 	return kernels.GEMMTree(n), n
 }
 
-// runGEMM runs the DSE GEMM with the given knobs.
-func runGEMM(k *kernels.Kernel, ports, fuAdd, fuMul int, memKind salam.MemKind) (*salam.Result, error) {
+// gemmOpts builds the run options for one DSE GEMM point.
+func gemmOpts(ports, fuAdd, fuMul int, memKind salam.MemKind) salam.RunOpts {
 	opts := salam.DefaultRunOpts()
 	opts.Mem = memKind
 	opts.Accel.ReadPorts = ports
@@ -39,12 +62,31 @@ func runGEMM(k *kernels.Kernel, ports, fuAdd, fuMul int, memKind salam.MemKind) 
 			opts.Accel.FULimits[hw.FUFPMultiplier] = fuMul
 		}
 	}
-	return salam.RunKernel(k, opts)
+	return opts
+}
+
+// gemmJob is one DSE GEMM campaign job.
+func gemmJob(k *kernels.Kernel, n, ports, fuAdd, fuMul int, memKind salam.MemKind,
+	probe func(*salam.Result) map[string]float64, probeKey string) campaign.Job {
+	mem := "spm"
+	if memKind == salam.MemCache {
+		mem = "cache"
+	}
+	return campaign.Job{
+		ID:        fmt.Sprintf("gemm%d %s fu=%d/%d p=%d", n, mem, fuAdd, fuMul, ports),
+		Kernel:    k,
+		KernelKey: fmt.Sprintf("gemm_tree/n=%d", n),
+		Opts:      gemmOpts(ports, fuAdd, fuMul, memKind),
+		Probe:     probe,
+		ProbeKey:  probeKey,
+	}
 }
 
 // Fig13 reproduces Fig. 13: the GEMM power/performance Pareto sweep over
 // functional-unit allocations and memory bandwidth, in three series:
-// datapath-only, datapath+SPM, datapath+cache.
+// datapath-only, datapath+SPM, datapath+cache. Each (FU, ports) point is
+// two independent simulations (SPM and cache), all submitted to the
+// campaign engine and rendered in submission order.
 func Fig13(s Scale) (*Table, error) {
 	k, n := gemmFor(s)
 	fus := []int{2, 4, 8, 16}
@@ -58,22 +100,32 @@ func Fig13(s Scale) (*Table, error) {
 		Title:  fmt.Sprintf("GEMM (%d³, inner fully unrolled) design-space Pareto sweep", n),
 		Header: []string{"Series", "FP units", "R/W ports", "Exec time (µs)", "Power (mW)"},
 	}
+	cacheProbe := func(res *salam.Result) map[string]float64 {
+		return map[string]float64{"cache_power_mw": cachePowerMW(res)}
+	}
+	var jobs []campaign.Job
 	for _, fu := range fus {
 		for _, p := range ports {
-			res, err := runGEMM(k, p, fu, fu, salam.MemSPM)
-			if err != nil {
-				return nil, err
-			}
-			us := float64(res.Ticks) / 1e6
-			t.AddRow("datapath", itoa(fu), itoa(p), f2(us), f2(res.Power.DatapathMW()))
-			t.AddRow("datapath+spm", itoa(fu), itoa(p), f2(us), f2(res.Power.TotalMW()))
+			jobs = append(jobs,
+				gemmJob(k, n, p, fu, fu, salam.MemSPM, nil, ""),
+				gemmJob(k, n, p, fu, fu, salam.MemCache, cacheProbe, "fig13/v1"))
+		}
+	}
+	out, err := runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, fu := range fus {
+		for _, p := range ports {
+			m, cm := out[i].Metrics, out[i+1].Metrics
+			i += 2
+			us := float64(m.Ticks) / 1e6
+			t.AddRow("datapath", itoa(fu), itoa(p), f2(us), f2(m.Power.DatapathMW()))
+			t.AddRow("datapath+spm", itoa(fu), itoa(p), f2(us), f2(m.Power.TotalMW()))
 
-			cres, err := runGEMM(k, p, fu, fu, salam.MemCache)
-			if err != nil {
-				return nil, err
-			}
-			cus := float64(cres.Ticks) / 1e6
-			cachePower := cres.Power.DatapathMW() + cachePowerMW(cres)
+			cus := float64(cm.Ticks) / 1e6
+			cachePower := cm.Power.DatapathMW() + cm.Extra["cache_power_mw"]
 			t.AddRow("datapath+cache", itoa(fu), itoa(p), f2(cus), f2(cachePower))
 		}
 	}
@@ -97,6 +149,32 @@ func cachePowerMW(res *salam.Result) float64 {
 	return dyn + c.LeakageMW()
 }
 
+// fig14Probe captures the stall-analysis metrics while the result is live.
+func fig14Probe(res *salam.Result) map[string]float64 {
+	a := res.Acc
+	// Blocking-resource mix: loads alone, loads+stores together, rest.
+	loadsOnly, loadsStores, other := 0.0, 0.0, 0.0
+	for _, key := range a.HazardKinds.Keys() {
+		v := a.HazardKinds.Get(key)
+		switch {
+		case key == "load_ports":
+			loadsOnly += v
+		case strings.Contains(key, "load_ports") && strings.Contains(key, "store_ports"):
+			loadsStores += v
+		default:
+			other += v
+		}
+	}
+	return map[string]float64{
+		"active":       a.ActiveCycles.Value(),
+		"hazard":       a.HazardCycles.Value(),
+		"exec":         a.NewExecCycles.Value(),
+		"loads_only":   loadsOnly,
+		"loads_stores": loadsStores,
+		"other":        other,
+	}
+}
+
 // Fig14 reproduces Fig. 14: GEMM stall analysis over the read/write-port
 // sweep — (a) stalled vs new-execution cycles, (b) the stall-source
 // breakdown.
@@ -112,31 +190,22 @@ func Fig14(s Scale) (*Table, error) {
 		Header: []string{"R/W ports", "Cycles", "% cycles stalled (ready op blocked)",
 			"% new execution", "blocked on: loads", "blocked on: loads+stores", "blocked on: other"},
 	}
+	var jobs []campaign.Job
 	for _, p := range ports {
-		res, err := runGEMM(k, p, 0, 0, salam.MemSPM)
-		if err != nil {
-			return nil, err
-		}
-		a := res.Acc
-		active := a.ActiveCycles.Value()
-		hz := a.HazardCycles.Value()
-		execC := a.NewExecCycles.Value()
-		// Blocking-resource mix: loads alone, loads+stores together, rest.
-		loadsOnly, loadsStores, other := 0.0, 0.0, 0.0
-		for _, key := range a.HazardKinds.Keys() {
-			v := a.HazardKinds.Get(key)
-			switch {
-			case key == "load_ports":
-				loadsOnly += v
-			case strings.Contains(key, "load_ports") && strings.Contains(key, "store_ports"):
-				loadsStores += v
-			default:
-				other += v
-			}
-		}
-		t.AddRow(itoa(p), u64(res.Cycles),
-			pct(hz/active), pct(execC/active),
-			pct(safeFrac(loadsOnly, hz)), pct(safeFrac(loadsStores, hz)), pct(safeFrac(other, hz)))
+		jobs = append(jobs, gemmJob(k, n, p, 0, 0, salam.MemSPM, fig14Probe, "fig14/v1"))
+	}
+	out, err := runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range ports {
+		m := out[i].Metrics
+		x := m.Extra
+		active, hz := x["active"], x["hazard"]
+		t.AddRow(itoa(p), u64(m.Cycles),
+			pct(hz/active), pct(x["exec"]/active),
+			pct(safeFrac(x["loads_only"], hz)), pct(safeFrac(x["loads_stores"], hz)),
+			pct(safeFrac(x["other"], hz)))
 	}
 	t.Note("Paper Fig. 14: execution time halves with each port doubling and saturates "+
 		"at the datapath width (%d here); blocked cycles shrink with bandwidth and are "+
@@ -149,6 +218,27 @@ func safeFrac(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// fig15Probe captures the co-design metrics while the result is live.
+func fig15Probe(res *salam.Result) map[string]float64 {
+	a := res.Acc
+	loads := a.IssuedByClass.Get("load")
+	stores := a.IssuedByClass.Get("store")
+	fp := a.IssuedByClass.Get(hw.FUFPAdder.String()) +
+		a.IssuedByClass.Get(hw.FUFPMultiplier.String())
+	return map[string]float64{
+		"active":     a.ActiveCycles.Value(),
+		"stall":      a.StallCycles.Value(),
+		"exec":       a.NewExecCycles.Value(),
+		"overlap":    a.ActivityFraction(func(l, st, fp bool) bool { return l && st }),
+		"load_only":  a.ActivityFraction(func(l, st, fp bool) bool { return l && !st }),
+		"store_only": a.ActivityFraction(func(l, st, fp bool) bool { return !l && st }),
+		"fpmul_occ":  a.FUOccupancy(hw.FUFPMultiplier),
+		"loads":      loads,
+		"stores":     stores,
+		"fp":         fp,
+	}
 }
 
 // Fig15 reproduces Fig. 15: with FP adders held fixed, the co-design view
@@ -170,29 +260,26 @@ func Fig15(s Scale) (*Table, error) {
 			"FP-mul occupancy", "% loads sched", "% stores sched", "% FP sched",
 			"Cycles", "Datapath power (mW)"},
 	}
+	var jobs []campaign.Job
 	for _, p := range ports {
-		res, err := runGEMM(k, p, fuAdd, 0, salam.MemSPM)
-		if err != nil {
-			return nil, err
-		}
-		a := res.Acc
-		active := a.ActiveCycles.Value()
-		overlap := a.ActivityFraction(func(l, st, fp bool) bool { return l && st })
-		loadOnly := a.ActivityFraction(func(l, st, fp bool) bool { return l && !st })
-		storeOnly := a.ActivityFraction(func(l, st, fp bool) bool { return !l && st })
-		occ := a.FUOccupancy(hw.FUFPMultiplier)
-
-		loads := a.IssuedByClass.Get("load")
-		stores := a.IssuedByClass.Get("store")
-		fp := a.IssuedByClass.Get(hw.FUFPAdder.String()) +
-			a.IssuedByClass.Get(hw.FUFPMultiplier.String())
+		jobs = append(jobs, gemmJob(k, n, p, fuAdd, 0, salam.MemSPM, fig15Probe, "fig15/v1"))
+	}
+	out, err := runCampaign(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range ports {
+		m := out[i].Metrics
+		x := m.Extra
+		active := x["active"]
+		loads, stores, fp := x["loads"], x["stores"], x["fp"]
 		mix := loads + stores + fp
 		t.AddRow(itoa(p),
-			pct(a.StallCycles.Value()/active), pct(a.NewExecCycles.Value()/active),
-			pct(overlap), pct(loadOnly), pct(storeOnly),
-			pct(occ),
+			pct(x["stall"]/active), pct(x["exec"]/active),
+			pct(x["overlap"]), pct(x["load_only"]), pct(x["store_only"]),
+			pct(x["fpmul_occ"]),
 			pct(safeFrac(loads, mix)), pct(safeFrac(stores, mix)), pct(safeFrac(fp, mix)),
-			u64(res.Cycles), f2(res.Power.DatapathMW()))
+			u64(m.Cycles), f2(m.Power.DatapathMW()))
 	}
 	t.Note("Paper Fig. 15: best performance lands where the scheduled op mix approaches " +
 		"GEMM's intrinsic FP-to-memory ratio; FP-multiplier occupancy rises as load/store " +

@@ -143,3 +143,32 @@ func TestFig10ErrorBand(t *testing.T) {
 		t.Fatalf("average timing error %g%% outside credible band", v)
 	}
 }
+
+// TestDSEParallelDeterminism: the campaign-backed DSE sweeps must render
+// byte-identical CSV at any worker count — the ordering guarantee the
+// campaign engine promises its callers.
+func TestDSEParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig13", "fig14", "fig15"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := RunnerByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			SetWorkers(1)
+			serial, err := r.Run(ScaleSmoke)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetWorkers(8)
+			defer SetWorkers(0)
+			parallel, err := r.Run(ScaleSmoke)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := parallel.CSV(), serial.CSV(); got != want {
+				t.Fatalf("parallel CSV differs from serial:\n--- serial\n%s--- parallel\n%s", want, got)
+			}
+		})
+	}
+}

@@ -14,7 +14,9 @@
 package salam
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"gosalam/internal/core"
 	"gosalam/internal/hw"
@@ -131,6 +133,34 @@ type Result struct {
 // completion, verifies the outputs against the kernel's golden model, and
 // reports metrics.
 func RunKernel(k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	return runKernel(k, opts, nil)
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation: when ctx is
+// canceled (or its deadline passes) the event loop stops at the next event
+// boundary and the call returns ctx's error. This is what lets a sweep
+// campaign kill a runaway simulation without leaking a goroutine — the
+// simulation really stops rather than being abandoned.
+func RunKernelCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return runKernel(k, opts, nil)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("salam: %s not started: %w", k.Name, err)
+	}
+	var stop atomic.Bool
+	cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
+	defer cancelWatch()
+	res, err := runKernel(k, opts, &stop)
+	if err != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("salam: %s canceled: %w", k.Name, ctx.Err())
+	}
+	return res, err
+}
+
+// runKernel is the shared implementation; a non-nil stop flag is polled at
+// every event boundary and halts the simulation when set.
+func runKernel(k *kernels.Kernel, opts RunOpts, stop *atomic.Bool) (*Result, error) {
 	profile := opts.Profile
 	if profile == nil {
 		profile = hw.Default40nm()
@@ -181,8 +211,11 @@ func RunKernel(k *kernels.Kernel, opts RunOpts) (*Result, error) {
 	done := false
 	acc.OnDone = func() { done = true }
 	acc.Start(inst.Args)
-	q.RunWhile(func() bool { return !done })
+	q.RunWhile(func() bool { return !done && (stop == nil || !stop.Load()) })
 	if !done {
+		if stop != nil && stop.Load() {
+			return nil, fmt.Errorf("salam: %s canceled", k.Name)
+		}
 		return nil, fmt.Errorf("salam: %s did not finish (deadlock?)", k.Name)
 	}
 	q.Run() // drain trailing events (writebacks etc.)
