@@ -1,12 +1,14 @@
 # gosalam build/test entry points.
 #
-# `make check` is the tier-1 gate: full build + tests, vet, and the race
+# `make check` is the tier-1 gate: full build + tests, vet, the race
 # detector over the repo's concurrency layer (the campaign engine and the
-# experiment sweeps that ride on it).
+# experiment sweeps that ride on it), plus the golden determinism guard
+# and a 1-iteration benchmark smoke so perf regressions that break the
+# harness are caught before a full `make bench` run.
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-campaign
+.PHONY: all build test race vet golden bench-smoke check bench bench-all bench-campaign
 
 all: check
 
@@ -25,9 +27,28 @@ vet:
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/experiments/...
 
-check: build vet test race
+# Golden determinism guard: simulated cycle counts for the committed
+# kernel set must stay byte-identical to testdata/golden_cycles.json.
+# Perf work on the engine hot paths is only legal when this passes.
+golden:
+	$(GO) test -run TestGoldenDeterminism -count=1 .
 
+# One engine iteration end to end, so `check` notices a broken benchmark
+# harness without paying for a full timed run.
+bench-smoke:
+	$(GO) test -bench=BenchmarkEngineGEMM -benchtime=1x -run '^$$' .
+
+check: build vet test race golden bench-smoke
+
+# Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign), recorded as
+# a labeled point in BENCH_engine.json so the repo keeps a perf trajectory.
+# Override the label with `make bench LABEL=my-change`.
+LABEL ?= dev
 bench:
+	$(GO) run ./cmd/salam-bench -label $(LABEL)
+
+# Every benchmark in the suite, one iteration each.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
 # 1-worker vs all-cores sweep wall-time (the campaign speedup).

@@ -86,6 +86,7 @@ func BenchmarkEngineGEMM(b *testing.B) {
 
 func BenchmarkEngineBFS(b *testing.B) {
 	k := kernels.BFS(64, 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := salam.RunKernel(k, salam.DefaultRunOpts()); err != nil {
 			b.Fatal(err)
@@ -105,6 +106,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			opts := salam.DefaultRunOpts()
 			opts.Accel.PipelineLoops = pipe
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				res, err := salam.RunKernel(k, opts)
@@ -138,6 +140,7 @@ func BenchmarkAblationFUReuse(b *testing.B) {
 					salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
 				}
 			}
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				res, err := salam.RunKernel(k, opts)
@@ -162,6 +165,7 @@ func BenchmarkAblationMemOrder(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			opts := salam.DefaultRunOpts()
 			opts.Accel.ConservativeMemOrder = conservative
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				res, err := salam.RunKernel(k, opts)
@@ -205,6 +209,7 @@ func BenchmarkDSECampaign(b *testing.B) {
 	}
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				out := campaign.Run(context.Background(), campaign.Config{Workers: workers}, buildJobs())
 				if err := campaign.FirstError(out); err != nil {

@@ -1,0 +1,167 @@
+// salam-bench records the repo's engine-performance trajectory. It runs the
+// hot-path benchmarks (single-kernel engine throughput for GEMM and BFS,
+// plus the parallel DSE campaign) through testing.Benchmark and appends one
+// labeled point to BENCH_engine.json, so before/after numbers for engine
+// work live in the repo instead of in commit messages.
+//
+// Usage:
+//
+//	go run ./cmd/salam-bench -label pr2-after [-out BENCH_engine.json]
+//
+// Re-running with an existing label replaces that point in place.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/campaign"
+	"gosalam/kernels"
+)
+
+// benchResult is one benchmark's recorded numbers.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimCycles   uint64  `json:"sim_cycles,omitempty"`
+	Iterations  int     `json:"iterations"`
+}
+
+// point is one labeled run of the whole suite.
+type point struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go_version"`
+	MaxProcs   int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+type benchFile struct {
+	Points []point `json:"points"`
+}
+
+func record(br testing.BenchmarkResult, simCycles uint64) benchResult {
+	return benchResult{
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		SimCycles:   simCycles,
+		Iterations:  br.N,
+	}
+}
+
+// engineBench runs one kernel repeatedly through RunKernel.
+func engineBench(k *kernels.Kernel) (testing.BenchmarkResult, uint64) {
+	var cycles uint64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := salam.RunKernel(k, salam.DefaultRunOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+	})
+	return br, cycles
+}
+
+// campaignBench runs the Fig. 13-style 12-point sweep at full parallelism.
+func campaignBench() testing.BenchmarkResult {
+	k := kernels.GEMMTree(8)
+	var jobs []campaign.Job
+	for _, fu := range []int{2, 4, 8, 16} {
+		for _, port := range []int{2, 4, 8} {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
+			opts.Accel.MaxOutstanding = 2 * port
+			opts.SPMPortsPer = port
+			opts.Accel.ResQueueSize = 1024
+			opts.Accel.FULimits = map[salam.FUClass]int{
+				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+			}
+			jobs = append(jobs, campaign.Job{
+				ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
+				Kernel:    k,
+				KernelKey: "gemm_tree/n=8",
+				Opts:      opts,
+			})
+		}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := campaign.Run(context.Background(), campaign.Config{}, jobs)
+			if err := campaign.FirstError(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func main() {
+	label := flag.String("label", "dev", "name for this measurement point")
+	out := flag.String("out", "BENCH_engine.json", "output JSON file (appended/updated in place)")
+	flag.Parse()
+
+	benches := map[string]benchResult{}
+
+	fmt.Fprintf(os.Stderr, "salam-bench: EngineGEMM...\n")
+	br, cycles := engineBench(kernels.GEMM(8, 1))
+	benches["EngineGEMM"] = record(br, cycles)
+	fmt.Fprintf(os.Stderr, "  %s  sim-cycles=%d\n", br.String(), cycles)
+
+	fmt.Fprintf(os.Stderr, "salam-bench: EngineBFS...\n")
+	br, cycles = engineBench(kernels.BFS(64, 4))
+	benches["EngineBFS"] = record(br, cycles)
+	fmt.Fprintf(os.Stderr, "  %s  sim-cycles=%d\n", br.String(), cycles)
+
+	fmt.Fprintf(os.Stderr, "salam-bench: DSECampaign...\n")
+	br = campaignBench()
+	benches["DSECampaign"] = record(br, 0)
+	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
+
+	var f benchFile
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %s corrupt, starting fresh: %v\n", *out, err)
+			f = benchFile{}
+		}
+	}
+	p := point{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Benchmarks: benches,
+	}
+	replaced := false
+	for i := range f.Points {
+		if f.Points[i].Label == *label {
+			f.Points[i] = p
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Points = append(f.Points, p)
+	}
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded point %q in %s\n", *label, *out)
+}

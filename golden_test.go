@@ -1,0 +1,101 @@
+package salam_test
+
+// Golden determinism gate for the simulation engine. Every kernel in
+// kernels.All runs at DefaultRunOpts and its cycle count, total tick count,
+// and fired-event count are compared byte-for-byte against the committed
+// golden file. Any engine change that alters the event-level schedule —
+// not just the final answer — trips this test. Regenerate deliberately with
+//
+//	go test -run TestGoldenDeterminism -update-golden
+//
+// and justify the diff in the commit message.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/kernels"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_cycles.json from the current engine")
+
+const goldenPath = "testdata/golden_cycles.json"
+
+// goldenPoint is one kernel's schedule fingerprint.
+type goldenPoint struct {
+	Cycles      uint64 `json:"cycles"`
+	Ticks       uint64 `json:"ticks"`
+	EventsFired uint64 `json:"events_fired"`
+}
+
+func currentGolden(t *testing.T) []byte {
+	t.Helper()
+	got := map[string]goldenPoint{}
+	for _, k := range kernels.All(kernels.Small) {
+		res, err := salam.RunKernel(k, salam.DefaultRunOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		got[k.Name] = goldenPoint{
+			Cycles:      res.Cycles,
+			Ticks:       uint64(res.Ticks),
+			EventsFired: res.EventsFired,
+		}
+	}
+	// encoding/json emits map keys sorted, so the bytes are canonical.
+	out, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := currentGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden once): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Report the per-kernel drift, not just "bytes differ".
+	var gotM, wantM map[string]goldenPoint
+	if json.Unmarshal(got, &gotM) != nil || json.Unmarshal(want, &wantM) != nil {
+		t.Fatalf("golden mismatch (and undecodable):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	for name, w := range wantM {
+		g, ok := gotM[name]
+		if !ok {
+			t.Errorf("%s: missing from current run", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: got cycles=%d ticks=%d events=%d, want cycles=%d ticks=%d events=%d",
+				name, g.Cycles, g.Ticks, g.EventsFired, w.Cycles, w.Ticks, w.EventsFired)
+		}
+	}
+	for name := range gotM {
+		if _, ok := wantM[name]; !ok {
+			t.Errorf("%s: not in golden file (run -update-golden)", name)
+		}
+	}
+	if !t.Failed() {
+		t.Fatal("golden bytes differ but decoded values match: file needs -update-golden reformat")
+	}
+}

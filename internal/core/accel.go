@@ -58,7 +58,9 @@ type waiter struct {
 }
 
 // dynOp is a dynamic instance of a static op, created when its basic block
-// is imported into the reservation queue.
+// is imported into the reservation queue. Objects are recycled through the
+// accelerator's pool, and their completion callbacks are bound once per
+// object, so steady-state fetch/issue/commit never allocates.
 type dynOp struct {
 	st  *StaticOp
 	seq uint64
@@ -74,20 +76,35 @@ type dynOp struct {
 	state opState
 	val   uint64
 
+	// qi is the op's current index in resQ, kept up to date through
+	// compaction so commit-time wakes can lower the ready watermark.
+	qi int32
+
 	// Memory fields.
 	addr    uint64
 	size    int
 	arrived bool // response received, committing at next edge
+	// buf stages outbound store data; the memory system consumes it before
+	// completion, and the op is not recycled until it commits.
+	buf [8]byte
+
+	// arriveFn marks the op arrived and wakes the engine; readDoneFn
+	// additionally captures load data. Both close over the op once, at
+	// first allocation.
+	arriveFn   func()
+	readDoneFn func([]byte)
 }
 
-func (d *dynOp) isLoad() bool  { return d.st.In.Op == ir.OpLoad }
-func (d *dynOp) isStore() bool { return d.st.In.Op == ir.OpStore }
+func (d *dynOp) isLoad() bool  { return d.st.Load }
+func (d *dynOp) isStore() bool { return d.st.Store }
 
 // defRec tracks the newest definition of a static SSA value: either a
-// committed bit pattern or the dynamic op that will produce it.
+// committed bit pattern or the dynamic op that will produce it. live
+// guards against reading a register never written this invocation.
 type defRec struct {
 	val      uint64
 	producer *dynOp
+	live     bool
 }
 
 // Accelerator is one modeled hardware accelerator: a statically elaborated
@@ -109,10 +126,21 @@ type Accelerator struct {
 	// disambiguation scans only memory traffic instead of the whole
 	// reservation queue.
 	pendingMem []*dynOp
-	lastDef    map[*ir.Instr]*defRec
-	seq        uint64
-	inflight   int
-	argBits    []uint64
+	// lastDef is indexed by producer StaticOp.ID.
+	lastDef  []defRec
+	opPool   []*dynOp
+	seq      uint64
+	inflight int
+	argBits  []uint64
+	// readyCount tracks resQ entries that are waiting with all operands
+	// resolved; readyLow is a lower bound on the smallest such index. The
+	// issue scan starts at the watermark and skips entirely when nothing
+	// is ready.
+	readyCount int
+	readyLow   int
+	// resident counts non-committed resQ entries (the window-check scan
+	// in handleTerminator reduced to a counter).
+	resident int
 	// zeroLatProgress is set when a zero-latency commit or block fetch
 	// happens inside the issue scan: only those events can unlock earlier
 	// queue entries within the same cycle.
@@ -129,12 +157,26 @@ type Accelerator struct {
 	running  bool
 	retBits  uint64
 
-	fuBusy   map[hw.FUClass]int // unpipelined units occupied
-	fuIssued map[hw.FUClass]int // issue slots used this cycle
-	opIssued map[*StaticOp]bool // per-static-op II=1
-	fetches  int                // block fetches this cycle
+	// Per-class counters indexed by hw.FUClass. opStamp implements the
+	// per-static-op II=1 rule: a stamp equal to cycleStamp means the op
+	// already initiated this cycle (no per-cycle map clears).
+	fuBusy     []int // unpipelined units occupied
+	fuIssued   []int // issue slots used this cycle
+	fuTotal    []int // instantiated units (from CDFG.FUTotal)
+	opStamp    []uint64
+	cycleStamp uint64
+	fetches    int // block fetches this cycle
 
 	startCycle uint64
+
+	// Pre-bound stat buckets, lazily resolved at first increment so key
+	// insertion order matches the string-keyed code this replaces.
+	issuedBk       []sim.Bucket // per FU class
+	issuedLoadBk   sim.Bucket
+	issuedStoreBk  sim.Bucket
+	occBk          []sim.Bucket // per FU class
+	stallBk, actBk [8]sim.Bucket
+	hazBk          [16]sim.Bucket
 
 	// Stats.
 	ActiveCycles  *sim.Scalar
@@ -174,12 +216,19 @@ func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 16
 	}
+	nc := hw.NumFUClasses()
 	a := &Accelerator{
 		CDFG: g, Cfg: cfg, Comm: comm,
-		lastDef:  map[*ir.Instr]*defRec{},
-		fuBusy:   map[hw.FUClass]int{},
-		fuIssued: map[hw.FUClass]int{},
-		opIssued: map[*StaticOp]bool{},
+		lastDef:  make([]defRec, g.NumOps),
+		fuBusy:   make([]int, nc),
+		fuIssued: make([]int, nc),
+		fuTotal:  make([]int, nc),
+		opStamp:  make([]uint64, g.NumOps),
+		issuedBk: make([]sim.Bucket, nc),
+		occBk:    make([]sim.Bucket, nc),
+	}
+	for c, n := range g.FUTotal {
+		a.fuTotal[c] = n
 	}
 	comm.ReadPorts = cfg.ReadPorts
 	comm.WritePorts = cfg.WritePorts
@@ -245,8 +294,13 @@ func (a *Accelerator) Start(args []uint64) {
 	a.resQ = a.resQ[:0]
 	a.pendingMem = a.pendingMem[:0]
 	a.inflight = 0
-	a.lastDef = map[*ir.Instr]*defRec{}
-	a.fuBusy = map[hw.FUClass]int{}
+	a.readyCount, a.readyLow, a.resident = 0, 0, 0
+	for i := range a.lastDef {
+		a.lastDef[i] = defRec{}
+	}
+	for i := range a.fuBusy {
+		a.fuBusy[i] = 0
+	}
 	a.argBits = append(a.argBits[:0], args...)
 	a.startCycle = a.Cycles
 	a.Invocations.Inc(1)
@@ -255,26 +309,44 @@ func (a *Accelerator) Start(args []uint64) {
 	a.Activate()
 }
 
-func (a *Accelerator) valueOf(v ir.Value, prev *ir.Block) (bits uint64, producer *dynOp) {
-	if b, ok := ir.ConstBits(v); ok {
-		return b, nil
+// newDynOp takes an op from the pool (or allocates one, binding its
+// completion callbacks for the object's lifetime).
+func (a *Accelerator) newDynOp() *dynOp {
+	if n := len(a.opPool); n > 0 {
+		d := a.opPool[n-1]
+		a.opPool = a.opPool[:n-1]
+		return d
 	}
-	switch vv := v.(type) {
-	case *ir.Global:
-		return vv.Addr, nil
-	case *ir.Param:
-		return a.argBits[vv.Index], nil
-	case *ir.Instr:
-		rec, ok := a.lastDef[vv]
-		if !ok {
-			panic(fmt.Sprintf("core: use of undefined value %%%s", vv.Name))
-		}
-		if rec.producer != nil {
-			return 0, rec.producer
-		}
-		return rec.val, nil
+	d := &dynOp{}
+	d.arriveFn = func() {
+		d.arrived = true
+		a.Activate()
 	}
-	panic("core: unknown value kind")
+	d.readDoneFn = func(data []byte) {
+		var bits uint64
+		switch d.size {
+		case 1:
+			bits = uint64(data[0])
+		case 2:
+			bits = uint64(binary.LittleEndian.Uint16(data))
+		case 4:
+			bits = uint64(binary.LittleEndian.Uint32(data))
+		default:
+			bits = binary.LittleEndian.Uint64(data)
+		}
+		d.val = bits
+		d.arrived = true
+		a.Activate()
+	}
+	return d
+}
+
+// recycle returns a committed op to the pool. Safe at compaction time: its
+// waiters were cleared at commit, lastDef no longer names it as producer,
+// and its completion events (if any) fired before it could commit.
+func (a *Accelerator) recycle(d *dynOp) {
+	d.st = nil
+	a.opPool = append(a.opPool, d)
 }
 
 // fetch imports a basic block into the reservation queue, generating
@@ -283,42 +355,70 @@ func (a *Accelerator) valueOf(v ir.Value, prev *ir.Block) (bits uint64, producer
 func (a *Accelerator) fetch(b *ir.Block, prev *ir.Block) {
 	for _, st := range a.CDFG.BlockOps[b] {
 		in := st.In
-		d := &dynOp{st: st, seq: a.seq}
+		d := a.newDynOp()
+		d.st, d.seq = st, a.seq
 		a.seq++
-		var vals []ir.Value
+		d.state = stWaiting
+		d.arrived = false
+		d.waitingOn = 0
+		srcs := st.Srcs
 		if in.Op == ir.OpPhi {
 			// Resolve the incoming edge now; the mux selects one operand.
-			found := false
-			for k, blk := range in.Blocks {
+			k := -1
+			for j, blk := range in.Blocks {
 				if blk == prev {
-					vals = []ir.Value{in.Args[k]}
-					found = true
+					k = j
 					break
 				}
 			}
-			if !found {
+			if k < 0 {
 				panic(fmt.Sprintf("core: phi %%%s has no incoming from %s", in.Name, prev.Name()))
 			}
-		} else {
-			vals = in.Args
+			srcs = st.PhiSrcs[k : k+1]
 		}
-		d.operands = make([]uint64, len(vals))
-		d.pending = make([]bool, len(vals))
-		for k, v := range vals {
-			bits, prod := a.valueOf(v, prev)
-			if prod != nil {
-				d.waitingOn++
-				d.pending[k] = true
-				prod.waiters = append(prod.waiters, waiter{op: d, idx: k})
-			} else {
-				d.operands[k] = bits
+		n := len(srcs)
+		if cap(d.operands) < n {
+			d.operands = make([]uint64, n)
+			d.pending = make([]bool, n)
+		} else {
+			d.operands = d.operands[:n]
+			d.pending = d.pending[:n]
+		}
+		for k := range srcs {
+			s := &srcs[k]
+			d.pending[k] = false
+			switch s.kind {
+			case srcDef:
+				rec := &a.lastDef[s.idx]
+				if !rec.live {
+					panic(fmt.Sprintf("core: %%%s uses an undefined value", in.Name))
+				}
+				if rec.producer != nil {
+					d.waitingOn++
+					d.pending[k] = true
+					rec.producer.waiters = append(rec.producer.waiters, waiter{op: d, idx: k})
+				} else {
+					d.operands[k] = rec.val
+				}
+			case srcParam:
+				d.operands[k] = a.argBits[s.idx]
+			default:
+				d.operands[k] = s.bits
 			}
 		}
-		if in.HasResult() {
-			a.lastDef[in] = &defRec{producer: d}
+		if st.Result {
+			a.lastDef[st.ID] = defRec{producer: d, live: true}
 		}
+		d.qi = int32(len(a.resQ))
 		a.resQ = append(a.resQ, d)
-		if d.st.IsMem() {
+		a.resident++
+		if d.waitingOn == 0 {
+			a.readyCount++
+			if int(d.qi) < a.readyLow {
+				a.readyLow = int(d.qi)
+			}
+		}
+		if st.Mem {
 			a.pendingMem = append(a.pendingMem, d)
 		}
 	}
@@ -327,18 +427,23 @@ func (a *Accelerator) fetch(b *ir.Block, prev *ir.Block) {
 // commit finishes a dynamic op: writes its register, charges energy, wakes
 // consumers.
 func (a *Accelerator) commit(d *dynOp) {
+	if d.state == stWaiting {
+		// Zero-latency and terminator commits consume a ready entry.
+		a.readyCount--
+	}
 	d.state = stDone
+	a.resident--
 	a.Committed.Inc(1)
-	in := d.st.In
-	if d.st.Class != hw.FUNone {
-		a.FUEnergyPJ.Inc(a.CDFG.Profile.Spec(d.st.Class).EnergyPJ)
-		if !d.st.Pipelined {
-			a.fuBusy[d.st.Class]--
+	st := d.st
+	if st.Class != hw.FUNone {
+		a.FUEnergyPJ.Inc(st.EnergyPJ)
+		if !st.Pipelined {
+			a.fuBusy[st.Class]--
 		}
 	}
-	if in.HasResult() {
-		a.RegWritePJ.Inc(a.CDFG.Profile.Reg.WriteEnergyPJ * float64(in.T.Bits()))
-		if rec := a.lastDef[in]; rec != nil && rec.producer == d {
+	if st.Result {
+		a.RegWritePJ.Inc(st.WritePJ)
+		if rec := &a.lastDef[st.ID]; rec.producer == d {
 			rec.val = d.val
 			rec.producer = nil
 		}
@@ -347,8 +452,16 @@ func (a *Accelerator) commit(d *dynOp) {
 		w.op.operands[w.idx] = d.val
 		w.op.pending[w.idx] = false
 		w.op.waitingOn--
+		if w.op.waitingOn == 0 {
+			// The waiter becomes issuable; it can sit below the current
+			// watermark (wakes land at arbitrary queue positions).
+			a.readyCount++
+			if int(w.op.qi) < a.readyLow {
+				a.readyLow = int(w.op.qi)
+			}
+		}
 	}
-	d.waiters = nil
+	d.waiters = d.waiters[:0]
 }
 
 // evaluate computes an op's value from its resolved operands — the
@@ -436,11 +549,10 @@ func (d *dynOp) addrKnown() bool {
 
 // effAddr returns the access address and size for a resolved memory op.
 func (d *dynOp) effAddr() (uint64, int) {
-	in := d.st.In
-	if d.isLoad() {
-		return d.operands[0], in.T.SizeBytes()
+	if d.st.Load {
+		return d.operands[0], d.st.AccSize
 	}
-	return d.operands[1], in.Args[0].Type().SizeBytes()
+	return d.operands[1], d.st.AccSize
 }
 
 // tryIssueMem attempts to issue a resolved memory op. The O(1) port check
@@ -457,27 +569,13 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 		}
 		addr, size := d.effAddr()
 		d.addr, d.size = addr, size
-		a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * 64) // address register
-		ok := a.Comm.IssueRead(addr, size, func(data []byte) {
-			var bits uint64
-			switch size {
-			case 1:
-				bits = uint64(data[0])
-			case 2:
-				bits = uint64(binary.LittleEndian.Uint16(data))
-			case 4:
-				bits = uint64(binary.LittleEndian.Uint32(data))
-			default:
-				bits = binary.LittleEndian.Uint64(data)
-			}
-			d.val = bits
-			d.arrived = true
-			a.Activate() // wake to commit at the next edge
-		})
+		a.RegReadPJ.Inc(d.st.MemReadPJ) // address register
+		ok := a.Comm.IssueRead(addr, size, d.readDoneFn)
 		if !ok {
 			return false // stream empty; retry
 		}
 		d.state = stInflight
+		a.readyCount--
 		a.inflight++
 		return true
 	}
@@ -492,7 +590,7 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 	}
 	addr, size := d.effAddr()
 	d.addr, d.size = addr, size
-	data := make([]byte, size)
+	data := d.buf[:size]
 	switch size {
 	case 1:
 		data[0] = byte(d.operands[0])
@@ -503,15 +601,13 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 	default:
 		binary.LittleEndian.PutUint64(data, d.operands[0])
 	}
-	a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * float64(64+size*8))
-	ok := a.Comm.IssueWrite(addr, data, func() {
-		d.arrived = true
-		a.Activate()
-	})
+	a.RegReadPJ.Inc(d.st.MemReadPJ)
+	ok := a.Comm.IssueWrite(addr, data, d.arriveFn)
 	if !ok {
 		return false
 	}
 	d.state = stInflight
+	a.readyCount--
 	a.inflight++
 	return true
 }
@@ -525,11 +621,10 @@ func (a *Accelerator) fuAvailable(d *dynOp) bool {
 	if c == hw.FUNone {
 		return true
 	}
-	if a.opIssued[d.st] {
+	if a.opStamp[d.st.ID] == a.cycleStamp {
 		return false // one initiation per static instruction per cycle
 	}
-	total := a.CDFG.FUTotal[c]
-	if a.fuIssued[c]+a.fuBusy[c] >= total {
+	if a.fuIssued[c]+a.fuBusy[c] >= a.fuTotal[c] {
 		a.hazFU = true
 		return false
 	}
@@ -542,13 +637,13 @@ func (a *Accelerator) issueCompute(d *dynOp) {
 	c := d.st.Class
 	if c != hw.FUNone {
 		a.fuIssued[c]++
-		a.opIssued[d.st] = true
+		a.opStamp[d.st.ID] = a.cycleStamp
 		if !d.st.Pipelined {
 			a.fuBusy[c]++
 		}
 	}
-	for _, v := range d.st.In.Args {
-		a.RegReadPJ.Inc(a.CDFG.Profile.Reg.ReadEnergyPJ * float64(v.Type().Bits()))
+	for _, e := range d.st.ReadPJ {
+		a.RegReadPJ.Inc(e)
 	}
 	d.val = a.evaluate(d)
 	if d.st.Latency <= 0 {
@@ -557,14 +652,13 @@ func (a *Accelerator) issueCompute(d *dynOp) {
 		return
 	}
 	d.state = stInflight
+	a.readyCount--
 	a.inflight++
 	lat := d.st.Latency
 	// PriBeforeClock: the result is ready when the commit edge runs, so a
-	// latency-L op commits exactly L cycles after issue.
-	a.Q.Schedule(a.Q.Now()+a.Clk.CyclesToTicks(uint64(lat)), sim.PriBeforeClock, func() {
-		d.arrived = true
-		a.Activate()
-	})
+	// latency-L op commits exactly L cycles after issue. The pre-bound
+	// arriveFn keeps latency events allocation-free.
+	a.Q.Schedule(a.Q.Now()+a.Clk.CyclesToTicks(uint64(lat)), sim.PriBeforeClock, d.arriveFn)
 }
 
 // handleTerminator evaluates a br/ret, triggering the next block fetch.
@@ -574,11 +668,11 @@ func (a *Accelerator) handleTerminator(d *dynOp) bool {
 		return false // bound control work per cycle
 	}
 	if !a.Cfg.PipelineLoops {
-		// Drain the queue (all older ops committed) before moving on.
-		for _, o := range a.resQ {
-			if o.seq < d.seq && o.state != stDone {
-				return false
-			}
+		// Drain the queue before moving on: without loop pipelining the
+		// terminator is the only op of its block left uncommitted, so any
+		// second resident op is an older one.
+		if a.resident > 1 {
+			return false
 		}
 	}
 	switch in.Op {
@@ -598,16 +692,10 @@ func (a *Accelerator) handleTerminator(d *dynOp) bool {
 		} else {
 			next = in.Blocks[1]
 		}
-		resident := 0
-		for _, o := range a.resQ {
-			if o.state != stDone {
-				resident++
-			}
-		}
 		// Window check: defer the fetch while other work is resident, but
 		// never wedge — once only this terminator remains, the next block
 		// must be admitted even if it exceeds the configured window.
-		if resident > 1 && resident-1+len(next.Instrs) > a.Cfg.ResQueueSize {
+		if resident := a.resident; resident > 1 && resident-1+len(next.Instrs) > a.Cfg.ResQueueSize {
 			return false // window full; retry next cycle
 		}
 		from := in.Block()
@@ -624,12 +712,10 @@ func (a *Accelerator) handleTerminator(d *dynOp) bool {
 func (a *Accelerator) cycle() bool {
 	a.ActiveCycles.Inc(1)
 	a.Comm.NewCycle()
-	for c := range a.fuIssued {
-		delete(a.fuIssued, c)
+	for i := range a.fuIssued {
+		a.fuIssued[i] = 0
 	}
-	for o := range a.opIssued {
-		delete(a.opIssued, o)
-	}
+	a.cycleStamp++
 	a.fetches = 0
 	a.hazLoad, a.hazStore, a.hazFU, a.hazOrder = false, false, false, false
 	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
@@ -642,47 +728,61 @@ func (a *Accelerator) cycle() bool {
 		}
 	}
 
-	// Issue phase: scan in program order. A rescan is only useful when a
-	// zero-latency commit or a block fetch happened — those are the only
-	// same-cycle events that can unlock earlier queue entries or add new
-	// ones; latency-bearing issues commit at later edges.
+	// Issue phase: scan in program order, starting at the ready watermark
+	// (every entry below it is either in flight or awaiting operands). A
+	// rescan is only useful when a zero-latency commit or a block fetch
+	// happened — those are the only same-cycle events that can unlock
+	// earlier queue entries or add new ones; latency-bearing issues commit
+	// at later edges. When nothing is ready the phase is skipped outright.
 	issued := 0
 	issuedFP := false
-	for rescan := true; rescan; {
+	for rescan := true; rescan && a.readyCount > 0; {
 		a.zeroLatProgress = false
-		for qi := 0; qi < len(a.resQ); qi++ {
+		for a.readyLow < len(a.resQ) {
+			d := a.resQ[a.readyLow]
+			if d.state == stWaiting && d.waitingOn == 0 {
+				break
+			}
+			a.readyLow++
+		}
+		for qi := a.readyLow; qi < len(a.resQ); qi++ {
 			d := a.resQ[qi]
 			if d.state != stWaiting || d.waitingOn > 0 {
 				continue
 			}
-			in := d.st.In
+			st := d.st
 			switch {
-			case in.Op.IsTerminator():
+			case st.Term:
 				if a.handleTerminator(d) {
 					issued++
-					a.IssuedByClass.Inc(d.st.Class.String(), 1)
+					a.incIssued(st.Class)
 				}
-			case d.st.IsMem():
+			case st.Mem:
 				if a.tryIssueMem(d) {
 					issued++
-					key := "load"
-					if d.isStore() {
-						key = "store"
+					if st.Store {
 						a.cycStores++
+						if !a.issuedStoreBk.Valid() {
+							a.issuedStoreBk = a.IssuedByClass.Bucket("store")
+						}
+						a.issuedStoreBk.Inc(1)
 					} else {
 						a.cycLoads++
+						if !a.issuedLoadBk.Valid() {
+							a.issuedLoadBk = a.IssuedByClass.Bucket("load")
+						}
+						a.issuedLoadBk.Inc(1)
 					}
-					a.IssuedByClass.Inc(key, 1)
 				}
 			default:
 				if a.fuAvailable(d) {
 					a.issueCompute(d)
 					issued++
-					if d.st.IsFP() {
+					if st.FP {
 						issuedFP = true
 						a.cycFP++
 					} else {
-						switch d.st.Class {
+						switch st.Class {
 						case hw.FUIntAdder, hw.FUIntMultiplier, hw.FUIntDivider,
 							hw.FUShifter, hw.FUBitwise, hw.FUComparator:
 							a.cycInt++
@@ -690,21 +790,16 @@ func (a *Accelerator) cycle() bool {
 							a.cycOther++
 						}
 					}
-					a.IssuedByClass.Inc(d.st.Class.String(), 1)
+					a.incIssued(st.Class)
 				}
 			}
 		}
 		rescan = a.zeroLatProgress
 	}
 
-	// Compact committed ops out of the queues.
-	kept := a.resQ[:0]
-	for _, d := range a.resQ {
-		if d.state != stDone {
-			kept = append(kept, d)
-		}
-	}
-	a.resQ = kept
+	// Compact committed ops out of the queues: memory list first, then the
+	// reservation queue, where committed ops return to the pool. Surviving
+	// ops get fresh queue indices and the ready watermark is rebuilt.
 	keptMem := a.pendingMem[:0]
 	for _, d := range a.pendingMem {
 		if d.state != stDone {
@@ -712,6 +807,24 @@ func (a *Accelerator) cycle() bool {
 		}
 	}
 	a.pendingMem = keptMem
+	kept := a.resQ[:0]
+	newLow := len(a.resQ)
+	for _, d := range a.resQ {
+		if d.state == stDone {
+			a.recycle(d)
+			continue
+		}
+		d.qi = int32(len(kept))
+		if d.state == stWaiting && d.waitingOn == 0 && int(d.qi) < newLow {
+			newLow = int(d.qi)
+		}
+		kept = append(kept, d)
+	}
+	a.resQ = kept
+	if newLow > len(kept) {
+		newLow = len(kept)
+	}
+	a.readyLow = newLow
 
 	// Cycle-level statistics (Sec. III-C2).
 	a.recordCycleStats(issued, issuedFP)
@@ -732,6 +845,46 @@ func (a *Accelerator) cycle() bool {
 	return true
 }
 
+// incIssued bumps the per-class issue counter through a lazily bound
+// bucket handle (bound at first issue, preserving key insertion order).
+func (a *Accelerator) incIssued(c hw.FUClass) {
+	bk := &a.issuedBk[c]
+	if !bk.Valid() {
+		*bk = a.IssuedByClass.Bucket(c.String())
+	}
+	bk.Inc(1)
+}
+
+// incOccupancy is incIssued's counterpart for the occupancy vector.
+func (a *Accelerator) incOccupancy(c hw.FUClass, n float64) {
+	bk := &a.occBk[c]
+	if !bk.Valid() {
+		*bk = a.OccupancySum.Bucket(c.String())
+	}
+	bk.Inc(n)
+}
+
+// Cycle-classification keys precomputed per flag mask, replacing the
+// per-cycle string concatenation the stats used to do.
+var (
+	stallKeys = [8]string{
+		"other", "load", "store", "load+store",
+		"compute", "load+compute", "store+compute", "load+store+compute",
+	}
+	hazardKeys = [16]string{
+		"", "load_ports", "store_ports", "load_ports+store_ports",
+		"fu", "load_ports+fu", "store_ports+fu", "load_ports+store_ports+fu",
+		"mem_order", "load_ports+mem_order", "store_ports+mem_order",
+		"load_ports+store_ports+mem_order", "fu+mem_order",
+		"load_ports+fu+mem_order", "store_ports+fu+mem_order",
+		"load_ports+store_ports+fu+mem_order",
+	}
+	activityKeys = [8]string{
+		"none", "load", "store", "load+store",
+		"fp", "load+fp", "store+fp", "load+store+fp",
+	}
+)
+
 // recordCycleStats classifies the cycle for the occupancy/stall analyses
 // behind Figs. 14 and 15.
 func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
@@ -739,12 +892,12 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 	pendLoad, pendStore, pendComp := false, false, false
 	for _, d := range a.resQ {
 		switch {
-		case d.isLoad():
+		case d.st.Load:
 			pendLoad = true
 			if d.state == stInflight {
 				loadsInFlight++
 			}
-		case d.isStore():
+		case d.st.Store:
 			pendStore = true
 			if d.state == stInflight {
 				storesInFlight++
@@ -756,64 +909,72 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 	// FU occupancy: pipelined units are busy when they initiate an op
 	// this cycle; unpipelined units while an op is resident. fuAvailable
 	// keeps fuIssued+fuBusy <= total, so occupancy stays within [0, 1].
-	for c, n := range a.fuIssued {
-		if a.CDFG.Profile.Spec(c).Pipelined {
-			a.OccupancySum.Inc(c.String(), float64(n))
+	for c := range a.fuIssued {
+		if n := a.fuIssued[c]; n > 0 && a.CDFG.Profile.Spec(hw.FUClass(c)).Pipelined {
+			a.incOccupancy(hw.FUClass(c), float64(n))
 		}
 	}
-	for c, n := range a.fuBusy {
-		a.OccupancySum.Inc(c.String(), float64(n))
+	for c := range a.fuBusy {
+		if n := a.fuBusy[c]; n > 0 {
+			a.incOccupancy(hw.FUClass(c), float64(n))
+		}
 	}
 	if a.hazLoad || a.hazStore || a.hazFU || a.hazOrder {
 		a.HazardCycles.Inc(1)
-		hkey := ""
+		mask := 0
 		if a.hazLoad {
-			hkey += "load_ports+"
+			mask |= 1
 		}
 		if a.hazStore {
-			hkey += "store_ports+"
+			mask |= 2
 		}
 		if a.hazFU {
-			hkey += "fu+"
+			mask |= 4
 		}
 		if a.hazOrder {
-			hkey += "mem_order+"
+			mask |= 8
 		}
-		a.HazardKinds.Inc(hkey[:len(hkey)-1], 1)
+		bk := &a.hazBk[mask]
+		if !bk.Valid() {
+			*bk = a.HazardKinds.Bucket(hazardKeys[mask])
+		}
+		bk.Inc(1)
 	}
 	if issued > 0 {
 		a.NewExecCycles.Inc(1)
 	} else if len(a.resQ) > 0 {
 		a.StallCycles.Inc(1)
-		key := ""
+		mask := 0
 		if pendLoad {
-			key += "load+"
+			mask |= 1
 		}
 		if pendStore {
-			key += "store+"
+			mask |= 2
 		}
 		if pendComp {
-			key += "compute+"
+			mask |= 4
 		}
-		if key == "" {
-			key = "other+"
+		bk := &a.stallBk[mask]
+		if !bk.Valid() {
+			*bk = a.StallKinds.Bucket(stallKeys[mask])
 		}
-		a.StallKinds.Inc(key[:len(key)-1], 1)
+		bk.Inc(1)
 	}
-	akey := ""
+	mask := 0
 	if loadsInFlight > 0 {
-		akey += "load+"
+		mask |= 1
 	}
 	if storesInFlight > 0 {
-		akey += "store+"
+		mask |= 2
 	}
 	if issuedFP {
-		akey += "fp+"
+		mask |= 4
 	}
-	if akey == "" {
-		akey = "none+"
+	bk := &a.actBk[mask]
+	if !bk.Valid() {
+		*bk = a.Activity.Bucket(activityKeys[mask])
 	}
-	a.Activity.Inc(akey[:len(akey)-1], 1)
+	bk.Inc(1)
 
 	if a.profile != nil {
 		var haz uint8

@@ -15,6 +15,21 @@ import (
 	"gosalam/ir"
 )
 
+// operandSrc is a precompiled operand source: where one input of a static
+// op comes from at runtime. Compiling sources once at elaboration keeps the
+// per-fetch dependency search free of interface dispatch and map lookups.
+type operandSrc struct {
+	bits uint64 // constant bits or global address (srcConst)
+	idx  int32  // param index (srcParam) or producer StaticOp.ID (srcDef)
+	kind uint8
+}
+
+const (
+	srcConst uint8 = iota // literal constant or global address
+	srcParam              // kernel argument register
+	srcDef                // SSA value produced by another static op
+)
+
 // StaticOp is one statically elaborated instruction: the IR instruction
 // linked to its virtual hardware resources.
 type StaticOp struct {
@@ -26,10 +41,31 @@ type StaticOp struct {
 	Pipelined bool
 	// RegBits is the width of the destination register (0 for void).
 	RegBits int
+
+	// ID densely numbers static ops within the function, so runtime state
+	// (last definitions, per-cycle issue stamps) lives in flat slices.
+	ID int
+
+	// Precompiled operand sources. Srcs parallels In.Args for every op but
+	// phi; PhiSrcs parallels In.Blocks, one source per incoming edge.
+	Srcs    []operandSrc
+	PhiSrcs []operandSrc
+
+	// Dispatch flags and energies precomputed from the IR and profile so
+	// the cycle loop never re-derives them.
+	Mem, Load, Store bool
+	Term             bool
+	FP               bool
+	Result           bool
+	AccSize          int       // memory access size in bytes
+	EnergyPJ         float64   // FU dynamic energy per initiation
+	WritePJ          float64   // register-write energy on commit
+	MemReadPJ        float64   // register-read energy on memory issue
+	ReadPJ           []float64 // per-argument register-read energy
 }
 
 // IsMem reports whether the op uses the memory queues instead of an FU.
-func (s *StaticOp) IsMem() bool { return s.In.Op.IsMemAccess() }
+func (s *StaticOp) IsMem() bool { return s.Mem }
 
 // IsFP reports whether the op occupies a floating-point functional unit.
 func (s *StaticOp) IsFP() bool {
@@ -63,6 +99,25 @@ type CDFG struct {
 	RegBits int
 	// RegCount is the number of registers.
 	RegCount int
+
+	// NumOps is the number of static ops (dense StaticOp.ID space).
+	NumOps int
+}
+
+// compileSrc resolves one IR operand to its precompiled source.
+func (g *CDFG) compileSrc(v ir.Value) operandSrc {
+	if b, ok := ir.ConstBits(v); ok {
+		return operandSrc{kind: srcConst, bits: b}
+	}
+	switch vv := v.(type) {
+	case *ir.Global:
+		return operandSrc{kind: srcConst, bits: vv.Addr}
+	case *ir.Param:
+		return operandSrc{kind: srcParam, idx: int32(vv.Index)}
+	case *ir.Instr:
+		return operandSrc{kind: srcDef, idx: int32(g.Ops[vv].ID)}
+	}
+	panic("core: unknown value kind")
 }
 
 // Elaborate builds the static CDFG for f under a hardware profile with
@@ -95,7 +150,16 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 				Latency:   profile.OpLatency(in),
 				Pipelined: spec.Pipelined || class == hw.FUNone,
 				RegBits:   in.T.Bits(),
+				ID:        g.NumOps,
+				Mem:       in.Op.IsMemAccess(),
+				Load:      in.Op == ir.OpLoad,
+				Store:     in.Op == ir.OpStore,
+				Term:      in.Op.IsTerminator(),
+				Result:    in.HasResult(),
+				EnergyPJ:  spec.EnergyPJ,
 			}
+			op.FP = op.IsFP()
+			g.NumOps++
 			g.Ops[in] = op
 			ops = append(ops, op)
 			if class != hw.FUNone {
@@ -107,6 +171,41 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 			}
 		}
 		g.BlockOps[b] = ops
+	}
+	// Second pass: compile operand sources and per-op energies. This must
+	// run after every op has an ID, because phi arguments reference ops in
+	// blocks that are elaborated later.
+	for _, b := range f.Blocks {
+		for _, op := range g.BlockOps[b] {
+			in := op.In
+			if in.Op == ir.OpPhi {
+				op.PhiSrcs = make([]operandSrc, len(in.Args))
+				for k, v := range in.Args {
+					op.PhiSrcs[k] = g.compileSrc(v)
+				}
+			} else if len(in.Args) > 0 {
+				op.Srcs = make([]operandSrc, len(in.Args))
+				for k, v := range in.Args {
+					op.Srcs[k] = g.compileSrc(v)
+				}
+			}
+			if len(in.Args) > 0 {
+				op.ReadPJ = make([]float64, len(in.Args))
+				for k, v := range in.Args {
+					op.ReadPJ[k] = profile.Reg.ReadEnergyPJ * float64(v.Type().Bits())
+				}
+			}
+			if op.Result {
+				op.WritePJ = profile.Reg.WriteEnergyPJ * float64(in.T.Bits())
+			}
+			if op.Load {
+				op.AccSize = in.T.SizeBytes()
+				op.MemReadPJ = profile.Reg.ReadEnergyPJ * 64
+			} else if op.Store {
+				op.AccSize = in.Args[0].Type().SizeBytes()
+				op.MemReadPJ = profile.Reg.ReadEnergyPJ * float64(64+op.AccSize*8)
+			}
+		}
 	}
 	for _, p := range f.Params {
 		g.RegBits += p.T.Bits()

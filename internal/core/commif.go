@@ -59,6 +59,11 @@ type CommInterface struct {
 	outReads        int
 	outWrites       int
 
+	// reqPool recycles commReq wrappers (request + bound Done callback +
+	// read buffer), so issuing memory traffic is allocation-free once the
+	// pool is warm.
+	reqPool []*commReq
+
 	// Stats.
 	LoadsIssued, StoresIssued   *sim.Scalar
 	StreamPops, StreamPushes    *sim.Scalar
@@ -156,6 +161,48 @@ func (c *CommInterface) route(addr uint64, size int) mem.Port {
 	return c.global
 }
 
+// commReq is one pooled in-flight request. Its Done callbacks are bound
+// once at allocation; a request returns to the pool when its engine
+// callback has been delivered, which is the last reference any device
+// holds (devices drop the request at completion scheduling).
+type commReq struct {
+	c           *CommInterface
+	req         mem.Request
+	start       sim.Tick
+	rdone       func(data []byte)
+	wdone       func()
+	buf         [8]byte
+	readDoneFn  func(*mem.Request)
+	writeDoneFn func(*mem.Request)
+}
+
+func (c *CommInterface) allocReq() *commReq {
+	if n := len(c.reqPool); n > 0 {
+		cr := c.reqPool[n-1]
+		c.reqPool = c.reqPool[:n-1]
+		return cr
+	}
+	cr := &commReq{c: c}
+	cr.readDoneFn = func(r *mem.Request) {
+		cc := cr.c
+		cc.outReads--
+		cc.LoadLatency.Sample(float64(cc.q.Now() - cr.start))
+		done := cr.rdone
+		cr.rdone = nil
+		done(r.Data)
+		cc.reqPool = append(cc.reqPool, cr)
+	}
+	cr.writeDoneFn = func(*mem.Request) {
+		cc := cr.c
+		cc.outWrites--
+		done := cr.wdone
+		cr.wdone = nil
+		done()
+		cc.reqPool = append(cc.reqPool, cr)
+	}
+	return cr
+}
+
 // IssueRead starts a read. It returns false when the access targets a
 // stream window that is currently empty (the op must retry). done receives
 // the data bits via the event queue.
@@ -177,12 +224,14 @@ func (c *CommInterface) IssueRead(addr uint64, size int, done func(data []byte))
 	c.readsThisCycle++
 	c.outReads++
 	c.LoadsIssued.Inc(1)
-	start := c.q.Now()
-	c.route(addr, size).Send(mem.NewRead(addr, size, func(r *mem.Request) {
-		c.outReads--
-		c.LoadLatency.Sample(float64(c.q.Now() - start))
-		done(r.Data)
-	}))
+	cr := c.allocReq()
+	cr.start = c.q.Now()
+	cr.rdone = done
+	cr.req = mem.Request{Addr: addr, Size: size, Done: cr.readDoneFn}
+	if size <= len(cr.buf) {
+		cr.req.Data = cr.buf[:size] // response buffer; consumed inside done
+	}
+	c.route(addr, size).Send(&cr.req)
 	return true
 }
 
@@ -205,10 +254,10 @@ func (c *CommInterface) IssueWrite(addr uint64, data []byte, done func()) bool {
 	c.writesThisCycle++
 	c.outWrites++
 	c.StoresIssued.Inc(1)
-	c.route(addr, len(data)).Send(mem.NewWrite(addr, data, func(*mem.Request) {
-		c.outWrites--
-		done()
-	}))
+	cr := c.allocReq()
+	cr.wdone = done
+	cr.req = mem.Request{Addr: addr, Size: len(data), Write: true, Data: data, Done: cr.writeDoneFn}
+	c.route(addr, len(data)).Send(&cr.req)
 	return true
 }
 

@@ -59,6 +59,10 @@ func (c FUClass) String() string {
 	return fmt.Sprintf("fu(%d)", int(c))
 }
 
+// NumFUClasses returns the number of FU classes including FUNone, so
+// callers can size dense per-class arrays indexed by FUClass.
+func NumFUClasses() int { return int(fuClassCount) }
+
 // AllFUClasses lists every allocatable class (excluding FUNone).
 func AllFUClasses() []FUClass {
 	out := make([]FUClass, 0, int(fuClassCount)-1)

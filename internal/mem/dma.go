@@ -47,6 +47,7 @@ type BlockDMA struct {
 	// channel pacing
 	nextIssue     sim.Tick
 	pumpScheduled bool
+	pumpEv        *sim.Recurring
 
 	Transfers, BytesMoved *sim.Scalar
 	TransferTicks         *sim.Distribution
@@ -62,6 +63,10 @@ func NewBlockDMA(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 		MaxOutstanding: 4,
 		BytesPerCycle:  16,
 	}
+	d.pumpEv = q.NewRecurring(sim.PriDefault, func() {
+		d.pumpScheduled = false
+		d.pump()
+	})
 	d.MMR = NewMMRBlock(name+".mmr", q, clk, mmrBase, DMANumRegs, stats)
 	d.MMR.OnWrite = func(idx int, val uint64) {
 		if idx == DMARegCtrl && val&1 != 0 && !d.busy {
@@ -114,10 +119,7 @@ func (d *BlockDMA) pump() {
 		if now < d.nextIssue {
 			if !d.pumpScheduled {
 				d.pumpScheduled = true
-				d.q.Schedule(d.nextIssue, sim.PriDefault, func() {
-					d.pumpScheduled = false
-					d.pump()
-				})
+				d.pumpEv.ScheduleAt(d.nextIssue)
 			}
 			return
 		}

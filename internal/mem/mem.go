@@ -60,6 +60,28 @@ type Request struct {
 
 	// Issued is stamped by the first device that accepts the request.
 	Issued sim.Tick
+
+	// space is bound by complete so the request itself is the scheduled
+	// event payload (sim.Firer) — no per-completion closure.
+	space *ir.FlatMem
+}
+
+// Fire applies the request's functional effect and invokes Done. It is the
+// completion event scheduled by complete via ScheduleObj.
+func (r *Request) Fire() {
+	if !r.TimingOnly {
+		if r.Write {
+			r.space.WriteRaw(r.Addr, r.Data)
+		} else {
+			if r.Data == nil {
+				r.Data = make([]byte, r.Size)
+			}
+			r.space.ReadRaw(r.Addr, r.Data)
+		}
+	}
+	if r.Done != nil {
+		r.Done(r)
+	}
 }
 
 // NewRead builds a read request.
@@ -84,36 +106,48 @@ type Ranged interface {
 }
 
 // complete finishes a request against the backing store and fires Done at
-// the given tick via the event queue.
+// the given tick via the event queue. The request itself is the event
+// payload, so completion never allocates.
 func complete(q *sim.EventQueue, space *ir.FlatMem, r *Request, when sim.Tick) {
-	q.Schedule(when, sim.PriMemResp, func() {
-		if !r.TimingOnly {
-			if r.Write {
-				space.WriteRaw(r.Addr, r.Data)
-			} else {
-				if r.Data == nil {
-					r.Data = make([]byte, r.Size)
-				}
-				space.ReadRaw(r.Addr, r.Data)
-			}
-		}
-		if r.Done != nil {
-			r.Done(r)
-		}
-	})
+	r.space = space
+	q.ScheduleObj(when, sim.PriMemResp, r)
 }
 
-// reqQueue is a simple FIFO of requests.
+// reqQueue is a FIFO of requests backed by a ring buffer, so steady-state
+// push/pop neither allocates nor shifts elements.
 type reqQueue struct {
 	items []*Request
+	head  int
+	n     int
 }
 
-func (q *reqQueue) push(r *Request) { q.items = append(q.items, r) }
-func (q *reqQueue) empty() bool     { return len(q.items) == 0 }
-func (q *reqQueue) len() int        { return len(q.items) }
-func (q *reqQueue) peek() *Request  { return q.items[0] }
+func (q *reqQueue) push(r *Request) {
+	if q.n == len(q.items) {
+		grown := make([]*Request, maxInt(8, 2*len(q.items)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.items[(q.head+i)%len(q.items)]
+		}
+		q.items, q.head = grown, 0
+	}
+	q.items[(q.head+q.n)%len(q.items)] = r
+	q.n++
+}
+
+func (q *reqQueue) empty() bool    { return q.n == 0 }
+func (q *reqQueue) len() int       { return q.n }
+func (q *reqQueue) peek() *Request { return q.items[q.head] }
+
 func (q *reqQueue) pop() *Request {
-	r := q.items[0]
-	q.items = q.items[1:]
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head = (q.head + 1) % len(q.items)
+	q.n--
 	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

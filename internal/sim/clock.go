@@ -60,11 +60,13 @@ func (c *ClockDomain) NextEdge(t Tick) Tick {
 // its cycle function) when it runs out of work. Idle objects consume no
 // events, which keeps large systems fast.
 type Clocked struct {
-	Q       *EventQueue
-	Clk     *ClockDomain
-	name    string
-	active  bool
-	pending EventID
+	Q      *EventQueue
+	Clk    *ClockDomain
+	name   string
+	active bool
+	// tick is the pre-bound edge event: the callback closure is created
+	// once at InitClocked, so per-cycle rescheduling never allocates.
+	tick *Recurring
 	// CycleFn is called once per clock edge while active. If it returns
 	// true the object stays active and another edge is scheduled.
 	CycleFn func() bool
@@ -77,6 +79,7 @@ func (c *Clocked) InitClocked(name string, q *EventQueue, clk *ClockDomain) {
 	c.name = name
 	c.Q = q
 	c.Clk = clk
+	c.tick = q.NewRecurring(PriClock, c.edge)
 }
 
 // Name returns the object name.
@@ -102,7 +105,7 @@ func (c *Clocked) Activate() {
 		// on an edge and already inside event execution.
 		edge += c.Clk.Period()
 	}
-	c.pending = c.Q.Schedule(edge, PriClock, c.edge)
+	c.tick.ScheduleAt(edge)
 }
 
 // ActivateNow behaves like Activate but will run on the current tick's edge
@@ -115,7 +118,7 @@ func (c *Clocked) ActivateNow() {
 		panic(fmt.Sprintf("sim: Clocked %q activated without CycleFn", c.name))
 	}
 	c.active = true
-	c.pending = c.Q.Schedule(c.Clk.NextEdge(c.Q.Now()), PriClock, c.edge)
+	c.tick.ScheduleAt(c.Clk.NextEdge(c.Q.Now()))
 }
 
 // Deactivate stops per-cycle execution.
@@ -124,8 +127,7 @@ func (c *Clocked) Deactivate() {
 		return
 	}
 	c.active = false
-	c.pending.Cancel()
-	c.pending = EventID{}
+	c.tick.Cancel()
 }
 
 func (c *Clocked) edge() {
@@ -134,10 +136,9 @@ func (c *Clocked) edge() {
 	}
 	c.Cycles++
 	if c.CycleFn() {
-		c.pending = c.Q.Schedule(c.Q.Now()+c.Clk.Period(), PriClock, c.edge)
+		c.tick.ScheduleAt(c.Q.Now() + c.Clk.Period())
 	} else {
 		c.active = false
-		c.pending = EventID{}
 	}
 }
 

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -36,69 +35,74 @@ const (
 	PriStatDump    = 90 // statistics dumps
 )
 
-// event is a scheduled callback.
-type event struct {
+// Firer is an event payload scheduled by object instead of by closure: the
+// object itself goes into the queue and Fire is the callback. Hot paths
+// that would otherwise allocate a closure per event (memory-request
+// completion, for one) implement Firer and use ScheduleObj.
+type Firer interface{ Fire() }
+
+// eventSlot is one entry in the queue's slot arena. Slots are reused
+// through a free list, so a steady-state simulation schedules events
+// without allocating; the generation stamp keeps stale EventIDs inert
+// across reuse.
+type eventSlot struct {
 	when Tick
-	pri  int
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   func()
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
-	index    int
+	obj  Firer
+	gen  uint32
+	pri  int32
+	pos  int32 // index in the heap order array; -1 when free
 }
 
-// EventID identifies a scheduled event so that it can be canceled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so that it can be canceled. The
+// zero EventID is invalid. IDs stay safe across slot reuse: once the
+// event fires or is canceled, the slot's generation advances and the old
+// ID becomes a no-op.
+type EventID struct {
+	q    *EventQueue
+	slot int32
+	gen  uint32
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel removes the event from the queue. Canceling an already-fired,
+// already-canceled, or zero ID is a no-op.
 func (id EventID) Cancel() {
-	if id.ev != nil {
-		id.ev.canceled = true
+	if id.q == nil {
+		return
 	}
+	s := &id.q.slots[id.slot]
+	if s.gen != id.gen || s.pos < 0 {
+		return
+	}
+	id.q.removeAt(int(s.pos))
+	id.q.release(id.slot)
 }
 
-// Valid reports whether the ID refers to a scheduled event.
-func (id EventID) Valid() bool { return id.ev != nil }
+// Valid reports whether the ID was produced by a Schedule call (it may
+// have fired since).
+func (id EventID) Valid() bool { return id.q != nil }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// Scheduled reports whether the event is still in the queue: it has
+// neither fired nor been canceled.
+func (id EventID) Scheduled() bool {
+	return id.q != nil && id.q.slots[id.slot].gen == id.gen
 }
 
 // EventQueue is a deterministic discrete-event scheduler. It is not safe
 // for concurrent use; a simulation is a single-threaded run over one queue,
 // which is what makes results reproducible.
+//
+// Internally it is an index heap over a value-slice slot arena: the heap
+// orders int32 slot indices, slots are recycled through a free list, and
+// EventIDs carry generation stamps so cancellation stays safe across
+// reuse. Scheduling in steady state therefore performs no allocation.
 type EventQueue struct {
-	now    Tick
-	seq    uint64
-	events eventHeap
+	now   Tick
+	seq   uint64
+	slots []eventSlot
+	order []int32 // binary heap of slot indices
+	free  []int32
 	// fired counts events executed, for stats and runaway detection.
 	fired uint64
 }
@@ -114,40 +118,148 @@ func (q *EventQueue) Now() Tick { return q.now }
 // Fired returns the number of events executed so far.
 func (q *EventQueue) Fired() uint64 { return q.fired }
 
-// Pending returns the number of events still scheduled (including canceled
-// events that have not yet been discarded).
-func (q *EventQueue) Pending() int { return len(q.events) }
+// Pending returns the number of events still scheduled. Canceled events
+// are removed immediately, so the count is exact.
+func (q *EventQueue) Pending() int { return len(q.order) }
+
+// alloc takes a slot from the free list (or grows the arena) and returns
+// its index.
+func (q *EventQueue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		idx := q.free[n-1]
+		q.free = q.free[:n-1]
+		return idx
+	}
+	q.slots = append(q.slots, eventSlot{pos: -1})
+	return int32(len(q.slots) - 1)
+}
+
+// release returns a slot to the free list, invalidating outstanding IDs.
+func (q *EventQueue) release(idx int32) {
+	s := &q.slots[idx]
+	s.gen++
+	s.fn = nil
+	s.obj = nil
+	s.pos = -1
+	q.free = append(q.free, idx)
+}
+
+// less orders slots by (when, pri, seq); seq is unique, so the order is
+// total and pop order is independent of heap layout.
+func (q *EventQueue) less(a, b int32) bool {
+	sa, sb := &q.slots[a], &q.slots[b]
+	if sa.when != sb.when {
+		return sa.when < sb.when
+	}
+	if sa.pri != sb.pri {
+		return sa.pri < sb.pri
+	}
+	return sa.seq < sb.seq
+}
+
+func (q *EventQueue) siftUp(pos int) {
+	idx := q.order[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !q.less(idx, q.order[parent]) {
+			break
+		}
+		q.order[pos] = q.order[parent]
+		q.slots[q.order[pos]].pos = int32(pos)
+		pos = parent
+	}
+	q.order[pos] = idx
+	q.slots[idx].pos = int32(pos)
+}
+
+func (q *EventQueue) siftDown(pos int) {
+	n := len(q.order)
+	idx := q.order[pos]
+	for {
+		child := 2*pos + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(q.order[r], q.order[child]) {
+			child = r
+		}
+		if !q.less(q.order[child], idx) {
+			break
+		}
+		q.order[pos] = q.order[child]
+		q.slots[q.order[pos]].pos = int32(pos)
+		pos = child
+	}
+	q.order[pos] = idx
+	q.slots[idx].pos = int32(pos)
+}
+
+// removeAt deletes the heap entry at pos, preserving heap order.
+func (q *EventQueue) removeAt(pos int) {
+	n := len(q.order) - 1
+	last := q.order[n]
+	q.order = q.order[:n]
+	if pos == n {
+		return
+	}
+	q.order[pos] = last
+	q.slots[last].pos = int32(pos)
+	if pos > 0 && q.less(last, q.order[(pos-1)/2]) {
+		q.siftUp(pos)
+	} else {
+		q.siftDown(pos)
+	}
+}
+
+func (q *EventQueue) schedule(when Tick, pri int, fn func(), obj Firer) EventID {
+	if when < q.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, q.now))
+	}
+	idx := q.alloc()
+	s := &q.slots[idx]
+	s.when, s.pri, s.seq = when, int32(pri), q.seq
+	s.fn, s.obj = fn, obj
+	q.seq++
+	q.order = append(q.order, idx)
+	q.siftUp(len(q.order) - 1)
+	return EventID{q: q, slot: idx, gen: s.gen}
+}
 
 // Schedule runs fn at the given absolute tick with the given priority.
 // Scheduling in the past panics: that is always a model bug.
 func (q *EventQueue) Schedule(when Tick, pri int, fn func()) EventID {
-	if when < q.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, q.now))
-	}
-	ev := &event{when: when, pri: pri, seq: q.seq, fn: fn}
-	q.seq++
-	heap.Push(&q.events, ev)
-	return EventID{ev: ev}
+	return q.schedule(when, pri, fn, nil)
+}
+
+// ScheduleObj is Schedule with a Firer payload instead of a closure; it
+// performs no allocation beyond the slot arena's steady-state reuse.
+func (q *EventQueue) ScheduleObj(when Tick, pri int, obj Firer) EventID {
+	return q.schedule(when, pri, nil, obj)
 }
 
 // After schedules fn delta ticks from now at default priority.
 func (q *EventQueue) After(delta Tick, fn func()) EventID {
-	return q.Schedule(q.now+delta, PriDefault, fn)
+	return q.schedule(q.now+delta, PriDefault, fn, nil)
 }
 
 // step executes the next event. It reports false if the queue is empty.
 func (q *EventQueue) step() bool {
-	for len(q.events) > 0 {
-		ev := heap.Pop(&q.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		q.now = ev.when
-		q.fired++
-		ev.fn()
-		return true
+	if len(q.order) == 0 {
+		return false
 	}
-	return false
+	idx := q.order[0]
+	s := &q.slots[idx]
+	q.now = s.when
+	fn, obj := s.fn, s.obj
+	q.removeAt(0)
+	q.release(idx) // free before firing so fn can reuse the slot
+	q.fired++
+	if fn != nil {
+		fn()
+	} else {
+		obj.Fire()
+	}
+	return true
 }
 
 // Run executes events until the queue drains. It returns the final time.
@@ -160,16 +272,7 @@ func (q *EventQueue) Run() Tick {
 // RunUntil executes events with time <= limit. Events scheduled beyond the
 // limit remain pending. It returns the current time afterwards.
 func (q *EventQueue) RunUntil(limit Tick) Tick {
-	for len(q.events) > 0 {
-		// Peek.
-		next := q.events[0]
-		if next.canceled {
-			heap.Pop(&q.events)
-			continue
-		}
-		if next.when > limit {
-			break
-		}
+	for len(q.order) > 0 && q.slots[q.order[0]].when <= limit {
 		q.step()
 	}
 	if q.now < limit {
@@ -185,3 +288,40 @@ func (q *EventQueue) RunWhile(cond func() bool) Tick {
 	}
 	return q.now
 }
+
+// Recurring is a pre-bound event: the callback is captured once at
+// construction and every (re)scheduling afterwards is allocation-free.
+// Clocked objects, DMA pacing, and anything else that fires the same
+// callback cycle after cycle should schedule through a Recurring instead
+// of passing a fresh closure to Schedule each time.
+type Recurring struct {
+	q   *EventQueue
+	fn  func()
+	pri int
+	id  EventID
+}
+
+// NewRecurring creates a recurring event on the queue. fn is captured
+// once; the event starts unscheduled.
+func (q *EventQueue) NewRecurring(pri int, fn func()) *Recurring {
+	return &Recurring{q: q, pri: pri, fn: fn}
+}
+
+// ScheduleAt arms the event for the given absolute tick. The caller is
+// responsible for not double-arming (use Scheduled to check); each firing
+// disarms the event.
+func (r *Recurring) ScheduleAt(when Tick) {
+	r.id = r.q.Schedule(when, r.pri, r.fn)
+}
+
+// ScheduleAfter arms the event delta ticks from now.
+func (r *Recurring) ScheduleAfter(delta Tick) { r.ScheduleAt(r.q.now + delta) }
+
+// Cancel disarms the event if armed.
+func (r *Recurring) Cancel() {
+	r.id.Cancel()
+	r.id = EventID{}
+}
+
+// Scheduled reports whether the event is currently armed.
+func (r *Recurring) Scheduled() bool { return r.id.Scheduled() }

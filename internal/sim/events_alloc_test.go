@@ -1,0 +1,223 @@
+package sim
+
+import "testing"
+
+// TestCancelRemovesFromQueue: Cancel must remove the event from the heap
+// immediately — Pending is exact, and the canceled callback never runs
+// even when the queue keeps executing past its scheduled time.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	id := q.Schedule(100, PriDefault, func() { fired = true })
+	q.Schedule(200, PriDefault, func() {})
+	if q.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", q.Pending())
+	}
+	id.Cancel()
+	if q.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (canceled event must leave the heap)", q.Pending())
+	}
+	if id.Scheduled() {
+		t.Fatal("canceled event still reports Scheduled")
+	}
+	q.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if q.Now() != 200 {
+		t.Fatalf("Now = %d, want 200", q.Now())
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", q.Pending())
+	}
+}
+
+// TestCancelInteriorKeepsOrder: removing an event from the middle of the
+// heap must not disturb the firing order of the remainder.
+func TestCancelInteriorKeepsOrder(t *testing.T) {
+	q := NewEventQueue()
+	var got []Tick
+	ids := make([]EventID, 10)
+	for i := 0; i < 10; i++ {
+		when := Tick(10 * (i + 1))
+		ids[i] = q.Schedule(when, PriDefault, func() { got = append(got, q.Now()) })
+	}
+	ids[3].Cancel()
+	ids[7].Cancel()
+	ids[3].Cancel() // double-cancel is a no-op
+	if q.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", q.Pending())
+	}
+	q.Run()
+	want := []Tick{10, 20, 30, 50, 60, 70, 90, 100}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at tick %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStaleIDAfterReuse: once an event fires, its slot may be reused by a
+// later Schedule; the old ID must stay inert (no cancel of the new event,
+// Scheduled false).
+func TestStaleIDAfterReuse(t *testing.T) {
+	q := NewEventQueue()
+	first := q.Schedule(10, PriDefault, func() {})
+	q.Run()
+	if first.Scheduled() {
+		t.Fatal("fired event reports Scheduled")
+	}
+	// The freed slot is reused by the next schedule.
+	fired := false
+	second := q.Schedule(20, PriDefault, func() { fired = true })
+	if second.slot != first.slot {
+		t.Fatalf("slot not reused: first=%d second=%d", first.slot, second.slot)
+	}
+	first.Cancel() // stale generation: must not cancel the new event
+	if !second.Scheduled() {
+		t.Fatal("stale Cancel removed a newer event in the same slot")
+	}
+	q.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestScheduleSteadyStateAllocs: after warm-up, scheduling and firing
+// events reuses slots and performs zero heap allocations.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	q := NewEventQueue()
+	fn := func() {}
+	// Warm the arena.
+	for i := 0; i < 64; i++ {
+		q.Schedule(q.Now()+1, PriDefault, fn)
+	}
+	q.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Schedule(q.Now()+1, PriDefault, fn)
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+type firerProbe struct {
+	count int
+	at    Tick
+	q     *EventQueue
+}
+
+func (f *firerProbe) Fire() {
+	f.count++
+	f.at = f.q.Now()
+}
+
+// TestScheduleObj: object payloads fire like closures, interleaved in the
+// same (when, pri, seq) order.
+func TestScheduleObj(t *testing.T) {
+	q := NewEventQueue()
+	p := &firerProbe{q: q}
+	var closureAt Tick
+	q.ScheduleObj(50, PriDefault, p)
+	q.Schedule(40, PriDefault, func() { closureAt = q.Now() })
+	id := q.ScheduleObj(60, PriDefault, p)
+	id.Cancel()
+	q.Run()
+	if p.count != 1 {
+		t.Fatalf("Firer ran %d times, want 1 (cancel must work for obj events)", p.count)
+	}
+	if p.at != 50 || closureAt != 40 {
+		t.Fatalf("fire times = obj:%d closure:%d, want 50/40", p.at, closureAt)
+	}
+}
+
+// TestRecurring: a pre-bound event can be re-armed every firing without
+// allocating, canceled while armed, and re-armed after cancel.
+func TestRecurring(t *testing.T) {
+	q := NewEventQueue()
+	count := 0
+	var r *Recurring
+	r = q.NewRecurring(PriClock, func() {
+		count++
+		if count < 5 {
+			r.ScheduleAfter(10)
+		}
+	})
+	if r.Scheduled() {
+		t.Fatal("new Recurring reports Scheduled")
+	}
+	r.ScheduleAt(10)
+	if !r.Scheduled() {
+		t.Fatal("armed Recurring not Scheduled")
+	}
+	q.Run()
+	if count != 5 {
+		t.Fatalf("recurring fired %d times, want 5", count)
+	}
+	if q.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", q.Now())
+	}
+
+	// Cancel while armed.
+	r.ScheduleAfter(10)
+	r.Cancel()
+	if r.Scheduled() {
+		t.Fatal("canceled Recurring still Scheduled")
+	}
+	q.Run()
+	if count != 5 {
+		t.Fatalf("canceled recurring fired (count=%d)", count)
+	}
+
+	// Re-arm after cancel still works, and re-arming is allocation-free.
+	allocs := testing.AllocsPerRun(50, func() {
+		r.ScheduleAfter(1)
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("recurring rescheduling allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPendingExactUnderChurn: Pending tracks the live event count exactly
+// through interleaved schedules, cancels, and fires.
+func TestPendingExactUnderChurn(t *testing.T) {
+	q := NewEventQueue()
+	live := 0
+	var ids []EventID
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 7; i++ {
+			ids = append(ids, q.Schedule(q.Now()+Tick(1+(round+i)%13), PriDefault, func() {}))
+			live++
+		}
+		// Cancel every third outstanding id (some already fired/canceled).
+		for i := 0; i < len(ids); i += 3 {
+			if ids[i].Scheduled() {
+				ids[i].Cancel()
+				live--
+			}
+		}
+		if q.Pending() != live {
+			t.Fatalf("round %d: Pending = %d, want %d", round, q.Pending(), live)
+		}
+		q.RunUntil(q.Now() + 2)
+		// Recount live events after partial drain.
+		live = 0
+		for _, id := range ids {
+			if id.Scheduled() {
+				live++
+			}
+		}
+		if q.Pending() != live {
+			t.Fatalf("round %d after drain: Pending = %d, want %d", round, q.Pending(), live)
+		}
+	}
+	q.Run()
+	if q.Pending() != 0 {
+		t.Fatalf("Pending after full drain = %d, want 0", q.Pending())
+	}
+}

@@ -46,27 +46,65 @@ func (s *Scalar) Rows() []StatRow {
 }
 
 // Vector is a set of named counters under one stat (e.g. per-FU-class).
+// Buckets live in a value slice; the map only resolves names to indices,
+// so hot paths can pre-bind a Bucket handle and skip the string lookup.
 type Vector struct {
 	name, desc string
 	keys       []string
-	vals       map[string]float64
+	vals       []float64
+	idx        map[string]int
 }
 
 // NewVector creates an empty vector stat.
 func NewVector(name, desc string) *Vector {
-	return &Vector{name: name, desc: desc, vals: map[string]float64{}}
+	return &Vector{name: name, desc: desc, idx: map[string]int{}}
+}
+
+func (v *Vector) bucketIdx(key string) int {
+	i, ok := v.idx[key]
+	if !ok {
+		i = len(v.keys)
+		v.keys = append(v.keys, key)
+		v.vals = append(v.vals, 0)
+		v.idx[key] = i
+	}
+	return i
 }
 
 // Inc adds delta to the named bucket, creating it if needed.
 func (v *Vector) Inc(key string, delta float64) {
-	if _, ok := v.vals[key]; !ok {
-		v.keys = append(v.keys, key)
-	}
-	v.vals[key] += delta
+	v.vals[v.bucketIdx(key)] += delta
 }
 
+// Bucket is a pre-bound accumulator for one Vector bucket. Handles stay
+// valid as the vector grows. The zero Bucket is unbound (Valid reports
+// false); Inc through it panics.
+type Bucket struct {
+	v *Vector
+	i int32
+}
+
+// Bucket resolves (creating if needed) the named bucket and returns a
+// handle that increments it without a map lookup. Bind lazily — at the
+// first increment, not at construction — when key insertion order is
+// observable (Keys reports it).
+func (v *Vector) Bucket(key string) Bucket {
+	return Bucket{v: v, i: int32(v.bucketIdx(key))}
+}
+
+// Inc adds delta to the bound bucket.
+func (b Bucket) Inc(delta float64) { b.v.vals[b.i] += delta }
+
+// Valid reports whether the handle is bound.
+func (b Bucket) Valid() bool { return b.v != nil }
+
 // Get returns the bucket value (0 if absent).
-func (v *Vector) Get(key string) float64 { return v.vals[key] }
+func (v *Vector) Get(key string) float64 {
+	if i, ok := v.idx[key]; ok {
+		return v.vals[i]
+	}
+	return 0
+}
 
 // Total returns the sum over buckets.
 func (v *Vector) Total() float64 {
@@ -83,11 +121,11 @@ func (v *Vector) Keys() []string { return append([]string(nil), v.keys...) }
 func (v *Vector) StatName() string { return v.name }
 func (v *Vector) StatDesc() string { return v.desc }
 func (v *Vector) Rows() []StatRow {
-	rows := make([]StatRow, 0, len(v.keys))
 	keys := append([]string(nil), v.keys...)
 	sort.Strings(keys)
+	rows := make([]StatRow, 0, len(keys))
 	for _, k := range keys {
-		rows = append(rows, StatRow{Name: v.name + "::" + k, Value: v.vals[k], Desc: v.desc})
+		rows = append(rows, StatRow{Name: v.name + "::" + k, Value: v.vals[v.idx[k]], Desc: v.desc})
 	}
 	return rows
 }

@@ -46,6 +46,43 @@ func TestVector(t *testing.T) {
 	}
 }
 
+func TestVectorBucket(t *testing.T) {
+	v := NewVector("ops", "ops by class")
+	var b Bucket
+	if b.Valid() {
+		t.Fatal("zero Bucket reports Valid")
+	}
+	v.Inc("fadd", 2)
+	b = v.Bucket("fadd")
+	if !b.Valid() {
+		t.Fatal("bound Bucket not Valid")
+	}
+	b.Inc(3)
+	if v.Get("fadd") != 5 {
+		t.Fatalf("fadd = %g, want 5", v.Get("fadd"))
+	}
+	// Binding a fresh key creates it, but only increments make it count.
+	c := v.Bucket("fmul")
+	c.Inc(4)
+	if v.Get("fmul") != 4 || v.Total() != 9 {
+		t.Fatalf("fmul = %g total = %g", v.Get("fmul"), v.Total())
+	}
+	// Handles stay valid as more keys bind (index-stable).
+	v.Bucket("fdiv").Inc(1)
+	b.Inc(1)
+	if v.Get("fadd") != 6 {
+		t.Fatalf("fadd after growth = %g, want 6", v.Get("fadd"))
+	}
+	// Key order reflects first-touch order, matching plain Inc semantics.
+	keys := v.Keys()
+	want := []string{"fadd", "fmul", "fdiv"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
 func TestDistribution(t *testing.T) {
 	d := NewDistribution("lat", "latency")
 	if d.Mean() != 0 {

@@ -16,6 +16,7 @@ package salam
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"gosalam/internal/core"
@@ -113,6 +114,11 @@ type Result struct {
 	Cycles uint64
 	// Ticks is total simulated time.
 	Ticks sim.Tick
+	// EventsFired is the total number of simulation events executed — a
+	// fingerprint of the whole event-level schedule, used by the golden
+	// determinism test to catch engine drift that happens to preserve the
+	// final cycle count.
+	EventsFired uint64
 	// Power is the full power/area report over the kernel's runtime.
 	Power PowerReport
 	// Acc exposes the accelerator's detailed statistics.
@@ -151,16 +157,55 @@ func RunKernelCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result
 	var stop atomic.Bool
 	cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
 	defer cancelWatch()
-	res, err := runKernel(k, opts, &stop)
+	// Poll ctx.Err directly every so often as well: with GOMAXPROCS=1 a
+	// short run can finish before the AfterFunc goroutine is ever scheduled.
+	canceled := false
+	var polled uint64
+	stopFn := func() bool {
+		if canceled {
+			return true
+		}
+		polled++
+		if stop.Load() || (polled&1023 == 0 && ctx.Err() != nil) {
+			canceled = true
+		}
+		return canceled
+	}
+	res, err := runKernel(k, opts, stopFn)
 	if err != nil && ctx.Err() != nil {
 		return nil, fmt.Errorf("salam: %s canceled: %w", k.Name, ctx.Err())
 	}
 	return res, err
 }
 
-// runKernel is the shared implementation; a non-nil stop flag is polled at
-// every event boundary and halts the simulation when set.
-func runKernel(k *kernels.Kernel, opts RunOpts, stop *atomic.Bool) (*Result, error) {
+// spaceSizes caches the simulated-memory size per (kernel, seed): sizing
+// requires a throwaway Setup into a probe memory, which would otherwise
+// dominate runtime for repeated runs of the same kernel (DSE sweeps run the
+// same kernel object hundreds of times). Setup is deterministic, so the
+// cached size is exact. Keys pin kernel objects for process lifetime, which
+// is fine for sweep workloads that reuse a handful of kernels.
+var spaceSizes sync.Map // spaceSizeKey -> int
+
+type spaceSizeKey struct {
+	k    *kernels.Kernel
+	seed int64
+}
+
+func spaceSizeFor(k *kernels.Kernel, seed int64) int {
+	key := spaceSizeKey{k: k, seed: seed}
+	if v, ok := spaceSizes.Load(key); ok {
+		return v.(int)
+	}
+	probe := ir.NewFlatMem(0, 1<<26)
+	probeInst := k.Setup(probe, seed)
+	size := nextPow2(probeInst.Bytes*2 + 1<<16)
+	spaceSizes.Store(key, size)
+	return size
+}
+
+// runKernel is the shared implementation; a non-nil stop func is polled at
+// every event boundary and halts the simulation when it reports true.
+func runKernel(k *kernels.Kernel, opts RunOpts, stop func() bool) (*Result, error) {
 	profile := opts.Profile
 	if profile == nil {
 		profile = hw.Default40nm()
@@ -173,9 +218,7 @@ func runKernel(k *kernels.Kernel, opts RunOpts, stop *atomic.Bool) (*Result, err
 	q := sim.NewEventQueue()
 	stats := sim.NewGroup("system")
 	// Size the space generously around the workload.
-	probe := ir.NewFlatMem(0, 1<<26)
-	probeInst := k.Setup(probe, opts.Seed)
-	spaceSize := nextPow2(probeInst.Bytes*2 + 1<<16)
+	spaceSize := spaceSizeFor(k, opts.Seed)
 	space := ir.NewFlatMem(0, spaceSize)
 	inst := k.Setup(space, opts.Seed)
 
@@ -211,9 +254,9 @@ func runKernel(k *kernels.Kernel, opts RunOpts, stop *atomic.Bool) (*Result, err
 	done := false
 	acc.OnDone = func() { done = true }
 	acc.Start(inst.Args)
-	q.RunWhile(func() bool { return !done && (stop == nil || !stop.Load()) })
+	q.RunWhile(func() bool { return !done && (stop == nil || !stop()) })
 	if !done {
-		if stop != nil && stop.Load() {
+		if stop != nil && stop() {
 			return nil, fmt.Errorf("salam: %s canceled", k.Name)
 		}
 		return nil, fmt.Errorf("salam: %s did not finish (deadlock?)", k.Name)
@@ -227,6 +270,7 @@ func runKernel(k *kernels.Kernel, opts RunOpts, stop *atomic.Bool) (*Result, err
 	}
 	res.Cycles = acc.LastKernelCycles()
 	res.Ticks = q.Now()
+	res.EventsFired = q.Fired()
 	res.Power = acc.Power(res.SPM, res.Ticks)
 	return res, nil
 }
