@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet golden bench-smoke check bench bench-all bench-campaign
+.PHONY: all build test race vet golden bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -38,10 +38,20 @@ golden:
 bench-smoke:
 	$(GO) test -bench=BenchmarkEngineGEMM -benchtime=1x -run '^$$' .
 
-check: build vet test race golden bench-smoke
+# Compare the last two recorded points in BENCH_engine.json: fails when an
+# Engine* benchmark regressed more than 10% in ns/op (other benchmarks are
+# advisory). Record a fresh point first with `make bench LABEL=...`.
+bench-diff:
+	$(GO) run ./cmd/salam-bench -diff
 
-# Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign), recorded as
-# a labeled point in BENCH_engine.json so the repo keeps a perf trajectory.
+# bench-diff is advisory in check (leading `-`): the committed points span
+# different machines, so a cross-host delta must not fail the tier-1 gate.
+check: build vet test race golden bench-smoke
+	-$(MAKE) bench-diff
+
+# Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),
+# recorded as a labeled point in BENCH_engine.json so the repo keeps a
+# perf trajectory.
 # Override the label with `make bench LABEL=my-change`.
 LABEL ?= dev
 bench:

@@ -218,4 +218,22 @@ func BenchmarkDSECampaign(b *testing.B) {
 			}
 		})
 	}
+	// Steady-state variant: a persistent pre-warmed SessionPool shared
+	// across campaigns, so every job is an elaboration-cache hit re-running
+	// a pooled system — the per-design-point cost of a long DSE sweep.
+	b.Run("warm-pool", func(b *testing.B) {
+		pool := salam.NewSessionPool()
+		cfg := campaign.Config{Workers: 1, Sessions: pool}
+		if err := campaign.FirstError(campaign.Run(context.Background(), cfg, buildJobs())); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := campaign.Run(context.Background(), cfg, buildJobs())
+			if err := campaign.FirstError(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -7,8 +7,13 @@
 // Usage:
 //
 //	go run ./cmd/salam-bench -label pr2-after [-out BENCH_engine.json]
+//	go run ./cmd/salam-bench -diff                # compare last two points
+//	go run ./cmd/salam-bench -cpuprofile cpu.out  # profile the suite
 //
-// Re-running with an existing label replaces that point in place.
+// Re-running with an existing label replaces that point in place. -diff
+// compares the last two recorded points and exits non-zero when an Engine*
+// benchmark regressed more than 10% in ns/op; other benchmarks are
+// reported but advisory.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -107,10 +113,151 @@ func campaignBench() testing.BenchmarkResult {
 	})
 }
 
+// campaignWarmBench measures steady-state design-point throughput: the
+// same sweep as campaignBench, but on a persistent pre-warmed SessionPool
+// so every job is an elaboration-cache hit running in a pooled system.
+func campaignWarmBench() testing.BenchmarkResult {
+	k := kernels.GEMMTree(8)
+	var jobs []campaign.Job
+	for _, fu := range []int{2, 4, 8, 16} {
+		for _, port := range []int{2, 4, 8} {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
+			opts.Accel.MaxOutstanding = 2 * port
+			opts.SPMPortsPer = port
+			opts.Accel.ResQueueSize = 1024
+			opts.Accel.FULimits = map[salam.FUClass]int{
+				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+			}
+			jobs = append(jobs, campaign.Job{
+				ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
+				Kernel:    k,
+				KernelKey: "gemm_tree/n=8",
+				Opts:      opts,
+			})
+		}
+	}
+	pool := salam.NewSessionPool()
+	cfg := campaign.Config{Sessions: pool}
+	// Warm the pool (and the elaboration cache) before timing.
+	if err := campaign.FirstError(campaign.Run(context.Background(), cfg, jobs)); err != nil {
+		fmt.Fprintf(os.Stderr, "salam-bench: warmup failed: %v\n", err)
+		os.Exit(1)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := campaign.Run(context.Background(), cfg, jobs)
+			if err := campaign.FirstError(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// diffPoints compares the last two recorded points, printing a per-bench
+// delta table. It returns false when an Engine* benchmark regressed more
+// than 10% in ns/op.
+func diffPoints(f benchFile) bool {
+	if len(f.Points) < 2 {
+		fmt.Fprintln(os.Stderr, "salam-bench: need at least two recorded points to diff")
+		return false
+	}
+	oldP, newP := f.Points[len(f.Points)-2], f.Points[len(f.Points)-1]
+	fmt.Printf("comparing %q -> %q\n", oldP.Label, newP.Label)
+	ok := true
+	for _, name := range sortedBenchNames(oldP, newP) {
+		o, haveOld := oldP.Benchmarks[name]
+		n, haveNew := newP.Benchmarks[name]
+		if !haveOld || !haveNew {
+			fmt.Printf("  %-14s only in %q\n", name, pickLabel(haveNew, newP.Label, oldP.Label))
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		gating := len(name) >= 6 && name[:6] == "Engine"
+		status := "ok"
+		if delta > 10 {
+			if gating {
+				status = "FAIL (>10% regression)"
+				ok = false
+			} else {
+				status = "regressed (advisory)"
+			}
+		}
+		fmt.Printf("  %-14s %12.0f -> %12.0f ns/op  %+6.1f%%  allocs %6d -> %6d  %s\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp, status)
+		if o.SimCycles != 0 && n.SimCycles != 0 && o.SimCycles != n.SimCycles {
+			fmt.Printf("  %-14s sim-cycles drifted: %d -> %d\n", name, o.SimCycles, n.SimCycles)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func pickLabel(inNew bool, newLabel, oldLabel string) string {
+	if inNew {
+		return newLabel
+	}
+	return oldLabel
+}
+
+func sortedBenchNames(a, b point) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, p := range []point{a, b} {
+		for name := range p.Benchmarks {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
 func main() {
 	label := flag.String("label", "dev", "name for this measurement point")
 	out := flag.String("out", "BENCH_engine.json", "output JSON file (appended/updated in place)")
+	diff := flag.Bool("diff", false, "compare the last two recorded points instead of benchmarking")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark suite to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite) to this file")
 	flag.Parse()
+
+	if *diff {
+		var f benchFile
+		raw, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if !diffPoints(f) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	benches := map[string]benchResult{}
 
@@ -128,6 +275,25 @@ func main() {
 	br = campaignBench()
 	benches["DSECampaign"] = record(br, 0)
 	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
+
+	fmt.Fprintf(os.Stderr, "salam-bench: CampaignWarm...\n")
+	br = campaignWarmBench()
+	benches["CampaignWarm"] = record(br, 0)
+	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
+
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintf(os.Stderr, "salam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		mf.Close()
+	}
 
 	var f benchFile
 	if raw, err := os.ReadFile(*out); err == nil {

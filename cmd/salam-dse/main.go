@@ -7,7 +7,9 @@
 // engine: a worker pool sized by -jobs, per-job fault isolation and
 // timeouts, optional content-addressed result caching (-cache), and
 // per-job progress on stderr. Output order and bytes are identical to the
-// serial sweep regardless of worker count.
+// serial sweep regardless of worker count. Workers reuse warm-started
+// pooled systems that share one immutable CDFG per configuration (the
+// elaboration cache); -cold rebuilds a fresh system per point instead.
 //
 // Usage:
 //
@@ -59,6 +61,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	dumpStats := flag.Bool("stats", false, "dump campaign counters to stderr at the end")
+	cold := flag.Bool("cold", false, "build a fresh system per point instead of reusing warm-started pooled sessions")
 	flag.Parse()
 
 	p := kernels.Small
@@ -125,9 +128,10 @@ func main() {
 	}
 
 	cfg := campaign.Config{
-		Workers: *jobs,
-		Timeout: *timeout,
-		Stats:   sim.NewGroup("dse"),
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		Stats:     sim.NewGroup("dse"),
+		ColdStart: *cold,
 	}
 	if !*quiet {
 		cfg.Progress = campaign.NewWriterReporter(os.Stderr)
@@ -164,6 +168,8 @@ func main() {
 	}
 	if *dumpStats {
 		cfg.Stats.Dump(os.Stderr)
+		hits, misses := salam.ElabCacheStats()
+		fmt.Fprintf(os.Stderr, "elab_cache: %d hits, %d misses\n", hits, misses)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d points failed\n", failed, len(outcomes))

@@ -47,12 +47,85 @@ func currentGolden(t *testing.T) []byte {
 			EventsFired: res.EventsFired,
 		}
 	}
+	got["cnn-cluster"] = clusterGolden(t)
 	// encoding/json emits map keys sorted, so the bytes are canonical.
 	out, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	return append(out, '\n')
+}
+
+// clusterGolden fingerprints a multi-accelerator SoC: a host-sequenced
+// conv2d → ReLU → max-pool pipeline through one shared scratchpad (the
+// paper's Fig. 16b integration). The single-kernel entries exercise one
+// accelerator against private memory; this entry pins the schedule of the
+// crossbar, IRQ/GIC, host driver, and inter-accelerator sequencing, so
+// engine drift in the system layer cannot hide behind unchanged kernel
+// runs. The cycle fingerprint is the host-observed end time in ticks.
+func clusterGolden(t *testing.T) goldenPoint {
+	t.Helper()
+	const imgH, imgW = 12, 12
+	const convH, convW = imgH - 2, imgW - 2
+	img := make([]float64, imgH*imgW)
+	for i := range img {
+		img[i] = float64((i*31)%13)/6.0 - 1
+	}
+	weights := []float64{1, 0, -1, 2, 0, -2, 1, 0, -1}
+	want := kernels.MaxPoolGolden(
+		kernels.ReLUGolden(kernels.ConvGolden(img, weights, imgH, imgW)), convH, convW)
+
+	soc := salam.NewSoC(16)
+	shared := soc.AddSPM("shared", 64<<10, 2, 4, 4)
+	conv, err := soc.AddAccel("conv", kernels.Conv2D(imgH, imgW).F, salam.AccelOpts{SharedSPM: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu, err := soc.AddAccel("relu", kernels.ReLU(convH*convW).F, salam.AccelOpts{SharedSPM: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := soc.AddAccel("pool", kernels.MaxPool(convH, convW).F, salam.AccelOpts{SharedSPM: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := shared.Range().Base
+	imgA, wA := base, base+uint64(len(img)*8)
+	convA := wA + 128
+	reluA := convA + uint64(convH*convW*8)
+	poolA := reluA + uint64(convH*convW*8)
+	for i, v := range img {
+		soc.Space.WriteF64(imgA+uint64(i*8), v)
+	}
+	for i, v := range weights {
+		soc.Space.WriteF64(wA+uint64(i*8), v)
+	}
+
+	var prog []salam.DriverOp
+	prog = append(prog, salam.StartAccel(conv.MMRBase, []uint64{imgA, wA, convA}, true)...)
+	prog = append(prog, salam.WaitIRQ{Line: conv.IRQLine})
+	prog = append(prog, salam.StartAccel(relu.MMRBase, []uint64{convA, reluA}, true)...)
+	prog = append(prog, salam.WaitIRQ{Line: relu.IRQLine})
+	prog = append(prog, salam.StartAccel(pool.MMRBase, []uint64{reluA, poolA}, true)...)
+	prog = append(prog, salam.WaitIRQ{Line: pool.IRQLine})
+
+	end, err := soc.RunHost(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc.Run()
+	for i, w := range want {
+		got := soc.Space.ReadF64(poolA + uint64(i*8))
+		if diff := got - w; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("cnn-cluster: pool[%d] = %g, want %g", i, got, w)
+		}
+	}
+	return goldenPoint{
+		Cycles:      uint64(end),
+		Ticks:       uint64(soc.Q.Now()),
+		EventsFired: soc.Q.Fired(),
+	}
 }
 
 func TestGoldenDeterminism(t *testing.T) {

@@ -71,7 +71,10 @@ type Outcome struct {
 	Job Job
 	// Metrics is non-nil on success (fresh or cached).
 	Metrics *Metrics
-	// Result is the live simulation result; nil on error or cache hit.
+	// Result is the live simulation result; nil on error, on a cache hit,
+	// and under warm-start reuse (the default), where the live result
+	// aliases a pooled system the next job will rewind — consume live
+	// state through Job.Probe, or set Config.ColdStart to keep Results.
 	Result *salam.Result
 	// Err is non-nil when the job failed (simulation error, panic, or
 	// timeout); sibling jobs are unaffected.
@@ -111,8 +114,18 @@ type Config struct {
 	// Stats, when non-nil, gets a "campaign" child group with job
 	// counters wired into the existing sim stats framework.
 	Stats *sim.Group
-	// Runner overrides the simulation function (nil = salam.RunKernelCtx).
+	// Runner overrides the simulation function (nil = warm-start pooled
+	// sessions, or salam.RunKernelCtx when ColdStart is set).
 	Runner Runner
+	// ColdStart disables warm-start session reuse for the default runner:
+	// every job builds its system from scratch (the pre-reuse behaviour)
+	// and Outcome.Result stays populated.
+	ColdStart bool
+	// Sessions, when non-nil, is the session pool warm-started jobs draw
+	// from. Share one pool across campaigns to start later sweeps warm;
+	// nil creates a pool scoped to the Run call. Ignored with ColdStart
+	// or a custom Runner.
+	Sessions *salam.SessionPool
 }
 
 func (c Config) workers() int {
@@ -122,19 +135,35 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (c Config) runner() Runner {
+// runner resolves the effective simulation function. The default is
+// warm-start reuse through a session pool: each job runs in a pooled
+// system whose static CDFG comes from the shared elaboration cache and
+// whose dynamic state is rewound between design points. The returned pool
+// is non-nil only when warm start is active (for reuse stats); transient
+// reports whether live Results alias pooled state and must not escape.
+func (c Config) runner() (run Runner, pool *salam.SessionPool, transient bool) {
 	if c.Runner != nil {
-		return c.Runner
+		return c.Runner, nil, false
+	}
+	if c.ColdStart {
+		return func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			return salam.RunKernelCtx(ctx, k, opts)
+		}, nil, false
+	}
+	pool = c.Sessions
+	if pool == nil {
+		pool = salam.NewSessionPool()
 	}
 	return func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
-		return salam.RunKernelCtx(ctx, k, opts)
-	}
+		return pool.RunCtx(ctx, k, opts)
+	}, pool, true
 }
 
 // counters is the campaign-level stat group (updated only on the
 // collector goroutine, so plain sim scalars are safe).
 type counters struct {
 	total, ok, failed, cached *sim.Scalar
+	reused, built             *sim.Scalar
 	wallMS                    *sim.Distribution
 }
 
@@ -148,6 +177,8 @@ func newCounters(root *sim.Group) *counters {
 		ok:     g.Scalar("jobs_ok", "jobs completed successfully"),
 		failed: g.Scalar("jobs_failed", "jobs that errored, panicked, or timed out"),
 		cached: g.Scalar("jobs_cached", "jobs served from the result cache"),
+		reused: g.Scalar("sessions_reused", "warm-start runs on a pooled system"),
+		built:  g.Scalar("sessions_built", "runs that had to build a system"),
 		wallMS: g.Distribution("job_wall_ms", "per-job wall-clock (ms)"),
 	}
 }
@@ -188,6 +219,11 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 	if cfg.Progress != nil {
 		cfg.Progress.Start(len(jobs))
 	}
+	run, pool, transient := cfg.runner()
+	var poolReused0, poolCreated0 uint64
+	if pool != nil {
+		poolReused0, poolCreated0 = pool.Stats()
+	}
 
 	type item struct {
 		idx int
@@ -202,7 +238,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		go func() {
 			defer wg.Done()
 			for it := range work {
-				results <- runJob(ctx, cfg, it.idx, it.job)
+				results <- runJob(ctx, cfg, run, transient, it.idx, it.job)
 			}
 		}()
 	}
@@ -242,11 +278,16 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 	if cfg.Progress != nil {
 		cfg.Progress.Finish()
 	}
+	if stats != nil && pool != nil {
+		reused, created := pool.Stats()
+		stats.reused.Set(float64(reused - poolReused0))
+		stats.built.Set(float64(created - poolCreated0))
+	}
 	return outcomes
 }
 
 // runJob executes one job with cache lookup, panic recovery, and timeout.
-func runJob(ctx context.Context, cfg Config, idx int, job Job) (out Outcome) {
+func runJob(ctx context.Context, cfg Config, run Runner, transient bool, idx int, job Job) (out Outcome) {
 	start := time.Now()
 	out = Outcome{Index: idx, Job: job}
 	defer func() { out.Wall = time.Since(start) }()
@@ -277,7 +318,7 @@ func runJob(ctx context.Context, cfg Config, idx int, job Job) (out Outcome) {
 		defer cancel()
 	}
 
-	res, err := runIsolated(jctx, cfg.runner(), job)
+	res, err := runIsolated(jctx, run, job)
 	if err != nil {
 		// Attribute timeouts precisely: the simulation reports a generic
 		// cancel, the deadline is the campaign's.
@@ -287,10 +328,14 @@ func runJob(ctx context.Context, cfg Config, idx int, job Job) (out Outcome) {
 		out.Err = err
 		return out
 	}
-	out.Result = res
 	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power}
 	if job.Probe != nil {
 		m.Extra = job.Probe(res)
+	}
+	if !transient {
+		// Warm-started results alias a pooled system another job will
+		// rewind; only snapshots (Metrics, probe extras) may escape.
+		out.Result = res
 	}
 	out.Metrics = m
 	if cfg.Cache != nil {

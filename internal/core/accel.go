@@ -43,6 +43,25 @@ func DefaultConfig() AccelConfig {
 	}
 }
 
+// normalized returns the config with unset sizing knobs replaced by their
+// defaults, so cold construction and warm reconfiguration agree on the
+// effective design point.
+func (c AccelConfig) normalized() AccelConfig {
+	if c.ResQueueSize <= 0 {
+		c.ResQueueSize = 128
+	}
+	if c.ReadPorts <= 0 {
+		c.ReadPorts = 1
+	}
+	if c.WritePorts <= 0 {
+		c.WritePorts = 1
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 16
+	}
+	return c
+}
+
 type opState uint8
 
 const (
@@ -141,6 +160,15 @@ type Accelerator struct {
 	// resident counts non-committed resQ entries (the window-check scan
 	// in handleTerminator reduced to a counter).
 	resident int
+	// Incremental cycle-classification counters: resident entries by kind
+	// and memory ops in flight, maintained at state transitions so
+	// recordCycleStats never rescans the reservation queue.
+	pendLoads, pendStores, pendComp int
+	inflLoads, inflStores           int
+	// arrivals counts in-flight ops whose completion callback has fired
+	// but which have not yet committed; the commit-phase scan is skipped
+	// when it is zero.
+	arrivals int
 	// zeroLatProgress is set when a zero-latency commit or block fetch
 	// happens inside the issue scan: only those events can unlock earlier
 	// queue entries within the same cycle.
@@ -204,18 +232,7 @@ type Accelerator struct {
 // are overridden from cfg.
 func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 	comm *CommInterface, stats *sim.Group) *Accelerator {
-	if cfg.ResQueueSize <= 0 {
-		cfg.ResQueueSize = 128
-	}
-	if cfg.ReadPorts <= 0 {
-		cfg.ReadPorts = 1
-	}
-	if cfg.WritePorts <= 0 {
-		cfg.WritePorts = 1
-	}
-	if cfg.MaxOutstanding <= 0 {
-		cfg.MaxOutstanding = 16
-	}
+	cfg = cfg.normalized()
 	nc := hw.NumFUClasses()
 	a := &Accelerator{
 		CDFG: g, Cfg: cfg, Comm: comm,
@@ -255,10 +272,11 @@ func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 	a.KernelCycles = gr.Distribution("kernel_cycles", "cycles per invocation")
 
 	// Wire the MMR start protocol: writing CTRL bit0 launches the kernel
-	// with arguments taken from the argument registers.
+	// with arguments taken from the argument registers. The closure reads
+	// a.CDFG (not the constructor's g) so Reconfigure can swap the graph.
 	comm.MMR.OnWrite = func(idx int, val uint64) {
 		if idx == CtrlReg && val&1 != 0 && !a.running {
-			n := len(g.F.Params)
+			n := len(a.CDFG.F.Params)
 			args := make([]uint64, n)
 			for i := 0; i < n; i++ {
 				args[i] = comm.MMR.Reg(ArgReg0 + i)
@@ -267,6 +285,60 @@ func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 		}
 	}
 	return a
+}
+
+// Reconfigure rebinds an idle accelerator to a (possibly different) shared
+// immutable CDFG and design-point configuration for a warm-started run.
+// The caller must Reset the owning EventQueue and stats group around it;
+// this method rewinds every piece of engine state to its just-constructed
+// zero value — resizing the per-static-op slices for the new graph and
+// keeping the dynOp pool — so a warm run is indistinguishable from a cold
+// one. Panics if a kernel is still executing.
+func (a *Accelerator) Reconfigure(g *CDFG, cfg AccelConfig) {
+	if a.running {
+		panic(fmt.Sprintf("core: accelerator %s reconfigured while busy", a.Name()))
+	}
+	cfg = cfg.normalized()
+	if cfg.ClockMHz != a.Cfg.ClockMHz {
+		a.Clk = sim.NewClockDomainMHz(a.Name()+".clk", cfg.ClockMHz)
+	}
+	a.CDFG, a.Cfg = g, cfg
+	if cap(a.lastDef) < g.NumOps {
+		a.lastDef = make([]defRec, g.NumOps)
+		a.opStamp = make([]uint64, g.NumOps)
+	} else {
+		a.lastDef = a.lastDef[:g.NumOps]
+		a.opStamp = a.opStamp[:g.NumOps]
+	}
+	for i := range a.lastDef {
+		a.lastDef[i] = defRec{}
+	}
+	for i := range a.opStamp {
+		a.opStamp[i] = 0
+	}
+	for i := range a.fuTotal {
+		a.fuTotal[i], a.fuBusy[i], a.fuIssued[i] = 0, 0, 0
+	}
+	for c, n := range g.FUTotal {
+		a.fuTotal[c] = n
+	}
+	a.Comm.ReadPorts = cfg.ReadPorts
+	a.Comm.WritePorts = cfg.WritePorts
+	a.Comm.MaxOutstanding = cfg.MaxOutstanding
+	a.resQ = a.resQ[:0]
+	a.pendingMem = a.pendingMem[:0]
+	a.seq, a.inflight = 0, 0
+	a.readyCount, a.readyLow, a.resident = 0, 0, 0
+	a.pendLoads, a.pendStores, a.pendComp = 0, 0, 0
+	a.inflLoads, a.inflStores = 0, 0
+	a.arrivals = 0
+	a.zeroLatProgress = false
+	a.hazLoad, a.hazStore, a.hazFU, a.hazOrder = false, false, false, false
+	a.profile = nil
+	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
+	a.finished, a.running, a.retBits = false, false, 0
+	a.cycleStamp, a.fetches, a.startCycle = 0, 0, 0
+	a.ResetClocked()
 }
 
 // Busy reports whether a kernel is executing.
@@ -295,6 +367,9 @@ func (a *Accelerator) Start(args []uint64) {
 	a.pendingMem = a.pendingMem[:0]
 	a.inflight = 0
 	a.readyCount, a.readyLow, a.resident = 0, 0, 0
+	a.pendLoads, a.pendStores, a.pendComp = 0, 0, 0
+	a.inflLoads, a.inflStores = 0, 0
+	a.arrivals = 0
 	for i := range a.lastDef {
 		a.lastDef[i] = defRec{}
 	}
@@ -320,6 +395,7 @@ func (a *Accelerator) newDynOp() *dynOp {
 	d := &dynOp{}
 	d.arriveFn = func() {
 		d.arrived = true
+		a.arrivals++
 		a.Activate()
 	}
 	d.readDoneFn = func(data []byte) {
@@ -336,6 +412,7 @@ func (a *Accelerator) newDynOp() *dynOp {
 		}
 		d.val = bits
 		d.arrived = true
+		a.arrivals++
 		a.Activate()
 	}
 	return d
@@ -412,6 +489,14 @@ func (a *Accelerator) fetch(b *ir.Block, prev *ir.Block) {
 		d.qi = int32(len(a.resQ))
 		a.resQ = append(a.resQ, d)
 		a.resident++
+		switch {
+		case st.Load:
+			a.pendLoads++
+		case st.Store:
+			a.pendStores++
+		default:
+			a.pendComp++
+		}
 		if d.waitingOn == 0 {
 			a.readyCount++
 			if int(d.qi) < a.readyLow {
@@ -427,14 +512,28 @@ func (a *Accelerator) fetch(b *ir.Block, prev *ir.Block) {
 // commit finishes a dynamic op: writes its register, charges energy, wakes
 // consumers.
 func (a *Accelerator) commit(d *dynOp) {
+	st := d.st
 	if d.state == stWaiting {
 		// Zero-latency and terminator commits consume a ready entry.
 		a.readyCount--
+	} else if d.state == stInflight && st.Mem {
+		if st.Store {
+			a.inflStores--
+		} else {
+			a.inflLoads--
+		}
 	}
 	d.state = stDone
 	a.resident--
+	switch {
+	case st.Load:
+		a.pendLoads--
+	case st.Store:
+		a.pendStores--
+	default:
+		a.pendComp--
+	}
 	a.Committed.Inc(1)
-	st := d.st
 	if st.Class != hw.FUNone {
 		a.FUEnergyPJ.Inc(st.EnergyPJ)
 		if !st.Pipelined {
@@ -577,6 +676,7 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 		d.state = stInflight
 		a.readyCount--
 		a.inflight++
+		a.inflLoads++
 		return true
 	}
 	// Store.
@@ -609,6 +709,7 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 	d.state = stInflight
 	a.readyCount--
 	a.inflight++
+	a.inflStores++
 	return true
 }
 
@@ -721,9 +822,14 @@ func (a *Accelerator) cycle() bool {
 	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
 
 	// Commit phase: everything whose result arrived since the last edge.
-	for _, d := range a.resQ {
+	// The arrivals counter (bumped by the completion callbacks) bounds the
+	// scan: it is skipped outright on cycles with nothing to commit and
+	// stops at the last arrived op otherwise.
+	for qi := 0; qi < len(a.resQ) && a.arrivals > 0; qi++ {
+		d := a.resQ[qi]
 		if d.state == stInflight && d.arrived {
 			a.inflight--
+			a.arrivals--
 			a.commit(d)
 		}
 	}
@@ -745,7 +851,10 @@ func (a *Accelerator) cycle() bool {
 			}
 			a.readyLow++
 		}
-		for qi := a.readyLow; qi < len(a.resQ); qi++ {
+		// readyCount upper-bounds the remaining ready entries: issues and
+		// zero-latency commits keep it exact, so once it reaches zero no
+		// entry above qi can be issuable and the scan can stop early.
+		for qi := a.readyLow; qi < len(a.resQ) && a.readyCount > 0; qi++ {
 			d := a.resQ[qi]
 			if d.state != stWaiting || d.waitingOn > 0 {
 				continue
@@ -800,36 +909,54 @@ func (a *Accelerator) cycle() bool {
 	// Compact committed ops out of the queues: memory list first, then the
 	// reservation queue, where committed ops return to the pool. Surviving
 	// ops get fresh queue indices and the ready watermark is rebuilt.
-	keptMem := a.pendingMem[:0]
-	for _, d := range a.pendingMem {
-		if d.state != stDone {
-			keptMem = append(keptMem, d)
+	// Compaction is amortized: committed entries linger until they are at
+	// least a quarter of the queue, because every scan (commit, issue,
+	// disambiguation) already skips stDone entries and all architectural
+	// state — window checks, stall classification, profiling — reads the
+	// resident counter, never the queue length. Deferral therefore changes
+	// no simulated behaviour, only when the O(queue) rewrite is paid.
+	// readyLow stays a (possibly stale but valid) lower bound between
+	// compactions; the next issue phase advances it.
+	if dead := len(a.resQ) - a.resident; dead > 0 && dead*4 >= len(a.resQ) {
+		keptMem := a.pendingMem[:0]
+		for _, d := range a.pendingMem {
+			if d.state != stDone {
+				keptMem = append(keptMem, d)
+			}
 		}
-	}
-	a.pendingMem = keptMem
-	kept := a.resQ[:0]
-	newLow := len(a.resQ)
-	for _, d := range a.resQ {
-		if d.state == stDone {
-			a.recycle(d)
-			continue
+		a.pendingMem = keptMem
+		kept := a.resQ[:0]
+		newLow := len(a.resQ)
+		for _, d := range a.resQ {
+			if d.state == stDone {
+				a.recycle(d)
+				continue
+			}
+			d.qi = int32(len(kept))
+			if d.state == stWaiting && d.waitingOn == 0 && int(d.qi) < newLow {
+				newLow = int(d.qi)
+			}
+			kept = append(kept, d)
 		}
-		d.qi = int32(len(kept))
-		if d.state == stWaiting && d.waitingOn == 0 && int(d.qi) < newLow {
-			newLow = int(d.qi)
+		a.resQ = kept
+		if newLow > len(kept) {
+			newLow = len(kept)
 		}
-		kept = append(kept, d)
+		a.readyLow = newLow
 	}
-	a.resQ = kept
-	if newLow > len(kept) {
-		newLow = len(kept)
-	}
-	a.readyLow = newLow
 
 	// Cycle-level statistics (Sec. III-C2).
 	a.recordCycleStats(issued, issuedFP)
 
-	if a.finished && len(a.resQ) == 0 && a.inflight == 0 {
+	if a.finished && a.resident == 0 && a.inflight == 0 {
+		// Deferred compaction can leave committed entries behind; recycle
+		// them now so the pool is full for the next kernel invocation.
+		for _, d := range a.resQ {
+			a.recycle(d)
+		}
+		a.resQ = a.resQ[:0]
+		a.pendingMem = a.pendingMem[:0]
+		a.readyLow = 0
 		a.running = false
 		kc := a.Cycles - a.startCycle
 		a.KernelCycles.Sample(float64(kc))
@@ -888,24 +1015,11 @@ var (
 // recordCycleStats classifies the cycle for the occupancy/stall analyses
 // behind Figs. 14 and 15.
 func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
-	loadsInFlight, storesInFlight := 0, 0
-	pendLoad, pendStore, pendComp := false, false, false
-	for _, d := range a.resQ {
-		switch {
-		case d.st.Load:
-			pendLoad = true
-			if d.state == stInflight {
-				loadsInFlight++
-			}
-		case d.st.Store:
-			pendStore = true
-			if d.state == stInflight {
-				storesInFlight++
-			}
-		default:
-			pendComp = true
-		}
-	}
+	// The classification counters are maintained at state transitions
+	// (fetch, memory issue, commit), so this reads O(1) state instead of
+	// rescanning the reservation queue every cycle.
+	loadsInFlight, storesInFlight := a.inflLoads, a.inflStores
+	pendLoad, pendStore, pendComp := a.pendLoads > 0, a.pendStores > 0, a.pendComp > 0
 	// FU occupancy: pipelined units are busy when they initiate an op
 	// this cycle; unpipelined units while an op is resident. fuAvailable
 	// keeps fuIssued+fuBusy <= total, so occupancy stays within [0, 1].
@@ -942,7 +1056,7 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 	}
 	if issued > 0 {
 		a.NewExecCycles.Inc(1)
-	} else if len(a.resQ) > 0 {
+	} else if a.resident > 0 {
 		a.StallCycles.Inc(1)
 		mask := 0
 		if pendLoad {
@@ -990,7 +1104,7 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 		if a.hazOrder {
 			haz |= HazMemOrder
 		}
-		resident := len(a.resQ)
+		resident := a.resident
 		if resident > 0xffff {
 			resident = 0xffff
 		}
@@ -1002,7 +1116,7 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 			IntOps:   a.cycInt,
 			Other:    a.cycOther,
 			Resident: uint16(resident),
-			Stalled:  issued == 0 && len(a.resQ) > 0,
+			Stalled:  issued == 0 && a.resident > 0,
 			Hazard:   haz,
 		})
 	}

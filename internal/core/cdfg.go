@@ -225,9 +225,14 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 // macros are reported separately (they belong to the memory hierarchy,
 // which gem5-SALAM deliberately decouples from the datapath).
 func (g *CDFG) AreaUM2() float64 {
+	// Iterate classes in declaration order: float summation order must be
+	// fixed or reports differ in the last bit between runs (map iteration
+	// order is randomized).
 	area := 0.0
-	for c, n := range g.FUTotal {
-		area += g.Profile.Spec(c).AreaUM2 * float64(n)
+	for _, c := range hw.AllFUClasses() {
+		if n := g.FUTotal[c]; n > 0 {
+			area += g.Profile.Spec(c).AreaUM2 * float64(n)
+		}
 	}
 	area += g.Profile.Reg.AreaUM2 * float64(g.RegBits)
 	return area
@@ -236,8 +241,10 @@ func (g *CDFG) AreaUM2() float64 {
 // StaticFULeakageMW returns functional-unit leakage power.
 func (g *CDFG) StaticFULeakageMW() float64 {
 	p := 0.0
-	for c, n := range g.FUTotal {
-		p += g.Profile.Spec(c).LeakageMW * float64(n)
+	for _, c := range hw.AllFUClasses() {
+		if n := g.FUTotal[c]; n > 0 {
+			p += g.Profile.Spec(c).LeakageMW * float64(n)
+		}
 	}
 	return p
 }

@@ -100,6 +100,19 @@ func NewCommInterface(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 	return c
 }
 
+// Reset rewinds the interface for a warm-started run after the owning
+// EventQueue has been Reset: per-cycle and outstanding counters return to
+// zero and the MMRs clear. Requests that were in flight when a previous
+// run was abandoned are forgotten — their completion events died with the
+// queue reset (their pooled wrappers are not reclaimed, which only costs a
+// fresh allocation later). Attached ports, stream windows, and the request
+// pool survive.
+func (c *CommInterface) Reset() {
+	c.readsThisCycle, c.writesThisCycle = 0, 0
+	c.outReads, c.outWrites = 0, 0
+	c.MMR.Reset()
+}
+
 // AttachLocal connects the scratchpad master port.
 func (c *CommInterface) AttachLocal(p mem.Ranged) { c.local = p }
 

@@ -1,0 +1,110 @@
+package core
+
+// The elaboration cache amortizes static elaboration across a sweep: the
+// CDFG is a pure function of (IR function, hardware profile, FU limits), so
+// design points that share a static configuration can share one immutable
+// CDFG instead of re-running Elaborate per point (the paper's static/dynamic
+// split, Sec. III-A2/III-B, applied to the simulator's own hot path). After
+// elaboration the CDFG is never written — the runtime engine keeps all
+// per-run state in the Accelerator — so one cached artifact may be read by
+// any number of concurrent campaign workers.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gosalam/internal/hw"
+	"gosalam/ir"
+)
+
+// elabKey identifies one static configuration. Functions and profiles are
+// keyed by identity: every front-end builds a kernel's IR once and reuses
+// the object across design points (kernel name + build params determine the
+// *ir.Function), and profiles are long-lived shared objects. Identity keying
+// can never alias two different configurations; at worst a duplicate object
+// costs a duplicate elaboration. FU limits arrive as a map, so they are
+// canonicalized to a string.
+type elabKey struct {
+	f       *ir.Function
+	profile *hw.Profile
+	limits  string
+}
+
+// CanonicalLimits renders per-class FU limits in a fixed class order,
+// skipping unset classes, so semantically equal maps key identically.
+func CanonicalLimits(limits map[hw.FUClass]int) string {
+	if len(limits) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, c := range hw.AllFUClasses() {
+		if n := limits[c]; n != 0 {
+			fmt.Fprintf(&sb, "%s=%d;", c, n)
+		}
+	}
+	return sb.String()
+}
+
+// elabEntry is one cache slot. The sync.Once guarantees a given
+// configuration is elaborated exactly once even when many workers miss
+// concurrently; losers block on the winner instead of duplicating work.
+type elabEntry struct {
+	once sync.Once
+	g    *CDFG
+	err  error
+}
+
+// ElabCache is a keyed, in-process cache of elaborated CDFGs. It is safe
+// for concurrent use. Errors are cached too: elaboration is deterministic,
+// so a failing configuration fails identically on every lookup.
+type ElabCache struct {
+	mu      sync.Mutex
+	entries map[elabKey]*elabEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewElabCache returns an empty cache.
+func NewElabCache() *ElabCache {
+	return &ElabCache{entries: map[elabKey]*elabEntry{}}
+}
+
+// SharedElab is the process-wide cache used by the salam front door and the
+// SoC builders. Sweeps across any number of campaigns share it.
+var SharedElab = NewElabCache()
+
+// Elaborate returns the cached CDFG for the configuration, elaborating on
+// first use. A lookup that finds an existing entry counts as a hit even if
+// the winner is still elaborating.
+func (c *ElabCache) Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (*CDFG, error) {
+	key := elabKey{f: f, profile: profile, limits: CanonicalLimits(limits)}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &elabEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.g, e.err = Elaborate(f, profile, limits) })
+	return e.g, e.err
+}
+
+// Stats returns lookup counters: hits found an existing artifact, misses
+// paid for an elaboration.
+func (c *ElabCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached configurations.
+func (c *ElabCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

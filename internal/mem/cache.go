@@ -98,6 +98,25 @@ func NewCache(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 // Range returns the address range the cache fronts.
 func (c *Cache) Range() AddrRange { return c.rng }
 
+// Reset rewinds the cache to its cold state for a warm-started run after
+// the owning EventQueue has been Reset: every line is invalidated, the MSHR
+// file and incoming queue are emptied, and the LRU clock restarts, so a
+// warm run observes exactly the cold-miss behaviour of a fresh cache.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		lines := c.sets[i].lines
+		for j := range lines {
+			lines[j] = cacheLine{}
+		}
+	}
+	for k := range c.mshr {
+		delete(c.mshr, k)
+	}
+	c.incoming.reset()
+	c.lruTick = 0
+	c.ResetClocked()
+}
+
 // Cacti returns the analytic power/area model for this configuration.
 func (c *Cache) Cacti() hw.CactiCache {
 	return hw.NewCactiCache(c.SizeBytes, c.LineBytes, c.Assoc)

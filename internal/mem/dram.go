@@ -61,6 +61,18 @@ func NewDRAM(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 // Range returns the DRAM address range.
 func (d *DRAM) Range() AddrRange { return d.rng }
 
+// Reset rewinds the DRAM for a warm-started run after the owning
+// EventQueue has been Reset: the request queue empties, every row buffer
+// closes, and the bandwidth bucket drains, matching cold construction.
+func (d *DRAM) Reset() {
+	d.queue.reset()
+	for i := range d.openRow {
+		d.openRow[i] = ^uint64(0)
+	}
+	d.budget = 0
+	d.ResetClocked()
+}
+
 // Send enqueues a request.
 func (d *DRAM) Send(r *Request) {
 	if !d.rng.Contains(r.Addr, r.Size) {

@@ -145,6 +145,15 @@ func (q *reqQueue) pop() *Request {
 	return r
 }
 
+// reset empties the queue in place, dropping references to any requests an
+// abandoned run left behind. Capacity is kept for the next run.
+func (q *reqQueue) reset() {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.head, q.n = 0, 0
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

@@ -46,6 +46,13 @@ func NewMMRBlock(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 // Range returns the register block's address range.
 func (m *MMRBlock) Range() AddrRange { return m.rng }
 
+// Reset zeroes every register for a warm-started run. Hooks stay wired.
+func (m *MMRBlock) Reset() {
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+}
+
 // Reg returns the current value of register idx (direct, zero-time access
 // for device-internal use).
 func (m *MMRBlock) Reg(idx int) uint64 { return m.regs[idx] }

@@ -66,6 +66,19 @@ func NewScratchpad(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 // Range returns the SPM's address range.
 func (s *Scratchpad) Range() AddrRange { return s.rng }
 
+// Reset rewinds the SPM for a warm-started run after the owning EventQueue
+// has been Reset: bank queues drop any requests an abandoned run left
+// behind and the clocked state rewinds to idle. Geometry (range, bank
+// count) is fixed at construction; LatencyCycles, PortsPerBank, WordBytes
+// and BlockPartition are plain fields the caller may retune per design
+// point before the next run.
+func (s *Scratchpad) Reset() {
+	for b := range s.queues {
+		s.queues[b].reset()
+	}
+	s.ResetClocked()
+}
+
 // Cacti returns the analytic power/area model for this configuration.
 func (s *Scratchpad) Cacti() hw.CactiSRAM {
 	return hw.NewCactiSRAM(int(s.rng.Size), s.PortsPerBank, s.Banks)

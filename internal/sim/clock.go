@@ -130,6 +130,19 @@ func (c *Clocked) Deactivate() {
 	c.tick.Cancel()
 }
 
+// ResetClocked returns the helper to its just-initialised state after the
+// owning EventQueue has been Reset: the pre-bound tick closure is kept,
+// any stale arm is forgotten (the queue reset already invalidated its
+// EventID), and the cycle counter rewinds so a warm run counts from zero
+// exactly like a cold one.
+func (c *Clocked) ResetClocked() {
+	c.active = false
+	c.Cycles = 0
+	if c.tick != nil {
+		c.tick.id = EventID{}
+	}
+}
+
 func (c *Clocked) edge() {
 	if !c.active {
 		return

@@ -122,6 +122,30 @@ func (q *EventQueue) Fired() uint64 { return q.fired }
 // are removed immediately, so the count is exact.
 func (q *EventQueue) Pending() int { return len(q.order) }
 
+// Reset returns the queue to tick zero while keeping the slot arena, so a
+// warm-started simulation schedules into storage the previous run already
+// grew. Every slot's generation advances, which turns EventIDs held from
+// before the reset into inert no-ops (Cancel and Scheduled see a stale
+// generation) instead of dangling references. The free list is rebuilt in
+// ascending slot order so a warm run allocates slots in the same sequence
+// as a cold run; pop order never depends on slot indices anyway — only on
+// (when, pri, seq), all of which restart from zero here.
+func (q *EventQueue) Reset() {
+	for i := range q.slots {
+		s := &q.slots[i]
+		s.gen++
+		s.fn = nil
+		s.obj = nil
+		s.pos = -1
+	}
+	q.free = q.free[:0]
+	for i := len(q.slots) - 1; i >= 0; i-- {
+		q.free = append(q.free, int32(i))
+	}
+	q.order = q.order[:0]
+	q.now, q.seq, q.fired = 0, 0, 0
+}
+
 // alloc takes a slot from the free list (or grows the arena) and returns
 // its index.
 func (q *EventQueue) alloc() int32 {

@@ -36,6 +36,9 @@ func (s *Scalar) Inc(delta float64) { s.V += delta }
 // Set overwrites the value.
 func (s *Scalar) Set(v float64) { s.V = v }
 
+// ResetStat zeroes the counter.
+func (s *Scalar) ResetStat() { s.V = 0 }
+
 // Value returns the current value.
 func (s *Scalar) Value() float64 { return s.V }
 
@@ -118,6 +121,15 @@ func (v *Vector) Total() float64 {
 // Keys returns bucket names in insertion order.
 func (v *Vector) Keys() []string { return append([]string(nil), v.keys...) }
 
+// ResetStat zeroes every bucket while keeping keys and indices, so Bucket
+// handles bound before the reset keep pointing at their bucket. Keys that
+// a previous run created remain present at value zero.
+func (v *Vector) ResetStat() {
+	for i := range v.vals {
+		v.vals[i] = 0
+	}
+}
+
 func (v *Vector) StatName() string { return v.name }
 func (v *Vector) StatDesc() string { return v.desc }
 func (v *Vector) Rows() []StatRow {
@@ -172,6 +184,9 @@ func (d *Distribution) Min() float64 { return d.min }
 // Max returns the largest sample (0 when empty).
 func (d *Distribution) Max() float64 { return d.max }
 
+// ResetStat drops all samples.
+func (d *Distribution) ResetStat() { d.n, d.sum, d.min, d.max = 0, 0, 0, 0 }
+
 func (d *Distribution) StatName() string { return d.name }
 func (d *Distribution) StatDesc() string { return d.desc }
 func (d *Distribution) Rows() []StatRow {
@@ -193,6 +208,10 @@ type Formula struct {
 func NewFormula(name, desc string, fn func() float64) *Formula {
 	return &Formula{name: name, desc: desc, Fn: fn}
 }
+
+// ResetStat is a no-op: a formula stores nothing, but implementing the
+// method lets formulas sit in groups that are reset between warm runs.
+func (f *Formula) ResetStat() {}
 
 func (f *Formula) StatName() string { return f.name }
 func (f *Formula) StatDesc() string { return f.desc }
@@ -255,6 +274,22 @@ func (g *Group) Formula(name, desc string, fn func() float64) *Formula {
 	f := NewFormula(name, desc, fn)
 	g.Add(f)
 	return f
+}
+
+// Reset recursively zeroes every stat in this group and its children that
+// implements ResetStat (all sim-provided stat types do). Structure is
+// preserved — registered stats, child groups, and Vector key order all
+// survive — so handles and formulas bound before the reset stay valid.
+func (g *Group) Reset() {
+	type resetter interface{ ResetStat() }
+	for _, s := range g.stats {
+		if r, ok := s.(resetter); ok {
+			r.ResetStat()
+		}
+	}
+	for _, c := range g.children {
+		c.Reset()
+	}
 }
 
 // Dump writes all stats, depth-first, one per line, prefixed by the group

@@ -43,6 +43,16 @@ func (m *FlatMem) SetAllocBase(addr uint64) {
 // AllocCursor returns the current allocation cursor.
 func (m *FlatMem) AllocCursor() uint64 { return m.next }
 
+// Reset zeroes the backing store and rewinds the allocation cursor to the
+// base, returning the space to its just-constructed state so a
+// warm-started simulation can lay out kernel buffers from scratch.
+func (m *FlatMem) Reset() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	m.next = m.Base
+}
+
 // Alloc reserves size bytes aligned to align and returns the address.
 func (m *FlatMem) Alloc(size int, align int) uint64 {
 	if align <= 0 {

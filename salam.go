@@ -27,6 +27,12 @@ import (
 	"gosalam/kernels"
 )
 
+// defaultProfile is the shared Default40nm instance used whenever
+// RunOpts.Profile is nil. Sharing one object (profiles are immutable after
+// construction) lets the elaboration cache key profiles by identity, so
+// every default-profile run of a kernel maps to the same cached CDFG.
+var defaultProfile = hw.Default40nm()
+
 // Re-exported configuration types so callers need only this package.
 type (
 	// AccelConfig is the accelerator "device config" (clock, FU limits,
@@ -148,11 +154,19 @@ func RunKernel(k *kernels.Kernel, opts RunOpts) (*Result, error) {
 // campaign kill a runaway simulation without leaking a goroutine — the
 // simulation really stops rather than being abandoned.
 func RunKernelCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	return runWithCtx(ctx, k.Name, func(stop func() bool) (*Result, error) {
+		return runKernel(k, opts, stop)
+	})
+}
+
+// runWithCtx wraps a stoppable simulation run with cooperative
+// cancellation; Session.RunCtx shares it with RunKernelCtx.
+func runWithCtx(ctx context.Context, name string, run func(stop func() bool) (*Result, error)) (*Result, error) {
 	if ctx == nil || ctx.Done() == nil {
-		return runKernel(k, opts, nil)
+		return run(nil)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("salam: %s not started: %w", k.Name, err)
+		return nil, fmt.Errorf("salam: %s not started: %w", name, err)
 	}
 	var stop atomic.Bool
 	cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
@@ -171,9 +185,9 @@ func RunKernelCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result
 		}
 		return canceled
 	}
-	res, err := runKernel(k, opts, stopFn)
+	res, err := run(stopFn)
 	if err != nil && ctx.Err() != nil {
-		return nil, fmt.Errorf("salam: %s canceled: %w", k.Name, ctx.Err())
+		return nil, fmt.Errorf("salam: %s canceled: %w", name, ctx.Err())
 	}
 	return res, err
 }
@@ -203,76 +217,17 @@ func spaceSizeFor(k *kernels.Kernel, seed int64) int {
 	return size
 }
 
-// runKernel is the shared implementation; a non-nil stop func is polled at
-// every event boundary and halts the simulation when it reports true.
+// runKernel is the shared cold-path implementation: a one-shot Session. A
+// non-nil stop func is polled at every event boundary and halts the
+// simulation when it reports true. Warm-start reuse lives in Session /
+// SessionPool; this path builds a fresh system per call, sharing only the
+// cached static CDFG.
 func runKernel(k *kernels.Kernel, opts RunOpts, stop func() bool) (*Result, error) {
-	profile := opts.Profile
-	if profile == nil {
-		profile = hw.Default40nm()
-	}
-	g, err := core.Elaborate(k.F, profile, opts.Accel.FULimits)
+	s, err := NewSession(k, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	q := sim.NewEventQueue()
-	stats := sim.NewGroup("system")
-	// Size the space generously around the workload.
-	spaceSize := spaceSizeFor(k, opts.Seed)
-	space := ir.NewFlatMem(0, spaceSize)
-	inst := k.Setup(space, opts.Seed)
-
-	memClk := sim.NewClockDomainMHz("memclk", opts.Accel.ClockMHz)
-	comm := core.NewCommInterface(k.Name+".comm", q, memClk, 0xF0000000, len(k.F.Params), stats)
-
-	res := &Result{Stats: stats, Instance: inst, Space: space}
-	switch opts.Mem {
-	case MemSPM:
-		spm := mem.NewScratchpad(k.Name+".spm", q, memClk, space,
-			mem.AddrRange{Base: 0, Size: uint64(spaceSize)},
-			opts.SPMLatency, opts.SPMBanks, opts.SPMPortsPer, stats)
-		comm.AttachLocal(spm)
-		res.SPM = spm
-	case MemCache:
-		dram := mem.NewDRAM(k.Name+".dram", q, memClk, space,
-			mem.AddrRange{Base: 0, Size: uint64(spaceSize)}, stats)
-		cache := mem.NewCache(k.Name+".l1", q, memClk, space,
-			mem.AddrRange{Base: 0, Size: uint64(spaceSize)}, dram,
-			opts.CacheBytes, opts.CacheLine, opts.CacheAssoc, 2, opts.CacheMSHRs, stats)
-		comm.AttachGlobal(cache)
-		res.Cache = cache
-	default:
-		return nil, fmt.Errorf("salam: unknown memory kind %d", opts.Mem)
-	}
-
-	acc := core.NewAccelerator(k.Name, q, g, opts.Accel, comm, stats)
-	res.Acc = acc
-	if opts.ProfileCycles > 0 {
-		acc.EnableProfile(opts.ProfileCycles)
-	}
-
-	done := false
-	acc.OnDone = func() { done = true }
-	acc.Start(inst.Args)
-	q.RunWhile(func() bool { return !done && (stop == nil || !stop()) })
-	if !done {
-		if stop != nil && stop() {
-			return nil, fmt.Errorf("salam: %s canceled", k.Name)
-		}
-		return nil, fmt.Errorf("salam: %s did not finish (deadlock?)", k.Name)
-	}
-	q.Run() // drain trailing events (writebacks etc.)
-
-	if !opts.SkipCheck {
-		if err := inst.Check(space); err != nil {
-			return nil, fmt.Errorf("salam: %s output mismatch: %w", k.Name, err)
-		}
-	}
-	res.Cycles = acc.LastKernelCycles()
-	res.Ticks = q.Now()
-	res.EventsFired = q.Fired()
-	res.Power = acc.Power(res.SPM, res.Ticks)
-	return res, nil
+	return s.run(opts, stop)
 }
 
 func nextPow2(v int) int {
@@ -284,10 +239,15 @@ func nextPow2(v int) int {
 }
 
 // Elaborate exposes static elaboration for tooling (cmd/salam-ll and the
-// experiments).
+// experiments). It goes through the shared elaboration cache, so repeated
+// elaborations of the same configuration return the same immutable CDFG.
 func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (*core.CDFG, error) {
 	if profile == nil {
-		profile = hw.Default40nm()
+		profile = defaultProfile
 	}
-	return core.Elaborate(f, profile, limits)
+	return core.SharedElab.Elaborate(f, profile, limits)
 }
+
+// ElabCacheStats reports the process-wide elaboration cache counters:
+// lookups that found an existing CDFG vs. lookups that elaborated one.
+func ElabCacheStats() (hits, misses uint64) { return core.SharedElab.Stats() }

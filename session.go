@@ -1,0 +1,311 @@
+package salam
+
+// Warm-start simulation reuse: a Session is a pooled single-accelerator
+// SoC that can run many design points without being reconstructed. The
+// static CDFG comes from the shared elaboration cache; everything dynamic
+// (event queue, stats, backing store, memory devices, accelerator engine
+// state) is rewound through the Reset paths between runs, so a warm run is
+// byte-identical to a cold one — the golden determinism suite holds over
+// both. Campaign workers keep sessions in a SessionPool and re-run the
+// next design point in place instead of reallocating a system per job.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/internal/mem"
+	"gosalam/internal/sim"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+// sessionKey is the structural configuration of a single-accelerator
+// system: everything NewSession bakes into component geometry or clock
+// domains. Design points that differ only in tunable knobs — FU limits,
+// port counts, queue sizes, SPM latency/ports, cache MSHRs, SkipCheck,
+// profiling — share a key and can reuse one Session.
+type sessionKey struct {
+	k                                 *kernels.Kernel
+	profile                           *hw.Profile
+	seed                              int64
+	mem                               MemKind
+	clockMHz                          float64
+	spmBanks                          int
+	cacheBytes, cacheLine, cacheAssoc int
+}
+
+// structuralKey derives the session key for a run request.
+func structuralKey(k *kernels.Kernel, opts RunOpts) sessionKey {
+	profile := opts.Profile
+	if profile == nil {
+		profile = defaultProfile
+	}
+	key := sessionKey{
+		k: k, profile: profile, seed: opts.Seed,
+		mem: opts.Mem, clockMHz: opts.Accel.ClockMHz,
+	}
+	switch opts.Mem {
+	case MemSPM:
+		key.spmBanks = opts.SPMBanks
+	case MemCache:
+		key.cacheBytes = opts.CacheBytes
+		key.cacheLine = opts.CacheLine
+		key.cacheAssoc = opts.CacheAssoc
+	}
+	return key
+}
+
+// Session is a reusable single-accelerator system. It is not safe for
+// concurrent use; share sessions across goroutines through a SessionPool.
+type Session struct {
+	key     sessionKey
+	k       *kernels.Kernel
+	profile *hw.Profile
+
+	q         *sim.EventQueue
+	stats     *sim.Group
+	space     *ir.FlatMem
+	spaceSize int
+	memClk    *sim.ClockDomain
+	comm      *core.CommInterface
+	acc       *core.Accelerator
+	spm       *mem.Scratchpad
+	cache     *mem.Cache
+	dram      *mem.DRAM
+
+	runs   uint64
+	broken bool
+}
+
+// NewSession builds the system for k once. The opts fix the session's
+// structural configuration (kernel, profile, seed, memory kind and
+// geometry, clock); the tunable knobs passed to each Run may differ.
+func NewSession(k *kernels.Kernel, opts RunOpts) (*Session, error) {
+	profile := opts.Profile
+	if profile == nil {
+		profile = defaultProfile
+	}
+	// Validate the static configuration up front (and prime the cache).
+	if _, err := core.SharedElab.Elaborate(k.F, profile, opts.Accel.FULimits); err != nil {
+		return nil, err
+	}
+
+	s := &Session{
+		key:     structuralKey(k, opts),
+		k:       k,
+		profile: profile,
+	}
+	s.q = sim.NewEventQueue()
+	s.stats = sim.NewGroup("system")
+	s.spaceSize = spaceSizeFor(k, opts.Seed)
+	s.space = ir.NewFlatMem(0, s.spaceSize)
+	s.memClk = sim.NewClockDomainMHz("memclk", opts.Accel.ClockMHz)
+	s.comm = core.NewCommInterface(k.Name+".comm", s.q, s.memClk, 0xF0000000, len(k.F.Params), s.stats)
+
+	switch opts.Mem {
+	case MemSPM:
+		s.spm = mem.NewScratchpad(k.Name+".spm", s.q, s.memClk, s.space,
+			mem.AddrRange{Base: 0, Size: uint64(s.spaceSize)},
+			opts.SPMLatency, opts.SPMBanks, opts.SPMPortsPer, s.stats)
+		s.comm.AttachLocal(s.spm)
+	case MemCache:
+		s.dram = mem.NewDRAM(k.Name+".dram", s.q, s.memClk, s.space,
+			mem.AddrRange{Base: 0, Size: uint64(s.spaceSize)}, s.stats)
+		s.cache = mem.NewCache(k.Name+".l1", s.q, s.memClk, s.space,
+			mem.AddrRange{Base: 0, Size: uint64(s.spaceSize)}, s.dram,
+			opts.CacheBytes, opts.CacheLine, opts.CacheAssoc, 2, opts.CacheMSHRs, s.stats)
+		s.comm.AttachGlobal(s.cache)
+	default:
+		return nil, fmt.Errorf("salam: unknown memory kind %d", opts.Mem)
+	}
+
+	s.acc = core.NewAccelerator(k.Name, s.q, mustCDFG(k, profile, opts.Accel.FULimits), opts.Accel, s.comm, s.stats)
+	return s, nil
+}
+
+// mustCDFG re-fetches a configuration already validated by the caller.
+func mustCDFG(k *kernels.Kernel, profile *hw.Profile, limits map[FUClass]int) *core.CDFG {
+	g, err := core.SharedElab.Elaborate(k.F, profile, limits)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Reusable reports whether the session can run the given request: the
+// structural configuration matches and no earlier run was abandoned
+// mid-simulation.
+func (s *Session) Reusable(k *kernels.Kernel, opts RunOpts) bool {
+	return !s.broken && structuralKey(k, opts) == s.key
+}
+
+// Runs returns how many runs the session has completed or attempted.
+func (s *Session) Runs() uint64 { return s.runs }
+
+// Run simulates one design point in the pooled system. The first run uses
+// the freshly built components; later runs rewind them through the Reset
+// paths first, so results are byte-identical to a cold RunKernel with the
+// same options.
+func (s *Session) Run(opts RunOpts) (*Result, error) {
+	return s.run(opts, nil)
+}
+
+// RunCtx is Run with the cooperative cancellation of RunKernelCtx.
+func (s *Session) RunCtx(ctx context.Context, opts RunOpts) (*Result, error) {
+	return runWithCtx(ctx, s.k.Name, func(stop func() bool) (*Result, error) {
+		return s.run(opts, stop)
+	})
+}
+
+func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
+	if s.broken {
+		return nil, fmt.Errorf("salam: session for %s poisoned by an abandoned run", s.k.Name)
+	}
+	if key := structuralKey(s.k, opts); key != s.key {
+		return nil, fmt.Errorf("salam: session for %s cannot run a structurally different configuration", s.k.Name)
+	}
+	g, err := core.SharedElab.Elaborate(s.k.F, s.profile, opts.Accel.FULimits)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.runs > 0 {
+		// Warm start: rewind all dynamic state to the cold zero state.
+		s.q.Reset()
+		s.stats.Reset()
+		s.space.Reset()
+		s.comm.Reset()
+		if s.spm != nil {
+			s.spm.Reset()
+		}
+		if s.cache != nil {
+			s.cache.Reset()
+		}
+		if s.dram != nil {
+			s.dram.Reset()
+		}
+	}
+	s.runs++
+	// A run that errors out below leaves queues and engine state mid-
+	// flight; the session stays unusable until the flag is cleared on
+	// success. Pools drop broken sessions instead of recycling them.
+	s.broken = true
+
+	// Apply the design point: swap in the (shared) CDFG and retune the
+	// plain-knob fields the structural key does not pin.
+	s.acc.Reconfigure(g, opts.Accel)
+	if s.spm != nil {
+		s.spm.LatencyCycles = opts.SPMLatency
+		if p := opts.SPMPortsPer; p >= 1 {
+			s.spm.PortsPerBank = p
+		} else {
+			s.spm.PortsPerBank = 1
+		}
+	}
+	if s.cache != nil {
+		if m := opts.CacheMSHRs; m >= 1 {
+			s.cache.MSHRs = m
+		} else {
+			s.cache.MSHRs = 1
+		}
+	}
+	if opts.ProfileCycles > 0 {
+		s.acc.EnableProfile(opts.ProfileCycles)
+	}
+
+	inst := s.k.Setup(s.space, opts.Seed)
+	res := &Result{Stats: s.stats, Instance: inst, Space: s.space, Acc: s.acc, SPM: s.spm, Cache: s.cache}
+
+	done := false
+	s.acc.OnDone = func() { done = true }
+	s.acc.Start(inst.Args)
+	s.q.RunWhile(func() bool { return !done && (stop == nil || !stop()) })
+	if !done {
+		if stop != nil && stop() {
+			return nil, fmt.Errorf("salam: %s canceled", s.k.Name)
+		}
+		return nil, fmt.Errorf("salam: %s did not finish (deadlock?)", s.k.Name)
+	}
+	s.q.Run() // drain trailing events (writebacks etc.)
+
+	if !opts.SkipCheck {
+		if err := inst.Check(s.space); err != nil {
+			return nil, fmt.Errorf("salam: %s output mismatch: %w", s.k.Name, err)
+		}
+	}
+	s.broken = false
+	res.Cycles = s.acc.LastKernelCycles()
+	res.Ticks = s.q.Now()
+	res.EventsFired = s.q.Fired()
+	res.Power = s.acc.Power(res.SPM, res.Ticks)
+	return res, nil
+}
+
+// SessionPool keeps idle Sessions keyed by structural configuration so
+// concurrent sweep workers can reuse pooled systems across design points.
+// Acquire removes a session from the pool and release returns it, so a
+// worker that panics or errors mid-run simply never returns the session —
+// a dirty system can never be handed to another job.
+type SessionPool struct {
+	mu      sync.Mutex
+	idle    map[sessionKey][]*Session
+	reused  atomic.Uint64
+	created atomic.Uint64
+}
+
+// NewSessionPool returns an empty pool.
+func NewSessionPool() *SessionPool {
+	return &SessionPool{idle: map[sessionKey][]*Session{}}
+}
+
+// Stats reports how many runs reused a pooled session and how many had to
+// build one.
+func (p *SessionPool) Stats() (reused, created uint64) {
+	return p.reused.Load(), p.created.Load()
+}
+
+func (p *SessionPool) acquire(k *kernels.Kernel, opts RunOpts) (*Session, error) {
+	key := structuralKey(k, opts)
+	p.mu.Lock()
+	if ss := p.idle[key]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		p.idle[key] = ss[:len(ss)-1]
+		p.mu.Unlock()
+		p.reused.Add(1)
+		return s, nil
+	}
+	p.mu.Unlock()
+	p.created.Add(1)
+	return NewSession(k, opts)
+}
+
+func (p *SessionPool) release(s *Session) {
+	p.mu.Lock()
+	p.idle[s.key] = append(p.idle[s.key], s)
+	p.mu.Unlock()
+}
+
+// RunCtx runs one design point on a pooled session, building one on first
+// use of a structural configuration. The session returns to the pool only
+// after a fully successful run; cancellation, simulation errors, and
+// panics all drop it, so fault isolation is preserved.
+//
+// The returned Result aliases the live session (Acc, SPM, Stats, Space
+// point into pooled state that the next run on the session will rewind);
+// read what you need before triggering another run, or run cold when the
+// Result must outlive the sweep.
+func (p *SessionPool) RunCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	s, err := p.acquire(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.RunCtx(ctx, opts)
+	if err == nil {
+		p.release(s)
+	}
+	return res, err
+}

@@ -162,12 +162,12 @@ type AccelOpts struct {
 func (s *SoC) AddAccel(name string, f *ir.Function, o AccelOpts) (*AccelNode, error) {
 	profile := o.Profile
 	if profile == nil {
-		profile = hw.Default40nm()
+		profile = defaultProfile
 	}
 	if o.Cfg.ClockMHz == 0 {
 		o.Cfg = core.DefaultConfig()
 	}
-	g, err := core.Elaborate(f, profile, o.Cfg.FULimits)
+	g, err := core.SharedElab.Elaborate(f, profile, o.Cfg.FULimits)
 	if err != nil {
 		return nil, err
 	}
