@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet golden bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke golden bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -20,6 +20,17 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Determinism linter: rejects map iteration, wall-clock reads, math/rand,
+# and stray goroutines in the simulation packages (see cmd/salam-vet).
+vet-sim:
+	$(GO) run ./cmd/salam-vet ./...
+
+# Static analyzer smoke: every kernel must analyze without error and
+# produce a nonzero lower bound (the CSV goes to /dev/null; failure exits
+# nonzero).
+analyze-smoke:
+	$(GO) run ./cmd/salam-analyze -all > /dev/null
 
 # The campaign engine is the only concurrent subsystem; its tests (and the
 # experiments that drive real parallel simulations through it) must stay
@@ -46,7 +57,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet test race golden bench-smoke
+check: build vet vet-sim test race golden bench-smoke analyze-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

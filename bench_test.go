@@ -179,34 +179,38 @@ func BenchmarkAblationMemOrder(b *testing.B) {
 	}
 }
 
+// buildDSESweep is the Fig. 13-style GEMMTree sweep shared by the
+// campaign benchmarks.
+func buildDSESweep() []campaign.Job {
+	k := kernels.GEMMTree(8)
+	var jobs []campaign.Job
+	for _, fu := range []int{2, 4, 8, 16} {
+		for _, port := range []int{2, 4, 8} {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
+			opts.Accel.MaxOutstanding = 2 * port
+			opts.SPMPortsPer = port
+			opts.Accel.ResQueueSize = 1024
+			opts.Accel.FULimits = map[salam.FUClass]int{
+				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+			}
+			jobs = append(jobs, campaign.Job{
+				ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
+				Kernel:    k,
+				KernelKey: "gemm_tree/n=8",
+				Opts:      opts,
+			})
+		}
+	}
+	return jobs
+}
+
 // BenchmarkDSECampaign: the Fig. 13-style sweep through the campaign
 // engine at 1 worker vs all cores — the wall-clock win that motivates the
 // subsystem. Output ordering is identical at both settings; only the
 // elapsed time differs.
 func BenchmarkDSECampaign(b *testing.B) {
-	k := kernels.GEMMTree(8)
-	buildJobs := func() []campaign.Job {
-		var jobs []campaign.Job
-		for _, fu := range []int{2, 4, 8, 16} {
-			for _, port := range []int{2, 4, 8} {
-				opts := salam.DefaultRunOpts()
-				opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
-				opts.Accel.MaxOutstanding = 2 * port
-				opts.SPMPortsPer = port
-				opts.Accel.ResQueueSize = 1024
-				opts.Accel.FULimits = map[salam.FUClass]int{
-					salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
-				}
-				jobs = append(jobs, campaign.Job{
-					ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
-					Kernel:    k,
-					KernelKey: "gemm_tree/n=8",
-					Opts:      opts,
-				})
-			}
-		}
-		return jobs
-	}
+	buildJobs := buildDSESweep
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -236,4 +240,32 @@ func BenchmarkDSECampaign(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDSECampaignPruned: the same sweep with static lower-bound
+// pruning (campaign.StaticPrune). The delta against
+// BenchmarkDSECampaign/workers-1 is the wall-clock the static analyzer
+// saves by skipping provably dominated design points; the surviving
+// points' metrics and the sweep's best point are identical by construction
+// (TestStaticPrunePreservesBestPoint).
+func BenchmarkDSECampaignPruned(b *testing.B) {
+	b.ReportAllocs()
+	pruned := 0
+	for i := 0; i < b.N; i++ {
+		out := campaign.Run(context.Background(),
+			campaign.Config{Workers: 1, Prune: campaign.StaticPrune}, buildDSESweep())
+		if err := campaign.FirstError(out); err != nil {
+			b.Fatal(err)
+		}
+		pruned = 0
+		for _, o := range out {
+			if o.Pruned {
+				pruned++
+			}
+		}
+	}
+	if pruned == 0 {
+		b.Fatal("pruning eliminated nothing; the benchmark measures nothing")
+	}
+	b.ReportMetric(float64(pruned), "points-pruned")
 }

@@ -1,0 +1,207 @@
+// Command salam-analyze prints the static analysis of a kernel's
+// elaborated CDFG without simulating it: the provable cycle-count lower
+// bound and the component that binds it, ASAP/ALAP block schedules,
+// memory-dependence and out-of-bounds findings, dead-op and loop reports,
+// and the static power/area envelope. The same analysis drives campaign
+// pruning (salam-dse) — this command is the human-readable view.
+//
+// Usage:
+//
+//	salam-analyze -kernel gemm
+//	salam-analyze -kernel gemm -ports 2 -fu 4 -json
+//	salam-analyze -all            # one summary line per kernel
+//	salam-analyze -kernel bfs -sched   # include per-op schedules
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	salam "gosalam"
+	"gosalam/internal/analysis"
+	"gosalam/internal/hw"
+	"gosalam/kernels"
+)
+
+func buildOpts(port, fu int) salam.RunOpts {
+	opts := salam.DefaultRunOpts()
+	if port > 0 {
+		opts.Accel.ReadPorts = port
+		opts.Accel.WritePorts = port
+		opts.Accel.MaxOutstanding = 2 * port
+		opts.SPMPortsPer = port
+	}
+	if fu > 0 {
+		opts.Accel.FULimits = map[hw.FUClass]int{
+			hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
+		}
+	}
+	return opts
+}
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name (see kernels.All/Extras)")
+	preset := flag.String("preset", "small", "workload preset: small or default")
+	port := flag.Int("ports", 0, "read/write ports (0 = engine default)")
+	fu := flag.Int("fu", 0, "FP adder+multiplier limit (0 = dedicated)")
+	asJSON := flag.Bool("json", false, "emit the full report and bound as JSON")
+	all := flag.Bool("all", false, "analyze every kernel in the preset, one summary line each")
+	withSched := flag.Bool("sched", false, "include per-op ASAP/ALAP schedules in text output")
+	flag.Parse()
+
+	p := kernels.Small
+	if *preset == "default" {
+		p = kernels.Default
+	}
+
+	if *all {
+		ks := append(kernels.All(p), kernels.Extras(p)...)
+		fmt.Println("kernel,static_ops,loops,lb_cycles,binding,hazards,oob,dead_ops,no_hazard_proven")
+		for _, k := range ks {
+			rep, err := salam.AnalyzeKernel(k, buildOpts(*port, *fu))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
+				os.Exit(1)
+			}
+			lb := rep.LowerBound(buildOpts(*port, *fu).Accel)
+			if lb.Cycles == 0 {
+				fmt.Fprintf(os.Stderr, "%s: zero lower bound — analysis derived nothing\n", k.Name)
+				os.Exit(1)
+			}
+			fmt.Printf("%s,%d,%d,%d,%s,%d,%d,%d,%v\n",
+				k.Name, rep.StaticOps, len(rep.Loops), lb.Cycles, lb.Binding,
+				len(rep.Mem.Hazards), len(rep.Mem.OOB), len(rep.DeadOps),
+				rep.Mem.NoHazardProven)
+		}
+		return
+	}
+
+	if *kernel == "" {
+		fmt.Fprintln(os.Stderr, "salam-analyze: -kernel or -all required")
+		os.Exit(2)
+	}
+	k := kernels.ByName(p, *kernel)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+	opts := buildOpts(*port, *fu)
+	rep, err := salam.AnalyzeKernel(k, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
+		os.Exit(1)
+	}
+	lb := rep.LowerBound(opts.Accel)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Report *analysis.Report `json:"report"`
+			Bound  analysis.Bound   `json:"bound"`
+		}{rep, lb}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	render(rep, lb, *withSched)
+}
+
+func render(rep *analysis.Report, lb analysis.Bound, withSched bool) {
+	fmt.Printf("kernel %s: %d blocks (%d reachable), %d static ops\n",
+		rep.Function, rep.Blocks, rep.Reachable, rep.StaticOps)
+
+	fmt.Printf("\nlower bound: %d cycles, bound by %s (ports r=%d w=%d)\n",
+		lb.Cycles, lb.Binding, lb.ReadPorts, lb.WritePorts)
+	comps := append([]analysis.Component(nil), lb.Components...)
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Cycles > comps[j].Cycles })
+	for _, c := range comps {
+		fmt.Printf("  %-18s %10d\n", c.Name, c.Cycles)
+	}
+	if len(lb.Classes) > 0 {
+		fmt.Println("\nfu classes:")
+		for _, cb := range lb.Classes {
+			sound := "heuristic"
+			if cb.UtilSound {
+				sound = "sound"
+			}
+			fmt.Printf("  %-16s units=%-3d ops=%-3d demand=%-8d util<=%.2f (%s)\n",
+				cb.Class, cb.Units, cb.StaticOps, cb.BusyWeighted, cb.UtilUB, sound)
+		}
+	}
+
+	if len(rep.Loops) > 0 {
+		fmt.Println("\nloops:")
+		for _, l := range rep.Loops {
+			trip := "unproven"
+			if l.Trip >= 0 {
+				trip = fmt.Sprintf("%d", l.Trip)
+			}
+			iv := ""
+			if l.IV != "" {
+				iv = " iv=" + l.IV
+			}
+			fmt.Printf("  %-12s depth=%d blocks=%d trip=%s%s\n", l.Header, l.Depth, l.Blocks, trip, iv)
+		}
+	}
+
+	m := rep.Mem
+	fmt.Printf("\nmemory: %d accesses (%d loads, %d stores), %d affine-resolved\n",
+		m.Accesses, m.Loads, m.Stores, m.Resolved)
+	for _, fp := range m.Footprint {
+		res := ""
+		if !fp.Resolved {
+			res = " (partial)"
+		}
+		fmt.Printf("  %-12s bytes [%d, %d) of %d%s\n", fp.Base, fp.MinByte, fp.MaxByte, fp.Bytes, res)
+	}
+	if m.NoHazardProven {
+		fmt.Println("  no hazards: every same-buffer pair proven disjoint")
+	}
+	for _, h := range m.Hazards {
+		fmt.Printf("  hazard %s on %s: %s -> %s (may-overlap, not proven)\n", h.Kind, h.Base, h.First, h.Then)
+	}
+	for _, o := range m.OOB {
+		kind := "possible"
+		if o.Proven {
+			kind = "PROVEN"
+		}
+		fmt.Printf("  oob %s: %s on %s touches [%d, %d) of %d bytes\n", kind, o.Op, o.Base, o.MinByte, o.MaxByte, o.Size)
+	}
+
+	if len(rep.Unreachable) > 0 {
+		fmt.Printf("\nunreachable blocks: %v\n", rep.Unreachable)
+	}
+	if len(rep.DeadOps) > 0 {
+		fmt.Printf("dead ops (result never consumed): %v\n", rep.DeadOps)
+	}
+
+	e := rep.Envelope
+	exact := "floor"
+	if e.EnergyExact {
+		exact = "exact"
+	}
+	fmt.Printf("\nenvelope: leakage %.3f mW fu + %.3f mW reg, area %.0f um2, dyn energy >= %.1f pJ (%s)\n",
+		e.StaticFUMW, e.StaticRegMW, e.AreaUM2, e.MinDynEnergyPJ, exact)
+
+	if withSched {
+		fmt.Println("\nschedules:")
+		for _, bs := range rep.Sched {
+			fmt.Printf("  %s: crit-path=%d min-exec=%d exact=%v critical=%v\n",
+				bs.Block, bs.CritPathCycles, bs.MinExec, bs.Exact, bs.Critical)
+			for _, op := range bs.Ops {
+				mark := " "
+				if op.Critical {
+					mark = "*"
+				}
+				fmt.Printf("   %s %-12s %-10s w=%-2d asap=%-4d alap=%-4d slack=%d\n",
+					mark, op.Name, op.Op, op.Weight, op.ASAP, op.ALAP, op.Slack)
+			}
+		}
+	}
+}

@@ -80,8 +80,9 @@ func engineBench(k *kernels.Kernel) (testing.BenchmarkResult, uint64) {
 	return br, cycles
 }
 
-// campaignBench runs the Fig. 13-style 12-point sweep at full parallelism.
-func campaignBench() testing.BenchmarkResult {
+// gemmTreeSweepJobs builds the Fig. 13-style 12-point GEMMTree sweep
+// shared by the campaign benchmarks.
+func gemmTreeSweepJobs() []campaign.Job {
 	k := kernels.GEMMTree(8)
 	var jobs []campaign.Job
 	for _, fu := range []int{2, 4, 8, 16} {
@@ -102,6 +103,12 @@ func campaignBench() testing.BenchmarkResult {
 			})
 		}
 	}
+	return jobs
+}
+
+// campaignBench runs the sweep at full parallelism.
+func campaignBench() testing.BenchmarkResult {
+	jobs := gemmTreeSweepJobs()
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -113,30 +120,28 @@ func campaignBench() testing.BenchmarkResult {
 	})
 }
 
+// campaignPrunedBench runs the same sweep with static lower-bound pruning:
+// points the analyzer proves worse than the pilot measurement are skipped,
+// so the ns/op delta against DSECampaign is the wall-clock pruning saves.
+func campaignPrunedBench() testing.BenchmarkResult {
+	jobs := gemmTreeSweepJobs()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := campaign.Run(context.Background(),
+				campaign.Config{Prune: campaign.StaticPrune}, jobs)
+			if err := campaign.FirstError(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // campaignWarmBench measures steady-state design-point throughput: the
 // same sweep as campaignBench, but on a persistent pre-warmed SessionPool
 // so every job is an elaboration-cache hit running in a pooled system.
 func campaignWarmBench() testing.BenchmarkResult {
-	k := kernels.GEMMTree(8)
-	var jobs []campaign.Job
-	for _, fu := range []int{2, 4, 8, 16} {
-		for _, port := range []int{2, 4, 8} {
-			opts := salam.DefaultRunOpts()
-			opts.Accel.ReadPorts, opts.Accel.WritePorts = port, port
-			opts.Accel.MaxOutstanding = 2 * port
-			opts.SPMPortsPer = port
-			opts.Accel.ResQueueSize = 1024
-			opts.Accel.FULimits = map[salam.FUClass]int{
-				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
-			}
-			jobs = append(jobs, campaign.Job{
-				ID:        fmt.Sprintf("fu=%d p=%d", fu, port),
-				Kernel:    k,
-				KernelKey: "gemm_tree/n=8",
-				Opts:      opts,
-			})
-		}
-	}
+	jobs := gemmTreeSweepJobs()
 	pool := salam.NewSessionPool()
 	cfg := campaign.Config{Sessions: pool}
 	// Warm the pool (and the elaboration cache) before timing.
@@ -274,6 +279,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "salam-bench: DSECampaign...\n")
 	br = campaignBench()
 	benches["DSECampaign"] = record(br, 0)
+	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
+
+	fmt.Fprintf(os.Stderr, "salam-bench: DSECampaignPruned...\n")
+	br = campaignPrunedBench()
+	benches["DSECampaignPruned"] = record(br, 0)
 	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
 
 	fmt.Fprintf(os.Stderr, "salam-bench: CampaignWarm...\n")

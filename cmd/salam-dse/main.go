@@ -62,6 +62,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	dumpStats := flag.Bool("stats", false, "dump campaign counters to stderr at the end")
 	cold := flag.Bool("cold", false, "build a fresh system per point instead of reusing warm-started pooled sessions")
+	noPrune := flag.Bool("no-prune", false, "simulate every point, even ones the static analyzer proves worse than an already-measured point")
 	flag.Parse()
 
 	p := kernels.Small
@@ -133,6 +134,13 @@ func main() {
 		Stats:     sim.NewGroup("dse"),
 		ColdStart: *cold,
 	}
+	if !*noPrune {
+		// Static lower-bound pruning: points the analyzer proves worse
+		// than the pilot measurement render as "pruned" rows instead of
+		// burning a simulation. The best point is provably unaffected;
+		// -no-prune simulates everything.
+		cfg.Prune = campaign.StaticPrune
+	}
 	if !*quiet {
 		cfg.Progress = campaign.NewWriterReporter(os.Stderr)
 	}
@@ -149,7 +157,7 @@ func main() {
 
 	// A failed point becomes an error row and a stderr warning; the sweep
 	// still finishes and reports every other point, then exits non-zero.
-	fmt.Println("kernel,memory,fu_limit,ports,cycles,time_us,power_mw,datapath_mw,area_um2")
+	fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
 	failed := 0
 	for i, o := range outcomes {
 		pt := pts[i]
@@ -160,9 +168,22 @@ func main() {
 			fmt.Printf("%s,%s,%d,%d,error,%s\n", k.Name, pt.mem, pt.fu, pt.port, msg)
 			continue
 		}
+		if o.Pruned {
+			fmt.Printf("%s,%s,%d,%d,pruned,%d,,,,\n",
+				k.Name, pt.mem, pt.fu, pt.port, o.StaticLB)
+			continue
+		}
+		if o.StaticLB == 0 {
+			// The campaign only bounds jobs when pruning is on; fill the
+			// column here so -no-prune rows stay comparable. The CDFG and
+			// its analysis are already cached from the simulation itself.
+			if lb, ok := campaign.StaticPrune(jobSpecs[i]); ok {
+				o.StaticLB = lb
+			}
+		}
 		m := o.Metrics
-		fmt.Printf("%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
-			k.Name, pt.mem, pt.fu, pt.port, m.Cycles,
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
+			k.Name, pt.mem, pt.fu, pt.port, m.Cycles, o.StaticLB,
 			float64(m.Ticks)/1e6, m.Power.TotalMW(),
 			m.Power.DatapathMW(), m.Power.TotalAreaUM2())
 	}

@@ -1,0 +1,113 @@
+// Command salam-vet is the repo's determinism linter: it statically
+// rejects constructs that would break the engine's byte-identical-rerun
+// guarantee before they can flake a golden test. It vets the simulation
+// packages (internal/sim, internal/core, internal/mem) for map iteration,
+// wall-clock reads, math/rand, and goroutine spawns, and the campaign
+// engine for the order/randomness subset (its worker pool legitimately
+// uses goroutines and wall-clock timing for job metrics).
+//
+// Usage:
+//
+//	salam-vet ./...            # vet every policied package (make vet-sim)
+//	salam-vet internal/core    # vet one package directory
+//
+// Exit status is 1 when findings exist, 2 on usage/IO errors. A provably
+// order-independent map range can carry a //salam:vet:ok comment on the
+// same or preceding line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// policy maps module-relative package directories to the rules they must
+// satisfy. Directories not listed are not simulation state and are out of
+// scope (cmd/ render loops, kernels/ dataset seeding, experiments).
+var policy = map[string]ruleSet{
+	"internal/sim":      {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	"internal/core":     {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	"internal/mem":      {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	"internal/campaign": {mapRange: true, mathRand: true},
+}
+
+// moduleRoot walks upward from dir to the directory holding go.mod, so
+// policy paths resolve the same from the repo root and from subdirs.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "salam-vet:", err)
+		os.Exit(2)
+	}
+
+	// Resolve args to the set of policied package dirs to vet.
+	dirs := map[string]bool{}
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "all" {
+			for rel := range policy {
+				dirs[rel] = true
+			}
+			continue
+		}
+		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(a, "./")))
+		if _, ok := policy[rel]; !ok {
+			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,campaign}\n", rel)
+			continue
+		}
+		dirs[rel] = true
+	}
+
+	// Deterministic order for the linter's own output.
+	var rels []string
+	for rel := range dirs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	total := 0
+	for _, rel := range rels {
+		dir := filepath.Join(root, rel)
+		findings, err := checkDir(dir, policy[rel])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salam-vet: %s: %v\n", rel, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			// Print module-relative paths so output is stable across
+			// checkouts.
+			if p, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				f.Pos.Filename = filepath.ToSlash(p)
+			}
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "salam-vet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var allRules = ruleSet{mapRange: true, wallClock: true, mathRand: true, goroutine: true}
+
+// countRule tallies findings by rule name.
+func countRule(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+// TestFixtureViolationsCaught proves the linter detects each violation
+// class on seeded fixture files — a linter that silently goes blind (e.g.
+// after a go/types change) must fail here, not pass vacuously on the tree.
+func TestFixtureViolationsCaught(t *testing.T) {
+	fs, err := checkDir("testdata/fixture", allRules)
+	if err != nil {
+		t.Fatalf("checkDir: %v", err)
+	}
+	got := countRule(fs)
+	want := map[string]int{"map-range": 1, "wall-clock": 1, "math-rand": 1, "goroutine": 1}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("rule %s: %d finding(s), want %d\nall: %v", rule, got[rule], n, fs)
+		}
+	}
+	for _, f := range fs {
+		switch f.Rule {
+		case "map-range":
+			if !strings.HasSuffix(f.Pos.Filename, "stats.go") {
+				t.Errorf("map-range reported in %s, want stats.go", f.Pos.Filename)
+			}
+		case "wall-clock", "math-rand", "goroutine":
+			if !strings.HasSuffix(f.Pos.Filename, "simobj.go") {
+				t.Errorf("%s reported in %s, want simobj.go", f.Rule, f.Pos.Filename)
+			}
+		}
+	}
+}
+
+// TestSuppressionRespected: the annotated order-independent map range in
+// Stats.Sum must not be reported (exactly one map-range total, in Emit).
+func TestSuppressionRespected(t *testing.T) {
+	fs, err := checkDir("testdata/fixture", allRules)
+	if err != nil {
+		t.Fatalf("checkDir: %v", err)
+	}
+	for _, f := range fs {
+		if f.Rule == "map-range" && f.Pos.Line > 20 {
+			t.Errorf("suppressed map range reported: %v", f)
+		}
+	}
+}
+
+// TestRuleSetGates: campaign-style policy (no wall-clock/goroutine rules)
+// must not report those classes even when present.
+func TestRuleSetGates(t *testing.T) {
+	fs, err := checkDir("testdata/fixture", ruleSet{mapRange: true, mathRand: true})
+	if err != nil {
+		t.Fatalf("checkDir: %v", err)
+	}
+	got := countRule(fs)
+	if got["wall-clock"] != 0 || got["goroutine"] != 0 {
+		t.Errorf("gated rules still reported: %v", fs)
+	}
+	if got["map-range"] != 1 || got["math-rand"] != 1 {
+		t.Errorf("enabled rules missing: %v", fs)
+	}
+}
+
+// TestRepoIsVetClean pins the policied packages clean, so a regression
+// that introduces nondeterminism fails in `go test` as well as `make
+// vet-sim`.
+func TestRepoIsVetClean(t *testing.T) {
+	for rel, rules := range map[string]ruleSet{
+		"../../internal/sim":      policy["internal/sim"],
+		"../../internal/core":     policy["internal/core"],
+		"../../internal/mem":      policy["internal/mem"],
+		"../../internal/campaign": policy["internal/campaign"],
+	} {
+		fs, err := checkDir(rel, rules)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %v", rel, f)
+		}
+	}
+}

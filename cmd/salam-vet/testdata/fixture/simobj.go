@@ -1,0 +1,24 @@
+package fixture
+
+import (
+	mrand "math/rand"
+	t "time"
+)
+
+// Engine mimics a simulation object with every non-map violation class:
+// wall-clock reads, unseeded randomness, and a goroutine touching engine
+// state. Imports are aliased on purpose — the linter must resolve aliases,
+// not match identifier spelling.
+type Engine struct {
+	now int64
+}
+
+func (e *Engine) Step() {
+	e.now = t.Now().UnixNano()
+	if mrand.Intn(2) == 0 {
+		e.now++
+	}
+	go func() {
+		e.now++
+	}()
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "fmt"
+
+// Stats mimics a stats sink whose rendering iterates a map: the classic
+// determinism bug salam-vet exists to catch — output order changes run to
+// run.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// Emit leaks map iteration order into rendered output.
+func (s *Stats) Emit() {
+	for name, v := range s.counters {
+		fmt.Println(name, v)
+	}
+}
+
+// Sum is order-independent and carries the suppression annotation; the
+// linter must not report it.
+func (s *Stats) Sum() uint64 {
+	var total uint64
+	for _, v := range s.counters { //salam:vet:ok order-independent accumulation
+		total += v
+	}
+	return total
+}

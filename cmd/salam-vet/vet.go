@@ -1,0 +1,219 @@
+package main
+
+// The determinism rules. Each finding cites an engine invariant the
+// construct would break:
+//
+//   - map-range: Go randomizes map iteration order per run. A map range
+//     whose body feeds stats, rendered output, or event scheduling makes
+//     two identical simulations disagree — the repo's core promise is
+//     byte-identical reruns. Order-independent bodies (pure accumulation
+//     into another map, clearing) can be annotated //salam:vet:ok.
+//   - wall-clock: time.Now/Since/Until inside simulation objects couples
+//     model state to host speed. Simulated time comes from sim.Tick only.
+//   - math-rand: unseeded (or package-global) randomness breaks replay.
+//     Workload generation uses explicitly seeded generators outside the
+//     vetted packages.
+//   - goroutine: simulation state is single-threaded by design; the only
+//     sanctioned concurrency is the campaign worker pool (jobs touch
+//     disjoint systems). A stray goroutine inside an engine package is a
+//     data race on deterministic state.
+//
+// The checker is stdlib-only (go/parser + go/types). Imports resolve
+// through a fake importer that returns empty packages: local types —
+// including every map declared in the checked package — still resolve,
+// while cross-package expressions degrade to "type unknown" and are
+// never reported (the linter under-approximates rather than false-alarms).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ruleSet selects which determinism rules apply to a package.
+type ruleSet struct {
+	mapRange  bool
+	wallClock bool
+	mathRand  bool
+	goroutine bool
+}
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// fakeImporter satisfies go/types without compiled package data: every
+// import resolves to an empty package, so the checker never needs export
+// data and never fails hard on one.
+type fakeImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (fi *fakeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	if fi.pkgs == nil {
+		fi.pkgs = map[string]*types.Package{}
+	}
+	fi.pkgs[path] = p
+	return p, nil
+}
+
+const suppressMarker = "salam:vet:ok"
+
+// checkDir vets every non-test .go file in dir as one package.
+func checkDir(dir string, rules ruleSet) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Type-check best effort: with the fake importer many expressions have
+	// unknown types; errors are expected and ignored, the Info map keeps
+	// whatever did resolve.
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{Importer: &fakeImporter{}, Error: func(error) {}}
+	conf.Check(dir, fset, files, info) //nolint:errcheck // best-effort by design
+
+	var out []Finding
+	for _, f := range files {
+		out = append(out, checkFile(fset, f, info, rules)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File, info *types.Info, rules ruleSet) []Finding {
+	// suppressed[line] marks lines carrying or directly following a
+	// //salam:vet:ok comment — the escape hatch for provably
+	// order-independent map ranges.
+	suppressed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, suppressMarker) {
+				line := fset.Position(c.Pos()).Line
+				suppressed[line] = true
+				suppressed[line+1] = true
+			}
+		}
+	}
+
+	// Resolve import aliases so `t "time"` or `mrand "math/rand"` cannot
+	// dodge the syntactic rules.
+	importAlias := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		importAlias[name] = path
+	}
+	pkgOf := func(e ast.Expr) string {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		return importAlias[id.Name]
+	}
+
+	var out []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		if suppressed[p.Line] {
+			return
+		}
+		out = append(out, Finding{Pos: p, Rule: rule, Msg: msg})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if !rules.mapRange {
+				return true
+			}
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.Range, "map-range",
+						"map iteration order is randomized; iterate a sorted/stable key list or annotate //salam:vet:ok if order provably cannot escape")
+				}
+			}
+		case *ast.SelectorExpr:
+			switch pkgOf(n.X) {
+			case "time":
+				if rules.wallClock {
+					switch n.Sel.Name {
+					case "Now", "Since", "Until":
+						report(n.Sel.Pos(), "wall-clock",
+							"time."+n.Sel.Name+" couples simulation state to host speed; use sim.Tick")
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				if rules.mathRand {
+					report(n.Sel.Pos(), "math-rand",
+						"math/rand in a simulation path breaks replay; use an explicitly seeded generator outside the engine")
+				}
+			}
+		case *ast.GoStmt:
+			if rules.goroutine {
+				report(n.Go, "goroutine",
+					"goroutine spawn inside an engine package races deterministic state; only the campaign worker pool may run concurrently")
+			}
+		}
+		return true
+	})
+	return out
+}

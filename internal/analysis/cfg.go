@@ -1,0 +1,492 @@
+// Package analysis runs static analyses over elaborated CDFGs without
+// simulating: provable cycle-count lower bounds with per-resource binding
+// constraints, ASAP/ALAP block scheduling with critical paths, memory
+// dependence and bounds analysis over scratchpad accesses, dead/unreachable
+// op reporting, and a static power/area envelope. Everything the engine
+// would discover by executing, the analyzer derives from the graph — the
+// static half of the paper's static/dynamic split, turned into a query
+// engine. Results are immutable and cached per CDFG (see analysis.go), so
+// a design-space sweep pays for the analysis once per static configuration.
+package analysis
+
+import (
+	"gosalam/ir"
+)
+
+// cfgInfo holds control-flow facts for one function: reachability,
+// dominators, natural loops with provable trip counts, and the provable
+// minimum execution count of every block per kernel invocation. All
+// derived counts are lower bounds — sound for cycle-count lower bounds and
+// "this will happen at runtime" claims, never exact-by-assumption.
+type cfgInfo struct {
+	f      *ir.Function
+	blocks []*ir.Block
+	idx    map[*ir.Block]int
+	succs  [][]int
+	preds  [][]int
+
+	reachable []bool
+	idom      []int // immediate dominator index; entry maps to itself, unreachable to -1
+	rets      []int // reachable blocks terminated by ret
+
+	loops  []*loopInfo
+	loopOf []int // innermost loop containing each block (-1 = none)
+
+	// minExec[b] is a provable lower bound on how many times block b
+	// executes per invocation; exact[b] marks counts derived purely from
+	// counted loops and dominance (no data-dependent control), which are
+	// therefore also upper bounds on reducible CFGs.
+	minExec []uint64
+	exact   []bool
+}
+
+// loopInfo is one natural loop: all back edges sharing a header, merged.
+type loopInfo struct {
+	header  int
+	latches []int
+	body    []bool
+	nblocks int
+	parent  int // innermost enclosing loop index, -1 at top level
+	depth   int
+
+	// exitViaHeaderOnly: every non-header block branches only inside the
+	// loop, so the header's exit edge is the unique way out (no breaks).
+	exitViaHeaderOnly bool
+
+	// Counted-loop facts; trip < 0 means not provable. When trip >= 0:
+	// iv is the induction phi, starting at lo, stepping by step > 0, and
+	// ivLast is the largest value the phi takes (including the final
+	// failing header check), so iv ranges over [lo, ivLast].
+	trip   int64
+	iv     *ir.Instr
+	lo     int64
+	step   int64
+	ivLast int64
+}
+
+func buildCFG(f *ir.Function) *cfgInfo {
+	n := len(f.Blocks)
+	c := &cfgInfo{
+		f:      f,
+		blocks: f.Blocks,
+		idx:    make(map[*ir.Block]int, n),
+		succs:  make([][]int, n),
+		preds:  make([][]int, n),
+		loopOf: make([]int, n),
+	}
+	for i, b := range f.Blocks {
+		c.idx[b] = i
+	}
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			j := c.idx[s]
+			c.succs[i] = append(c.succs[i], j)
+			c.preds[j] = append(c.preds[j], i)
+		}
+	}
+	c.computeDoms()
+	for i, b := range f.Blocks {
+		if c.reachable[i] {
+			if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+				c.rets = append(c.rets, i)
+			}
+		}
+	}
+	c.findLoops()
+	for _, l := range c.loops {
+		c.proveTrip(l)
+	}
+	c.computeMinExec()
+	return c
+}
+
+// computeDoms computes reachability and immediate dominators with the
+// iterative Cooper-Harvey-Kennedy algorithm over reverse postorder.
+func (c *cfgInfo) computeDoms() {
+	n := len(c.blocks)
+	c.reachable = make([]bool, n)
+	c.idom = make([]int, n)
+	for i := range c.idom {
+		c.idom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	post := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range c.succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(0)
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range rpo {
+		rpoNum[u] = i
+		c.reachable[u] = true
+	}
+
+	c.idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = c.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = c.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo[1:] {
+			newIdom := -1
+			for _, p := range c.preds[u] {
+				if c.idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && c.idom[u] != newIdom {
+				c.idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// dominates reports whether block a dominates block b.
+func (c *cfgInfo) dominates(a, b int) bool {
+	if !c.reachable[a] || !c.reachable[b] {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = c.idom[b]
+	}
+}
+
+// alwaysExec reports whether b lies on every entry-to-return path: b must
+// dominate every reachable ret block. Such a block is guaranteed at least
+// one execution per invocation.
+func (c *cfgInfo) alwaysExec(b int) bool {
+	if !c.reachable[b] || len(c.rets) == 0 {
+		return b == 0 && c.reachable[b] && len(c.rets) == 0
+	}
+	for _, r := range c.rets {
+		if !c.dominates(b, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// findLoops detects natural loops: for every back edge u->h (h dominates
+// u), the loop body is everything that reaches u without passing h. Back
+// edges sharing a header merge into one loop. Headers are visited in block
+// order, so the loop list is deterministic.
+func (c *cfgInfo) findLoops() {
+	n := len(c.blocks)
+	latchesOf := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if !c.reachable[u] {
+			continue
+		}
+		for _, h := range c.succs[u] {
+			if c.dominates(h, u) {
+				latchesOf[h] = append(latchesOf[h], u)
+			}
+		}
+	}
+	for h := 0; h < n; h++ {
+		if len(latchesOf[h]) == 0 {
+			continue
+		}
+		l := &loopInfo{header: h, latches: latchesOf[h], body: make([]bool, n), parent: -1, trip: -1}
+		l.body[h] = true
+		l.nblocks = 1
+		stack := append([]int(nil), l.latches...)
+		for _, u := range stack {
+			if !l.body[u] {
+				l.body[u] = true
+				l.nblocks++
+			}
+		}
+		// The latches were marked above; grow backwards to the header.
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range c.preds[u] {
+				if c.reachable[p] && !l.body[p] {
+					l.body[p] = true
+					l.nblocks++
+					stack = append(stack, p)
+				}
+			}
+		}
+		l.exitViaHeaderOnly = true
+		for b := 0; b < n; b++ {
+			if !l.body[b] || b == h {
+				continue
+			}
+			for _, s := range c.succs[b] {
+				if !l.body[s] {
+					l.exitViaHeaderOnly = false
+				}
+			}
+		}
+		c.loops = append(c.loops, l)
+	}
+	// Innermost loop per block: the smallest body containing it. Natural
+	// loops with distinct headers are either nested or disjoint, so the
+	// smallest containing body is the innermost.
+	for b := 0; b < n; b++ {
+		c.loopOf[b] = -1
+		for li, l := range c.loops {
+			if !l.body[b] {
+				continue
+			}
+			if c.loopOf[b] < 0 || l.nblocks < c.loops[c.loopOf[b]].nblocks {
+				c.loopOf[b] = li
+			}
+		}
+	}
+	// Parent: the innermost loop properly containing this loop's header.
+	for li, l := range c.loops {
+		for lj, outer := range c.loops {
+			if li == lj || !outer.body[l.header] {
+				continue
+			}
+			if l.parent < 0 || outer.nblocks < c.loops[l.parent].nblocks {
+				l.parent = lj
+			}
+		}
+	}
+	for _, l := range c.loops {
+		for p := l.parent; p >= 0; p = c.loops[p].parent {
+			l.depth++
+		}
+	}
+}
+
+// proveTrip establishes a constant trip count for the canonical counted
+// pattern: a header `icmp slt/sle (phi iv), C` feeding a conditional
+// branch whose true edge stays in the loop, an induction phi starting at a
+// constant and stepped by a positive constant add, and no exit other than
+// the header. Loops that do not match stay at trip = -1 (unproven), which
+// degrades every dependent bound gracefully rather than unsoundly.
+func (c *cfgInfo) proveTrip(l *loopInfo) {
+	if !l.exitViaHeaderOnly {
+		return
+	}
+	h := c.blocks[l.header]
+	term := h.Terminator()
+	if term == nil || term.Op != ir.OpBr || len(term.Blocks) != 2 || len(term.Args) != 1 {
+		return
+	}
+	body, exit := c.idx[term.Blocks[0]], c.idx[term.Blocks[1]]
+	// Loop continues on true, exits on false — the shape the slt/sle
+	// trip-count formulae assume.
+	if !l.body[body] || l.body[exit] {
+		return
+	}
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp || cmp.Block() != h {
+		return
+	}
+	if cmp.Pred != ir.ISLT && cmp.Pred != ir.ISLE {
+		return
+	}
+	iv, ok := cmp.Args[0].(*ir.Instr)
+	if !ok || iv.Op != ir.OpPhi || iv.Block() != h {
+		return
+	}
+	hiC, ok := cmp.Args[1].(*ir.ConstInt)
+	if !ok {
+		return
+	}
+	var lo int64
+	haveLo := false
+	var step int64
+	haveStep := false
+	for k, inBlk := range iv.Blocks {
+		bi := c.idx[inBlk]
+		if l.body[bi] {
+			// Latch incoming: must be iv + positive constant, computed
+			// inside the loop on every path to this latch.
+			add, ok := iv.Args[k].(*ir.Instr)
+			if !ok || add.Op != ir.OpAdd || ir.Value(add.Args[0]) != ir.Value(iv) {
+				return
+			}
+			stC, ok := add.Args[1].(*ir.ConstInt)
+			if !ok || stC.V <= 0 {
+				return
+			}
+			ai := c.idx[add.Block()]
+			if !l.body[ai] || !c.dominates(ai, bi) {
+				return
+			}
+			if haveStep && step != stC.V {
+				return
+			}
+			step, haveStep = stC.V, true
+		} else {
+			loC, ok := iv.Args[k].(*ir.ConstInt)
+			if !ok {
+				return
+			}
+			if haveLo && lo != loC.V {
+				return
+			}
+			lo, haveLo = loC.V, true
+		}
+	}
+	if !haveLo || !haveStep {
+		return
+	}
+	hi := hiC.V
+	var trips int64
+	if cmp.Pred == ir.ISLT {
+		trips = floorDiv(hi-lo+step-1, step)
+	} else {
+		trips = floorDiv(hi-lo, step) + 1
+	}
+	if trips < 0 {
+		trips = 0
+	}
+	l.trip = trips
+	l.iv = iv
+	l.lo, l.step = lo, step
+	// The phi's value range including the final failing check.
+	l.ivLast = lo + trips*step
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// domAllLatches reports whether b dominates every latch of l — the
+// condition under which every back-edge traversal passes through b.
+func (c *cfgInfo) domAllLatches(b int, l *loopInfo) bool {
+	for _, latch := range l.latches {
+		if !c.dominates(b, latch) {
+			return false
+		}
+	}
+	return true
+}
+
+// computeMinExec derives the provable per-invocation execution floor for
+// every block by chaining counted loops outward:
+//
+//   - a block inside loop L that dominates all of L's latches executes at
+//     least trip(L) times per entry of L (every back-edge traversal must
+//     pass it, because no loop-body block dominates its own header);
+//   - L's header itself executes trip(L)+1 times per entry;
+//   - entries of L per entry of its parent follow the same rule applied to
+//     L's header; and
+//   - the outermost anchor contributes its count only when it lies on
+//     every entry-to-ret path (it dominates every reachable ret).
+//
+// Any unproven link degrades to the dominance fallback: at least one
+// execution when the block dominates every ret, else zero. The result is
+// always a sound lower bound; exact[b] additionally records that the chain
+// succeeded, making the count exact for reducible structured control flow.
+func (c *cfgInfo) computeMinExec() {
+	n := len(c.blocks)
+	c.minExec = make([]uint64, n)
+	c.exact = make([]bool, n)
+	for b := 0; b < n; b++ {
+		if !c.reachable[b] {
+			continue
+		}
+		c.minExec[b], c.exact[b] = c.provableExec(b)
+	}
+}
+
+func (c *cfgInfo) provableExec(b int) (uint64, bool) {
+	var fallback uint64
+	if c.alwaysExec(b) {
+		fallback = 1
+	}
+	count := uint64(1)
+	anchor := b
+	li := c.loopOf[b]
+	for li >= 0 {
+		l := c.loops[li]
+		if l.trip < 0 {
+			return fallback, false
+		}
+		var per uint64
+		switch {
+		case anchor == l.header:
+			per = uint64(l.trip) + 1
+		case l.trip > 0 && c.domAllLatches(anchor, l):
+			per = uint64(l.trip)
+		default:
+			return fallback, false
+		}
+		count *= per
+		anchor = l.header
+		li = l.parent
+	}
+	if !c.alwaysExec(anchor) {
+		return fallback, false
+	}
+	if count < fallback {
+		count = fallback
+	}
+	return count, true
+}
+
+// ivRangeAt returns the provable value range of an induction phi as
+// observed from block `at`, or false when v is not a counted-loop
+// induction variable. Inside the loop body the phi only ever holds the
+// executed iteration values [lo, lo+(trip-1)*step]; the final failing
+// value lo+trip*step is visible only in the header and past the exit.
+// Both ranges cover every value that can reach `at`, so claims built on
+// emptiness or totality of derived sets stay sound.
+func (c *cfgInfo) ivRangeAt(v *ir.Instr, at int) (lo, hi int64, ok bool) {
+	for li, l := range c.loops {
+		if l.trip < 0 || l.iv != v {
+			continue
+		}
+		if at >= 0 && at != l.header && c.inLoop(at, li) {
+			if l.trip == 0 {
+				return l.lo, l.lo, true // body never runs; degenerate range
+			}
+			return l.lo, l.lo + (l.trip-1)*l.step, true
+		}
+		return l.lo, l.ivLast, true
+	}
+	return 0, 0, false
+}
+
+// inLoop reports whether block b belongs to loop li's body.
+func (c *cfgInfo) inLoop(b, li int) bool { return c.loops[li].body[b] }

@@ -81,6 +81,14 @@ type Outcome struct {
 	Err error
 	// Cached marks a cache hit (no simulation ran).
 	Cached bool
+	// Pruned marks a job skipped by static lower-bound pruning: its
+	// provable cycle bound already exceeded a measured sibling, so its
+	// dynamic result could not have been the best point. No simulation
+	// ran and Metrics is nil.
+	Pruned bool
+	// StaticLB is the provable cycle-count lower bound Config.Prune
+	// reported for this job (0 when pruning is off or no bound exists).
+	StaticLB uint64
 	// Wall is the job's wall-clock time on the worker.
 	Wall time.Duration
 }
@@ -126,6 +134,18 @@ type Config struct {
 	// nil creates a pool scoped to the Run call. Ignored with ColdStart
 	// or a custom Runner.
 	Sessions *salam.SessionPool
+	// Prune, when non-nil, maps a job to a provable lower bound on its
+	// simulated cycle count (ok=false when no bound is available; such
+	// jobs always run). Before the pool starts, the job with the smallest
+	// bound runs first — the pilot — and every job whose bound strictly
+	// exceeds the pilot's measured cycles is skipped with Outcome.Pruned
+	// set: its dynamic result is provably worse than an already-measured
+	// point, so the sweep's best point is unchanged. The pilot choice and
+	// the pruned set depend only on the bounds and the deterministic
+	// pilot result, never on worker scheduling, so pruned sweeps render
+	// byte-identical output at any worker count. StaticPrune is the
+	// standard hook.
+	Prune func(Job) (lb uint64, ok bool)
 }
 
 func (c Config) workers() int {
@@ -164,6 +184,7 @@ func (c Config) runner() (run Runner, pool *salam.SessionPool, transient bool) {
 type counters struct {
 	total, ok, failed, cached *sim.Scalar
 	reused, built             *sim.Scalar
+	pruned                    *sim.Scalar
 	wallMS                    *sim.Distribution
 }
 
@@ -179,6 +200,7 @@ func newCounters(root *sim.Group) *counters {
 		cached: g.Scalar("jobs_cached", "jobs served from the result cache"),
 		reused: g.Scalar("sessions_reused", "warm-start runs on a pooled system"),
 		built:  g.Scalar("sessions_built", "runs that had to build a system"),
+		pruned: g.Scalar("points_pruned", "design points skipped by static lower-bound pruning"),
 		wallMS: g.Distribution("job_wall_ms", "per-job wall-clock (ms)"),
 	}
 }
@@ -188,6 +210,9 @@ func (c *counters) observe(o Outcome) {
 		return
 	}
 	switch {
+	case o.Pruned:
+		c.pruned.Inc(1)
+		return // no simulation ran: neither ok nor failed, no wall sample
 	case o.Err != nil:
 		c.failed.Inc(1)
 	case o.Cached:
@@ -225,6 +250,55 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		poolReused0, poolCreated0 = pool.Stats()
 	}
 
+	// deliver records one resolved outcome; every job passes through here
+	// exactly once, whether it ran on a worker, ran as the pilot, or was
+	// pruned without running.
+	done := 0
+	deliver := func(o Outcome) {
+		outcomes[o.Index] = o
+		done++
+		stats.observe(o)
+		if cfg.Progress != nil {
+			cfg.Progress.JobDone(o, done, len(jobs))
+		}
+	}
+
+	// Static pruning phase: bound every job, run the smallest-bound pilot
+	// on this goroutine, then skip jobs whose bound proves them worse than
+	// the pilot's measurement. Everything here is a pure function of the
+	// job list, so the surviving set is identical at any worker count.
+	resolved := make([]bool, len(jobs))
+	var lbs []uint64
+	var lbKnown []bool
+	if cfg.Prune != nil {
+		lbs = make([]uint64, len(jobs))
+		lbKnown = make([]bool, len(jobs))
+		pilot := -1
+		for i, j := range jobs {
+			if lb, ok := cfg.Prune(j); ok {
+				lbs[i], lbKnown[i] = lb, true
+				if pilot < 0 || lb < lbs[pilot] {
+					pilot = i // ties keep the lowest index
+				}
+			}
+		}
+		if pilot >= 0 {
+			po := runJob(ctx, cfg, run, transient, pilot, jobs[pilot])
+			po.StaticLB = lbs[pilot]
+			resolved[pilot] = true
+			deliver(po)
+			if po.Err == nil && po.Metrics != nil {
+				best := po.Metrics.Cycles
+				for i := range jobs {
+					if !resolved[i] && lbKnown[i] && lbs[i] > best {
+						resolved[i] = true
+						deliver(Outcome{Index: i, Job: jobs[i], Pruned: true, StaticLB: lbs[i]})
+					}
+				}
+			}
+		}
+	}
+
 	type item struct {
 		idx int
 		job Job
@@ -245,13 +319,18 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 	go func() {
 		defer close(work)
 		for i, j := range jobs {
+			if resolved[i] {
+				continue
+			}
 			select {
 			case work <- item{i, j}:
 			case <-ctx.Done():
 				// Unsubmitted jobs fail with the context error so the
 				// caller can tell "not run" from "ran and failed".
 				for k := i; k < len(jobs); k++ {
-					results <- Outcome{Index: k, Job: jobs[k], Err: ctx.Err()}
+					if !resolved[k] {
+						results <- Outcome{Index: k, Job: jobs[k], Err: ctx.Err()}
+					}
 				}
 				return
 			}
@@ -264,16 +343,14 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 
 	// Ordered collector: outcomes land by index; progress and stats see
 	// them in completion order on this single goroutine. Exactly one
-	// outcome arrives per job (from a worker, or from the feeder for jobs
-	// never submitted after a cancel), and results closes after the last.
-	done := 0
+	// outcome arrives per unresolved job (from a worker, or from the
+	// feeder for jobs never submitted after a cancel), and results closes
+	// after the last.
 	for o := range results {
-		outcomes[o.Index] = o
-		done++
-		stats.observe(o)
-		if cfg.Progress != nil {
-			cfg.Progress.JobDone(o, done, len(jobs))
+		if lbKnown != nil && lbKnown[o.Index] {
+			o.StaticLB = lbs[o.Index]
 		}
+		deliver(o)
 	}
 	if cfg.Progress != nil {
 		cfg.Progress.Finish()
@@ -361,6 +438,14 @@ func runIsolated(ctx context.Context, run Runner, job Job) (res *salam.Result, e
 		}
 	}()
 	return run(ctx, job.Kernel, job.Opts)
+}
+
+// StaticPrune is the standard Config.Prune hook: the static analyzer's
+// provable cycle lower bound for the job's kernel under its run options
+// (see internal/analysis). Elaboration failures yield no bound, so broken
+// jobs still run and report their real error.
+func StaticPrune(j Job) (uint64, bool) {
+	return salam.StaticLowerBound(j.Kernel, j.Opts)
 }
 
 // FirstError returns the first failed outcome's error in submission order

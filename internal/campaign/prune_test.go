@@ -1,0 +1,204 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/internal/sim"
+	"gosalam/kernels"
+)
+
+// seedJobs builds jobs whose injected runner reports Opts.Seed as the
+// cycle count, so dynamic results are scripted exactly.
+func seedJobs(cycles ...uint64) []Job {
+	k := kernels.GEMM(8, 1)
+	jobs := make([]Job, len(cycles))
+	for i, c := range cycles {
+		jobs[i] = Job{ID: fmt.Sprintf("j%d", i), Kernel: k, Opts: salam.RunOpts{Seed: int64(c)}}
+	}
+	return jobs
+}
+
+func seedRunner(ran *atomic.Int32) Runner {
+	return func(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+		if ran != nil {
+			ran.Add(1)
+		}
+		return fakeResult(uint64(opts.Seed)), nil
+	}
+}
+
+// TestPruneSkipsOnlyDominatedPoints scripts bounds and dynamics directly:
+// the minimum-bound job is the pilot, every job whose bound exceeds the
+// pilot's measurement is skipped without running, bound-below-pilot and
+// unknown-bound jobs still run, and the stats counter records the skips.
+func TestPruneSkipsOnlyDominatedPoints(t *testing.T) {
+	// dynamics:         120  80   300  500  90   130(no bound)
+	jobs := seedJobs(120, 80, 300, 500, 90, 130)
+	lbs := map[string]uint64{"j0": 100, "j1": 60, "j2": 250, "j3": 450, "j4": 70}
+	var ran atomic.Int32
+	stats := sim.NewGroup("test")
+	out := Run(context.Background(), Config{
+		Workers: 4,
+		Stats:   stats,
+		Runner:  seedRunner(&ran),
+		Prune: func(j Job) (uint64, bool) {
+			lb, ok := lbs[j.ID]
+			return lb, ok
+		},
+	}, jobs)
+
+	// Pilot is j1 (bound 60), measuring 80. Bounds above 80: j0, j2, j3.
+	wantPruned := map[int]bool{0: true, 2: true, 3: true}
+	for i, o := range out {
+		if o.Pruned != wantPruned[i] {
+			t.Errorf("job %d pruned = %v, want %v", i, o.Pruned, wantPruned[i])
+		}
+		if o.Pruned {
+			if o.Metrics != nil || o.Err != nil {
+				t.Errorf("pruned job %d has metrics/err: %+v", i, o)
+			}
+			if o.StaticLB != lbs[o.Job.ID] {
+				t.Errorf("pruned job %d StaticLB = %d, want %d", i, o.StaticLB, lbs[o.Job.ID])
+			}
+		} else if o.Err != nil || o.Metrics == nil {
+			t.Errorf("surviving job %d did not run cleanly: %+v", i, o)
+		}
+	}
+	if got := ran.Load(); got != 3 { // pilot j1 + surviving j4 + unbounded j5
+		t.Errorf("simulations ran = %d, want 3", got)
+	}
+	if v, ok := stats.Lookup("test.campaign.points_pruned"); !ok || v != 3 {
+		t.Errorf("points_pruned = %v, want 3", v)
+	}
+	if v, ok := stats.Lookup("test.campaign.jobs_ok"); !ok || v != 3 {
+		t.Errorf("jobs_ok = %v, want 3", v)
+	}
+}
+
+// TestPrunePilotFailureDisablesPruning: if the pilot errors there is no
+// trusted measurement, so every job must run.
+func TestPrunePilotFailureDisablesPruning(t *testing.T) {
+	jobs := seedJobs(120, 80, 300)
+	out := Run(context.Background(), Config{
+		Workers: 2,
+		Runner: func(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			if opts.Seed == 80 { // the pilot (smallest bound below)
+				return nil, errors.New("pilot exploded")
+			}
+			return fakeResult(uint64(opts.Seed)), nil
+		},
+		Prune: func(j Job) (uint64, bool) {
+			return map[string]uint64{"j0": 100, "j1": 60, "j2": 250}[j.ID], true
+		},
+	}, jobs)
+	for i, o := range out {
+		if o.Pruned {
+			t.Errorf("job %d pruned after pilot failure", i)
+		}
+	}
+	if out[1].Err == nil || out[0].Err != nil || out[2].Err != nil {
+		t.Errorf("unexpected error pattern: %v / %v / %v", out[0].Err, out[1].Err, out[2].Err)
+	}
+}
+
+// renderPrunedCSV mirrors cmd/salam-dse's row rendering including pruned
+// rows, so the determinism assertion covers the user-visible bytes.
+func renderPrunedCSV(t *testing.T, outcomes []Outcome) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("job %d (%s): %v", o.Index, o.Job.ID, o.Err)
+		}
+		if o.Pruned {
+			fmt.Fprintf(&sb, "%s,pruned,%d\n", o.Job.ID, o.StaticLB)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s,%d,%d,%.3f\n", o.Job.ID, o.Metrics.Cycles, o.StaticLB, o.Metrics.Power.TotalMW())
+	}
+	return sb.String()
+}
+
+// gemmTreeSweep is a real sweep wide enough that StaticPrune provably
+// eliminates points (1-port configs are port-bound far above the fast
+// pilot's measurement).
+func gemmTreeSweep() []Job {
+	k := kernels.GEMMTree(8)
+	var jobs []Job
+	for _, fu := range []int{1, 4} {
+		for _, port := range []int{1, 2, 8} {
+			opts := salam.DefaultRunOpts()
+			opts.Accel.ReadPorts = port
+			opts.Accel.WritePorts = port
+			opts.Accel.MaxOutstanding = 2 * port
+			opts.SPMPortsPer = port
+			opts.Accel.FULimits = map[salam.FUClass]int{
+				salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+			}
+			jobs = append(jobs, Job{
+				ID:        fmt.Sprintf("gt fu=%d p=%d", fu, port),
+				Kernel:    k,
+				KernelKey: "gemm_tree/n=8",
+				Opts:      opts,
+			})
+		}
+	}
+	return jobs
+}
+
+// TestStaticPrunePreservesBestPoint runs the real GEMMTree sweep pruned
+// and unpruned: pruning must actually fire, every surviving point's
+// metrics must match the unpruned run bit for bit, every pruned point must
+// be provably worse than the unpruned best, and the pruned sweep must be
+// byte-identical across worker counts.
+func TestStaticPrunePreservesBestPoint(t *testing.T) {
+	full := Run(context.Background(), Config{Workers: 4}, gemmTreeSweep())
+	if err := FirstError(full); err != nil {
+		t.Fatal(err)
+	}
+	pruned1 := Run(context.Background(), Config{Workers: 1, Prune: StaticPrune}, gemmTreeSweep())
+	pruned8 := Run(context.Background(), Config{Workers: 8, Prune: StaticPrune}, gemmTreeSweep())
+
+	if got1, got8 := renderPrunedCSV(t, pruned1), renderPrunedCSV(t, pruned8); got1 != got8 {
+		t.Fatalf("pruned sweep differs across worker counts:\n--- w=1\n%s--- w=8\n%s", got1, got8)
+	}
+
+	bestFull := full[0].Metrics.Cycles
+	for _, o := range full {
+		if o.Metrics.Cycles < bestFull {
+			bestFull = o.Metrics.Cycles
+		}
+	}
+	nPruned := 0
+	for i, o := range pruned1 {
+		if o.Pruned {
+			nPruned++
+			if o.StaticLB <= bestFull {
+				t.Errorf("job %d pruned with bound %d <= unpruned best %d: best point lost",
+					i, o.StaticLB, bestFull)
+			}
+			continue
+		}
+		if o.Metrics.Cycles != full[i].Metrics.Cycles || o.Metrics.Power != full[i].Metrics.Power {
+			t.Errorf("job %d surviving metrics differ from unpruned run", i)
+		}
+	}
+	if nPruned == 0 {
+		t.Fatal("StaticPrune eliminated nothing on the GEMMTree sweep; the benchmark premise is gone")
+	}
+	bestPruned := uint64(0)
+	for _, o := range pruned1 {
+		if !o.Pruned && (bestPruned == 0 || o.Metrics.Cycles < bestPruned) {
+			bestPruned = o.Metrics.Cycles
+		}
+	}
+	if bestPruned != bestFull {
+		t.Errorf("pruned best %d != unpruned best %d", bestPruned, bestFull)
+	}
+}

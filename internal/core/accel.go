@@ -43,10 +43,11 @@ func DefaultConfig() AccelConfig {
 	}
 }
 
-// normalized returns the config with unset sizing knobs replaced by their
-// defaults, so cold construction and warm reconfiguration agree on the
-// effective design point.
-func (c AccelConfig) normalized() AccelConfig {
+// Normalized returns the config with unset sizing knobs replaced by their
+// defaults, so cold construction, warm reconfiguration, and the static
+// analyzer (which must bound the same effective design point the engine
+// will run) agree on the knob values.
+func (c AccelConfig) Normalized() AccelConfig {
 	if c.ResQueueSize <= 0 {
 		c.ResQueueSize = 128
 	}
@@ -232,7 +233,7 @@ type Accelerator struct {
 // are overridden from cfg.
 func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 	comm *CommInterface, stats *sim.Group) *Accelerator {
-	cfg = cfg.normalized()
+	cfg = cfg.Normalized()
 	nc := hw.NumFUClasses()
 	a := &Accelerator{
 		CDFG: g, Cfg: cfg, Comm: comm,
@@ -244,8 +245,8 @@ func NewAccelerator(name string, q *sim.EventQueue, g *CDFG, cfg AccelConfig,
 		issuedBk: make([]sim.Bucket, nc),
 		occBk:    make([]sim.Bucket, nc),
 	}
-	for c, n := range g.FUTotal {
-		a.fuTotal[c] = n
+	for _, c := range hw.AllFUClasses() {
+		a.fuTotal[c] = g.FUTotal[c]
 	}
 	comm.ReadPorts = cfg.ReadPorts
 	comm.WritePorts = cfg.WritePorts
@@ -298,7 +299,7 @@ func (a *Accelerator) Reconfigure(g *CDFG, cfg AccelConfig) {
 	if a.running {
 		panic(fmt.Sprintf("core: accelerator %s reconfigured while busy", a.Name()))
 	}
-	cfg = cfg.normalized()
+	cfg = cfg.Normalized()
 	if cfg.ClockMHz != a.Cfg.ClockMHz {
 		a.Clk = sim.NewClockDomainMHz(a.Name()+".clk", cfg.ClockMHz)
 	}
@@ -319,8 +320,8 @@ func (a *Accelerator) Reconfigure(g *CDFG, cfg AccelConfig) {
 	for i := range a.fuTotal {
 		a.fuTotal[i], a.fuBusy[i], a.fuIssued[i] = 0, 0, 0
 	}
-	for c, n := range g.FUTotal {
-		a.fuTotal[c] = n
+	for _, c := range hw.AllFUClasses() {
+		a.fuTotal[c] = g.FUTotal[c]
 	}
 	a.Comm.ReadPorts = cfg.ReadPorts
 	a.Comm.WritePorts = cfg.WritePorts

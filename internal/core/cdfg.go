@@ -135,8 +135,10 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 		FUTotal:  map[hw.FUClass]int{},
 		FULimit:  map[hw.FUClass]int{},
 	}
-	for c, n := range limits {
-		g.FULimit[c] = n
+	for _, c := range hw.AllFUClasses() {
+		if n, ok := limits[c]; ok {
+			g.FULimit[c] = n
+		}
 	}
 	demand := map[hw.FUClass]int{}
 	for _, b := range f.Blocks {
@@ -211,7 +213,11 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 		g.RegBits += p.T.Bits()
 		g.RegCount++
 	}
-	for c, n := range demand {
+	for _, c := range hw.AllFUClasses() {
+		n, ok := demand[c]
+		if !ok {
+			continue
+		}
 		if lim := g.FULimit[c]; lim > 0 && lim < n {
 			g.FUTotal[c] = lim
 		} else {

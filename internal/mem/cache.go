@@ -109,9 +109,7 @@ func (c *Cache) Reset() {
 			lines[j] = cacheLine{}
 		}
 	}
-	for k := range c.mshr {
-		delete(c.mshr, k)
-	}
+	clear(c.mshr)
 	c.incoming.reset()
 	c.lruTick = 0
 	c.ResetClocked()

@@ -1,20 +1,29 @@
 package ir
 
 import (
+	"errors"
 	"fmt"
 )
 
 // Verify checks structural and type well-formedness of a function:
 // terminated blocks, phi placement and incoming edges, operand typing, and
-// intrinsic call validity. It returns the first problem found.
+// intrinsic call validity. All problems are collected and returned joined
+// (errors.Join), so a builder bug with several symptoms surfaces them in
+// one round trip instead of one fix-rerun cycle per error. Within a single
+// instruction, checking stops at its first defect (later checks assume the
+// earlier shape held).
 func Verify(f *Function) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("%s: no blocks", f.FName)
 	}
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
 	names := map[string]bool{}
 	for _, p := range f.Params {
 		if names[p.PName] {
-			return fmt.Errorf("%s: duplicate name %%%s", f.FName, p.PName)
+			add("%s: duplicate name %%%s", f.FName, p.PName)
 		}
 		names[p.PName] = true
 	}
@@ -26,32 +35,32 @@ func Verify(f *Function) error {
 
 	for _, b := range f.Blocks {
 		if b.Terminator() == nil {
-			return fmt.Errorf("%s/%s: missing terminator", f.FName, b.BName)
+			add("%s/%s: missing terminator", f.FName, b.BName)
 		}
 		seenNonPhi := false
 		for idx, in := range b.Instrs {
 			if in.HasResult() {
 				if names[in.Name] {
-					return fmt.Errorf("%s/%s: duplicate name %%%s", f.FName, b.BName, in.Name)
+					add("%s/%s: duplicate name %%%s", f.FName, b.BName, in.Name)
 				}
 				names[in.Name] = true
 			}
 			if in.Op.IsTerminator() && idx != len(b.Instrs)-1 {
-				return fmt.Errorf("%s/%s: terminator %%%s not at block end", f.FName, b.BName, in.Name)
+				add("%s/%s: terminator %%%s not at block end", f.FName, b.BName, in.Name)
 			}
 			if in.Op == OpPhi {
 				if seenNonPhi {
-					return fmt.Errorf("%s/%s: phi %%%s after non-phi", f.FName, b.BName, in.Name)
+					add("%s/%s: phi %%%s after non-phi", f.FName, b.BName, in.Name)
 				}
 			} else {
 				seenNonPhi = true
 			}
 			if err := verifyInstr(f, b, in, blockSet, preds); err != nil {
-				return err
+				errs = append(errs, err)
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds map[*Block][]*Block) error {
@@ -71,6 +80,9 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 			return fail("%s on %s", in.Op, in.T)
 		}
 	case in.Op == OpICmp:
+		if len(in.Args) != 2 {
+			return fail("icmp needs 2 operands")
+		}
 		if !IsInt(in.Args[0].Type()) && !IsPtr(in.Args[0].Type()) {
 			return fail("icmp on %s", in.Args[0].Type())
 		}
@@ -78,6 +90,9 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 			return fail("bad icmp predicate")
 		}
 	case in.Op == OpFCmp:
+		if len(in.Args) != 2 {
+			return fail("fcmp needs 2 operands")
+		}
 		if !IsFloat(in.Args[0].Type()) {
 			return fail("fcmp on %s", in.Args[0].Type())
 		}
@@ -85,6 +100,9 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 			return fail("bad fcmp predicate")
 		}
 	case in.Op == OpLoad:
+		if len(in.Args) < 1 {
+			return fail("load needs an address operand")
+		}
 		pt, ok := in.Args[0].Type().(PtrType)
 		if !ok {
 			return fail("load from non-pointer")
@@ -93,6 +111,9 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 			return fail("load type %s from %s", in.T, pt)
 		}
 	case in.Op == OpStore:
+		if len(in.Args) < 2 {
+			return fail("store needs value and address operands")
+		}
 		pt, ok := in.Args[1].Type().(PtrType)
 		if !ok {
 			return fail("store to non-pointer")
@@ -101,6 +122,9 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 			return fail("store %s to %s", in.Args[0].Type(), pt)
 		}
 	case in.Op == OpGEP:
+		if len(in.Args) < 2 {
+			return fail("gep needs a base pointer and at least one index")
+		}
 		if _, ok := in.Args[0].Type().(PtrType); !ok {
 			return fail("gep on non-pointer")
 		}
@@ -227,12 +251,14 @@ func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool, preds
 	return nil
 }
 
-// VerifyModule verifies all functions in a module.
+// VerifyModule verifies all functions in a module, collecting every
+// function's problems into one joined error.
 func VerifyModule(m *Module) error {
+	var errs []error
 	for _, f := range m.Funcs {
 		if err := Verify(f); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

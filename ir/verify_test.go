@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyCollectsAllErrors: a function with three independent defects
+// must report all three in one Verify call, not one per fix-rerun cycle.
+func TestVerifyCollectsAllErrors(t *testing.T) {
+	m := NewModule("multi")
+	f := m.NewFunction("f", Void, P("x", I64), P("y", I32))
+	b := f.NewBlock("entry")
+	// Defect 1: binop operand type mismatch.
+	b.Instrs = append(b.Instrs, &Instr{Op: OpAdd, T: I64, Name: "bad.add",
+		Args: []Value{f.Params[0], f.Params[1]}})
+	// Defect 2: FP opcode on an integer type.
+	b.Instrs = append(b.Instrs, &Instr{Op: OpFAdd, T: I64, Name: "bad.fadd",
+		Args: []Value{f.Params[0], f.Params[0]}})
+	// Defect 3: unknown intrinsic.
+	b.Instrs = append(b.Instrs, &Instr{Op: OpCall, T: I64, Name: "bad.call",
+		Callee: "frobnicate", Args: []Value{f.Params[0]}})
+	b.Instrs = append(b.Instrs, &Instr{Op: OpRet, T: Void, Name: "r"})
+
+	err := Verify(f)
+	if err == nil {
+		t.Fatal("broken function verified")
+	}
+	for _, want := range []string{"bad.add", "bad.fadd", "bad.call"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing defect %%%s:\n%v", want, err)
+		}
+	}
+}
+
+// TestVerifyCollectsAcrossBlocks: defects in different blocks (including a
+// missing terminator, which used to stop verification of the whole
+// function) are all reported.
+func TestVerifyCollectsAcrossBlocks(t *testing.T) {
+	m := NewModule("blocks")
+	f := m.NewFunction("f", Void, P("x", I64))
+	b1 := f.NewBlock("entry")
+	f.NewBlock("open") // no terminator
+	b3 := f.NewBlock("tail")
+	b1.Instrs = append(b1.Instrs, &Instr{Op: OpBr, T: Void, Name: "", Blocks: []*Block{b3}})
+	b3.Instrs = append(b3.Instrs,
+		&Instr{Op: OpFAdd, T: I64, Name: "bad", Args: []Value{f.Params[0], f.Params[0]}},
+		&Instr{Op: OpRet, T: Void, Name: "r"})
+
+	err := Verify(f)
+	if err == nil {
+		t.Fatal("broken function verified")
+	}
+	if !strings.Contains(err.Error(), "missing terminator") {
+		t.Errorf("missing-terminator defect not reported:\n%v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("defect in a later block not reported:\n%v", err)
+	}
+}
+
+// TestVerifyPhiNonPredecessor: a phi listing an incoming edge from a block
+// that is not a CFG predecessor must be rejected by name.
+func TestVerifyPhiNonPredecessor(t *testing.T) {
+	m := NewModule("phi")
+	f := m.NewFunction("f", Void, P("x", I64))
+	entry := f.NewBlock("entry")
+	merge := f.NewBlock("merge")
+	stray := f.NewBlock("stray") // never branches to merge
+	entry.Instrs = append(entry.Instrs, &Instr{Op: OpBr, T: Void, Blocks: []*Block{merge}})
+	stray.Instrs = append(stray.Instrs, &Instr{Op: OpRet, T: Void, Name: "r0"})
+	merge.Instrs = append(merge.Instrs,
+		&Instr{Op: OpPhi, T: I64, Name: "p",
+			Args:   []Value{f.Params[0], f.Params[0]},
+			Blocks: []*Block{entry, stray}},
+		&Instr{Op: OpRet, T: Void, Name: "r"})
+
+	err := Verify(f)
+	if err == nil {
+		t.Fatal("phi from non-predecessor verified")
+	}
+	if !strings.Contains(err.Error(), "non-predecessor") {
+		t.Errorf("error does not name the non-predecessor defect:\n%v", err)
+	}
+}
+
+// TestVerifyMalformedArgCounts: truncated instructions must produce
+// errors, not index panics, so error collection can continue past them.
+func TestVerifyMalformedArgCounts(t *testing.T) {
+	mk := func(in *Instr) error {
+		m := NewModule("argc")
+		f := m.NewFunction("f", Void, P("x", I64))
+		b := f.NewBlock("entry")
+		b.Instrs = append(b.Instrs, in, &Instr{Op: OpRet, T: Void, Name: "r"})
+		return Verify(f)
+	}
+	cases := []*Instr{
+		{Op: OpICmp, T: I1, Name: "c", Pred: IEQ},
+		{Op: OpFCmp, T: I1, Name: "c", Pred: FOEQ},
+		{Op: OpLoad, T: I64, Name: "l"},
+		{Op: OpStore, T: Void, Name: ""},
+		{Op: OpGEP, T: Ptr(I64), Name: "g"},
+	}
+	for _, in := range cases {
+		if err := mk(in); err == nil {
+			t.Errorf("%s with no operands verified", in.Op)
+		}
+	}
+}

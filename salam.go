@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gosalam/internal/analysis"
 	"gosalam/internal/core"
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
@@ -251,3 +252,26 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 // ElabCacheStats reports the process-wide elaboration cache counters:
 // lookups that found an existing CDFG vs. lookups that elaborated one.
 func ElabCacheStats() (hits, misses uint64) { return core.SharedElab.Stats() }
+
+// AnalyzeKernel returns the static analysis report for k elaborated under
+// opts' profile and FU limits. Both the CDFG and the report are cached
+// process-wide, so analyzing every point of a sweep that varies only
+// non-structural knobs (ports, memory) costs one analysis.
+func AnalyzeKernel(k *kernels.Kernel, opts RunOpts) (*analysis.Report, error) {
+	g, err := Elaborate(k.F, opts.Profile, opts.Accel.FULimits)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.For(g), nil
+}
+
+// StaticLowerBound returns the provable cycle-count lower bound for
+// simulating k under opts, without running the simulation. ok is false
+// when elaboration fails (the simulation itself would fail the same way).
+func StaticLowerBound(k *kernels.Kernel, opts RunOpts) (lb uint64, ok bool) {
+	rep, err := AnalyzeKernel(k, opts)
+	if err != nil {
+		return 0, false
+	}
+	return rep.LowerBound(opts.Accel).Cycles, true
+}
