@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke golden bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -44,6 +44,14 @@ race:
 golden:
 	$(GO) test -run TestGoldenDeterminism -count=1 .
 
+# Timeline smoke: the CLI path writes a gemm Perfetto trace end to end, and
+# the decoding test re-validates the trace_event JSON structure plus the
+# observer-effect guarantee (traced golden bytes == committed golden bytes).
+trace-smoke:
+	$(GO) run ./cmd/salam-sim -config configs/gemm_spm.json \
+		-timeline /tmp/gosalam-trace-smoke.json -timeline-breakdown > /dev/null
+	$(GO) test -run 'TestTimelineTrace|TestGoldenTracedObserverEffect' -count=1 .
+
 # One engine iteration end to end, so `check` notices a broken benchmark
 # harness without paying for a full timed run.
 bench-smoke:
@@ -57,7 +65,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden bench-smoke analyze-smoke
+check: build vet vet-sim test race golden trace-smoke bench-smoke analyze-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

@@ -63,6 +63,7 @@ func main() {
 	dumpStats := flag.Bool("stats", false, "dump campaign counters to stderr at the end")
 	cold := flag.Bool("cold", false, "build a fresh system per point instead of reusing warm-started pooled sessions")
 	noPrune := flag.Bool("no-prune", false, "simulate every point, even ones the static analyzer proves worse than an already-measured point")
+	traceBest := flag.String("trace-best", "", "after the sweep, re-run the best point with timeline tracing and write the Perfetto trace here")
 	flag.Parse()
 
 	p := kernels.Small
@@ -133,6 +134,7 @@ func main() {
 		Timeout:   *timeout,
 		Stats:     sim.NewGroup("dse"),
 		ColdStart: *cold,
+		TraceBest: *traceBest,
 	}
 	if !*noPrune {
 		// Static lower-bound pruning: points the analyzer proves worse

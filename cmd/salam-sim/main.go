@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	salam-sim -config configs/gemm_spm.json [-stats]
+//	salam-sim -config configs/gemm_spm.json [-stats] [-timeline trace.json] [-timeline-breakdown]
 package main
 
 import (
@@ -13,12 +13,15 @@ import (
 
 	salam "gosalam"
 	"gosalam/internal/config"
+	"gosalam/internal/timeline"
 )
 
 func main() {
 	cfgPath := flag.String("config", "", "JSON run configuration")
 	dumpStats := flag.Bool("stats", false, "dump the full statistics tree")
 	profile := flag.String("profile", "", "write a per-cycle profile CSV here")
+	tracePath := flag.String("timeline", "", "write a Perfetto-loadable trace_event JSON here")
+	breakdown := flag.Bool("timeline-breakdown", false, "print the per-lane cycle-class breakdown (Fig. 10 style)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -37,6 +40,26 @@ func main() {
 	}
 	if *profile != "" {
 		opts.ProfileCycles = 1 << 20
+	}
+	var traceJSON *timeline.JSON
+	var traceBreak *timeline.Breakdown
+	{
+		var recs []timeline.Recorder
+		if *tracePath != "" {
+			traceJSON = timeline.NewJSON()
+			recs = append(recs, traceJSON)
+		}
+		if *breakdown {
+			traceBreak = timeline.NewBreakdown()
+			recs = append(recs, traceBreak)
+		}
+		switch len(recs) {
+		case 0:
+		case 1:
+			opts.Timeline = recs[0]
+		default:
+			opts.Timeline = timeline.NewTee(recs...)
+		}
 	}
 	res, err := salam.RunKernel(k, opts)
 	if err != nil {
@@ -68,5 +91,26 @@ func main() {
 		iss, stall, avg := res.Acc.Profile().Summary()
 		fmt.Printf("profile:         %s (%d samples; %d issue cycles, %d stalls, avg queue %.1f)\n",
 			*profile, len(res.Acc.Profile().Samples), iss, stall, avg)
+	}
+	if traceJSON != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := traceJSON.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline:        %s (%d events; load in ui.perfetto.dev or chrome://tracing)\n",
+			*tracePath, traceJSON.Events())
+	}
+	if traceBreak != nil {
+		fmt.Println("---- cycle breakdown ----")
+		traceBreak.WriteTable(os.Stdout)
 	}
 }

@@ -1,10 +1,10 @@
 // Command salam-vet is the repo's determinism linter: it statically
 // rejects constructs that would break the engine's byte-identical-rerun
 // guarantee before they can flake a golden test. It vets the simulation
-// packages (internal/sim, internal/core, internal/mem) for map iteration,
-// wall-clock reads, math/rand, and goroutine spawns, and the campaign
-// engine for the order/randomness subset (its worker pool legitimately
-// uses goroutines and wall-clock timing for job metrics).
+// packages (internal/sim, internal/core, internal/mem, internal/timeline)
+// for map iteration, wall-clock reads, math/rand, and goroutine spawns,
+// and the campaign engine for the order/randomness subset (its worker pool
+// legitimately uses goroutines and wall-clock timing for job metrics).
 //
 // Usage:
 //
@@ -31,6 +31,7 @@ var policy = map[string]ruleSet{
 	"internal/sim":      {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 	"internal/core":     {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 	"internal/mem":      {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	"internal/timeline": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 	"internal/campaign": {mapRange: true, mathRand: true},
 }
 
@@ -75,7 +76,7 @@ func main() {
 		}
 		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(a, "./")))
 		if _, ok := policy[rel]; !ok {
-			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,campaign}\n", rel)
+			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign}\n", rel)
 			continue
 		}
 		dirs[rel] = true

@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	salam "gosalam"
+	"gosalam/internal/timeline"
 	"gosalam/kernels"
 )
 
@@ -33,11 +34,19 @@ type goldenPoint struct {
 	EventsFired uint64 `json:"events_fired"`
 }
 
-func currentGolden(t *testing.T) []byte {
+// currentGolden fingerprints every kernel plus the cluster scenario. With
+// traced set, every run carries a live timeline recorder (JSON + breakdown
+// tee); the resulting bytes must be identical either way — that is the
+// observer-effect guarantee TestGoldenTracedObserverEffect enforces.
+func currentGolden(t *testing.T, traced bool) []byte {
 	t.Helper()
 	got := map[string]goldenPoint{}
 	for _, k := range kernels.All(kernels.Small) {
-		res, err := salam.RunKernel(k, salam.DefaultRunOpts())
+		opts := salam.DefaultRunOpts()
+		if traced {
+			opts.Timeline = timeline.NewTee(timeline.NewJSON(), timeline.NewBreakdown())
+		}
+		res, err := salam.RunKernel(k, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}
@@ -47,7 +56,7 @@ func currentGolden(t *testing.T) []byte {
 			EventsFired: res.EventsFired,
 		}
 	}
-	got["cnn-cluster"] = clusterGolden(t)
+	got["cnn-cluster"] = clusterGolden(t, traced)
 	// encoding/json emits map keys sorted, so the bytes are canonical.
 	out, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
@@ -63,7 +72,7 @@ func currentGolden(t *testing.T) []byte {
 // crossbar, IRQ/GIC, host driver, and inter-accelerator sequencing, so
 // engine drift in the system layer cannot hide behind unchanged kernel
 // runs. The cycle fingerprint is the host-observed end time in ticks.
-func clusterGolden(t *testing.T) goldenPoint {
+func clusterGolden(t *testing.T, traced bool) goldenPoint {
 	t.Helper()
 	const imgH, imgW = 12, 12
 	const convH, convW = imgH - 2, imgW - 2
@@ -76,6 +85,9 @@ func clusterGolden(t *testing.T) goldenPoint {
 		kernels.ReLUGolden(kernels.ConvGolden(img, weights, imgH, imgW)), convH, convW)
 
 	soc := salam.NewSoC(16)
+	if traced {
+		soc.SetTimeline(timeline.NewTee(timeline.NewJSON(), timeline.NewBreakdown()))
+	}
 	shared := soc.AddSPM("shared", 64<<10, 2, 4, 4)
 	conv, err := soc.AddAccel("conv", kernels.Conv2D(imgH, imgW).F, salam.AccelOpts{SharedSPM: shared})
 	if err != nil {
@@ -128,8 +140,25 @@ func clusterGolden(t *testing.T) goldenPoint {
 	}
 }
 
+// TestGoldenTracedObserverEffect is the CI gate on the timeline's
+// observer-effect-free contract: the full golden suite — all kernels plus
+// the cnn-cluster SoC — re-runs with live recorders attached and must
+// produce exactly the committed golden bytes. A recorder that schedules an
+// event, perturbs a queue, or leaks into engine state shifts a fingerprint
+// and fails here.
+func TestGoldenTracedObserverEffect(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenDeterminism -update-golden once): %v", err)
+	}
+	got := currentGolden(t, true)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tracing perturbed the simulation:\ntraced:\n%s\ngolden:\n%s", got, want)
+	}
+}
+
 func TestGoldenDeterminism(t *testing.T) {
-	got := currentGolden(t)
+	got := currentGolden(t, false)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)

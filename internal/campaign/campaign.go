@@ -19,12 +19,14 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	salam "gosalam"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/kernels"
 )
 
@@ -134,6 +136,14 @@ type Config struct {
 	// nil creates a pool scoped to the Run call. Ignored with ColdStart
 	// or a custom Runner.
 	Sessions *salam.SessionPool
+	// TraceBest, when non-empty, re-runs the sweep's best design point —
+	// lowest cycle count among successful outcomes, earliest index on ties
+	// — after the campaign with timeline tracing attached, and writes the
+	// Perfetto-loadable trace_event JSON to this path. The re-run is a cold
+	// one-shot (pooled sessions are untouched) and, because tracing is
+	// observer-effect-free, reproduces the sweep's metrics exactly. A trace
+	// failure degrades to a Progress warning, not a campaign error.
+	TraceBest string
 	// Prune, when non-nil, maps a job to a provable lower bound on its
 	// simulated cycle count (ok=false when no bound is available; such
 	// jobs always run). Before the pool starts, the job with the smallest
@@ -155,27 +165,52 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// jobRunner executes one job and its probe as a unit. The probe runs at a
+// point where the Result's pooled aliases are still safe to read — for the
+// warm path that means while the session is held, before it returns to the
+// pool (a probe that ran after release raced the next job's warm-start
+// state rewind on the same session).
+type jobRunner func(ctx context.Context, job Job) (res *salam.Result, extra map[string]float64, err error)
+
+// probeAfter runs the probe once the runner returned — correct for cold
+// and custom runners, whose Results alias nothing shared.
+func probeAfter(run Runner) jobRunner {
+	return func(ctx context.Context, job Job) (*salam.Result, map[string]float64, error) {
+		res, err := run(ctx, job.Kernel, job.Opts)
+		if err != nil || job.Probe == nil {
+			return res, nil, err
+		}
+		return res, job.Probe(res), nil
+	}
+}
+
 // runner resolves the effective simulation function. The default is
 // warm-start reuse through a session pool: each job runs in a pooled
 // system whose static CDFG comes from the shared elaboration cache and
 // whose dynamic state is rewound between design points. The returned pool
 // is non-nil only when warm start is active (for reuse stats); transient
 // reports whether live Results alias pooled state and must not escape.
-func (c Config) runner() (run Runner, pool *salam.SessionPool, transient bool) {
+func (c Config) runner() (run jobRunner, pool *salam.SessionPool, transient bool) {
 	if c.Runner != nil {
-		return c.Runner, nil, false
+		return probeAfter(c.Runner), nil, false
 	}
 	if c.ColdStart {
-		return func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+		return probeAfter(func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
 			return salam.RunKernelCtx(ctx, k, opts)
-		}, nil, false
+		}), nil, false
 	}
 	pool = c.Sessions
 	if pool == nil {
 		pool = salam.NewSessionPool()
 	}
-	return func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
-		return pool.RunCtx(ctx, k, opts)
+	return func(ctx context.Context, job Job) (*salam.Result, map[string]float64, error) {
+		var extra map[string]float64
+		res, err := pool.RunCtxWith(ctx, job.Kernel, job.Opts, func(r *salam.Result) {
+			if job.Probe != nil {
+				extra = job.Probe(r)
+			}
+		})
+		return res, extra, err
 	}, pool, true
 }
 
@@ -360,11 +395,64 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		stats.reused.Set(float64(reused - poolReused0))
 		stats.built.Set(float64(created - poolCreated0))
 	}
+	if cfg.TraceBest != "" {
+		traceBest(ctx, cfg, outcomes)
+	}
 	return outcomes
 }
 
+// traceBest re-simulates the campaign's best point with a JSON timeline
+// recorder and writes the trace. Cold re-run on purpose: the trace must
+// not perturb pooled sessions, and determinism guarantees the replay
+// matches the sweep's measurement cycle for cycle.
+func traceBest(ctx context.Context, cfg Config, outcomes []Outcome) {
+	warn := func(msg string) {
+		if cfg.Progress != nil {
+			cfg.Progress.Warn(msg)
+		}
+	}
+	best := -1
+	for i, o := range outcomes {
+		if o.Err != nil || o.Pruned || o.Metrics == nil {
+			continue
+		}
+		if best < 0 || o.Metrics.Cycles < outcomes[best].Metrics.Cycles {
+			best = i
+		}
+	}
+	if best < 0 {
+		warn("trace-best: no successful outcome to trace")
+		return
+	}
+	job := outcomes[best].Job
+	rec := timeline.NewJSON()
+	opts := job.Opts
+	opts.Timeline = rec
+	res, err := salam.RunKernelCtx(ctx, job.Kernel, opts)
+	if err != nil {
+		warn(fmt.Sprintf("trace-best: re-running %q: %v", job.ID, err))
+		return
+	}
+	if res.Cycles != outcomes[best].Metrics.Cycles {
+		warn(fmt.Sprintf("trace-best: traced replay of %q measured %d cycles, sweep measured %d",
+			job.ID, res.Cycles, outcomes[best].Metrics.Cycles))
+	}
+	f, err := os.Create(cfg.TraceBest)
+	if err != nil {
+		warn(fmt.Sprintf("trace-best: %v", err))
+		return
+	}
+	werr := rec.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		warn(fmt.Sprintf("trace-best: writing %s: %v", cfg.TraceBest, werr))
+	}
+}
+
 // runJob executes one job with cache lookup, panic recovery, and timeout.
-func runJob(ctx context.Context, cfg Config, run Runner, transient bool, idx int, job Job) (out Outcome) {
+func runJob(ctx context.Context, cfg Config, run jobRunner, transient bool, idx int, job Job) (out Outcome) {
 	start := time.Now()
 	out = Outcome{Index: idx, Job: job}
 	defer func() { out.Wall = time.Since(start) }()
@@ -395,7 +483,7 @@ func runJob(ctx context.Context, cfg Config, run Runner, transient bool, idx int
 		defer cancel()
 	}
 
-	res, err := runIsolated(jctx, run, job)
+	res, extra, err := runIsolated(jctx, run, job)
 	if err != nil {
 		// Attribute timeouts precisely: the simulation reports a generic
 		// cancel, the deadline is the campaign's.
@@ -405,10 +493,7 @@ func runJob(ctx context.Context, cfg Config, run Runner, transient bool, idx int
 		out.Err = err
 		return out
 	}
-	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power}
-	if job.Probe != nil {
-		m.Extra = job.Probe(res)
-	}
+	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power, Extra: extra}
 	if !transient {
 		// Warm-started results alias a pooled system another job will
 		// rewind; only snapshots (Metrics, probe extras) may escape.
@@ -428,16 +513,18 @@ func runJob(ctx context.Context, cfg Config, run Runner, transient bool, idx int
 	return out
 }
 
-// runIsolated invokes the runner with panic recovery.
-func runIsolated(ctx context.Context, run Runner, job Job) (res *salam.Result, err error) {
+// runIsolated invokes the runner (simulation plus probe) with panic
+// recovery, so a crashing probe is attributed to its job like a crashing
+// simulation instead of sinking the worker.
+func runIsolated(ctx context.Context, run jobRunner, job Job) (res *salam.Result, extra map[string]float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			buf := make([]byte, 16<<10)
 			buf = buf[:runtime.Stack(buf, false)]
-			res, err = nil, &PanicError{Value: r, Stack: buf}
+			res, extra, err = nil, nil, &PanicError{Value: r, Stack: buf}
 		}
 	}()
-	return run(ctx, job.Kernel, job.Opts)
+	return run(ctx, job)
 }
 
 // StaticPrune is the standard Config.Prune hook: the static analyzer's

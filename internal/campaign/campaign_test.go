@@ -270,3 +270,69 @@ func TestEmptyCampaign(t *testing.T) {
 		t.Fatalf("got %d outcomes for 0 jobs", len(out))
 	}
 }
+
+// TestProbeReadsPooledStateSafely pins the probe-after-release race: a
+// probe reads statistics that alias the pooled session, so it must run
+// while the session is still held — after release, a concurrent job on the
+// same structural configuration rewinds exactly that state. Many identical
+// jobs on one structural key under the race detector catch a regression;
+// the value checks catch a probe that silently reads rewound state.
+func TestProbeReadsPooledStateSafely(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	var jobs []Job
+	for i := 0; i < 24; i++ {
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("probe-%d", i),
+			Kernel:    k,
+			KernelKey: "gemm/n=8",
+			Opts:      salam.DefaultRunOpts(),
+			Probe: func(res *salam.Result) map[string]float64 {
+				// Walk live pooled stats, the way cache-power probes do.
+				v, ok := res.Stats.Lookup("system.gemm.cycles")
+				if !ok {
+					// Stat path drift must fail loudly, not yield zeros.
+					panic("probe: cycles stat not found")
+				}
+				return map[string]float64{"probed_cycles": v}
+			},
+		})
+	}
+	out := Run(context.Background(), Config{Workers: 8}, jobs)
+	want := out[0].Metrics.Extra["probed_cycles"]
+	if want <= 0 {
+		t.Fatalf("probe read %v cycles from live stats", want)
+	}
+	for _, o := range out {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Job.ID, o.Err)
+		}
+		if got := o.Metrics.Extra["probed_cycles"]; got != want {
+			t.Fatalf("%s probed %v cycles, first job probed %v — probe saw rewound state", o.Job.ID, got, want)
+		}
+		if got := float64(o.Metrics.Cycles); got != want {
+			t.Fatalf("%s probe value %v != measured cycles %v", o.Job.ID, want, got)
+		}
+	}
+}
+
+// TestProbePanicIsolation: a crashing probe fails its own job like a
+// crashing simulation; siblings are unaffected and the pool stays usable.
+func TestProbePanicIsolation(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	boom := func(*salam.Result) map[string]float64 { panic("probe bug") }
+	jobs := []Job{
+		{ID: "ok-0", Kernel: k, Opts: salam.DefaultRunOpts()},
+		{ID: "boom", Kernel: k, Opts: salam.DefaultRunOpts(), Probe: boom, ProbeKey: "v1"},
+		{ID: "ok-2", Kernel: k, Opts: salam.DefaultRunOpts()},
+	}
+	out := Run(context.Background(), Config{Workers: 2}, jobs)
+	var pe *PanicError
+	if !errors.As(out[1].Err, &pe) {
+		t.Fatalf("probe panic surfaced as %v, want PanicError", out[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil || out[i].Metrics == nil {
+			t.Fatalf("sibling job %d affected by probe panic: %+v", i, out[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"gosalam/internal/hw"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
 
@@ -181,6 +182,17 @@ type Accelerator struct {
 	profile *CycleProfile
 	// Per-cycle issue counters for the profile.
 	cycLoads, cycStores, cycFP, cycInt, cycOther uint16
+	// rec, when non-nil, receives one stall-attributed Cycle per edge plus
+	// busy slices per FU class and memory port (AttachTimeline). The
+	// recorder only observes; the sole engine state feeding it —
+	// fetchBlocked, set when a terminator could not fetch its next block —
+	// is maintained unconditionally like the haz flags, so the schedule is
+	// identical whether a recorder is attached or not.
+	rec             timeline.Recorder
+	tlCycle         timeline.LaneID
+	tlLoad, tlStore timeline.LaneID
+	tlFU            []timeline.LaneID
+	fetchBlocked    bool
 
 	finished bool
 	running  bool
@@ -335,6 +347,7 @@ func (a *Accelerator) Reconfigure(g *CDFG, cfg AccelConfig) {
 	a.arrivals = 0
 	a.zeroLatProgress = false
 	a.hazLoad, a.hazStore, a.hazFU, a.hazOrder = false, false, false, false
+	a.fetchBlocked = false
 	a.profile = nil
 	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
 	a.finished, a.running, a.retBits = false, false, 0
@@ -767,6 +780,7 @@ func (a *Accelerator) issueCompute(d *dynOp) {
 func (a *Accelerator) handleTerminator(d *dynOp) bool {
 	in := d.st.In
 	if a.fetches >= 2 {
+		a.fetchBlocked = true
 		return false // bound control work per cycle
 	}
 	if !a.Cfg.PipelineLoops {
@@ -774,6 +788,7 @@ func (a *Accelerator) handleTerminator(d *dynOp) bool {
 		// terminator is the only op of its block left uncommitted, so any
 		// second resident op is an older one.
 		if a.resident > 1 {
+			a.fetchBlocked = true
 			return false
 		}
 	}
@@ -798,6 +813,7 @@ func (a *Accelerator) handleTerminator(d *dynOp) bool {
 		// never wedge — once only this terminator remains, the next block
 		// must be admitted even if it exceeds the configured window.
 		if resident := a.resident; resident > 1 && resident-1+len(next.Instrs) > a.Cfg.ResQueueSize {
+			a.fetchBlocked = true
 			return false // window full; retry next cycle
 		}
 		from := in.Block()
@@ -820,6 +836,7 @@ func (a *Accelerator) cycle() bool {
 	a.cycleStamp++
 	a.fetches = 0
 	a.hazLoad, a.hazStore, a.hazFU, a.hazOrder = false, false, false, false
+	a.fetchBlocked = false
 	a.cycLoads, a.cycStores, a.cycFP, a.cycInt, a.cycOther = 0, 0, 0, 0, 0
 
 	// Commit phase: everything whose result arrived since the last edge.
@@ -1120,5 +1137,74 @@ func (a *Accelerator) recordCycleStats(issued int, issuedFP bool) {
 			Stalled:  issued == 0 && a.resident > 0,
 			Hazard:   haz,
 		})
+	}
+	if a.rec != nil {
+		a.recordTimeline(issued)
+	}
+}
+
+// AttachTimeline binds recorder lanes for the engine: one stall-attributed
+// cycle lane, load/store port lanes, and one lane per instantiated FU
+// class. A nil recorder detaches. Call after Reconfigure when the CDFG or
+// FU limits changed, so the lane set matches the instantiated units.
+func (a *Accelerator) AttachTimeline(rec timeline.Recorder) {
+	a.rec = rec
+	if rec == nil {
+		return
+	}
+	name := a.Name()
+	a.tlCycle = rec.Lane(name, "engine")
+	a.tlLoad = rec.Lane(name, "port.load")
+	a.tlStore = rec.Lane(name, "port.store")
+	if cap(a.tlFU) < len(a.fuTotal) {
+		a.tlFU = make([]timeline.LaneID, len(a.fuTotal))
+	} else {
+		a.tlFU = a.tlFU[:len(a.fuTotal)]
+	}
+	for c := range a.tlFU {
+		a.tlFU[c] = -1
+	}
+	for _, c := range hw.AllFUClasses() {
+		if a.fuTotal[c] > 0 {
+			a.tlFU[c] = rec.Lane(name, "fu."+c.String())
+		}
+	}
+}
+
+// recordTimeline emits the cycle's timeline events: exactly one Cycle on
+// the engine lane — issue, or the highest-priority stall reason — plus
+// busy slices for the memory ports and FU classes that did work. The
+// attribution priority mirrors the paper's Fig. 10 categories: a memory
+// hazard outranks FU contention, which outranks a blocked block fetch;
+// with no hazard at all, outstanding memory means a memory wait and an
+// empty ready set means an operand wait.
+func (a *Accelerator) recordTimeline(issued int) {
+	start, dur := uint64(a.Q.Now()), uint64(a.Clk.Period())
+	class := timeline.ClassIssue
+	if issued == 0 {
+		switch {
+		case a.hazLoad || a.hazStore || a.hazOrder:
+			class = timeline.ClassStallMem
+		case a.hazFU:
+			class = timeline.ClassStallFU
+		case a.fetchBlocked:
+			class = timeline.ClassStallFetch
+		case a.inflLoads+a.inflStores > 0:
+			class = timeline.ClassStallMem
+		default:
+			class = timeline.ClassStallOperand
+		}
+	}
+	a.rec.Cycle(a.tlCycle, start, dur, class)
+	if a.cycLoads > 0 {
+		a.rec.Slice(a.tlLoad, start, dur, "load")
+	}
+	if a.cycStores > 0 {
+		a.rec.Slice(a.tlStore, start, dur, "store")
+	}
+	for c := range a.tlFU {
+		if a.tlFU[c] >= 0 && (a.fuIssued[c] > 0 || a.fuBusy[c] > 0) {
+			a.rec.Slice(a.tlFU[c], start, dur, "busy")
+		}
 	}
 }

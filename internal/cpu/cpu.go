@@ -57,6 +57,13 @@ func (g *GIC) Line(n int) func() {
 	return func() { g.Raise(n) }
 }
 
+// Reset rewinds the controller for a warm-started run: latched pending
+// lines and registered waiters from an abandoned program are forgotten.
+func (g *GIC) Reset() {
+	clear(g.pending)
+	clear(g.waiters)
+}
+
 // Op is one step of a driver program. Ops run strictly in order; each op
 // calls done exactly once (possibly after waiting on the memory system or
 // an interrupt).
@@ -101,6 +108,11 @@ func NewHost(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 
 // Clk exposes the host clock.
 func (h *Host) Clk() *sim.ClockDomain { return h.clk }
+
+// Reset rewinds the host for a warm-started run: an abandoned program's
+// step closures died with the event queue, so only the running latch
+// remains to clear.
+func (h *Host) Reset() { h.running = false }
 
 // Run executes a driver program; onDone fires after the last op.
 func (h *Host) Run(prog []Op, onDone func()) {

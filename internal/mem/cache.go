@@ -3,6 +3,7 @@ package mem
 import (
 	"gosalam/internal/hw"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
 
@@ -29,6 +30,11 @@ type Cache struct {
 	incoming reqQueue
 	mshr     map[uint64]*mshrEntry
 	lruTick  uint64
+
+	// rec, when non-nil, receives hit/miss instants and an MSHR-occupancy
+	// counter (AttachTimeline).
+	rec              timeline.Recorder
+	tlAccess, tlMSHR timeline.LaneID
 
 	// Stats.
 	Hits, Misses, Writebacks, Fills *sim.Scalar
@@ -115,6 +121,21 @@ func (c *Cache) Reset() {
 	c.ResetClocked()
 }
 
+// AttachTimeline binds recorder lanes for the cache: the clocked
+// "active" lane, an access lane carrying hit/miss instants, and an MSHR
+// occupancy counter. A nil recorder detaches.
+func (c *Cache) AttachTimeline(rec timeline.Recorder) {
+	c.rec = rec
+	if rec == nil {
+		c.Clocked.AttachTimeline(nil, 0)
+		return
+	}
+	name := c.Name()
+	c.Clocked.AttachTimeline(rec, rec.Lane(name, "active"))
+	c.tlAccess = rec.Lane(name, "access")
+	c.tlMSHR = rec.Lane(name, "mshr")
+}
+
 // Cacti returns the analytic power/area model for this configuration.
 func (c *Cache) Cacti() hw.CactiCache {
 	return hw.NewCactiCache(c.SizeBytes, c.LineBytes, c.Assoc)
@@ -158,6 +179,9 @@ func (c *Cache) tryAccess(r *Request) bool {
 		if ln.valid && ln.tag == la {
 			// Hit.
 			c.Hits.Inc(1)
+			if c.rec != nil {
+				c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "hit")
+			}
 			c.lruTick++
 			ln.lru = c.lruTick
 			if r.Write {
@@ -170,6 +194,9 @@ func (c *Cache) tryAccess(r *Request) bool {
 	// Miss.
 	if e, ok := c.mshr[la]; ok {
 		c.Misses.Inc(1)
+		if c.rec != nil {
+			c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "miss")
+		}
 		e.waiting = append(e.waiting, r)
 		return true
 	}
@@ -177,8 +204,14 @@ func (c *Cache) tryAccess(r *Request) bool {
 		return false
 	}
 	c.Misses.Inc(1)
+	if c.rec != nil {
+		c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "miss")
+	}
 	e := &mshrEntry{lineAddr: la, waiting: []*Request{r}}
 	c.mshr[la] = e
+	if c.rec != nil {
+		c.rec.Counter(c.tlMSHR, uint64(c.Q.Now()), float64(len(c.mshr)))
+	}
 	// Fetch the line from downstream.
 	fill := NewRead(la, c.LineBytes, func(*Request) { c.fill(e) })
 	c.downstream.Send(fill)
@@ -212,6 +245,9 @@ func (c *Cache) fill(e *mshrEntry) {
 	c.lruTick++
 	*v = cacheLine{tag: e.lineAddr, valid: true, lru: c.lruTick}
 	delete(c.mshr, e.lineAddr)
+	if c.rec != nil {
+		c.rec.Counter(c.tlMSHR, uint64(c.Q.Now()), float64(len(c.mshr)))
+	}
 	lat := c.Clk.CyclesToTicks(uint64(c.HitCycles))
 	for _, r := range e.waiting {
 		if r.Write {

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 )
 
 // BlockDMA register indices (64-bit registers).
@@ -49,9 +50,17 @@ type BlockDMA struct {
 	pumpScheduled bool
 	pumpEv        *sim.Recurring
 
+	// rec, when non-nil, receives one slice per transfer and one instant
+	// per issued burst (AttachTimeline).
+	rec    timeline.Recorder
+	tlLane timeline.LaneID
+
 	Transfers, BytesMoved *sim.Scalar
-	TransferTicks         *sim.Distribution
-	startTick             sim.Tick
+	// DroppedStarts counts MMR ctrl-start writes ignored because a
+	// transfer was already in flight (see the OnWrite contract).
+	DroppedStarts *sim.Scalar
+	TransferTicks *sim.Distribution
+	startTick     sim.Tick
 }
 
 // NewBlockDMA creates a DMA whose MMRs sit at mmrBase and whose transfers
@@ -68,17 +77,58 @@ func NewBlockDMA(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 		d.pump()
 	})
 	d.MMR = NewMMRBlock(name+".mmr", q, clk, mmrBase, DMANumRegs, stats)
+	// MMR start contract: a ctrl-register start written while a transfer
+	// is in flight is IGNORED — real data movers have no queue behind the
+	// doorbell, so software must poll the status register (or take the
+	// IRQ) before re-arming. The drop is observable through the
+	// dropped_starts stat and a timeline instant. The programmatic
+	// Transfer path panics instead: a driver double-start is a host-code
+	// bug and should fail loudly, not vanish.
 	d.MMR.OnWrite = func(idx int, val uint64) {
-		if idx == DMARegCtrl && val&1 != 0 && !d.busy {
-			burst := int(d.MMR.Reg(DMARegBurst))
-			d.start(d.MMR.Reg(DMARegSrc), d.MMR.Reg(DMARegDst), d.MMR.Reg(DMARegLen), burst, nil)
+		if idx != DMARegCtrl || val&1 == 0 {
+			return
 		}
+		if d.busy {
+			d.DroppedStarts.Inc(1)
+			if d.rec != nil {
+				d.rec.Instant(d.tlLane, uint64(d.q.Now()), "dropped_start")
+			}
+			return
+		}
+		burst := int(d.MMR.Reg(DMARegBurst))
+		d.start(d.MMR.Reg(DMARegSrc), d.MMR.Reg(DMARegDst), d.MMR.Reg(DMARegLen), burst, nil)
 	}
 	g := stats.Child(name)
 	d.Transfers = g.Scalar("transfers", "completed transfers")
 	d.BytesMoved = g.Scalar("bytes", "bytes moved")
+	d.DroppedStarts = g.Scalar("dropped_starts", "MMR starts ignored while busy")
 	d.TransferTicks = g.Distribution("transfer_ticks", "ticks per transfer")
 	return d
+}
+
+// Reset rewinds the DMA for a warm-started run after the owning
+// EventQueue has been Reset: any in-flight transfer is abandoned (its
+// completion callbacks died with the queue), the pacing state clears,
+// and the MMRs zero. Stats survive, like every other component.
+func (d *BlockDMA) Reset() {
+	d.busy = false
+	d.src, d.dst, d.remaining, d.issued = 0, 0, 0, 0
+	d.outstanding, d.burst = 0, 0
+	d.onDone = nil
+	d.nextIssue = 0
+	d.pumpScheduled = false
+	d.pumpEv.Cancel() // stale-generation no-op that also forgets the arm
+	d.startTick = 0
+	d.MMR.Reset()
+}
+
+// AttachTimeline binds a transfer lane for the DMA engine. A nil
+// recorder detaches.
+func (d *BlockDMA) AttachTimeline(rec timeline.Recorder) {
+	d.rec = rec
+	if rec != nil {
+		d.tlLane = rec.Lane(d.name, "transfer")
+	}
 }
 
 // Busy reports whether a transfer is in flight.
@@ -136,6 +186,9 @@ func (d *BlockDMA) pump() {
 		}
 		beats := (int(size) + bpc - 1) / bpc
 		d.nextIssue = now + d.clk.CyclesToTicks(uint64(beats))
+		if d.rec != nil {
+			d.rec.Instant(d.tlLane, uint64(now), "burst")
+		}
 		rd := NewRead(d.src+off, int(size), func(r *Request) {
 			// Read burst arrived; write it to the destination.
 			wr := NewWrite(d.dst+off, r.Data, func(*Request) {
@@ -157,6 +210,9 @@ func (d *BlockDMA) finish() {
 	d.busy = false
 	d.Transfers.Inc(1)
 	d.TransferTicks.Sample(float64(d.q.Now() - d.startTick))
+	if d.rec != nil {
+		d.rec.Slice(d.tlLane, uint64(d.startTick), uint64(d.q.Now()-d.startTick), "dma")
+	}
 	d.MMR.SetReg(DMARegStatus, 2) // done
 	if d.MMR.Reg(DMARegCtrl)&2 != 0 && d.IRQ != nil {
 		d.IRQ()
@@ -184,7 +240,10 @@ type StreamDMA struct {
 	BytesMoved *sim.Scalar
 	Transfers  *sim.Scalar
 
-	busy bool
+	busy      bool
+	startTick sim.Tick
+	rec       timeline.Recorder
+	tlLane    timeline.LaneID
 }
 
 // NewStreamDMA creates a stream DMA bridging port and buf.
@@ -200,24 +259,47 @@ func NewStreamDMA(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 // Busy reports whether a stream transfer is in flight.
 func (s *StreamDMA) Busy() bool { return s.busy }
 
+// Reset rewinds the stream DMA for a warm-started run: an abandoned
+// transfer's step closures died with the event queue (and its buffer
+// wakeups with StreamBuffer.Reset), so only the busy latch remains.
+func (s *StreamDMA) Reset() { s.busy = false }
+
+// AttachTimeline binds a transfer lane for the stream DMA. A nil
+// recorder detaches.
+func (s *StreamDMA) AttachTimeline(rec timeline.Recorder) {
+	s.rec = rec
+	if rec != nil {
+		s.tlLane = rec.Lane(s.name, "transfer")
+	}
+}
+
+// endTransfer closes out a completed stream transfer.
+func (s *StreamDMA) endTransfer(label string, onDone func()) {
+	s.busy = false
+	s.Transfers.Inc(1)
+	if s.rec != nil {
+		s.rec.Slice(s.tlLane, uint64(s.startTick), uint64(s.q.Now()-s.startTick), label)
+	}
+	if s.IRQ != nil {
+		s.IRQ()
+	}
+	if onDone != nil {
+		onDone()
+	}
+}
+
 // StreamIn reads [src, src+n) from memory into the stream buffer.
 func (s *StreamDMA) StreamIn(src, n uint64, onDone func()) {
 	if s.busy {
 		panic("mem: stream DMA " + s.name + " started while busy")
 	}
 	s.busy = true
+	s.startTick = s.q.Now()
 	var off uint64
 	var step func()
 	step = func() {
 		if off >= n {
-			s.busy = false
-			s.Transfers.Inc(1)
-			if s.IRQ != nil {
-				s.IRQ()
-			}
-			if onDone != nil {
-				onDone()
-			}
+			s.endTransfer("stream-in", onDone)
 			return
 		}
 		size := uint64(s.Burst)
@@ -249,18 +331,12 @@ func (s *StreamDMA) StreamOut(dst, n uint64, onDone func()) {
 		panic("mem: stream DMA " + s.name + " started while busy")
 	}
 	s.busy = true
+	s.startTick = s.q.Now()
 	var off uint64
 	var step func()
 	step = func() {
 		if off >= n {
-			s.busy = false
-			s.Transfers.Inc(1)
-			if s.IRQ != nil {
-				s.IRQ()
-			}
-			if onDone != nil {
-				onDone()
-			}
+			s.endTransfer("stream-out", onDone)
 			return
 		}
 		size := uint64(s.Burst)

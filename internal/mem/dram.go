@@ -2,6 +2,7 @@ package mem
 
 import (
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
 
@@ -71,6 +72,16 @@ func (d *DRAM) Reset() {
 	}
 	d.budget = 0
 	d.ResetClocked()
+}
+
+// AttachTimeline binds the clocked "active" lane for the DRAM channel —
+// service cycles show as activity, gaps as idle. A nil recorder detaches.
+func (d *DRAM) AttachTimeline(rec timeline.Recorder) {
+	if rec == nil {
+		d.Clocked.AttachTimeline(nil, 0)
+		return
+	}
+	d.Clocked.AttachTimeline(rec, rec.Lane(d.Name(), "active"))
 }
 
 // Send enqueues a request.

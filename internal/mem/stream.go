@@ -2,6 +2,7 @@ package mem
 
 import (
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 )
 
 // StreamBuffer is a bounded FIFO with a two-way handshake, modeling the
@@ -11,10 +12,23 @@ import (
 type StreamBuffer struct {
 	name     string
 	capacity int
-	data     []byte
+	// data[head:] holds the buffered bytes. Pop advances head instead of
+	// re-slicing the front away — `data = data[n:]` permanently discards
+	// the prefix capacity, so a long-lived stream re-allocates forever.
+	// The prefix is reclaimed by compacting in place when a push would
+	// otherwise grow the backing array, and head rewinds to zero whenever
+	// the buffer drains.
+	data []byte
+	head int
 
 	onData  []func()
 	onSpace []func()
+
+	// rec, when non-nil, receives an occupancy counter sample per push and
+	// pop (AttachTimeline provides the clock for timestamps).
+	rec    timeline.Recorder
+	tlLane timeline.LaneID
+	recQ   *sim.EventQueue
 
 	Pushes, Pops, StallsFull, StallsEmpty *sim.Scalar
 	Occupancy                             *sim.Distribution
@@ -36,10 +50,10 @@ func NewStreamBuffer(name string, capacity int, stats *sim.Group) *StreamBuffer 
 func (s *StreamBuffer) Capacity() int { return s.capacity }
 
 // Len returns bytes currently buffered.
-func (s *StreamBuffer) Len() int { return len(s.data) }
+func (s *StreamBuffer) Len() int { return len(s.data) - s.head }
 
 // Space returns free bytes.
-func (s *StreamBuffer) Space() int { return s.capacity - len(s.data) }
+func (s *StreamBuffer) Space() int { return s.capacity - s.Len() }
 
 // Push appends p if it fits, reporting success. On failure the producer
 // should retry after a NotifySpace wakeup.
@@ -48,23 +62,41 @@ func (s *StreamBuffer) Push(p []byte) bool {
 		s.StallsFull.Inc(1)
 		return false
 	}
+	if s.head > 0 && len(s.data)+len(p) > cap(s.data) {
+		// Reclaim the popped prefix instead of growing: the live bytes
+		// slide to the front, so the backing array stays bounded by the
+		// capacity the stream actually needs.
+		n := copy(s.data, s.data[s.head:])
+		s.data = s.data[:n]
+		s.head = 0
+	}
 	s.data = append(s.data, p...)
 	s.Pushes.Inc(float64(len(p)))
-	s.Occupancy.Sample(float64(len(s.data)))
+	s.Occupancy.Sample(float64(s.Len()))
+	if s.rec != nil {
+		s.rec.Counter(s.tlLane, uint64(s.recQ.Now()), float64(s.Len()))
+	}
 	s.wake(&s.onData)
 	return true
 }
 
 // Pop removes and returns n bytes, or (nil, false) if fewer are buffered.
 func (s *StreamBuffer) Pop(n int) ([]byte, bool) {
-	if len(s.data) < n {
+	if s.Len() < n {
 		s.StallsEmpty.Inc(1)
 		return nil, false
 	}
 	out := make([]byte, n)
-	copy(out, s.data[:n])
-	s.data = s.data[n:]
+	copy(out, s.data[s.head:s.head+n])
+	s.head += n
+	if s.head == len(s.data) {
+		s.data = s.data[:0]
+		s.head = 0
+	}
 	s.Pops.Inc(float64(n))
+	if s.rec != nil {
+		s.rec.Counter(s.tlLane, uint64(s.recQ.Now()), float64(s.Len()))
+	}
 	s.wake(&s.onSpace)
 	return out, true
 }
@@ -74,6 +106,27 @@ func (s *StreamBuffer) NotifyData(fn func()) { s.onData = append(s.onData, fn) }
 
 // NotifySpace registers a one-shot callback for when space frees.
 func (s *StreamBuffer) NotifySpace(fn func()) { s.onSpace = append(s.onSpace, fn) }
+
+// Reset rewinds the FIFO for a warm-started run: buffered bytes from an
+// abandoned run are dropped and registered wakeups are forgotten — a
+// stale onData/onSpace callback would otherwise re-animate the previous
+// run's producer or consumer mid-way through the next one.
+func (s *StreamBuffer) Reset() {
+	s.data = s.data[:0]
+	s.head = 0
+	s.onData = nil
+	s.onSpace = nil
+}
+
+// AttachTimeline binds an occupancy counter lane for the FIFO, using q
+// for timestamps (the buffer itself is unclocked). A nil recorder
+// detaches.
+func (s *StreamBuffer) AttachTimeline(rec timeline.Recorder, q *sim.EventQueue) {
+	s.rec, s.recQ = rec, q
+	if rec != nil {
+		s.tlLane = rec.Lane(s.name, "occupancy")
+	}
+}
 
 func (s *StreamBuffer) wake(list *[]func()) {
 	fns := *list

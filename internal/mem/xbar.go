@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 )
 
 // Crossbar routes requests to targets by address range, with a per-cycle
@@ -21,6 +22,10 @@ type Crossbar struct {
 	defaultTarget Port
 
 	queue reqQueue
+
+	// rec, when non-nil, receives a routing slice per busy cycle.
+	rec    timeline.Recorder
+	tlLane timeline.LaneID
 
 	Routed      *sim.Scalar
 	RouteErrors *sim.Scalar
@@ -53,6 +58,27 @@ func (x *Crossbar) Attach(t Ranged) {
 // SetDefault routes unmatched addresses to p.
 func (x *Crossbar) SetDefault(p Port) { x.defaultTarget = p }
 
+// Reset rewinds the crossbar for a warm-started run after the owning
+// EventQueue has been Reset: queued requests from an abandoned run drop
+// and the clocked state rewinds to idle. Topology (targets, default)
+// survives — it is structural, not per-run.
+func (x *Crossbar) Reset() {
+	x.queue.reset()
+	x.ResetClocked()
+}
+
+// AttachTimeline binds a routing lane (plus the clocked "active" lane)
+// for the crossbar. A nil recorder detaches.
+func (x *Crossbar) AttachTimeline(rec timeline.Recorder) {
+	x.rec = rec
+	if rec == nil {
+		x.Clocked.AttachTimeline(nil, 0)
+		return
+	}
+	x.Clocked.AttachTimeline(rec, rec.Lane(x.Name(), "active"))
+	x.tlLane = rec.Lane(x.Name(), "route")
+}
+
 // Send enqueues a request for routing.
 func (x *Crossbar) Send(r *Request) {
 	r.Issued = x.Q.Now()
@@ -71,8 +97,10 @@ func (x *Crossbar) route(addr uint64, size int) Port {
 }
 
 func (x *Crossbar) cycle() bool {
+	routed := 0
 	for i := 0; i < x.WidthPerCycle && !x.queue.empty(); i++ {
 		r := x.queue.pop()
+		routed++
 		x.QueueDelay.Sample(float64(x.Q.Now() - r.Issued))
 		t := x.route(r.Addr, r.Size)
 		if t == nil {
@@ -95,6 +123,9 @@ func (x *Crossbar) cycle() bool {
 		} else {
 			t.Send(r)
 		}
+	}
+	if x.rec != nil && routed > 0 {
+		x.rec.Slice(x.tlLane, uint64(x.Q.Now()), uint64(x.Clk.Period()), "route")
 	}
 	return !x.queue.empty()
 }

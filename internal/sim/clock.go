@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"gosalam/internal/timeline"
+)
 
 // ClockDomain converts between cycles and ticks for objects sharing a clock.
 type ClockDomain struct {
@@ -72,6 +76,11 @@ type Clocked struct {
 	CycleFn func() bool
 	// Cycles counts executed cycles (active edges only).
 	Cycles uint64
+	// rec, when non-nil, receives one "active" slice per executed edge on
+	// lane. The recorder only observes — it must never schedule — so the
+	// edge schedule is identical whether a recorder is attached or not.
+	rec  timeline.Recorder
+	lane timeline.LaneID
 }
 
 // InitClocked wires a Clocked helper. CycleFn must be set before Activate.
@@ -143,11 +152,23 @@ func (c *Clocked) ResetClocked() {
 	}
 }
 
+// AttachTimeline binds a recorder lane to the clocked object; every
+// executed edge then records an "active" slice one period long, and
+// Perfetto's adjacent-slice merge renders contiguous activity as one
+// span with idle gaps between. A nil recorder detaches.
+func (c *Clocked) AttachTimeline(rec timeline.Recorder, lane timeline.LaneID) {
+	c.rec = rec
+	c.lane = lane
+}
+
 func (c *Clocked) edge() {
 	if !c.active {
 		return
 	}
 	c.Cycles++
+	if c.rec != nil {
+		c.rec.Slice(c.lane, uint64(c.Q.Now()), uint64(c.Clk.Period()), "active")
+	}
 	if c.CycleFn() {
 		c.tick.ScheduleAt(c.Q.Now() + c.Clk.Period())
 	} else {

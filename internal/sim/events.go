@@ -6,6 +6,8 @@ package sim
 
 import (
 	"fmt"
+
+	"gosalam/internal/timeline"
 )
 
 // Tick is the simulation time unit. Following gem5 convention, one tick is
@@ -105,6 +107,25 @@ type EventQueue struct {
 	free  []int32
 	// fired counts events executed, for stats and runaway detection.
 	fired uint64
+	// rec, when non-nil, receives a per-tick fired-event-count sample on
+	// recLane — event density over time, one counter track in the trace.
+	// The sample for a tick is emitted when the next distinct tick begins,
+	// so recTick/recCount accumulate the current tick's total.
+	rec      timeline.Recorder
+	recLane  timeline.LaneID
+	recTick  Tick
+	recCount uint64
+}
+
+// AttachTimeline binds (or with nil detaches) a timeline recorder to the
+// queue. The hook only counts fired events and reports them; it never
+// schedules, so execution is identical with and without a recorder.
+func (q *EventQueue) AttachTimeline(rec timeline.Recorder) {
+	q.rec = rec
+	q.recTick, q.recCount = 0, 0
+	if rec != nil {
+		q.recLane = rec.Lane("sim", "events")
+	}
 }
 
 // NewEventQueue returns an empty queue at tick zero.
@@ -144,6 +165,7 @@ func (q *EventQueue) Reset() {
 	}
 	q.order = q.order[:0]
 	q.now, q.seq, q.fired = 0, 0, 0
+	q.recTick, q.recCount = 0, 0
 }
 
 // alloc takes a slot from the free list (or grows the arena) and returns
@@ -274,6 +296,15 @@ func (q *EventQueue) step() bool {
 	idx := q.order[0]
 	s := &q.slots[idx]
 	q.now = s.when
+	if q.rec != nil {
+		if q.now != q.recTick {
+			if q.recCount > 0 {
+				q.rec.Counter(q.recLane, uint64(q.recTick), float64(q.recCount))
+			}
+			q.recTick, q.recCount = q.now, 0
+		}
+		q.recCount++
+	}
 	fn, obj := s.fn, s.obj
 	q.removeAt(0)
 	q.release(idx) // free before firing so fn can reuse the slot

@@ -314,15 +314,34 @@ func (g *Group) dump(w io.Writer, prefix string) {
 }
 
 // Lookup finds a stat row value by dotted path ("sys.acc0.cycles"). It
-// returns false if the path does not resolve.
+// returns false if the path does not resolve. The walk is structural —
+// not a re-parse of the %16.6g Dump text — so values keep full float64
+// precision (a Dump round-trip truncates anything >= 1e6, which cycle
+// counts routinely are, to 6 significant digits).
 func (g *Group) Lookup(path string) (float64, bool) {
-	var sb strings.Builder
-	g.Dump(&sb)
-	for _, line := range strings.Split(sb.String(), "\n") {
-		fields := strings.Fields(line)
-		if len(fields) >= 2 && fields[0] == path {
-			var v float64
-			if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+	prefix := g.name + "."
+	if !strings.HasPrefix(path, prefix) {
+		return 0, false
+	}
+	return g.lookup(path[len(prefix):])
+}
+
+// lookup resolves rest, a dotted path relative to g. Stat rows are
+// checked before child groups, matching Dump's ordering; row names may
+// themselves be dotted (Vector keys, Distribution "name::mean" rows never
+// are, but nothing forbids it), so rows are compared whole.
+func (g *Group) lookup(rest string) (float64, bool) {
+	for _, s := range g.stats {
+		for _, row := range s.Rows() {
+			if row.Name == rest {
+				return row.Value, true
+			}
+		}
+	}
+	for _, c := range g.children {
+		p := c.name + "."
+		if strings.HasPrefix(rest, p) {
+			if v, ok := c.lookup(rest[len(p):]); ok {
 				return v, true
 			}
 		}

@@ -126,6 +126,41 @@ func TestGroupDumpAndLookup(t *testing.T) {
 	}
 }
 
+// TestLookupPrecision pins the regression where Lookup re-parsed the
+// %16.6g Dump rendering: any value needing more than six significant
+// digits (every large cycle/tick counter) came back rounded. Lookup must
+// walk the stat tree structurally and return exact values.
+func TestLookupPrecision(t *testing.T) {
+	root := NewGroup("sys")
+	acc := root.Child("acc0")
+	c := acc.Scalar("ticks", "ticks")
+	c.Set(123456789) // %16.6g renders 1.23457e+08
+	got, ok := root.Lookup("sys.acc0.ticks")
+	if !ok || got != 123456789 {
+		t.Fatalf("Lookup ticks = %v, %v; want exact 123456789", got, ok)
+	}
+
+	// Vector rows and deep nesting go through the same structural walk.
+	v := acc.Child("fu").Vector("ops", "per class")
+	v.Inc("fadd", 98765432.5)
+	got, ok = root.Lookup("sys.acc0.fu.ops::fadd")
+	if !ok || got != 98765432.5 {
+		t.Fatalf("Lookup vector row = %v, %v; want exact 98765432.5", got, ok)
+	}
+
+	// Paths that only differ from a real stat by prefix still miss.
+	for _, miss := range []string{
+		"acc0.ticks",          // missing root prefix
+		"sys.acc0",            // group, not a stat
+		"sys.acc0.fu",         // nested group, not a stat
+		"sys.acc0.ticks.tail", // trailing junk
+	} {
+		if _, ok := root.Lookup(miss); ok {
+			t.Fatalf("Lookup(%q) unexpectedly succeeded", miss)
+		}
+	}
+}
+
 func TestGroupChildReuse(t *testing.T) {
 	root := NewGroup("sys")
 	a := root.Child("x")

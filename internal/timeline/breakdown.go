@@ -1,0 +1,87 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// Breakdown accumulates Cycle attributions into a per-lane histogram —
+// the Fig. 10-style stall breakdown. Slices, instants and counters are
+// ignored; only engine lanes call Cycle, so the table has one row per
+// engine. Rows keep lane registration order, which is deterministic.
+type Breakdown struct {
+	lanes  []breakLane
+	counts [][NumCycleClasses]uint64
+}
+
+type breakLane struct {
+	group, name string
+}
+
+// NewBreakdown returns an empty histogram recorder.
+func NewBreakdown() *Breakdown { return &Breakdown{} }
+
+func (b *Breakdown) Lane(group, name string) LaneID {
+	b.lanes = append(b.lanes, breakLane{group: group, name: name})
+	b.counts = append(b.counts, [NumCycleClasses]uint64{})
+	return LaneID(len(b.lanes) - 1)
+}
+
+func (b *Breakdown) Slice(LaneID, uint64, uint64, string) {}
+func (b *Breakdown) Instant(LaneID, uint64, string)       {}
+func (b *Breakdown) Counter(LaneID, uint64, float64)      {}
+
+func (b *Breakdown) Cycle(lane LaneID, _, _ uint64, class CycleClass) {
+	b.counts[lane][class]++
+}
+
+// Counts returns the class histogram for a lane, looked up by group and
+// name as registered, and whether any cycles were attributed to it.
+func (b *Breakdown) Counts(group, name string) ([NumCycleClasses]uint64, bool) {
+	for i, l := range b.lanes {
+		if l.group == group && l.name == name {
+			return b.counts[i], true
+		}
+	}
+	return [NumCycleClasses]uint64{}, false
+}
+
+// Total returns the summed cycle count for a lane — equal to the engine's
+// active cycle count, since every active cycle is attributed exactly once.
+func (b *Breakdown) Total(group, name string) uint64 {
+	c, _ := b.Counts(group, name)
+	var t uint64
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// WriteTable prints the breakdown for every lane that attributed at least
+// one cycle, with per-class percentages.
+func (b *Breakdown) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-24s %10s", "lane", "cycles"); err != nil {
+		return err
+	}
+	for c := 0; c < NumCycleClasses; c++ {
+		fmt.Fprintf(w, " %16s", CycleClass(c).String())
+	}
+	fmt.Fprintln(w)
+	for i, l := range b.lanes {
+		var total uint64
+		for _, n := range b.counts[i] {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %10d", l.group+"/"+l.name, total)
+		for _, n := range b.counts[i] {
+			fmt.Fprintf(w, " %8d (%5.1f%%)", n, 100*float64(n)/float64(total))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package timeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON records events in memory and writes them as a Chrome trace_event
+// file ("JSON Array Format") that loads directly in Perfetto or
+// chrome://tracing. Groups become processes, lanes become threads, slices
+// become complete ("X") events, instants "i", counters "C".
+//
+// Adjacent same-label slices on a lane are merged at record time, so a
+// thousand consecutive busy cycles store as one span; this keeps traces
+// small without changing what Perfetto renders.
+type JSON struct {
+	groups []string
+	lanes  []jsonLane
+	events []jsonEvent
+	// lastSlice[lane] indexes the lane's most recent slice in events, or
+	// -1; used for adjacent-slice merging.
+	lastSlice []int32
+}
+
+type jsonLane struct {
+	name  string
+	group int32
+	tid   int32 // thread ordinal within the group
+}
+
+const (
+	evSlice = iota
+	evInstant
+	evCounter
+)
+
+type jsonEvent struct {
+	lane  LaneID
+	kind  uint8
+	start uint64
+	dur   uint64
+	label string
+	value float64
+}
+
+// NewJSON returns an empty trace recorder.
+func NewJSON() *JSON { return &JSON{} }
+
+func (j *JSON) Lane(group, name string) LaneID {
+	gi := int32(-1)
+	for i, g := range j.groups {
+		if g == group {
+			gi = int32(i)
+			break
+		}
+	}
+	if gi < 0 {
+		gi = int32(len(j.groups))
+		j.groups = append(j.groups, group)
+	}
+	tid := int32(0)
+	for _, l := range j.lanes {
+		if l.group == gi {
+			tid++
+		}
+	}
+	j.lanes = append(j.lanes, jsonLane{name: name, group: gi, tid: tid})
+	j.lastSlice = append(j.lastSlice, -1)
+	return LaneID(len(j.lanes) - 1)
+}
+
+func (j *JSON) Slice(lane LaneID, start, dur uint64, label string) {
+	if idx := j.lastSlice[lane]; idx >= 0 {
+		ev := &j.events[idx]
+		if ev.label == label && ev.start+ev.dur == start {
+			ev.dur += dur
+			return
+		}
+	}
+	j.events = append(j.events, jsonEvent{lane: lane, kind: evSlice, start: start, dur: dur, label: label})
+	j.lastSlice[lane] = int32(len(j.events) - 1)
+}
+
+func (j *JSON) Instant(lane LaneID, tick uint64, label string) {
+	j.events = append(j.events, jsonEvent{lane: lane, kind: evInstant, start: tick, label: label})
+}
+
+func (j *JSON) Counter(lane LaneID, tick uint64, value float64) {
+	j.events = append(j.events, jsonEvent{lane: lane, kind: evCounter, start: tick, value: value})
+}
+
+func (j *JSON) Cycle(lane LaneID, start, dur uint64, class CycleClass) {
+	j.Slice(lane, start, dur, class.String())
+}
+
+// Events returns the number of recorded (post-merge) events.
+func (j *JSON) Events() int { return len(j.events) }
+
+// escaper covers the characters our fixed label vocabulary could ever
+// need escaped in a JSON string.
+var escaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+
+// Write emits the trace. Ticks are picoseconds; trace_event timestamps
+// are microseconds, so values are scaled by 1e-6 and printed with six
+// decimals to preserve picosecond resolution.
+func (j *JSON) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, `{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	// Metadata: name every process (group) and thread (lane), with sort
+	// indices pinning registration order in the UI.
+	for gi, g := range j.groups {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":"%s"}}`, gi+1, escaper.Replace(g))
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`, gi+1, gi)
+	}
+	for _, l := range j.lanes {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`,
+			l.group+1, l.tid+1, escaper.Replace(l.name))
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			l.group+1, l.tid+1, l.tid)
+	}
+	for i := range j.events {
+		ev := &j.events[i]
+		l := j.lanes[ev.lane]
+		ts := float64(ev.start) / 1e6
+		sep()
+		switch ev.kind {
+		case evSlice:
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%.6f,"dur":%.6f,"name":"%s"}`,
+				l.group+1, l.tid+1, ts, float64(ev.dur)/1e6, escaper.Replace(ev.label))
+		case evInstant:
+			fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"ts":%.6f,"s":"t","name":"%s"}`,
+				l.group+1, l.tid+1, ts, escaper.Replace(ev.label))
+		case evCounter:
+			fmt.Fprintf(bw, `{"ph":"C","pid":%d,"ts":%.6f,"name":"%s","args":{"value":%g}}`,
+				l.group+1, ts, escaper.Replace(l.name), ev.value)
+		}
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,124 @@
+// Package timeline is the opt-in observability layer: components that own
+// simulated time (the event queue, clocked objects, the accelerator engine,
+// the memory system) report what they did each cycle to a Recorder, which
+// turns the stream into a Chrome trace_event file (JSON) or a stall
+// breakdown table (Breakdown).
+//
+// The hard invariant is observer-effect freedom: a recorder observes, it
+// never schedules. Hooks are nil-by-default fields guarded by a single
+// `if rec != nil` check, so the untraced hot paths stay allocation-free
+// and the simulated schedule is byte-identical whether tracing is on or
+// off. Recorders may allocate internally (they buffer events), but they
+// must not touch the event queue, stats, or any simulated state.
+//
+// Ticks are raw uint64 picoseconds rather than sim.Tick so this package
+// stays a leaf: internal/sim imports timeline, never the reverse.
+package timeline
+
+// LaneID names a registered lane. Lanes map to Perfetto threads: one per
+// FU class, memory port, SPM bank, DMA engine, and so on. IDs are indices
+// into the recorder's registration order, so a run that registers the
+// same components in the same order gets the same IDs.
+type LaneID int32
+
+// CycleClass attributes one engine cycle to the paper's Fig. 10 breakdown
+// categories: the cycle either issued work or stalled for exactly one
+// attributed reason.
+type CycleClass uint8
+
+const (
+	// ClassIssue: at least one op issued this cycle.
+	ClassIssue CycleClass = iota
+	// ClassStallMem: blocked on the memory system — a port hazard, a
+	// memory-order hazard, or outstanding loads/stores the engine is
+	// waiting to commit.
+	ClassStallMem
+	// ClassStallFU: ready ops existed but the FU pool was exhausted.
+	ClassStallFU
+	// ClassStallFetch: the next basic block could not be fetched (window
+	// full or drain policy).
+	ClassStallFetch
+	// ClassStallOperand: nothing was ready — ops were waiting for operand
+	// values from in-flight producers.
+	ClassStallOperand
+
+	numCycleClasses
+)
+
+// NumCycleClasses is the number of attribution categories; a breakdown
+// over all classes sums to the engine's total active cycles.
+const NumCycleClasses = int(numCycleClasses)
+
+var classNames = [NumCycleClasses]string{
+	"issue", "stall.mem", "stall.fu", "stall.fetch", "stall.operand",
+}
+
+func (c CycleClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// Recorder receives timeline events. All ticks are absolute picoseconds;
+// durations are picoseconds. Implementations must not schedule events or
+// mutate simulated state — see the package invariant.
+type Recorder interface {
+	// Lane registers a lane under a component group (Perfetto: group is
+	// the process, lane the thread) and returns its ID. Called during
+	// attachment, never on a hot path.
+	Lane(group, name string) LaneID
+	// Slice records an activity span [start, start+dur) on a lane.
+	// Back-to-back slices with the same label may be merged by backends.
+	Slice(lane LaneID, start, dur uint64, label string)
+	// Instant records a point event (a cache miss, a dropped DMA start).
+	Instant(lane LaneID, tick uint64, label string)
+	// Counter records a sampled value (FIFO occupancy, MSHR usage).
+	Counter(lane LaneID, tick uint64, value float64)
+	// Cycle attributes one engine cycle [start, start+dur) to a class.
+	Cycle(lane LaneID, start, dur uint64, class CycleClass)
+}
+
+// Tee fans every event out to several recorders (e.g. a JSON trace and a
+// breakdown table from one run). Lane IDs differ per backend, so Tee keeps
+// its own ID space and translates.
+type Tee struct {
+	recs []Recorder
+	ids  [][]LaneID // ids[tee lane][recorder index]
+}
+
+// NewTee combines recorders into one.
+func NewTee(recs ...Recorder) *Tee { return &Tee{recs: recs} }
+
+func (t *Tee) Lane(group, name string) LaneID {
+	row := make([]LaneID, len(t.recs))
+	for i, r := range t.recs {
+		row[i] = r.Lane(group, name)
+	}
+	t.ids = append(t.ids, row)
+	return LaneID(len(t.ids) - 1)
+}
+
+func (t *Tee) Slice(lane LaneID, start, dur uint64, label string) {
+	for i, r := range t.recs {
+		r.Slice(t.ids[lane][i], start, dur, label)
+	}
+}
+
+func (t *Tee) Instant(lane LaneID, tick uint64, label string) {
+	for i, r := range t.recs {
+		r.Instant(t.ids[lane][i], tick, label)
+	}
+}
+
+func (t *Tee) Counter(lane LaneID, tick uint64, value float64) {
+	for i, r := range t.recs {
+		r.Counter(t.ids[lane][i], tick, value)
+	}
+}
+
+func (t *Tee) Cycle(lane LaneID, start, dur uint64, class CycleClass) {
+	for i, r := range t.recs {
+		r.Cycle(t.ids[lane][i], start, dur, class)
+	}
+}

@@ -1,0 +1,183 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a written trace back into generic events.
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestJSONSliceMerging(t *testing.T) {
+	j := NewJSON()
+	lane := j.Lane("acc", "engine")
+	// Three adjacent same-label slices must merge into one span.
+	j.Slice(lane, 1000, 100, "busy")
+	j.Slice(lane, 1100, 100, "busy")
+	j.Slice(lane, 1200, 100, "busy")
+	// A gap breaks the merge.
+	j.Slice(lane, 1400, 100, "busy")
+	// A label change breaks the merge.
+	j.Slice(lane, 1500, 100, "idle")
+	if j.Events() != 3 {
+		t.Fatalf("events = %d, want 3 (merged, gapped, relabeled)", j.Events())
+	}
+
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	var slices []map[string]any
+	for _, ev := range evs {
+		if ev["ph"] == "X" {
+			slices = append(slices, ev)
+		}
+	}
+	if len(slices) != 3 {
+		t.Fatalf("decoded %d X events, want 3", len(slices))
+	}
+	// The merged slice spans 300 ps = 0.0003 us.
+	if d := slices[0]["dur"].(float64); d != 0.0003 {
+		t.Fatalf("merged dur = %v us, want 0.0003", d)
+	}
+}
+
+func TestJSONMetadataAndLanes(t *testing.T) {
+	j := NewJSON()
+	a := j.Lane("gemm", "engine")
+	b := j.Lane("gemm", "fu.fp_mul")
+	c := j.Lane("spm", "bank0")
+	if a == b || b == c {
+		t.Fatal("lane IDs not distinct")
+	}
+	j.Instant(b, 500, "hit")
+	j.Counter(c, 600, 3)
+
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	names := map[string]bool{}
+	for _, ev := range evs {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"engine", "fu.fp_mul", "bank0"} {
+		if !names[want] {
+			t.Fatalf("thread_name metadata missing lane %q (have %v)", want, names)
+		}
+	}
+	// Lanes in different groups get different pids.
+	pids := map[string]float64{}
+	for _, ev := range evs {
+		switch ev["ph"] {
+		case "i":
+			pids["instant"] = ev["pid"].(float64)
+		case "C":
+			pids["counter"] = ev["pid"].(float64)
+		}
+	}
+	if pids["instant"] == pids["counter"] {
+		t.Fatalf("instant and counter share pid %v across groups", pids["instant"])
+	}
+}
+
+func TestJSONLabelEscaping(t *testing.T) {
+	j := NewJSON()
+	lane := j.Lane("g", `quote"back\slash`)
+	j.Instant(lane, 1, `la"bel`)
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes()) // Unmarshal fails if escaping is broken
+	found := false
+	for _, ev := range evs {
+		if ev["ph"] == "i" && ev["name"] == `la"bel` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("escaped instant label did not round-trip")
+	}
+}
+
+func TestBreakdownCountsAndTotal(t *testing.T) {
+	b := NewBreakdown()
+	lane := b.Lane("gemm", "engine")
+	b.Cycle(lane, 0, 10, ClassIssue)
+	b.Cycle(lane, 10, 10, ClassIssue)
+	b.Cycle(lane, 20, 10, ClassStallMem)
+	b.Cycle(lane, 30, 10, ClassStallOperand)
+	c, ok := b.Counts("gemm", "engine")
+	if !ok {
+		t.Fatal("lane not found")
+	}
+	if c[ClassIssue] != 2 || c[ClassStallMem] != 1 || c[ClassStallOperand] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+	if got := b.Total("gemm", "engine"); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+	if _, ok := b.Counts("gemm", "nope"); ok {
+		t.Fatal("unknown lane reported counts")
+	}
+	var buf bytes.Buffer
+	if err := b.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gemm/engine") || !strings.Contains(buf.String(), "stall.operand") {
+		t.Fatalf("table missing expected content:\n%s", buf.String())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	j := NewJSON()
+	b := NewBreakdown()
+	// Skew the JSON backend's lane IDs so the tee's translation is
+	// actually exercised.
+	j.Lane("pre", "existing")
+	tee := NewTee(j, b)
+	lane := tee.Lane("gemm", "engine")
+	tee.Cycle(lane, 0, 10, ClassIssue)
+	tee.Slice(lane, 10, 10, "busy")
+	tee.Instant(lane, 20, "mark")
+	tee.Counter(lane, 30, 7)
+	if got := b.Total("gemm", "engine"); got != 1 {
+		t.Fatalf("breakdown total through tee = %d, want 1", got)
+	}
+	// JSON saw the cycle (as a slice), the slice, the instant, the counter.
+	if j.Events() != 4 {
+		t.Fatalf("json events through tee = %d, want 4", j.Events())
+	}
+}
+
+func TestCycleClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumCycleClasses; c++ {
+		s := CycleClass(c).String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("class %d has bad or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if CycleClass(200).String() != "unknown" {
+		t.Fatal("out-of-range class must stringify as unknown")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 	"gosalam/kernels"
 )
@@ -96,6 +97,14 @@ type RunOpts struct {
 	// ProfileCycles enables per-cycle profiling, keeping up to this many
 	// samples (0 = off). Read the result via Result.Acc.Profile().
 	ProfileCycles int
+
+	// Timeline, when non-nil, receives cycle-accurate trace events from
+	// the run (event-queue activity, engine issue/stall attribution, memory
+	// service) — see internal/timeline for the recorder backends. Tracing
+	// is observer-effect-free: schedules, cycle counts and stats are
+	// byte-identical with it on or off. Excluded from JSON marshaling so
+	// campaign job keys (and their result caches) ignore it.
+	Timeline timeline.Recorder `json:"-"`
 }
 
 // DefaultRunOpts returns the paper-default configuration: a 100 MHz

@@ -19,6 +19,7 @@ import (
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 	"gosalam/kernels"
 )
@@ -216,6 +217,10 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 	if opts.ProfileCycles > 0 {
 		s.acc.EnableProfile(opts.ProfileCycles)
 	}
+	// Attach (or detach, when nil) the timeline recorder per run:
+	// Reconfigure rebuilds FU lanes, so attachment must follow it, and a
+	// pooled session must not leak one job's recorder into the next.
+	s.attachTimeline(opts.Timeline)
 
 	inst := s.k.Setup(s.space, opts.Seed)
 	res := &Result{Stats: s.stats, Instance: inst, Space: s.space, Acc: s.acc, SPM: s.spm, Cache: s.cache}
@@ -243,6 +248,23 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 	res.EventsFired = s.q.Fired()
 	res.Power = s.acc.Power(res.SPM, res.Ticks)
 	return res, nil
+}
+
+// attachTimeline binds rec to every traced component of the session's
+// system. A nil rec detaches all lanes, restoring the untraced (and
+// allocation-free) hot paths.
+func (s *Session) attachTimeline(rec timeline.Recorder) {
+	s.q.AttachTimeline(rec)
+	s.acc.AttachTimeline(rec)
+	if s.spm != nil {
+		s.spm.AttachTimeline(rec)
+	}
+	if s.cache != nil {
+		s.cache.AttachTimeline(rec)
+	}
+	if s.dram != nil {
+		s.dram.AttachTimeline(rec)
+	}
 }
 
 // SessionPool keeps idle Sessions keyed by structural configuration so
@@ -299,12 +321,26 @@ func (p *SessionPool) release(s *Session) {
 // read what you need before triggering another run, or run cold when the
 // Result must outlive the sweep.
 func (p *SessionPool) RunCtx(ctx context.Context, k *kernels.Kernel, opts RunOpts) (*Result, error) {
+	return p.RunCtxWith(ctx, k, opts, nil)
+}
+
+// RunCtxWith is RunCtx with a read hook that runs while the session is
+// still held: the hook is the only safe place to read Result fields that
+// alias pooled state (Stats, Cache counters, SPM contents), because once
+// the session is back in the pool a concurrent job may acquire it and
+// rewind exactly that state. The session is released after the hook
+// returns; a hook panic leaves the session out of the pool, preserving
+// fault isolation.
+func (p *SessionPool) RunCtxWith(ctx context.Context, k *kernels.Kernel, opts RunOpts, then func(*Result)) (*Result, error) {
 	s, err := p.acquire(k, opts)
 	if err != nil {
 		return nil, err
 	}
 	res, err := s.RunCtx(ctx, opts)
 	if err == nil {
+		if then != nil {
+			then(res)
+		}
 		p.release(s)
 	}
 	return res, err

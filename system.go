@@ -8,6 +8,7 @@ import (
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
 	"gosalam/internal/sim"
+	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
 
@@ -63,6 +64,18 @@ type SoC struct {
 	spmEnd  uint64
 	nextIRQ int
 	nextWin uint64
+
+	// tl is the attached timeline recorder (nil = tracing off); attachers
+	// rebind every component when it changes, so SetTimeline works whether
+	// it is called before or after components are added.
+	tl        timeline.Recorder
+	attachers []func(timeline.Recorder)
+	// resetters rewind per-component dynamic state for SoC.Reset, in
+	// registration order (deterministic). Structural wiring is not undone.
+	resetters []func()
+	// bufs tracks stream buffers already adopted (reset + timeline), so a
+	// buffer shared between a link and a DMA registers once.
+	bufs []*mem.StreamBuffer
 }
 
 // AccelNode bundles one accelerator with its system plumbing.
@@ -98,7 +111,68 @@ func NewSoC(dramMB int) *SoC {
 	s.GIC = cpu.NewGIC(s.Stats)
 	hostClk := sim.NewClockDomainMHz("host", 1200)
 	s.Host = cpu.NewHost("host", s.Q, hostClk, s.Xbar, s.GIC, s.Stats)
+	s.adopt(s.Xbar.Reset, s.Xbar.AttachTimeline)
+	s.adopt(s.DRAM.Reset, s.DRAM.AttachTimeline)
+	s.adopt(s.GIC.Reset, nil)
+	s.adopt(s.Host.Reset, nil)
+	s.adopt(nil, s.Q.AttachTimeline)
 	return s
+}
+
+// adopt registers a component's per-run reset and timeline hook; either
+// may be nil. The attacher fires immediately when a recorder is already
+// set, so Add* order relative to SetTimeline does not matter.
+func (s *SoC) adopt(reset func(), attach func(timeline.Recorder)) {
+	if reset != nil {
+		s.resetters = append(s.resetters, reset)
+	}
+	if attach != nil {
+		s.attachers = append(s.attachers, attach)
+		if s.tl != nil {
+			attach(s.tl)
+		}
+	}
+}
+
+// adoptBuffer registers a stream buffer once, even when it is shared
+// between a StreamLink and a stream DMA.
+func (s *SoC) adoptBuffer(buf *mem.StreamBuffer) {
+	for _, b := range s.bufs {
+		if b == buf {
+			return
+		}
+	}
+	s.bufs = append(s.bufs, buf)
+	s.adopt(buf.Reset, func(rec timeline.Recorder) { buf.AttachTimeline(rec, s.Q) })
+}
+
+// SetTimeline attaches a timeline recorder to every component of the SoC
+// — event queue, crossbar, DRAM, and all accelerators, scratchpads, DMAs
+// and stream buffers added so far or later. A nil recorder detaches.
+// Tracing is observer-effect-free: schedules, cycle counts and stats are
+// byte-identical with it on or off. Attach a fresh recorder per run; lane
+// registration is cumulative, so reusing one across SoC.Reset appends a
+// second run to the same trace.
+func (s *SoC) SetTimeline(rec timeline.Recorder) {
+	s.tl = rec
+	for _, attach := range s.attachers {
+		attach(rec)
+	}
+}
+
+// Reset rewinds the SoC for a warm-started run: the event queue, stats,
+// backing store, and every registered component return to their cold
+// state while structural wiring (topology, address maps, IRQ lines)
+// survives. Accelerators are re-armed through Reconfigure with the
+// configuration they were added with. After Reset the system replays a
+// driver program byte-identically to a freshly built SoC.
+func (s *SoC) Reset() {
+	s.Q.Reset()
+	s.Stats.Reset()
+	s.Space.Reset()
+	for _, fn := range s.resetters {
+		fn()
+	}
 }
 
 // AllocSPMRange carves an address range from the scratchpad arena.
@@ -118,6 +192,7 @@ func (s *SoC) AddSPM(name string, bytes uint64, latency, banks, ports int) *mem.
 	spm := mem.NewScratchpad(name, s.Q, accClk, s.Space,
 		s.AllocSPMRange(bytes), latency, banks, ports, s.Stats)
 	s.Xbar.Attach(spm)
+	s.adopt(spm.Reset, spm.AttachTimeline)
 	return spm
 }
 
@@ -132,6 +207,7 @@ func (s *SoC) AddBlockDMA(name string) (*mem.BlockDMA, int) {
 	s.Xbar.Attach(dma.MMR)
 	line := s.allocIRQ()
 	dma.IRQ = s.GIC.Line(line)
+	s.adopt(dma.Reset, dma.AttachTimeline)
 	return dma, line
 }
 
@@ -140,6 +216,8 @@ func (s *SoC) AddStreamDMA(name string, buf *mem.StreamBuffer) (*mem.StreamDMA, 
 	sd := mem.NewStreamDMA(name, s.Q, s.SysClk, s.Xbar, buf, s.Stats)
 	line := s.allocIRQ()
 	sd.IRQ = s.GIC.Line(line)
+	s.adopt(sd.Reset, sd.AttachTimeline)
+	s.adoptBuffer(buf)
 	return sd, line
 }
 
@@ -201,6 +279,14 @@ func (s *SoC) AddAccel(name string, f *ir.Function, o AccelOpts) (*AccelNode, er
 	node.IRQLine = s.allocIRQ()
 	comm.IRQ = s.GIC.Line(node.IRQLine)
 	node.Acc = core.NewAccelerator(name, s.Q, g, o.Cfg, comm, s.Stats)
+	// Reset re-arms the engine with the configuration it was added with:
+	// Reconfigure rewinds all engine state against the same shared CDFG
+	// (the timeline attachment survives it — same CDFG, same FU lanes).
+	cfg := o.Cfg
+	s.adopt(func() {
+		comm.Reset()
+		node.Acc.Reconfigure(g, cfg)
+	}, node.Acc.AttachTimeline)
 	return node, nil
 }
 
@@ -210,6 +296,7 @@ func (s *SoC) AddAccel(name string, f *ir.Function, o AccelOpts) (*AccelNode, er
 // pointers.
 func (s *SoC) StreamLink(name string, producer, consumer *AccelNode, bufBytes int) (outWin, inWin uint64) {
 	buf := mem.NewStreamBuffer(name, bufBytes, s.Stats)
+	s.adoptBuffer(buf)
 	out := mem.AddrRange{Base: s.nextWin, Size: 1 << 20}
 	s.nextWin += 1 << 20
 	in := mem.AddrRange{Base: s.nextWin, Size: 1 << 20}
