@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -32,11 +32,11 @@ vet-sim:
 analyze-smoke:
 	$(GO) run ./cmd/salam-analyze -all > /dev/null
 
-# The campaign engine is the only concurrent subsystem; its tests (and the
-# experiments that drive real parallel simulations through it) must stay
-# race-clean by construction.
+# The concurrent subsystems — the campaign engine, the experiments that
+# drive real parallel simulations through it, and the salam-serve service
+# layer on top — must stay race-clean by construction.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/experiments/...
+	$(GO) test -race ./internal/campaign/... ./internal/experiments/... ./internal/serve/...
 
 # Golden determinism guard: simulated cycle counts for the committed
 # kernel set must stay byte-identical to testdata/golden_cycles.json.
@@ -52,6 +52,13 @@ trace-smoke:
 		-timeline /tmp/gosalam-trace-smoke.json -timeline-breakdown > /dev/null
 	$(GO) test -run 'TestTimelineTrace|TestGoldenTracedObserverEffect' -count=1 .
 
+# salam-serve smoke: two in-process shards over real HTTP split the
+# gemm_dse space against one shared store — zero duplicated simulation
+# (checked via /statsz) and a merged result byte-identical to a local
+# campaign.Run.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./internal/serve
+
 # One engine iteration end to end, so `check` notices a broken benchmark
 # harness without paying for a full timed run.
 bench-smoke:
@@ -65,7 +72,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden trace-smoke bench-smoke analyze-smoke
+check: build vet vet-sim test race golden trace-smoke serve-smoke bench-smoke analyze-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

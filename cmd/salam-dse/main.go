@@ -11,25 +11,37 @@
 // pooled systems that share one immutable CDFG per configuration (the
 // elaboration cache); -cold rebuilds a fresh system per point instead.
 //
+// The flags build a campaign.Space — the same spec a salam-serve
+// submission carries — so the CLI and the service enumerate identical job
+// lists. -json switches the output to the canonical NDJSON row stream
+// (one campaign.Row per line; `-no-prune -json` output diffs clean
+// against a salam-serve results stream), and -remote runs the sweep on a
+// salam-serve daemon instead of in-process.
+//
 // Usage:
 //
 //	salam-dse -kernel gemm -ports 2,4,8 -fu 4,8,16 > sweep.csv
 //	salam-dse -kernel gemm -jobs 8 -cache results/cache > sweep.csv
+//	salam-dse -kernel gemm -no-prune -json > sweep.ndjson
+//	salam-dse -kernel gemm -remote http://127.0.0.1:8080 > sweep.csv
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	salam "gosalam"
 	"gosalam/internal/campaign"
-	"gosalam/internal/hw"
 	"gosalam/internal/sim"
-	"gosalam/kernels"
 )
 
 // parseInts parses a comma-separated int list, rejecting values < min so
@@ -64,69 +76,47 @@ func main() {
 	cold := flag.Bool("cold", false, "build a fresh system per point instead of reusing warm-started pooled sessions")
 	noPrune := flag.Bool("no-prune", false, "simulate every point, even ones the static analyzer proves worse than an already-measured point")
 	traceBest := flag.String("trace-best", "", "after the sweep, re-run the best point with timeline tracing and write the Perfetto trace here")
+	jsonOut := flag.Bool("json", false, "emit the canonical NDJSON row stream instead of CSV")
+	remote := flag.String("remote", "", "run the sweep on a salam-serve daemon at this base URL instead of in-process")
 	flag.Parse()
 
-	p := kernels.Small
-	if *preset == "default" {
-		p = kernels.Default
-	}
-	k := kernels.ByName(p, *kernel)
-	if k == nil {
-		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
-		os.Exit(2)
-	}
-	ports, err := parseInts(*portsList, "port count", 1)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	ports, err := parseInts(*portsList, "port count", 1)
+	if err != nil {
+		fail(err)
 	}
 	fus, err := parseInts(*fuList, "FU limit", 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
+	}
+	var mems []string
+	for _, m := range strings.Split(*memList, ",") {
+		mems = append(mems, strings.TrimSpace(m))
 	}
 
-	// Build the job list in output order; config errors (unknown memory
-	// kind) are rejected here, before any simulation runs.
-	type point struct {
-		mem      string
-		fu, port int
+	// The flags assemble the same declarative space a salam-serve
+	// submission posts; Build enumerates points and jobs in the canonical
+	// sweep order and rejects config errors before any simulation runs.
+	space := campaign.Space{
+		Kernel:    *kernel,
+		Preset:    *preset,
+		Ports:     ports,
+		FU:        fus,
+		Mem:       mems,
+		TimeoutMS: int(timeout.Milliseconds()),
 	}
-	var pts []point
-	var jobSpecs []campaign.Job
-	kkey := fmt.Sprintf("%s/preset=%s", k.Name, *preset)
-	for _, memKind := range strings.Split(*memList, ",") {
-		memKind = strings.TrimSpace(memKind)
-		for _, fu := range fus {
-			for _, port := range ports {
-				opts := salam.DefaultRunOpts()
-				opts.Accel.ReadPorts = port
-				opts.Accel.WritePorts = port
-				opts.Accel.MaxOutstanding = 2 * port
-				opts.SPMPortsPer = port
-				if fu > 0 {
-					opts.Accel.FULimits = map[hw.FUClass]int{
-						hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
-					}
-				}
-				switch memKind {
-				case "spm":
-					opts.Mem = salam.MemSPM
-				case "cache":
-					opts.Mem = salam.MemCache
-				default:
-					fmt.Fprintf(os.Stderr, "unknown memory %q\n", memKind)
-					os.Exit(2)
-				}
-				pts = append(pts, point{memKind, fu, port})
-				jobSpecs = append(jobSpecs, campaign.Job{
-					ID:        fmt.Sprintf("%s %s fu=%d ports=%d", k.Name, memKind, fu, port),
-					Kernel:    k,
-					KernelKey: kkey,
-					Opts:      opts,
-				})
-			}
-		}
+	pts, jobSpecs, err := space.Build()
+	if err != nil {
+		fail(err)
+	}
+	kname := jobSpecs[0].Kernel.Name
+
+	if *remote != "" {
+		os.Exit(runRemote(*remote, space, *jsonOut, kname, pts, jobSpecs))
 	}
 
 	cfg := campaign.Config{
@@ -149,45 +139,56 @@ func main() {
 	if *cacheDir != "" {
 		cache, err := campaign.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(err)
 		}
 		cfg.Cache = cache
 	}
 
 	outcomes := campaign.Run(context.Background(), cfg, jobSpecs)
 
-	// A failed point becomes an error row and a stderr warning; the sweep
-	// still finishes and reports every other point, then exits non-zero.
-	fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
 	failed := 0
-	for i, o := range outcomes {
-		pt := pts[i]
-		if o.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "warning: %s: %v\n", o.Job.ID, o.Err)
-			msg := strings.NewReplacer(",", ";", "\n", " ").Replace(o.Err.Error())
-			fmt.Printf("%s,%s,%d,%d,error,%s\n", k.Name, pt.mem, pt.fu, pt.port, msg)
-			continue
+	if *jsonOut {
+		// The canonical row stream: no static_lb backfill, no CSV
+		// massaging — with -no-prune these bytes diff clean against the
+		// same space streamed from a salam-serve daemon.
+		if err := campaign.WriteRows(os.Stdout, campaign.Rows(outcomes)); err != nil {
+			fail(err)
 		}
-		if o.Pruned {
-			fmt.Printf("%s,%s,%d,%d,pruned,%d,,,,\n",
-				k.Name, pt.mem, pt.fu, pt.port, o.StaticLB)
-			continue
-		}
-		if o.StaticLB == 0 {
-			// The campaign only bounds jobs when pruning is on; fill the
-			// column here so -no-prune rows stay comparable. The CDFG and
-			// its analysis are already cached from the simulation itself.
-			if lb, ok := campaign.StaticPrune(jobSpecs[i]); ok {
-				o.StaticLB = lb
+		for _, o := range outcomes {
+			if o.Err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "warning: %s: %v\n", o.Job.ID, o.Err)
 			}
 		}
-		m := o.Metrics
-		fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
-			k.Name, pt.mem, pt.fu, pt.port, m.Cycles, o.StaticLB,
-			float64(m.Ticks)/1e6, m.Power.TotalMW(),
-			m.Power.DatapathMW(), m.Power.TotalAreaUM2())
+	} else {
+		// A failed point becomes an error row and a stderr warning; the
+		// sweep still finishes and reports every other point, then exits
+		// non-zero.
+		fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
+		for i, o := range outcomes {
+			pt := pts[i]
+			if o.Err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "warning: %s: %v\n", o.Job.ID, o.Err)
+				msg := strings.NewReplacer(",", ";", "\n", " ").Replace(o.Err.Error())
+				fmt.Printf("%s,%s,%d,%d,error,%s\n", kname, pt.Mem, pt.FU, pt.Ports, msg)
+				continue
+			}
+			if o.Pruned {
+				fmt.Printf("%s,%s,%d,%d,pruned,%d,,,,\n",
+					kname, pt.Mem, pt.FU, pt.Ports, o.StaticLB)
+				continue
+			}
+			if o.StaticLB == 0 {
+				// The campaign only bounds jobs when pruning is on; fill the
+				// column here so -no-prune rows stay comparable. The CDFG and
+				// its analysis are already cached from the simulation itself.
+				if lb, ok := campaign.StaticPrune(jobSpecs[i]); ok {
+					o.StaticLB = lb
+				}
+			}
+			printCSVRow(kname, pt, o.Metrics, o.StaticLB)
+		}
 	}
 	if *dumpStats {
 		cfg.Stats.Dump(os.Stderr)
@@ -198,4 +199,105 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d of %d points failed\n", failed, len(outcomes))
 		os.Exit(1)
 	}
+}
+
+// printCSVRow renders one measured point in the sweep's CSV schema.
+func printCSVRow(kname string, pt campaign.Point, m *campaign.Metrics, staticLB uint64) {
+	fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
+		kname, pt.Mem, pt.FU, pt.Ports, m.Cycles, staticLB,
+		float64(m.Ticks)/1e6, m.Power.TotalMW(),
+		m.Power.DatapathMW(), m.Power.TotalAreaUM2())
+}
+
+// runRemote submits the space to a salam-serve daemon and renders its
+// results stream — raw NDJSON passthrough with -json, or the same CSV the
+// in-process sweep prints. Returns the process exit code.
+func runRemote(base string, space campaign.Space, jsonOut bool, kname string, pts []campaign.Point, jobSpecs []campaign.Job) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "remote:", err)
+		return 2
+	}
+	body, err := json.Marshal(space)
+	if err != nil {
+		return fail(err)
+	}
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fail(fmt.Errorf("%s rejected the space: HTTP %d: %s", base, resp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+	var accepted struct {
+		ID      string `json:"id"`
+		Results string `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "remote: campaign %s accepted (%d points) on %s\n", accepted.ID, len(jobSpecs), base)
+
+	stream, err := http.Get(base + accepted.Results)
+	if err != nil {
+		return fail(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("results stream: HTTP %d", stream.StatusCode))
+	}
+
+	if jsonOut {
+		// Byte-for-byte passthrough of the canonical row stream.
+		if _, err := io.Copy(os.Stdout, stream.Body); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
+	failed := 0
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row campaign.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fail(fmt.Errorf("decoding results row: %w", err))
+		}
+		if row.Index < 0 || row.Index >= len(pts) {
+			return fail(fmt.Errorf("results row index %d outside the %d-point space", row.Index, len(pts)))
+		}
+		pt := pts[row.Index]
+		switch row.Status {
+		case campaign.StatusOK:
+			lb := row.StaticLB
+			if lb == 0 {
+				// The server never prunes; compute the bound locally so
+				// remote CSV keeps the same static_lb column.
+				if v, ok := campaign.StaticPrune(jobSpecs[row.Index]); ok {
+					lb = v
+				}
+			}
+			printCSVRow(kname, pt, row.Metrics, lb)
+		case campaign.StatusError:
+			failed++
+			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", row.ID, row.Error)
+			msg := strings.NewReplacer(",", ";", "\n", " ").Replace(row.Error)
+			fmt.Printf("%s,%s,%d,%d,error,%s\n", kname, pt.Mem, pt.FU, pt.Ports, msg)
+		default:
+			// pruned/skipped from a sharded or pruning server: the point
+			// has no metrics here.
+			fmt.Printf("%s,%s,%d,%d,%s,%d,,,,\n", kname, pt.Mem, pt.FU, pt.Ports, row.Status, row.StaticLB)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(err)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d points failed\n", failed, len(jobSpecs))
+		return 1
+	}
+	return 0
 }

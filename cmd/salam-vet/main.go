@@ -33,6 +33,10 @@ var policy = map[string]ruleSet{
 	"internal/mem":      {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 	"internal/timeline": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 	"internal/campaign": {mapRange: true, mathRand: true},
+	// The service layer promises the same determinism the campaign engine
+	// does (byte-identical streams, no wall-clock in results) and runs
+	// goroutines only through its audited runner pool.
+	"internal/serve": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 }
 
 // moduleRoot walks upward from dir to the directory holding go.mod, so
@@ -76,7 +80,7 @@ func main() {
 		}
 		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(a, "./")))
 		if _, ok := policy[rel]; !ok {
-			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign}\n", rel)
+			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign,serve}\n", rel)
 			continue
 		}
 		dirs[rel] = true

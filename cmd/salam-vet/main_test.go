@@ -84,6 +84,7 @@ func TestRepoIsVetClean(t *testing.T) {
 		"../../internal/core":     policy["internal/core"],
 		"../../internal/mem":      policy["internal/mem"],
 		"../../internal/campaign": policy["internal/campaign"],
+		"../../internal/serve":    policy["internal/serve"],
 	} {
 		fs, err := checkDir(rel, rules)
 		if err != nil {

@@ -10,9 +10,26 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	salam "gosalam"
 )
+
+// Store is the durable result store a campaign reads and writes: a
+// content-addressed map from job key (JobKey) to metrics. Implementations
+// must be safe for concurrent use by campaign workers, and — because one
+// store directory may be shared by several processes (sharded salam-serve
+// instances splitting a sweep) — a Put must never expose a torn entry to a
+// concurrent Get in another process. Get treats anything unreadable as a
+// miss: the job simply re-simulates, determinism makes the rewrite
+// byte-identical.
+type Store interface {
+	// Get returns the stored metrics for key, or false on a miss.
+	Get(key string) (*Metrics, bool)
+	// Put durably stores metrics under key. job is the spec that produced
+	// them, recorded for debuggability.
+	Put(key string, job Job, m *Metrics) error
+}
 
 // cacheSchema versions the on-disk entry layout; bump to invalidate every
 // entry after an incompatible Metrics change.
@@ -60,17 +77,29 @@ type entry struct {
 	Metrics *Metrics `json:"metrics"`
 }
 
-// Cache is a directory-backed, content-addressed store of job metrics.
-// One JSON file per key keeps concurrent access trivial: reads of distinct
-// files never conflict, and writes go through a temp file + rename so a
-// crashed run can never leave a torn entry. A small in-memory memo avoids
-// re-reading files within a campaign; it is guarded for concurrent workers.
+// Cache is the filesystem Store: a directory-backed, content-addressed
+// store of job metrics. One JSON file per key keeps concurrent access
+// trivial — reads of distinct files never conflict, and writes go through
+// a temp file + os.Rename (atomic within a filesystem), so neither a
+// crashed run nor a concurrent reader in another process can ever observe
+// a torn entry. Corrupt, truncated, or otherwise unreadable entries are
+// counted and treated as misses, never errors: the worst outcome of a
+// damaged store is a redundant (and byte-identical) re-simulation. A small
+// in-memory memo avoids re-reading files within a campaign; it is guarded
+// for concurrent workers.
 type Cache struct {
 	dir string
+
+	// corrupt counts Gets that found an entry file but could not use it
+	// (unreadable, torn, or invalid JSON) — each one is served as a miss.
+	corrupt atomic.Uint64
 
 	mu   sync.Mutex
 	memo map[string]*Metrics
 }
+
+// Cache implements Store.
+var _ Store = (*Cache)(nil)
 
 // OpenCache creates dir if needed and returns a cache over it.
 func OpenCache(dir string) (*Cache, error) {
@@ -83,12 +112,18 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the backing directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// CorruptMisses reports how many Gets found an entry file but had to treat
+// it as a miss because it was unreadable, truncated, or invalid JSON.
+func (c *Cache) CorruptMisses() uint64 { return c.corrupt.Load() }
+
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
 // Get returns the stored metrics for key, or false on a miss. Unreadable
-// or corrupt entries count as misses (the job just re-simulates).
+// or corrupt entries count as misses (the job just re-simulates); they are
+// tallied in CorruptMisses so operators can tell a damaged store from a
+// cold one.
 func (c *Cache) Get(key string) (*Metrics, bool) {
 	c.mu.Lock()
 	m, ok := c.memo[key]
@@ -98,10 +133,14 @@ func (c *Cache) Get(key string) (*Metrics, bool) {
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.corrupt.Add(1)
+		}
 		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Metrics == nil {
+		c.corrupt.Add(1)
 		return nil, false
 	}
 	c.mu.Lock()

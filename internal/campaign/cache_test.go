@@ -202,6 +202,75 @@ func TestJobKeyCanonical(t *testing.T) {
 	}
 }
 
+// TestCacheTruncatedAndGarbageEntries: a truncated entry (torn mid-write
+// by a crashed process) and a garbage entry are both counted corrupt
+// misses, both re-simulate, and both end up repaired — while a plain cold
+// miss does not inflate the corrupt counter.
+func TestCacheTruncatedAndGarbageEntries(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.GEMM(8, 1)
+	jobs := cacheSweep(k) // 3 jobs: [0] truncated, [1] garbage, [2] absent
+	key0, err := JobKey(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1, err := JobKey(jobs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write a valid entry, then truncate it mid-JSON — the shape a crash
+	// between write and rename can never produce, but a damaged disk can.
+	if err := cache.Put(key0, jobs[0], &Metrics{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(cache.Dir(), key0+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cache.Dir(), key0+".json"), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cache.Dir(), key1+".json"), []byte("!!garbage!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle (no memo) must treat both as misses and count them.
+	cache2, err := OpenCache(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	out := Run(context.Background(), Config{Cache: cache2, Runner: countingRunner(&calls)}, jobs)
+	if err := FirstError(out); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("damaged store re-simulated %d jobs, want 3", got)
+	}
+	if got := cache2.CorruptMisses(); got != 2 {
+		t.Fatalf("CorruptMisses = %d, want 2 (truncated + garbage; the absent entry is a clean miss)", got)
+	}
+
+	// All three entries repaired: a third handle serves pure hits.
+	cache3, err := OpenCache(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls.Store(0)
+	out = Run(context.Background(), Config{Cache: cache3, Runner: countingRunner(&calls)}, jobs)
+	if err := FirstError(out); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 || cache3.CorruptMisses() != 0 {
+		t.Fatalf("repaired store not clean: %d re-simulations, %d corrupt misses",
+			calls.Load(), cache3.CorruptMisses())
+	}
+}
+
 // TestCacheCorruptEntry: a torn or garbage entry is a miss, not an error.
 func TestCacheCorruptEntry(t *testing.T) {
 	cache, err := OpenCache(t.TempDir())

@@ -18,6 +18,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -83,6 +84,11 @@ type Outcome struct {
 	Err error
 	// Cached marks a cache hit (no simulation ran).
 	Cached bool
+	// Skipped marks a job this process did not own under Config.Shard:
+	// another shard pointed at the same Store simulates it. No simulation
+	// ran and Metrics is nil; MergeRows (or salam-serve -merge) reassembles
+	// the full sweep from the shared store afterwards.
+	Skipped bool
 	// Pruned marks a job skipped by static lower-bound pruning: its
 	// provable cycle bound already exceeded a measured sibling, so its
 	// dynamic result could not have been the best point. No simulation
@@ -94,6 +100,11 @@ type Outcome struct {
 	// Wall is the job's wall-clock time on the worker.
 	Wall time.Duration
 }
+
+// ErrDrained marks a job that was never handed to a worker because
+// Config.Drain closed first — the caller shed it gracefully rather than
+// failing it. Resubmitting the same job later is always safe.
+var ErrDrained = errors.New("campaign: drained before this job started")
 
 // PanicError wraps a panic recovered from a simulation so one crashed job
 // cannot sink the campaign.
@@ -116,8 +127,10 @@ type Config struct {
 	Workers int
 	// Timeout is the default per-job timeout (0 = none).
 	Timeout time.Duration
-	// Cache enables content-addressed result caching (nil = off).
-	Cache *Cache
+	// Cache enables content-addressed result caching (nil = off). The
+	// standard backend is the filesystem Cache (OpenCache), whose atomic
+	// writes make one directory safe to share across processes.
+	Cache Store
 	// Progress receives per-job completion events from the collector
 	// goroutine (nil = silent). Events arrive in completion order.
 	Progress Reporter
@@ -144,6 +157,23 @@ type Config struct {
 	// observer-effect-free, reproduces the sweep's metrics exactly. A trace
 	// failure degrades to a Progress warning, not a campaign error.
 	TraceBest string
+	// Shard, when non-nil, restricts this Run to the jobs it owns: a job
+	// is simulated only when its content-addressed key (JobKey) maps to
+	// Shard.Index under ShardOf; every other job resolves immediately with
+	// Outcome.Skipped set. Ownership is a pure function of job content and
+	// (Index, Count), so n processes configured as shards 0..n-1 over one
+	// job list partition it exactly — zero duplicated simulation — and a
+	// shared Store plus MergeRows reassembles the full sweep byte-
+	// identically. The filter runs before pruning: a sharded campaign
+	// prunes only within its own subset, so combine Shard with Prune only
+	// when per-shard output alone matters (pruned jobs write nothing to
+	// the store for a merge to read).
+	Shard *Shard
+	// Drain, when non-nil, is a soft stop: once it is closed, jobs not yet
+	// handed to a worker resolve with ErrDrained while in-flight jobs run
+	// to completion (and persist to the cache) — the graceful-shutdown
+	// half of the ctx story, which by contrast cancels in-flight work too.
+	Drain <-chan struct{}
 	// Prune, when non-nil, maps a job to a provable lower bound on its
 	// simulated cycle count (ok=false when no bound is available; such
 	// jobs always run). Before the pool starts, the job with the smallest
@@ -219,7 +249,8 @@ func (c Config) runner() (run jobRunner, pool *salam.SessionPool, transient bool
 type counters struct {
 	total, ok, failed, cached *sim.Scalar
 	reused, built             *sim.Scalar
-	pruned                    *sim.Scalar
+	pruned, skipped           *sim.Scalar
+	simulated                 *sim.Scalar
 	wallMS                    *sim.Distribution
 }
 
@@ -235,8 +266,10 @@ func newCounters(root *sim.Group) *counters {
 		cached: g.Scalar("jobs_cached", "jobs served from the result cache"),
 		reused: g.Scalar("sessions_reused", "warm-start runs on a pooled system"),
 		built:  g.Scalar("sessions_built", "runs that had to build a system"),
-		pruned: g.Scalar("points_pruned", "design points skipped by static lower-bound pruning"),
-		wallMS: g.Distribution("job_wall_ms", "per-job wall-clock (ms)"),
+		pruned:    g.Scalar("points_pruned", "design points skipped by static lower-bound pruning"),
+		skipped:   g.Scalar("points_skipped", "design points owned by another shard"),
+		simulated: g.Scalar("jobs_simulated", "jobs that actually ran a simulation (not cached, pruned, or skipped)"),
+		wallMS:    g.Distribution("job_wall_ms", "per-job wall-clock (ms)"),
 	}
 }
 
@@ -248,6 +281,9 @@ func (c *counters) observe(o Outcome) {
 	case o.Pruned:
 		c.pruned.Inc(1)
 		return // no simulation ran: neither ok nor failed, no wall sample
+	case o.Skipped:
+		c.skipped.Inc(1)
+		return // another shard's job: nothing ran here
 	case o.Err != nil:
 		c.failed.Inc(1)
 	case o.Cached:
@@ -255,6 +291,7 @@ func (c *counters) observe(o Outcome) {
 		c.ok.Inc(1)
 	default:
 		c.ok.Inc(1)
+		c.simulated.Inc(1)
 	}
 	c.wallMS.Sample(float64(o.Wall) / float64(time.Millisecond))
 }
@@ -298,11 +335,30 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		}
 	}
 
+	resolved := make([]bool, len(jobs))
+
+	// Shard filter: resolve jobs owned by other shards before anything can
+	// simulate. Ownership is content-addressed (ShardOf over JobKey), so
+	// the partition is identical in every process regardless of worker
+	// count or scheduling. A job that cannot be keyed belongs to shard 0,
+	// so exactly one shard reports its keying error.
+	if cfg.Shard != nil && cfg.Shard.Count > 1 {
+		for i, j := range jobs {
+			owner := 0
+			if key, err := JobKey(j); err == nil {
+				owner = ShardOf(key, cfg.Shard.Count)
+			}
+			if owner != cfg.Shard.Index {
+				resolved[i] = true
+				deliver(Outcome{Index: i, Job: j, Skipped: true})
+			}
+		}
+	}
+
 	// Static pruning phase: bound every job, run the smallest-bound pilot
 	// on this goroutine, then skip jobs whose bound proves them worse than
 	// the pilot's measurement. Everything here is a pure function of the
 	// job list, so the surviving set is identical at any worker count.
-	resolved := make([]bool, len(jobs))
 	var lbs []uint64
 	var lbKnown []bool
 	if cfg.Prune != nil {
@@ -310,6 +366,9 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		lbKnown = make([]bool, len(jobs))
 		pilot := -1
 		for i, j := range jobs {
+			if resolved[i] {
+				continue // another shard's job: not a pilot candidate
+			}
 			if lb, ok := cfg.Prune(j); ok {
 				lbs[i], lbKnown[i] = lb, true
 				if pilot < 0 || lb < lbs[pilot] {
@@ -353,6 +412,19 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 	}
 	go func() {
 		defer close(work)
+		var drain <-chan struct{} // nil channel: select case never fires
+		if cfg.Drain != nil {
+			drain = cfg.Drain
+		}
+		// fail resolves every not-yet-submitted job with err; in-flight
+		// jobs are untouched and still deliver their own outcomes.
+		fail := func(from int, err error) {
+			for k := from; k < len(jobs); k++ {
+				if !resolved[k] {
+					results <- Outcome{Index: k, Job: jobs[k], Err: err}
+				}
+			}
+		}
 		for i, j := range jobs {
 			if resolved[i] {
 				continue
@@ -362,11 +434,12 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 			case <-ctx.Done():
 				// Unsubmitted jobs fail with the context error so the
 				// caller can tell "not run" from "ran and failed".
-				for k := i; k < len(jobs); k++ {
-					if !resolved[k] {
-						results <- Outcome{Index: k, Job: jobs[k], Err: ctx.Err()}
-					}
-				}
+				fail(i, ctx.Err())
+				return
+			case <-drain:
+				// Soft stop: unsubmitted jobs are marked drained; workers
+				// finish (and persist) what they already hold.
+				fail(i, ErrDrained)
 				return
 			}
 		}

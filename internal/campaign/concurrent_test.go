@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/kernels"
+)
+
+// concurrentSweep is a small real-simulation sweep (3 points).
+func concurrentSweep(k *kernels.Kernel) []Job {
+	var jobs []Job
+	for _, port := range []int{2, 4, 8} {
+		opts := salam.DefaultRunOpts()
+		opts.Accel.ReadPorts = port
+		opts.Accel.WritePorts = port
+		opts.Accel.MaxOutstanding = 2 * port
+		opts.SPMPortsPer = port
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("gemm p=%d", port),
+			Kernel:    k,
+			KernelKey: "gemm/n=8",
+			Opts:      opts,
+		})
+	}
+	return jobs
+}
+
+// TestConcurrentCampaignsShareCacheAndPool: several campaign.Run
+// invocations running at once — the salam-serve serving pattern — may
+// share one cache directory and one SessionPool. Under -race (the Makefile
+// race target covers this package) this doubles as the data-race proof for
+// the shared store memo, the pool free lists, and the elaboration cache;
+// here it asserts every campaign's metrics match a serial reference run
+// bit for bit.
+func TestConcurrentCampaignsShareCacheAndPool(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	jobs := concurrentSweep(k)
+
+	// Serial reference, no cache, cold pool.
+	ref := Run(context.Background(), Config{Workers: 1, Sessions: salam.NewSessionPool()}, jobs)
+	if err := FirstError(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := salam.NewSessionPool()
+	const campaigns = 4
+	results := make([][]Outcome, campaigns)
+	var wg sync.WaitGroup
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = Run(context.Background(), Config{
+				Workers:  2,
+				Cache:    cache,
+				Sessions: pool,
+			}, concurrentSweep(k))
+		}(c)
+	}
+	wg.Wait()
+
+	for c, out := range results {
+		if err := FirstError(out); err != nil {
+			t.Fatalf("campaign %d: %v", c, err)
+		}
+		for i, o := range out {
+			if !reflect.DeepEqual(o.Metrics, ref[i].Metrics) {
+				t.Fatalf("campaign %d point %d diverged from serial reference:\nconcurrent %+v\nreference  %+v",
+					c, i, o.Metrics, ref[i].Metrics)
+			}
+		}
+	}
+	if n, err := cache.Len(); err != nil || n != len(jobs) {
+		t.Fatalf("shared cache holds %d entries (err %v), want %d", n, err, len(jobs))
+	}
+	if reused, created := pool.Stats(); reused+created == 0 {
+		t.Fatal("shared session pool was never used")
+	}
+}

@@ -1,0 +1,58 @@
+package campaign
+
+// Shard-by-cache-key scheduling: several processes pointed at one Store
+// split a sweep with zero duplicated simulation by each claiming only the
+// jobs whose content-addressed key maps to its shard index. Ownership is a
+// pure function of job content and the (Index, Count) pair — no
+// coordination, locks, or work-stealing — so the partition is exact and
+// identical from every process, and the ordered collector's worker-count
+// invariance makes the merged result byte-identical to a single-process
+// run of the whole space.
+
+// Shard names one slice of a sharded campaign: this process is shard
+// Index of Count. Count <= 1 means unsharded (every job is owned).
+type Shard struct {
+	// Index is this process's shard number in [0, Count).
+	Index int
+	// Count is the total number of cooperating shards.
+	Count int
+}
+
+// Valid reports whether the shard spec is well-formed.
+func (s Shard) Valid() bool {
+	return s.Count >= 1 && s.Index >= 0 && s.Index < s.Count
+}
+
+// Owns reports whether this shard owns the job with the given cache key.
+func (s Shard) Owns(key string) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return ShardOf(key, s.Count) == s.Index
+}
+
+// ShardOf maps a content-addressed job key (the hex SHA-256 from JobKey)
+// to a shard index in [0, n): the full 256-bit digest value mod n, folded
+// hex digit by hex digit (Horner's rule), so every bit of the key
+// participates and the mapping is stable across processes and platforms.
+// Non-hex characters fold as zero, keeping the function total.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	mod := uint64(n)
+	var v uint64
+	for i := 0; i < len(key); i++ {
+		var d uint64
+		switch c := key[i]; {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		}
+		v = (v*16 + d) % mod
+	}
+	return int(v)
+}

@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/hw"
+	"gosalam/kernels"
+)
+
+// Space is a declarative design-space spec: the JSON body a salam-serve
+// campaign submission carries, and the structure salam-dse builds from its
+// flags. One definition on both sides guarantees the CLI and the service
+// enumerate identical job lists — same IDs, same content-addressed keys —
+// which is what makes their outputs diffable and their shards mergeable.
+type Space struct {
+	// Kernel names the workload (kernels.ByName).
+	Kernel string `json:"kernel"`
+	// Preset selects the workload size: "small" (default) or "default".
+	Preset string `json:"preset,omitempty"`
+	// Ports lists the read/write port counts to sweep (default 2,4,8).
+	Ports []int `json:"ports,omitempty"`
+	// FU lists FP adder+multiplier limits to sweep; 0 = dedicated
+	// (default just 0).
+	FU []int `json:"fu,omitempty"`
+	// Mem lists memory kinds to sweep: "spm" and/or "cache"
+	// (default just "spm").
+	Mem []string `json:"mem,omitempty"`
+	// TimeoutMS bounds each point's simulation (0 = no per-job timeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Point is the sweep coordinate of one job, in enumeration order — the
+// metadata a CSV renderer needs alongside the outcome rows.
+type Point struct {
+	Mem   string
+	FU    int
+	Ports int
+}
+
+// normalized fills defaults without mutating the receiver.
+func (s Space) normalized() Space {
+	if s.Preset == "" {
+		s.Preset = "small"
+	}
+	if len(s.Ports) == 0 {
+		s.Ports = []int{2, 4, 8}
+	}
+	if len(s.FU) == 0 {
+		s.FU = []int{0}
+	}
+	if len(s.Mem) == 0 {
+		s.Mem = []string{"spm"}
+	}
+	return s
+}
+
+// Size returns the number of points the space enumerates (after
+// defaulting), without building jobs.
+func (s Space) Size() int {
+	n := s.normalized()
+	return len(n.Mem) * len(n.FU) * len(n.Ports)
+}
+
+// Build validates the space and enumerates it into points and jobs in the
+// canonical order: memory kind outermost, then FU limit, then ports — the
+// order salam-dse has always swept. Every validation error is reported
+// before any simulation could run.
+func (s Space) Build() ([]Point, []Job, error) {
+	n := s.normalized()
+	var preset kernels.Preset
+	switch n.Preset {
+	case "small":
+		preset = kernels.Small
+	case "default":
+		preset = kernels.Default
+	default:
+		return nil, nil, fmt.Errorf("campaign: unknown preset %q (want small or default)", n.Preset)
+	}
+	k := kernels.ByName(preset, n.Kernel)
+	if k == nil {
+		return nil, nil, fmt.Errorf("campaign: unknown kernel %q", n.Kernel)
+	}
+	for _, p := range n.Ports {
+		if p < 1 {
+			return nil, nil, fmt.Errorf("campaign: invalid port count %d: must be >= 1", p)
+		}
+	}
+	for _, fu := range n.FU {
+		if fu < 0 {
+			return nil, nil, fmt.Errorf("campaign: invalid FU limit %d: must be >= 0", fu)
+		}
+	}
+	for _, m := range n.Mem {
+		if m != "spm" && m != "cache" {
+			return nil, nil, fmt.Errorf("campaign: unknown memory %q (want spm or cache)", m)
+		}
+	}
+	if n.TimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("campaign: negative timeout_ms %d", n.TimeoutMS)
+	}
+
+	kkey := fmt.Sprintf("%s/preset=%s", k.Name, n.Preset)
+	var pts []Point
+	var jobs []Job
+	for _, memKind := range n.Mem {
+		for _, fu := range n.FU {
+			for _, port := range n.Ports {
+				opts := salam.DefaultRunOpts()
+				opts.Accel.ReadPorts = port
+				opts.Accel.WritePorts = port
+				opts.Accel.MaxOutstanding = 2 * port
+				opts.SPMPortsPer = port
+				if fu > 0 {
+					opts.Accel.FULimits = map[hw.FUClass]int{
+						hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
+					}
+				}
+				if memKind == "cache" {
+					opts.Mem = salam.MemCache
+				}
+				pts = append(pts, Point{Mem: memKind, FU: fu, Ports: port})
+				jobs = append(jobs, Job{
+					ID:        fmt.Sprintf("%s %s fu=%d ports=%d", k.Name, memKind, fu, port),
+					Kernel:    k,
+					KernelKey: kkey,
+					Opts:      opts,
+					Timeout:   time.Duration(n.TimeoutMS) * time.Millisecond,
+				})
+			}
+		}
+	}
+	return pts, jobs, nil
+}

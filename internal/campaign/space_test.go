@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpaceBuild: defaults, enumeration order, and the ID/KernelKey format
+// every consumer (CLI CSV, server stream, shard keys) agrees on.
+func TestSpaceBuild(t *testing.T) {
+	pts, jobs, err := Space{Kernel: "gemm", Mem: []string{"spm", "cache"}, FU: []int{0, 4}, Ports: []int{2, 4}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 || len(pts) != 8 {
+		t.Fatalf("enumerated %d jobs / %d points, want 8 / 8", len(jobs), len(pts))
+	}
+	// Mem outermost, then FU, then ports.
+	if pts[0] != (Point{Mem: "spm", FU: 0, Ports: 2}) || pts[1] != (Point{Mem: "spm", FU: 0, Ports: 4}) ||
+		pts[2] != (Point{Mem: "spm", FU: 4, Ports: 2}) || pts[4] != (Point{Mem: "cache", FU: 0, Ports: 2}) {
+		t.Fatalf("enumeration order wrong: %+v", pts)
+	}
+	if jobs[0].ID != "gemm spm fu=0 ports=2" {
+		t.Fatalf("job ID format changed: %q", jobs[0].ID)
+	}
+	if jobs[0].KernelKey != "gemm/preset=small" {
+		t.Fatalf("kernel key format changed: %q", jobs[0].KernelKey)
+	}
+	if jobs[4].Opts.Mem != 1 { // salam.MemCache
+		t.Fatalf("cache points did not select MemCache")
+	}
+	if got := (Space{Kernel: "gemm"}).Size(); got != 3 {
+		t.Fatalf("default space size %d, want 3 (ports 2,4,8)", got)
+	}
+
+	for _, bad := range []Space{
+		{Kernel: "no-such-kernel"},
+		{Kernel: "gemm", Preset: "huge"},
+		{Kernel: "gemm", Ports: []int{0}},
+		{Kernel: "gemm", FU: []int{-1}},
+		{Kernel: "gemm", Mem: []string{"dram"}},
+		{Kernel: "gemm", TimeoutMS: -5},
+	} {
+		if _, _, err := bad.Build(); err == nil {
+			t.Fatalf("Space %+v validated", bad)
+		} else if !strings.HasPrefix(err.Error(), "campaign: ") {
+			t.Fatalf("unprefixed error: %v", err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+// OrderedStream is a Reporter adapter that re-sequences completion-order
+// JobDone events into submission order: Emit sees outcome 0, then 1, then
+// 2, ... exactly once each, with out-of-order completions buffered until
+// their predecessors land. It is how salam-serve streams a live campaign
+// as NDJSON whose bytes are identical at any worker count — the streaming
+// analogue of the guarantee Run's outcome slice already gives batch
+// callers. All Reporter methods except Warn run on the single collector
+// goroutine, so the sequencer needs no locking; Emit must do its own if it
+// shares state with other goroutines (the server's row buffer does).
+type OrderedStream struct {
+	// Emit receives outcomes in submission order (never nil).
+	Emit func(Outcome)
+	// Inner, when non-nil, observes the raw completion-order events too
+	// (progress lines, logs).
+	Inner Reporter
+
+	next int
+	buf  map[int]Outcome
+}
+
+// NewOrderedStream wraps emit (required) and an optional inner reporter.
+func NewOrderedStream(emit func(Outcome), inner Reporter) *OrderedStream {
+	return &OrderedStream{Emit: emit, Inner: inner}
+}
+
+// Start implements Reporter.
+func (s *OrderedStream) Start(total int) {
+	s.next = 0
+	s.buf = make(map[int]Outcome)
+	if s.Inner != nil {
+		s.Inner.Start(total)
+	}
+}
+
+// JobDone implements Reporter: buffer the outcome, then release the
+// longest contiguous prefix.
+func (s *OrderedStream) JobDone(o Outcome, done, total int) {
+	if s.buf == nil {
+		s.buf = make(map[int]Outcome)
+	}
+	s.buf[o.Index] = o
+	for {
+		out, ok := s.buf[s.next]
+		if !ok {
+			break
+		}
+		delete(s.buf, s.next)
+		s.next++
+		s.Emit(out)
+	}
+	if s.Inner != nil {
+		s.Inner.JobDone(o, done, total)
+	}
+}
+
+// Warn implements Reporter (may be called from worker goroutines).
+func (s *OrderedStream) Warn(msg string) {
+	if s.Inner != nil {
+		s.Inner.Warn(msg)
+	}
+}
+
+// Finish implements Reporter.
+func (s *OrderedStream) Finish() {
+	if s.Inner != nil {
+		s.Inner.Finish()
+	}
+}

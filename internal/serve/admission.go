@@ -1,0 +1,130 @@
+package serve
+
+// Admission and fairness: a server for many tenants must degrade
+// predictably under overload. Three gates run in order at submission time,
+// cheapest first, each with its own rejection counter so /statsz shows
+// exactly where load is shed:
+//
+//  1. drain gate — a draining server takes nothing new (503);
+//  2. per-tenant quotas — a tenant (API-key header; anonymous otherwise)
+//     may hold at most TenantActive queued+running campaigns and
+//     TenantPoints queued+running points, so one tenant's million-point
+//     sweep cannot starve everyone else (429);
+//  3. global backpressure — the bounded submission queue sheds load with
+//     429 + Retry-After once MaxActive runners and QueueDepth slots are
+//     all busy, keeping admitted work's latency bounded instead of
+//     queueing unboundedly.
+//
+// Quota debt is taken atomically at admission and returned when the
+// campaign reaches a terminal state, whichever path it takes there.
+
+import (
+	"fmt"
+	"net/http"
+
+	"gosalam/internal/campaign"
+)
+
+// tenant tracks one API key's outstanding admission debt.
+type tenant struct {
+	active int // queued + running campaigns
+	points int // queued + running points
+}
+
+// tenantOf derives the tenant identity from the request: the X-API-Key
+// header, or "anonymous". (This is fairness bookkeeping, not
+// authentication — any stable per-client token works.)
+func tenantOf(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return "anonymous"
+}
+
+// admitError describes a rejected submission.
+type admitError struct {
+	status     int    // HTTP status
+	msg        string
+	retryAfter string // Retry-After seconds ("" = none)
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// admit runs the quota gates and, on success, registers the campaign and
+// enqueues it. The queue send is non-blocking: a full queue is load to
+// shed, not to buffer.
+func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Job) (*Campaign, *admitError) {
+	if s.Draining() {
+		s.stats.rejectedDraining.Add(1)
+		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+
+	s.mu.Lock()
+	t := s.tenants[tenantID]
+	if t == nil {
+		t = &tenant{}
+		s.tenants[tenantID] = t
+	}
+	if t.active >= s.cfg.tenantActive() {
+		s.mu.Unlock()
+		s.stats.rejectedQuota.Add(1)
+		return nil, &admitError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("tenant %q already has %d campaigns queued or running (limit %d)", tenantID, t.active, s.cfg.tenantActive()),
+			retryAfter: "2",
+		}
+	}
+	if t.points+len(jobs) > s.cfg.tenantPoints() {
+		s.mu.Unlock()
+		s.stats.rejectedQuota.Add(1)
+		return nil, &admitError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("tenant %q would hold %d points (limit %d)", tenantID, t.points+len(jobs), s.cfg.tenantPoints()),
+			retryAfter: "2",
+		}
+	}
+	t.active++
+	t.points += len(jobs)
+	s.nextID++
+	c := newCampaign(fmt.Sprintf("c%d", s.nextID), tenantID, space, jobs)
+	s.campaigns[c.ID] = c
+	s.order = append(s.order, c.ID)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- c:
+		s.stats.accepted.Add(1)
+		s.stats.pointsAccepted.Add(uint64(len(jobs)))
+		return c, nil
+	default:
+		// Shed: undo the registration so the rejected campaign leaves no
+		// debt and no dangling ID.
+		s.mu.Lock()
+		delete(s.campaigns, c.ID)
+		if n := len(s.order); n > 0 && s.order[n-1] == c.ID {
+			s.order = s.order[:n-1]
+		}
+		t.active--
+		t.points -= len(jobs)
+		s.mu.Unlock()
+		s.stats.rejectedQueueFull.Add(1)
+		return nil, &admitError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("submission queue full (%d campaigns waiting)", s.cfg.queueDepth()),
+			retryAfter: "1",
+		}
+	}
+}
+
+// releaseTenant returns a finished campaign's admission debt.
+func (s *Server) releaseTenant(tenantID string, points int) {
+	s.mu.Lock()
+	if t := s.tenants[tenantID]; t != nil {
+		t.active--
+		t.points -= points
+		if t.active <= 0 && t.points <= 0 {
+			delete(s.tenants, tenantID)
+		}
+	}
+	s.mu.Unlock()
+}

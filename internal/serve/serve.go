@@ -1,0 +1,250 @@
+// Package serve is salam-serve's engine: a long-running, multi-tenant
+// simulation-campaign service over the campaign package. It promotes the
+// in-process sweep pool into a daemon with three layers:
+//
+//   - an API layer (api.go): POST /v1/campaigns submits a design-space
+//     spec, GET /v1/campaigns/{id}/results streams per-point rows as
+//     NDJSON in deterministic submission order (resumable via ?from=idx),
+//     GET /v1/campaigns/{id} reports status, and /healthz + /statsz expose
+//     liveness and counters;
+//   - an admission/fairness layer (admission.go): a bounded submission
+//     queue with load shedding (429 + Retry-After), per-tenant concurrent-
+//     campaign and queued-point quotas keyed by API key, per-campaign
+//     deadlines on the campaign engine's ctx isolation, and graceful drain
+//     (finish and persist in-flight points, reject new work);
+//   - a durable shared result layer: every simulated point persists to a
+//     campaign.Store, and a server configured as shard k of n claims only
+//     the points whose content-addressed key maps to k, so several
+//     salam-serve processes pointed at one store split a sweep with zero
+//     duplicated simulation and Merge reassembles byte-identical results.
+//
+// All campaigns multiplex one warm-start salam.SessionPool and the
+// process-wide elaboration cache, so a busy server amortizes static
+// elaboration across tenants exactly like a long DSE sweep does.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/campaign"
+	"gosalam/internal/sim"
+)
+
+// Config parameterizes a Server. Zero values choose serving-safe defaults.
+type Config struct {
+	// Store is the durable result store campaigns read and write. Required
+	// when Shard.Count > 1 (shards rendezvous through it); optional
+	// otherwise (nil disables persistence).
+	Store campaign.Store
+	// Shard names this process's slice of every submitted campaign.
+	// The zero value (unsharded) claims all points.
+	Shard campaign.Shard
+	// Workers sizes each campaign's worker pool (<= 0 = GOMAXPROCS).
+	Workers int
+	// MaxActive bounds concurrently running campaigns (default 2). Each
+	// active campaign runs its own worker pool; keep MaxActive*Workers
+	// near the core count.
+	MaxActive int
+	// QueueDepth bounds the submission queue (default 16). A full queue
+	// sheds load with 429 + Retry-After instead of growing without bound.
+	QueueDepth int
+	// MaxPoints bounds one campaign's design-space size (default 4096).
+	MaxPoints int
+	// TenantActive bounds one tenant's queued+running campaigns
+	// (default 4).
+	TenantActive int
+	// TenantPoints bounds one tenant's queued+running points
+	// (default 16384).
+	TenantPoints int
+	// Deadline bounds each campaign's wall-clock run (0 = no deadline);
+	// it rides the campaign engine's per-run context isolation.
+	Deadline time.Duration
+	// Sessions is the shared warm-start pool (nil = a new pool).
+	Sessions *salam.SessionPool
+
+	// testHook, when non-nil, edits each campaign's engine config just
+	// before Run — in-package tests inject counting or blocking runners.
+	testHook func(*campaign.Config)
+}
+
+func (c Config) maxActive() int {
+	if c.MaxActive > 0 {
+		return c.MaxActive
+	}
+	return 2
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 16
+}
+
+func (c Config) maxPoints() int {
+	if c.MaxPoints > 0 {
+		return c.MaxPoints
+	}
+	return 4096
+}
+
+func (c Config) tenantActive() int {
+	if c.TenantActive > 0 {
+		return c.TenantActive
+	}
+	return 4
+}
+
+func (c Config) tenantPoints() int {
+	if c.TenantPoints > 0 {
+		return c.TenantPoints
+	}
+	return 16384
+}
+
+// counters is the server-wide stat set. Everything is atomic: admission
+// updates arrive from HTTP handler goroutines, campaign totals from runner
+// goroutines, and /statsz reads from yet another.
+type counters struct {
+	submitted         atomic.Uint64
+	accepted          atomic.Uint64
+	rejectedInvalid   atomic.Uint64
+	rejectedQueueFull atomic.Uint64
+	rejectedQuota     atomic.Uint64
+	rejectedDraining  atomic.Uint64
+	campaignsDone     atomic.Uint64
+	campaignsCanceled atomic.Uint64
+	pointsAccepted    atomic.Uint64
+	pointsSimulated   atomic.Uint64
+	pointsCached      atomic.Uint64
+	pointsFailed      atomic.Uint64
+	pointsPruned      atomic.Uint64
+	pointsSkipped     atomic.Uint64
+}
+
+// Server is one salam-serve process: HTTP handlers in front, a bounded
+// queue in the middle, MaxActive campaign runners behind it, all sharing
+// one session pool and one result store.
+type Server struct {
+	cfg      Config
+	sessions *salam.SessionPool
+	mux      *http.ServeMux
+	stats    counters
+
+	drain     chan struct{} // closed by Drain: reject new work, finish in-flight
+	drainOnce sync.Once
+	queue     chan *Campaign
+	runners   sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string // campaign IDs in submission order (stable listings)
+	tenants   map[string]*tenant
+	nextID    uint64
+}
+
+// NewServer validates cfg, starts the campaign runners, and returns the
+// server. Call Drain then Wait for a graceful stop.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shard.Count > 1 {
+		if !cfg.Shard.Valid() {
+			return nil, fmt.Errorf("serve: invalid shard %d/%d", cfg.Shard.Index, cfg.Shard.Count)
+		}
+		if cfg.Store == nil {
+			return nil, errors.New("serve: sharding requires a shared store (shards rendezvous through it)")
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		sessions:  cfg.Sessions,
+		drain:     make(chan struct{}),
+		queue:     make(chan *Campaign, cfg.queueDepth()),
+		campaigns: map[string]*Campaign{},
+		tenants:   map[string]*tenant{},
+	}
+	if s.sessions == nil {
+		s.sessions = salam.NewSessionPool()
+	}
+	s.mux = s.routes()
+	for i := 0; i < cfg.maxActive(); i++ {
+		s.runners.Add(1)
+		go s.runner() //salam:vet:ok — the campaign-runner pool is the sanctioned concurrency, mirroring the campaign worker pool
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain begins a graceful stop: new submissions are rejected, queued
+// campaigns that never started are canceled, running campaigns stop
+// feeding new points while their in-flight points finish and persist
+// (campaign.Config.Drain). Safe to call more than once.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Wait blocks until every runner has stopped — meaningful after Drain.
+// Queued campaigns the runners never picked up are canceled here.
+func (s *Server) Wait() {
+	s.runners.Wait()
+	for {
+		select {
+		case c := <-s.queue:
+			s.finishCampaign(c, stateCanceled, "server drained before the campaign started")
+		default:
+			return
+		}
+	}
+}
+
+// runner drains the submission queue one campaign at a time. On drain it
+// cancels what remains queued and exits; the campaign it is mid-way
+// through finishes its in-flight points first (soft stop).
+func (s *Server) runner() {
+	defer s.runners.Done()
+	for {
+		// Check drain first so a closed drain channel wins over a non-empty
+		// queue even though select picks ready cases at random.
+		select {
+		case <-s.drain:
+			for {
+				select {
+				case c := <-s.queue:
+					s.finishCampaign(c, stateCanceled, "server drained before the campaign started")
+				default:
+					return
+				}
+			}
+		default:
+		}
+		select {
+		case <-s.drain:
+			continue // top of loop empties the queue and exits
+		case c := <-s.queue:
+			s.runCampaign(c)
+		}
+	}
+}
+
+// statGroup builds the per-campaign sim-stats root the campaign engine
+// fills; its counters are read back by Lookup in finishCampaign.
+func statGroup(id string) *sim.Group { return sim.NewGroup(id) }

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	salam "gosalam"
+	"gosalam/internal/campaign"
+	"gosalam/kernels"
+)
+
+// fakeRunner injects an instant fake simulation (cycles = 100 + ports) so
+// API tests don't pay for real simulations.
+func fakeRunner(cfg *campaign.Config) {
+	cfg.Runner = func(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+		return &salam.Result{Cycles: uint64(100 + opts.Accel.ReadPorts)}, nil
+	}
+}
+
+// blockingRunner blocks every simulation until release closes.
+func blockingRunner(release <-chan struct{}) func(*campaign.Config) {
+	return func(cfg *campaign.Config) {
+		cfg.Runner = func(ctx context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &salam.Result{Cycles: uint64(100 + opts.Accel.ReadPorts)}, nil
+		}
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		s.Drain()
+		s.Wait()
+		ts.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, space campaign.Space, tenant string) submitResponse {
+	t.Helper()
+	resp := postSpace(t, ts, space, tenant)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: HTTP %d: %v", resp.StatusCode, e)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func postSpace(t *testing.T, ts *httptest.Server, space campaign.Space, tenant string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-API-Key", tenant)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// streamRows reads a campaign's full NDJSON stream starting at from.
+func streamRows(t *testing.T, ts *httptest.Server, id string, from int) []string {
+	t.Helper()
+	resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/campaigns/%s/results?from=%d", ts.URL, id, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestSubmitStreamStatus: the basic lifecycle — submit, stream every row
+// in submission order, resume mid-stream byte-identically, read status.
+func TestSubmitStreamStatus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, testHook: fakeRunner})
+	space := campaign.Space{Kernel: "gemm", Ports: []int{2, 4, 8, 16}}
+	sr := submit(t, ts, space, "")
+	if sr.Points != 4 || sr.ID == "" {
+		t.Fatalf("submit response %+v", sr)
+	}
+
+	lines := streamRows(t, ts, sr.ID, 0)
+	if len(lines) != 4 {
+		t.Fatalf("streamed %d rows, want 4", len(lines))
+	}
+	for i, line := range lines {
+		var row campaign.Row
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if row.Index != i || row.Status != campaign.StatusOK || row.Metrics == nil {
+			t.Fatalf("row %d out of order or not ok: %s", i, line)
+		}
+	}
+
+	// Resume from index 2: exactly the suffix, byte-identical.
+	tail := streamRows(t, ts, sr.ID, 2)
+	if len(tail) != 2 || tail[0] != lines[2] || tail[1] != lines[3] {
+		t.Fatalf("resumed stream differs:\nfull tail %q\nresume    %q", lines[2:], tail)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/campaigns/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != stateDone || snap.Done != 4 || snap.Simulated != 4 {
+		t.Fatalf("status %+v", snap)
+	}
+
+	// Unknown campaign and bad from are client errors.
+	if r, _ := ts.Client().Get(ts.URL + "/v1/campaigns/nope"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: HTTP %d", r.StatusCode)
+	}
+	if r, _ := ts.Client().Get(ts.URL + "/v1/campaigns/" + sr.ID + "/results?from=99"); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range from: HTTP %d", r.StatusCode)
+	}
+}
+
+// TestSubmitValidation: malformed and oversized spaces are rejected before
+// any simulation, with the right statuses.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxPoints: 4, testHook: fakeRunner})
+	if r := postSpace(t, ts, campaign.Space{Kernel: "no-such-kernel"}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kernel: HTTP %d", r.StatusCode)
+	}
+	big := campaign.Space{Kernel: "gemm", Ports: []int{1, 2, 3, 4, 5}}
+	if r := postSpace(t, ts, big, ""); r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized space: HTTP %d", r.StatusCode)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestQuotasAndShedding: per-tenant quotas 429 without consuming queue
+// slots for other tenants, and a full queue sheds with Retry-After.
+func TestQuotasAndShedding(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, ts := newTestServer(t, Config{
+		MaxActive:    1,
+		QueueDepth:   1,
+		TenantActive: 2,
+		TenantPoints: 8,
+		testHook:     blockingRunner(release),
+	})
+	space := campaign.Space{Kernel: "gemm", Ports: []int{2}}
+
+	// First campaign occupies the single runner (blocking), second fills
+	// the queue. Both belong to tenant A.
+	submit(t, ts, space, "tenant-a")
+	waitState(t, s, "c1", stateRunning)
+	submit(t, ts, space, "tenant-a")
+
+	// Tenant A is now at its active quota: 429 quota.
+	r := postSpace(t, ts, space, "tenant-a")
+	if r.StatusCode != http.StatusTooManyRequests || r.Header.Get("Retry-After") == "" {
+		t.Fatalf("tenant quota: HTTP %d, Retry-After %q", r.StatusCode, r.Header.Get("Retry-After"))
+	}
+	r.Body.Close()
+
+	// Tenant B is under quota but the queue is full: 429 shed.
+	r = postSpace(t, ts, space, "tenant-b")
+	if r.StatusCode != http.StatusTooManyRequests || r.Header.Get("Retry-After") == "" {
+		t.Fatalf("queue shed: HTTP %d, Retry-After %q", r.StatusCode, r.Header.Get("Retry-After"))
+	}
+	r.Body.Close()
+
+	// A tenant asking for more points than its quota allows: 429.
+	r = postSpace(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{1, 2, 3, 4, 5, 6, 7, 8, 9}}, "tenant-c")
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("point quota: HTTP %d", r.StatusCode)
+	}
+	r.Body.Close()
+
+	if got := s.stats.rejectedQuota.Load(); got != 2 {
+		t.Fatalf("rejected_quota = %d, want 2", got)
+	}
+	if got := s.stats.rejectedQueueFull.Load(); got != 1 {
+		t.Fatalf("rejected_queue_full = %d, want 1", got)
+	}
+}
+
+// waitState polls until the campaign reaches the given state.
+func waitState(t *testing.T, s *Server, id, state string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		s.mu.Lock()
+		c := s.campaigns[id]
+		s.mu.Unlock()
+		if c != nil {
+			c.mu.Lock()
+			got := c.state
+			c.mu.Unlock()
+			if got == state {
+				return
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("campaign %s never reached state %s", id, state)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestDrainLifecycle: a draining server rejects new work (503 on submit
+// and healthz), cancels queued campaigns, finishes in-flight points, and
+// terminates every stream.
+func TestDrainLifecycle(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		MaxActive:  1,
+		QueueDepth: 4,
+		testHook:   blockingRunner(release),
+	})
+	space := campaign.Space{Kernel: "gemm", Ports: []int{2, 4}}
+	running := submit(t, ts, space, "")
+	waitState(t, s, running.ID, stateRunning)
+	queued := submit(t, ts, space, "")
+
+	s.Drain()
+	if r, _ := ts.Client().Get(ts.URL + "/healthz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: HTTP %d", r.StatusCode)
+	}
+	if r := postSpace(t, ts, space, ""); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: HTTP %d", r.StatusCode)
+	}
+	close(release) // let the in-flight point finish
+	s.Wait()
+
+	waitState(t, s, queued.ID, stateCanceled)
+	// The running campaign terminated; its in-flight point either finished
+	// ok or the remainder drained — every row is present either way.
+	lines := streamRows(t, ts, running.ID, 0)
+	if len(lines) != 2 {
+		t.Fatalf("drained campaign streamed %d rows, want 2", len(lines))
+	}
+	var first campaign.Row
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != campaign.StatusOK {
+		t.Fatalf("in-flight point did not finish ok: %s", lines[0])
+	}
+	// Canceled campaigns stream nothing but do terminate.
+	if rows := streamRows(t, ts, queued.ID, 0); len(rows) != 0 {
+		t.Fatalf("canceled campaign streamed %d rows", len(rows))
+	}
+}
+
+// TestStatszAndHealthz: the counters document is well-formed and tracks
+// the elab cache, sessions, and store health.
+func TestStatszAndHealthz(t *testing.T) {
+	store, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: store, testHook: fakeRunner})
+	if r, _ := ts.Client().Get(ts.URL + "/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", r.StatusCode)
+	}
+	sr := submit(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2, 4}}, "")
+	streamRows(t, ts, sr.ID, 0) // wait for completion
+
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Serve["accepted"] != 1 || stats.Serve["points_accepted"] != 2 {
+		t.Fatalf("statsz serve counters: %+v", stats.Serve)
+	}
+	if stats.Serve["points_simulated"] != 2 || stats.Serve["campaigns_done"] != 1 {
+		t.Fatalf("statsz campaign counters: %+v", stats.Serve)
+	}
+	if stats.Store == nil {
+		t.Fatal("statsz missing store section despite a configured store")
+	}
+	if stats.Shard.Count != 1 {
+		t.Fatalf("unsharded server reports shard count %d", stats.Shard.Count)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gosalam/internal/campaign"
+)
+
+// TestServeSmoke is the end-to-end acceptance run behind `make serve-smoke`:
+// two salam-serve instances over real HTTP, configured as shards 0/2 and
+// 1/2 of one shared store, each receive the gemm_dse design space. Every
+// point must be simulated by exactly one shard (zero duplicated work,
+// verified through /statsz), and the merged store contents must be
+// byte-identical to a single-process campaign.Run over the same space.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real two-shard sweep; skipped in -short")
+	}
+	storeDir := t.TempDir()
+	space := campaign.Space{
+		Kernel: "gemm-tree",
+		FU:     []int{2, 4, 8, 16},
+		Ports:  []int{2, 4, 8, 16},
+	}
+	_, jobs, err := space.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected ownership per shard, from the same pure partition function
+	// the servers use.
+	owned := [2]int{}
+	for _, j := range jobs {
+		key, err := campaign.JobKey(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned[campaign.ShardOf(key, 2)]++
+	}
+	if owned[0] == 0 || owned[1] == 0 {
+		t.Fatalf("degenerate partition %v: the space no longer spans both shards", owned)
+	}
+
+	// Two servers, each with its own store handle on the shared directory —
+	// the in-process stand-in for two salam-serve processes.
+	var tss [2]*httptest.Server
+	for i := range tss {
+		store, err := campaign.OpenCache(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServer(Config{
+			Store:   store,
+			Shard:   campaign.Shard{Index: i, Count: 2},
+			Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		t.Cleanup(func() {
+			s.Drain()
+			s.Wait()
+			ts.Close()
+		})
+		tss[i] = ts
+	}
+
+	// Submit the same space to both shards and stream both to completion.
+	var streamed [2][]string
+	for i, ts := range tss {
+		sr := submit(t, ts, space, "smoke")
+		if sr.Points != len(jobs) {
+			t.Fatalf("shard %d accepted %d points, want %d", i, sr.Points, len(jobs))
+		}
+		streamed[i] = streamRows(t, ts, sr.ID, 0)
+		if len(streamed[i]) != len(jobs) {
+			t.Fatalf("shard %d streamed %d rows, want %d", i, len(streamed[i]), len(jobs))
+		}
+	}
+
+	// Zero duplicated simulation: each shard simulated exactly its owned
+	// subset and skipped the rest.
+	totalSim := uint64(0)
+	for i, ts := range tss {
+		resp, err := ts.Client().Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats statszResponse
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, skip := stats.Serve["points_simulated"], stats.Serve["points_skipped"]
+		if sim != uint64(owned[i]) {
+			t.Errorf("shard %d simulated %d points, owns %d", i, sim, owned[i])
+		}
+		if skip != uint64(len(jobs)-owned[i]) {
+			t.Errorf("shard %d skipped %d points, want %d", i, skip, len(jobs)-owned[i])
+		}
+		if stats.Serve["points_failed"] != 0 || stats.Serve["points_cached"] != 0 {
+			t.Errorf("shard %d: failed=%d cached=%d, want all fresh successes",
+				i, stats.Serve["points_failed"], stats.Serve["points_cached"])
+		}
+		if stats.Shard.Index != i || stats.Shard.Count != 2 {
+			t.Errorf("shard %d reports identity %d/%d", i, stats.Shard.Index, stats.Shard.Count)
+		}
+		totalSim += sim
+	}
+	if totalSim != uint64(len(jobs)) {
+		t.Fatalf("shards simulated %d points in total, want exactly %d", totalSim, len(jobs))
+	}
+
+	// Per-shard streams: owned points are ok rows, foreign points skipped.
+	for i := range tss {
+		var ok, skipped int
+		for n, line := range streamed[i] {
+			var row campaign.Row
+			if err := json.Unmarshal([]byte(line), &row); err != nil {
+				t.Fatalf("shard %d row %d: %v", i, n, err)
+			}
+			switch row.Status {
+			case campaign.StatusOK:
+				ok++
+			case campaign.StatusSkipped:
+				skipped++
+			default:
+				t.Fatalf("shard %d row %d unexpected status %q", i, n, row.Status)
+			}
+		}
+		if ok != owned[i] || skipped != len(jobs)-owned[i] {
+			t.Fatalf("shard %d stream: %d ok + %d skipped, want %d + %d",
+				i, ok, skipped, owned[i], len(jobs)-owned[i])
+		}
+	}
+
+	// Merge the shared store and compare against a single-process,
+	// cache-free campaign.Run — the two must render byte-identically.
+	mergeStore, err := campaign.OpenCache(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	missing, err := Merge(space, mergeStore, &merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 0 {
+		t.Fatalf("merge reports %d missing points", missing)
+	}
+
+	outcomes := campaign.Run(context.Background(), campaign.Config{Workers: 4}, jobs)
+	var local bytes.Buffer
+	if err := campaign.WriteRows(&local, campaign.Rows(outcomes)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), local.Bytes()) {
+		t.Fatalf("merged store differs from the single-process run:\n%s",
+			firstDiff(merged.String(), local.String()))
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  merged: %s\n  local:  %s", i, al[i], bl[i])
+		}
+	}
+	return "length mismatch"
+}

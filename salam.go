@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gosalam/internal/analysis"
 	"gosalam/internal/core"
@@ -181,8 +182,22 @@ func runWithCtx(ctx context.Context, name string, run func(stop func() bool) (*R
 	var stop atomic.Bool
 	cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
 	defer cancelWatch()
-	// Poll ctx.Err directly every so often as well: with GOMAXPROCS=1 a
-	// short run can finish before the AfterFunc goroutine is ever scheduled.
+	// Check the deadline directly every so often as well: on a single-CPU
+	// machine the event loop never yields, so neither the AfterFunc
+	// goroutine nor the context's own timer may run before a short
+	// simulation finishes — ctx.Err() stays nil past the deadline until the
+	// timer fires. Reading the clock here only affects cancellation, never
+	// simulated state.
+	deadline, hasDeadline := ctx.Deadline()
+	ctxErr := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if hasDeadline && !time.Now().Before(deadline) {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}
 	canceled := false
 	var polled uint64
 	stopFn := func() bool {
@@ -190,14 +205,16 @@ func runWithCtx(ctx context.Context, name string, run func(stop func() bool) (*R
 			return true
 		}
 		polled++
-		if stop.Load() || (polled&1023 == 0 && ctx.Err() != nil) {
+		if stop.Load() || (polled&1023 == 0 && ctxErr() != nil) {
 			canceled = true
 		}
 		return canceled
 	}
 	res, err := run(stopFn)
-	if err != nil && ctx.Err() != nil {
-		return nil, fmt.Errorf("salam: %s canceled: %w", name, ctx.Err())
+	if err != nil {
+		if cerr := ctxErr(); cerr != nil {
+			return nil, fmt.Errorf("salam: %s canceled: %w", name, cerr)
+		}
 	}
 	return res, err
 }
