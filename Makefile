@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke search-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -36,7 +36,7 @@ analyze-smoke:
 # drive real parallel simulations through it, and the salam-serve service
 # layer on top — must stay race-clean by construction.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/experiments/... ./internal/serve/...
+	$(GO) test -race ./internal/campaign/... ./internal/experiments/... ./internal/search/... ./internal/serve/...
 
 # Golden determinism guard: simulated cycle counts for the committed
 # kernel set must stay byte-identical to testdata/golden_cycles.json.
@@ -59,6 +59,12 @@ trace-smoke:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./internal/serve
 
+# Branch-and-bound search smoke: the searched Pareto frontier of a small
+# multi-axis space must equal the brute-force sweep's Pareto filter byte
+# for byte — the exactness oracle behind salam-dse -search.
+search-smoke:
+	$(GO) test -run TestSearchExactFrontier -count=1 ./internal/search
+
 # One engine iteration end to end, so `check` notices a broken benchmark
 # harness without paying for a full timed run.
 bench-smoke:
@@ -72,7 +78,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden trace-smoke serve-smoke bench-smoke analyze-smoke
+check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke bench-smoke analyze-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

@@ -15,6 +15,7 @@ import (
 	salam "gosalam"
 	"gosalam/internal/campaign"
 	"gosalam/internal/experiments"
+	"gosalam/internal/search"
 	"gosalam/kernels"
 )
 
@@ -268,4 +269,40 @@ func BenchmarkDSECampaignPruned(b *testing.B) {
 		b.Fatal("pruning eliminated nothing; the benchmark measures nothing")
 	}
 	b.ReportMetric(float64(pruned), "points-pruned")
+}
+
+// BenchmarkDSESearch: the tentpole quantity — prove the exact Pareto
+// frontier of a million-point ranged GEMM space (1000 FU limits × 100 port
+// widths × 10 bank counts) by branch-and-bound instead of sweeping it.
+// points-evaluated over points-total is the fraction of the space the
+// search had to simulate; the frontier it returns is exactly the one a
+// 10⁶-point brute-force sweep would Pareto-filter (TestSearchExactFrontier
+// proves equality on enumerable spaces; the bound and collapse arguments
+// extend it to this scale).
+func BenchmarkDSESearch(b *testing.B) {
+	space := campaign.Space{
+		Kernel:    "gemm",
+		FURange:   &campaign.Range{Min: 1, Max: 1000},
+		PortRange: &campaign.Range{Min: 1, Max: 100},
+		BankRange: &campaign.Range{Min: 1, Max: 10},
+	}
+	b.ReportAllocs()
+	var res *search.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = search.Run(context.Background(), search.Config{Space: space})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Points != 1_000_000 || len(res.Frontier) == 0 {
+		b.Fatalf("searched %d points, frontier %d", res.Points, len(res.Frontier))
+	}
+	if res.Evaluated*100 >= res.Points {
+		b.Fatalf("search evaluated %d of %d points; want < 1%%", res.Evaluated, res.Points)
+	}
+	b.ReportMetric(float64(res.Points), "points-total")
+	b.ReportMetric(float64(res.Evaluated), "points-evaluated")
+	b.ReportMetric(float64(res.PrunedPoints+res.CollapsedPoints), "points-avoided")
+	b.ReportMetric(float64(len(res.Frontier)), "frontier-size")
 }

@@ -29,6 +29,7 @@ import (
 
 	salam "gosalam"
 	"gosalam/internal/campaign"
+	"gosalam/internal/search"
 	"gosalam/kernels"
 )
 
@@ -155,6 +156,31 @@ func campaignWarmBench() testing.BenchmarkResult {
 			out := campaign.Run(context.Background(), cfg, jobs)
 			if err := campaign.FirstError(out); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// dseSearchBench proves the exact Pareto frontier of a 10⁶-point ranged
+// GEMM space by branch-and-bound (internal/search): 1000 FU limits × 100
+// port widths × 10 bank counts, of which the search simulates <1%.
+func dseSearchBench() testing.BenchmarkResult {
+	space := campaign.Space{
+		Kernel:    "gemm",
+		FURange:   &campaign.Range{Min: 1, Max: 1000},
+		PortRange: &campaign.Range{Min: 1, Max: 100},
+		BankRange: &campaign.Range{Min: 1, Max: 10},
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := search.Run(context.Background(), search.Config{Space: space})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Evaluated*100 >= res.Points || len(res.Frontier) == 0 {
+				b.Fatalf("search evaluated %d of %d points, frontier %d",
+					res.Evaluated, res.Points, len(res.Frontier))
 			}
 		}
 	})
@@ -289,6 +315,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "salam-bench: CampaignWarm...\n")
 	br = campaignWarmBench()
 	benches["CampaignWarm"] = record(br, 0)
+	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
+
+	fmt.Fprintf(os.Stderr, "salam-bench: DSESearch...\n")
+	br = dseSearchBench()
+	benches["DSESearch"] = record(br, 0)
 	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
 
 	if *memProfile != "" {

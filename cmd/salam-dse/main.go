@@ -24,6 +24,20 @@
 //	salam-dse -kernel gemm -jobs 8 -cache results/cache > sweep.csv
 //	salam-dse -kernel gemm -no-prune -json > sweep.ndjson
 //	salam-dse -kernel gemm -remote http://127.0.0.1:8080 > sweep.csv
+//
+// -search switches from sweeping to searching: instead of simulating every
+// point, the branch-and-bound engine (internal/search) proves the exact
+// Pareto frontier over (cycles, power, area) while simulating only the
+// points the bounds cannot exclude. The ranged knob forms (-port-range,
+// -fu-range, -bank-range, each "min:max" or "min:max:step") declare
+// million-point spaces in a few bytes — the search never enumerates the
+// cross product. The frontier CSV lands on stdout; the points-simulated /
+// points-pruned accounting lands on stderr. With -remote the search runs
+// on a salam-serve daemon (POST /v1/searches) and the CLI polls until the
+// certified frontier is ready — the bytes are identical either way.
+//
+//	salam-dse -search -kernel gemm -fu-range 1:1000 -port-range 1:100 -banks 1,2,4,8 > frontier.csv
+//	salam-dse -search -kernel gemm -fu-range 1:1000 -remote http://127.0.0.1:8080 > frontier.csv
 package main
 
 import (
@@ -38,9 +52,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	salam "gosalam"
 	"gosalam/internal/campaign"
+	"gosalam/internal/search"
 	"gosalam/internal/sim"
 )
 
@@ -62,12 +78,39 @@ func parseInts(s, what string, min int) ([]int, error) {
 	return out, nil
 }
 
+// parseRange parses the ranged knob form "min:max" or "min:max:step".
+func parseRange(s, what string) (*campaign.Range, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, fmt.Errorf("invalid %s %q: want min:max or min:max:step", what, s)
+	}
+	vals := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid %s %q: %v", what, s, err)
+		}
+		vals[i] = v
+	}
+	r := &campaign.Range{Min: vals[0], Max: vals[1]}
+	if len(vals) == 3 {
+		r.Step = vals[2]
+	}
+	return r, nil
+}
+
 func main() {
 	kernel := flag.String("kernel", "gemm", "kernel name")
 	preset := flag.String("preset", "small", "workload preset: small or default")
 	portsList := flag.String("ports", "2,4,8", "read/write port counts to sweep (each >= 1)")
 	fuList := flag.String("fu", "0", "FP adder+multiplier limits to sweep (0 = dedicated)")
+	banksList := flag.String("banks", "", "SPM bank counts to sweep (empty = the paper default, 4)")
 	memList := flag.String("mem", "spm", "memory kinds to sweep: spm,cache")
+	portRange := flag.String("port-range", "", "ranged port knob, min:max[:step] (replaces -ports)")
+	fuRange := flag.String("fu-range", "", "ranged FU-limit knob, min:max[:step] (replaces -fu)")
+	bankRange := flag.String("bank-range", "", "ranged bank knob, min:max[:step] (replaces -banks)")
+	doSearch := flag.Bool("search", false, "prove the exact Pareto frontier by branch-and-bound instead of sweeping every point")
+	noProxy := flag.Bool("no-proxy", false, "with -search: disable the reduced-trip proxy rung of successive halving")
 	jobs := flag.Int("jobs", 0, "parallel simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "result-cache directory (e.g. results/cache); empty disables caching")
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
@@ -85,30 +128,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	ports, err := parseInts(*portsList, "port count", 1)
-	if err != nil {
-		fail(err)
-	}
-	fus, err := parseInts(*fuList, "FU limit", 0)
-	if err != nil {
-		fail(err)
-	}
 	var mems []string
 	for _, m := range strings.Split(*memList, ",") {
 		mems = append(mems, strings.TrimSpace(m))
 	}
 
 	// The flags assemble the same declarative space a salam-serve
-	// submission posts; Build enumerates points and jobs in the canonical
-	// sweep order and rejects config errors before any simulation runs.
+	// submission posts. Each knob takes the list form or the range form;
+	// the range form never enumerates, so -search can explore spaces far
+	// too large to sweep.
 	space := campaign.Space{
 		Kernel:    *kernel,
 		Preset:    *preset,
-		Ports:     ports,
-		FU:        fus,
 		Mem:       mems,
 		TimeoutMS: int(timeout.Milliseconds()),
 	}
+	knob := func(dst *[]int, rdst **campaign.Range, list, rng, what string, min int) {
+		if rng != "" {
+			r, err := parseRange(rng, what+" range")
+			if err != nil {
+				fail(err)
+			}
+			*rdst = r
+			return
+		}
+		if list == "" {
+			return
+		}
+		vs, err := parseInts(list, what, min)
+		if err != nil {
+			fail(err)
+		}
+		*dst = vs
+	}
+	knob(&space.Ports, &space.PortRange, *portsList, *portRange, "port count", 1)
+	knob(&space.FU, &space.FURange, *fuList, *fuRange, "FU limit", 0)
+	knob(&space.Banks, &space.BankRange, *banksList, *bankRange, "bank count", 1)
+
+	if *doSearch {
+		if *remote != "" {
+			os.Exit(runRemoteSearch(*remote, space))
+		}
+		os.Exit(runSearch(space, *jobs, *cacheDir, *cold, *noProxy, *dumpStats))
+	}
+
+	// Build enumerates points and jobs in the canonical sweep order and
+	// rejects config errors before any simulation runs.
 	pts, jobSpecs, err := space.Build()
 	if err != nil {
 		fail(err)
@@ -299,5 +364,145 @@ func runRemote(base string, space campaign.Space, jsonOut bool, kname string, pt
 		fmt.Fprintf(os.Stderr, "%d of %d points failed\n", failed, len(jobSpecs))
 		return 1
 	}
+	return 0
+}
+
+// searchStats renders the search's accounting line: how much of the space
+// was simulated versus proven away.
+func searchStats(res *search.Result) string {
+	return fmt.Sprintf(
+		"search: points=%d classes=%d evaluated=%d simulated=%d cache_hits=%d points_pruned=%d points_collapsed=%d proxy_runs=%d waves=%d frontier=%d",
+		res.Points, res.Classes, res.Evaluated, res.Simulated, res.CacheHits,
+		res.PrunedPoints, res.CollapsedPoints, res.ProxyRuns, res.Waves, len(res.Frontier))
+}
+
+// runSearch proves the space's Pareto frontier in-process: frontier CSV on
+// stdout, accounting on stderr. Returns the process exit code.
+func runSearch(space campaign.Space, jobs int, cacheDir string, cold, noProxy, dumpStats bool) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "search:", err)
+		return 2
+	}
+	if err := space.Validate(); err != nil {
+		return fail(err)
+	}
+	cfg := search.Config{
+		Space:     space,
+		Workers:   jobs,
+		ColdStart: cold,
+		NoProxy:   noProxy,
+	}
+	if cacheDir != "" {
+		cache, err := campaign.OpenCache(cacheDir)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Cache = cache
+	}
+	var stats *sim.Group
+	if dumpStats {
+		stats = sim.NewGroup("dse")
+		cfg.Stats = stats
+	}
+	res, err := search.Run(context.Background(), cfg)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Print(search.FrontierCSV(space.Kernel, res.Frontier))
+	fmt.Fprintln(os.Stderr, searchStats(res))
+	if dumpStats {
+		stats.Dump(os.Stderr)
+		hits, misses := salam.ElabCacheStats()
+		fmt.Fprintf(os.Stderr, "elab_cache: %d hits, %d misses\n", hits, misses)
+	}
+	return 0
+}
+
+// runRemoteSearch submits the space to a salam-serve daemon's /v1/searches,
+// polls until the search is terminal, and prints the certified frontier —
+// byte-identical to what runSearch prints for the same space. Returns the
+// process exit code.
+func runRemoteSearch(base string, space campaign.Space) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "remote search:", err)
+		return 2
+	}
+	body, err := json.Marshal(space)
+	if err != nil {
+		return fail(err)
+	}
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Post(base+"/v1/searches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fail(fmt.Errorf("%s rejected the space: HTTP %d: %s", base, resp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+	var accepted struct {
+		ID       string `json:"id"`
+		Points   int    `json:"points"`
+		Classes  int    `json:"classes"`
+		Frontier string `json:"frontier"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "remote: search %s accepted (%d points, %d collapsed classes) on %s\n",
+		accepted.ID, accepted.Points, accepted.Classes, base)
+
+	// Poll status until terminal; a search has no row stream to block on.
+	var snap struct {
+		State           string `json:"state"`
+		Reason          string `json:"reason"`
+		Points          int    `json:"points"`
+		Classes         int    `json:"classes"`
+		Evaluated       int    `json:"evaluated"`
+		Simulated       int    `json:"simulated"`
+		Cached          int    `json:"cached"`
+		ProxyRuns       int    `json:"proxy_runs"`
+		PrunedPoints    int    `json:"pruned_points"`
+		CollapsedPoints int    `json:"collapsed_points"`
+		Waves           int    `json:"waves"`
+		FrontierSize    int    `json:"frontier_size"`
+	}
+	for {
+		st, err := http.Get(base + "/v1/searches/" + accepted.ID)
+		if err != nil {
+			return fail(err)
+		}
+		snap.State, snap.Reason = "", ""
+		err = json.NewDecoder(st.Body).Decode(&snap)
+		st.Body.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if snap.State == "done" || snap.State == "canceled" {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if snap.State == "canceled" {
+		return fail(fmt.Errorf("search canceled: %s", snap.Reason))
+	}
+
+	fr, err := http.Get(base + accepted.Frontier)
+	if err != nil {
+		return fail(err)
+	}
+	defer fr.Body.Close()
+	if fr.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(fr.Body, 4096))
+		return fail(fmt.Errorf("frontier: HTTP %d: %s", fr.StatusCode, strings.TrimSpace(string(msg))))
+	}
+	if _, err := io.Copy(os.Stdout, fr.Body); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"search: points=%d classes=%d evaluated=%d simulated=%d cache_hits=%d points_pruned=%d points_collapsed=%d proxy_runs=%d waves=%d frontier=%d\n",
+		snap.Points, snap.Classes, snap.Evaluated, snap.Simulated, snap.Cached,
+		snap.PrunedPoints, snap.CollapsedPoints, snap.ProxyRuns, snap.Waves, snap.FrontierSize)
 	return 0
 }

@@ -164,10 +164,13 @@ type Config struct {
 	// (Index, Count), so n processes configured as shards 0..n-1 over one
 	// job list partition it exactly — zero duplicated simulation — and a
 	// shared Store plus MergeRows reassembles the full sweep byte-
-	// identically. The filter runs before pruning: a sharded campaign
-	// prunes only within its own subset, so combine Shard with Prune only
-	// when per-shard output alone matters (pruned jobs write nothing to
-	// the store for a merge to read).
+	// identically. Combined with Prune, the pilot is elected over the FULL
+	// job list (a pure function of job content), so every shard prunes
+	// against the same measurement and the union of owned rows stays
+	// byte-identical to an unsharded pruned run; a shard that does not own
+	// the pilot still simulates it once for the measurement (a cache hit
+	// when another shard persisted it first), which is the one permitted
+	// duplication.
 	Shard *Shard
 	// Drain, when non-nil, is a soft stop: once it is closed, jobs not yet
 	// handed to a worker resolve with ErrDrained while in-flight jobs run
@@ -260,12 +263,12 @@ func newCounters(root *sim.Group) *counters {
 	}
 	g := root.Child("campaign")
 	return &counters{
-		total:  g.Scalar("jobs", "jobs submitted"),
-		ok:     g.Scalar("jobs_ok", "jobs completed successfully"),
-		failed: g.Scalar("jobs_failed", "jobs that errored, panicked, or timed out"),
-		cached: g.Scalar("jobs_cached", "jobs served from the result cache"),
-		reused: g.Scalar("sessions_reused", "warm-start runs on a pooled system"),
-		built:  g.Scalar("sessions_built", "runs that had to build a system"),
+		total:     g.Scalar("jobs", "jobs submitted"),
+		ok:        g.Scalar("jobs_ok", "jobs completed successfully"),
+		failed:    g.Scalar("jobs_failed", "jobs that errored, panicked, or timed out"),
+		cached:    g.Scalar("jobs_cached", "jobs served from the result cache"),
+		reused:    g.Scalar("sessions_reused", "warm-start runs on a pooled system"),
+		built:     g.Scalar("sessions_built", "runs that had to build a system"),
 		pruned:    g.Scalar("points_pruned", "design points skipped by static lower-bound pruning"),
 		skipped:   g.Scalar("points_skipped", "design points owned by another shard"),
 		simulated: g.Scalar("jobs_simulated", "jobs that actually ran a simulation (not cached, pruned, or skipped)"),
@@ -358,7 +361,13 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 	// Static pruning phase: bound every job, run the smallest-bound pilot
 	// on this goroutine, then skip jobs whose bound proves them worse than
 	// the pilot's measurement. Everything here is a pure function of the
-	// job list, so the surviving set is identical at any worker count.
+	// job list, so the surviving set is identical at any worker count —
+	// and, because the pilot is elected over the full list rather than the
+	// owned subset, identical in every shard: each shard prunes against
+	// the same pilot measurement, so the union of owned rows matches an
+	// unsharded pruned run byte for byte. A shard that does not own the
+	// pilot runs it for the measurement alone (the cache dedups the work
+	// when another shard persisted it first) and keeps its Skipped row.
 	var lbs []uint64
 	var lbKnown []bool
 	if cfg.Prune != nil {
@@ -366,9 +375,6 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		lbKnown = make([]bool, len(jobs))
 		pilot := -1
 		for i, j := range jobs {
-			if resolved[i] {
-				continue // another shard's job: not a pilot candidate
-			}
 			if lb, ok := cfg.Prune(j); ok {
 				lbs[i], lbKnown[i] = lb, true
 				if pilot < 0 || lb < lbs[pilot] {
@@ -379,8 +385,10 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 		if pilot >= 0 {
 			po := runJob(ctx, cfg, run, transient, pilot, jobs[pilot])
 			po.StaticLB = lbs[pilot]
-			resolved[pilot] = true
-			deliver(po)
+			if !resolved[pilot] {
+				resolved[pilot] = true
+				deliver(po)
+			}
 			if po.Err == nil && po.Metrics != nil {
 				best := po.Metrics.Cycles
 				for i := range jobs {

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gosalam/internal/campaign"
+)
+
+// Vec is one design point's objective vector: the three axes the Pareto
+// frontier trades off (smaller is better on every axis).
+type Vec struct {
+	Cycles  uint64
+	PowerMW float64
+	AreaUM2 float64
+}
+
+// dominates reports whether a strictly dominates b: no worse on every
+// objective and strictly better on at least one. Equal vectors dominate
+// neither way.
+func dominates(a, b Vec) bool {
+	if a.Cycles > b.Cycles || a.PowerMW > b.PowerMW || a.AreaUM2 > b.AreaUM2 {
+		return false
+	}
+	return a.Cycles < b.Cycles || a.PowerMW < b.PowerMW || a.AreaUM2 < b.AreaUM2
+}
+
+// FrontierPoint is one non-dominated design point: the measured objective
+// vector attached to the lowest-enumeration-index configuration that
+// achieves it.
+type FrontierPoint struct {
+	// Index is the point's position in the space's canonical enumeration
+	// (campaign.Axes order) — the lowest index among all configurations
+	// proven to achieve this exact vector.
+	Index int            `json:"index"`
+	ID    string         `json:"id"`
+	Point campaign.Point `json:"point"`
+	Vec   Vec            `json:"vec"`
+}
+
+// Frontier is a Pareto frontier under strict dominance. The resident set
+// is a pure function of the multiset of inserted points — insertion order
+// never matters — which is what lets a best-bound search and a brute-force
+// sweep arrive at byte-identical frontiers.
+type Frontier struct {
+	pts []FrontierPoint
+}
+
+// Insert offers a measured point. Dominated points are rejected, newly
+// dominated residents are evicted, and a point whose vector ties an
+// existing resident exactly keeps the lower enumeration index.
+func (f *Frontier) Insert(p FrontierPoint) {
+	keep := f.pts[:0]
+	for _, q := range f.pts {
+		if q.Vec == p.Vec {
+			if p.Index < q.Index {
+				q = p
+			}
+			// Tie resolved in place; the rest of the set is untouched.
+			f.pts = append(keep, f.pts[len(keep):]...)
+			for i := range f.pts {
+				if f.pts[i].Vec == p.Vec {
+					f.pts[i] = q
+				}
+			}
+			return
+		}
+		if dominates(q.Vec, p.Vec) {
+			return // p is dominated; residents never dominate each other
+		}
+		if !dominates(p.Vec, q.Vec) {
+			keep = append(keep, q)
+		}
+	}
+	f.pts = append(keep, p)
+}
+
+// DominatesVec reports whether any resident strictly dominates v — the
+// region-pruning test: a region whose lower-bound corner is strictly
+// dominated contains only strictly dominated points.
+func (f *Frontier) DominatesVec(v Vec) bool {
+	for _, q := range f.pts {
+		if dominates(q.Vec, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the resident count.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns the frontier sorted by (cycles, power, area) ascending —
+// a total order, since resident vectors are pairwise distinct.
+func (f *Frontier) Points() []FrontierPoint {
+	out := append([]FrontierPoint(nil), f.pts...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Vec, out[j].Vec
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.PowerMW != b.PowerMW {
+			return a.PowerMW < b.PowerMW
+		}
+		return a.AreaUM2 < b.AreaUM2
+	})
+	return out
+}
+
+// FrontierCSV renders the frontier in the canonical byte format every
+// consumer (salam-dse -search, the serve endpoint, the determinism tests,
+// the smoke oracle) compares: header plus one row per point, sorted by
+// the Points order.
+func FrontierCSV(kernel string, pts []FrontierPoint) string {
+	var sb strings.Builder
+	sb.WriteString("kernel,memory,fu_limit,ports,banks,index,cycles,power_mw,area_um2\n")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%d,%d,%.4f,%.1f\n",
+			kernel, p.Point.Mem, p.Point.FU, p.Point.Ports, p.Point.Banks,
+			p.Index, p.Vec.Cycles, p.Vec.PowerMW, p.Vec.AreaUM2)
+	}
+	return sb.String()
+}

@@ -43,17 +43,19 @@ func tenantOf(r *http.Request) string {
 
 // admitError describes a rejected submission.
 type admitError struct {
-	status     int    // HTTP status
+	status     int // HTTP status
 	msg        string
 	retryAfter string // Retry-After seconds ("" = none)
 }
 
 func (e *admitError) Error() string { return e.msg }
 
-// admit runs the quota gates and, on success, registers the campaign and
-// enqueues it. The queue send is non-blocking: a full queue is load to
-// shed, not to buffer.
-func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Job) (*Campaign, *admitError) {
+// admit runs the quota gates and, on success, registers the campaign (or
+// search: points is the admission debt — enumerated points for a sweep,
+// collapsed leaves for a search, since that is the work the server could
+// actually run) and enqueues it. The queue send is non-blocking: a full
+// queue is load to shed, not to buffer.
+func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Job, points int, isSearch bool) (*Campaign, *admitError) {
 	if s.Draining() {
 		s.stats.rejectedDraining.Add(1)
 		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
@@ -74,19 +76,25 @@ func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Jo
 			retryAfter: "2",
 		}
 	}
-	if t.points+len(jobs) > s.cfg.tenantPoints() {
+	if t.points+points > s.cfg.tenantPoints() {
 		s.mu.Unlock()
 		s.stats.rejectedQuota.Add(1)
 		return nil, &admitError{
 			status:     http.StatusTooManyRequests,
-			msg:        fmt.Sprintf("tenant %q would hold %d points (limit %d)", tenantID, t.points+len(jobs), s.cfg.tenantPoints()),
+			msg:        fmt.Sprintf("tenant %q would hold %d points (limit %d)", tenantID, t.points+points, s.cfg.tenantPoints()),
 			retryAfter: "2",
 		}
 	}
 	t.active++
-	t.points += len(jobs)
+	t.points += points
 	s.nextID++
-	c := newCampaign(fmt.Sprintf("c%d", s.nextID), tenantID, space, jobs)
+	prefix := "c"
+	if isSearch {
+		prefix = "s"
+	}
+	c := newCampaign(fmt.Sprintf("%s%d", prefix, s.nextID), tenantID, space, jobs)
+	c.isSearch = isSearch
+	c.points = points
 	s.campaigns[c.ID] = c
 	s.order = append(s.order, c.ID)
 	s.mu.Unlock()
@@ -94,7 +102,7 @@ func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Jo
 	select {
 	case s.queue <- c:
 		s.stats.accepted.Add(1)
-		s.stats.pointsAccepted.Add(uint64(len(jobs)))
+		s.stats.pointsAccepted.Add(uint64(points))
 		return c, nil
 	default:
 		// Shed: undo the registration so the rejected campaign leaves no
@@ -105,7 +113,7 @@ func (s *Server) admit(tenantID string, space campaign.Space, jobs []campaign.Jo
 			s.order = s.order[:n-1]
 		}
 		t.active--
-		t.points -= len(jobs)
+		t.points -= points
 		s.mu.Unlock()
 		s.stats.rejectedQueueFull.Add(1)
 		return nil, &admitError{

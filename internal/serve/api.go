@@ -18,6 +18,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/searches", s.handleSearchSubmit)
+	mux.HandleFunc("GET /v1/searches", s.handleSearchList)
+	mux.HandleFunc("GET /v1/searches/{id}", s.handleSearchStatus)
+	mux.HandleFunc("GET /v1/searches/{id}/frontier", s.handleSearchFrontier)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -56,19 +60,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding space spec: "+err.Error())
 		return
 	}
+	// Validate before Size before Build: a malformed space is a clean 400
+	// and an oversized one a 413 before anything enumerates the cross
+	// product — a million-point typo never materializes a job slice.
+	if err := space.Validate(); err != nil {
+		s.stats.rejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if n := space.Size(); n > s.cfg.maxPoints() {
+		s.stats.rejectedInvalid.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("space enumerates %d points (limit %d); split the sweep, or submit it to /v1/searches", n, s.cfg.maxPoints()))
+		return
+	}
 	_, jobs, err := space.Build()
 	if err != nil {
 		s.stats.rejectedInvalid.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(jobs) > s.cfg.maxPoints() {
-		s.stats.rejectedInvalid.Add(1)
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("space enumerates %d points (limit %d); split the sweep", len(jobs), s.cfg.maxPoints()))
-		return
-	}
-	c, aerr := s.admit(tenantOf(r), space, jobs)
+	c, aerr := s.admit(tenantOf(r), space, jobs, len(jobs), false)
 	if aerr != nil {
 		if aerr.retryAfter != "" {
 			w.Header().Set("Retry-After", aerr.retryAfter)
@@ -86,11 +98,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleList: GET /v1/campaigns — snapshots in submission order.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": s.list(false)})
+}
+
+// list snapshots registered work of one kind in submission order.
+func (s *Server) list(searches bool) []snapshot {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
 	cs := make([]*Campaign, 0, len(ids))
 	for _, id := range ids {
-		if c := s.campaigns[id]; c != nil {
+		if c := s.campaigns[id]; c != nil && c.isSearch == searches {
 			cs = append(cs, c)
 		}
 	}
@@ -99,14 +116,24 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cs {
 		out[i] = c.snapshot()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+	return out
+}
+
+// lookup fetches a registered campaign or search by ID, filtered by kind
+// so the two API families never cross-resolve each other's IDs.
+func (s *Server) lookup(id string, search bool) *Campaign {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil || c.isSearch != search {
+		return nil
+	}
+	return c
 }
 
 // handleStatus: GET /v1/campaigns/{id}.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	c := s.campaigns[r.PathValue("id")]
-	s.mu.Unlock()
+	c := s.lookup(r.PathValue("id"), false)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no such campaign")
 		return
@@ -121,9 +148,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // client that got n rows before a disconnect reconnects with from=n and
 // the concatenation is byte-identical to one uninterrupted stream.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	c := s.campaigns[r.PathValue("id")]
-	s.mu.Unlock()
+	c := s.lookup(r.PathValue("id"), false)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no such campaign")
 		return

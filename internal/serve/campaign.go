@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gosalam/internal/campaign"
+	"gosalam/internal/search"
 )
 
 // Campaign states.
@@ -29,12 +30,21 @@ type Campaign struct {
 
 	jobs []campaign.Job
 
-	mu    sync.Mutex
-	wake  chan struct{} // closed+replaced on every append/state change
-	state string
-	rows  [][]byte // marshaled NDJSON lines, submission order
-	done  int      // outcomes delivered (completion order, for progress)
-	fail  string   // terminal failure reason (stateCanceled)
+	// isSearch marks a branch-and-bound search submission (POST
+	// /v1/searches): no job list, no row stream — the runner executes
+	// search.Run and parks the certified result in searchRes. points is
+	// the admission debt either way (enumerated points for a sweep,
+	// collapsed leaves for a search).
+	isSearch bool
+	points   int
+
+	mu        sync.Mutex
+	wake      chan struct{} // closed+replaced on every append/state change
+	state     string
+	rows      [][]byte // marshaled NDJSON lines, submission order
+	done      int      // outcomes delivered (completion order, for progress)
+	fail      string   // terminal failure reason (stateCanceled)
+	searchRes *search.Result
 
 	simulated, cached, failed, pruned, skipped int
 }
@@ -45,6 +55,7 @@ func newCampaign(id, tenant string, space campaign.Space, jobs []campaign.Job) *
 		Tenant: tenant,
 		Space:  space,
 		jobs:   jobs,
+		points: len(jobs),
 		wake:   make(chan struct{}),
 		state:  stateQueued,
 	}
@@ -103,10 +114,19 @@ func (c *Campaign) observe(o campaign.Outcome) {
 // the inner reporter behind the ordered stream.
 type progressReporter struct{ c *Campaign }
 
-func (p progressReporter) Start(int)                          {}
+func (p progressReporter) Start(int)                            {}
 func (p progressReporter) JobDone(o campaign.Outcome, _, _ int) { p.c.observe(o) }
-func (p progressReporter) Warn(string)                        {}
-func (p progressReporter) Finish()                            {}
+func (p progressReporter) Warn(string)                          {}
+func (p progressReporter) Finish()                              {}
+
+// campaignContext builds one run's context: the configured wall-clock
+// deadline, or background when none is set.
+func (s *Server) campaignContext() (context.Context, context.CancelFunc) {
+	if s.cfg.Deadline > 0 {
+		return context.WithTimeout(context.Background(), s.cfg.Deadline)
+	}
+	return context.Background(), func() {}
+}
 
 // runCampaign executes one campaign on this runner goroutine: the queued →
 // running → done lifecycle around one campaign.Run call wired into the
@@ -117,12 +137,8 @@ func (s *Server) runCampaign(c *Campaign) {
 	c.broadcast()
 	c.mu.Unlock()
 
-	ctx := context.Background()
-	if s.cfg.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
-		defer cancel()
-	}
+	ctx, cancel := s.campaignContext()
+	defer cancel()
 	stats := statGroup(c.ID)
 	cfg := campaign.Config{
 		Workers:  s.cfg.Workers,
@@ -179,31 +195,48 @@ func (s *Server) finishCampaign(c *Campaign, state, reason string) {
 	case stateCanceled:
 		s.stats.campaignsCanceled.Add(1)
 	}
-	s.releaseTenant(c.Tenant, len(c.jobs))
+	s.releaseTenant(c.Tenant, c.points)
 }
 
-// snapshot is the status view of a campaign.
+// snapshot is the status view of a campaign or search. Search snapshots
+// carry the certified result's accounting once terminal.
 type snapshot struct {
 	ID        string `json:"id"`
+	Kind      string `json:"kind"`
 	State     string `json:"state"`
 	Points    int    `json:"points"`
-	Emitted   int    `json:"emitted"`
-	Done      int    `json:"done"`
+	Emitted   int    `json:"emitted,omitempty"`
+	Done      int    `json:"done,omitempty"`
 	Simulated int    `json:"simulated"`
 	Cached    int    `json:"cached"`
-	Failed    int    `json:"failed"`
+	Failed    int    `json:"failed,omitempty"`
 	Pruned    int    `json:"pruned,omitempty"`
 	Skipped   int    `json:"skipped,omitempty"`
 	Reason    string `json:"reason,omitempty"`
+
+	// Search-only accounting (see search.Result).
+	Classes         int  `json:"classes,omitempty"`
+	Evaluated       int  `json:"evaluated,omitempty"`
+	ProxyRuns       int  `json:"proxy_runs,omitempty"`
+	PrunedPoints    int  `json:"pruned_points,omitempty"`
+	CollapsedPoints int  `json:"collapsed_points,omitempty"`
+	Waves           int  `json:"waves,omitempty"`
+	FrontierSize    int  `json:"frontier_size,omitempty"`
+	Drained         bool `json:"drained,omitempty"`
 }
 
 func (c *Campaign) snapshot() snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return snapshot{
+	kind := "campaign"
+	if c.isSearch {
+		kind = "search"
+	}
+	sn := snapshot{
 		ID:        c.ID,
+		Kind:      kind,
 		State:     c.state,
-		Points:    len(c.jobs),
+		Points:    c.points,
 		Emitted:   len(c.rows),
 		Done:      c.done,
 		Simulated: c.simulated,
@@ -213,4 +246,18 @@ func (c *Campaign) snapshot() snapshot {
 		Skipped:   c.skipped,
 		Reason:    c.fail,
 	}
+	if res := c.searchRes; res != nil {
+		sn.Points = res.Points
+		sn.Classes = res.Classes
+		sn.Simulated = res.Simulated
+		sn.Cached = res.CacheHits
+		sn.Evaluated = res.Evaluated
+		sn.ProxyRuns = res.ProxyRuns
+		sn.PrunedPoints = res.PrunedPoints
+		sn.CollapsedPoints = res.CollapsedPoints
+		sn.Waves = res.Waves
+		sn.FrontierSize = len(res.Frontier)
+		sn.Drained = res.Drained
+	}
+	return sn
 }

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/internal/campaign"
+	"gosalam/internal/search"
+	"gosalam/kernels"
+)
+
+// fakeSim is the deterministic instant simulation the search tests inject
+// (cycles = 100 + ports): the serve-side frontier must match an in-process
+// search.Run with the same runner, byte for byte.
+func fakeSim(_ context.Context, _ *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+	return &salam.Result{Cycles: uint64(100 + opts.Accel.ReadPorts)}, nil
+}
+
+func fakeSearchRunner(cfg *search.Config) { cfg.Runner = fakeSim }
+
+// blockingSearchRunner blocks every search simulation until release closes.
+func blockingSearchRunner(release <-chan struct{}) func(*search.Config) {
+	return func(cfg *search.Config) {
+		cfg.Runner = func(ctx context.Context, k *kernels.Kernel, opts salam.RunOpts) (*salam.Result, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return fakeSim(ctx, k, opts)
+		}
+	}
+}
+
+func postSearch(t *testing.T, ts *httptest.Server, space campaign.Space, tenant string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/searches", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-API-Key", tenant)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func submitSearch(t *testing.T, ts *httptest.Server, space campaign.Space) searchSubmitResponse {
+	t.Helper()
+	resp := postSearch(t, ts, space, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("search submit: HTTP %d: %v", resp.StatusCode, e)
+	}
+	var sr searchSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestSearchSubmitValidation: malformed spaces are 400s (the Validate
+// path), and the admission gate is the COLLAPSED size — a raw point count
+// far beyond MaxPoints is admissible as a search when it collapses, while
+// the same space stays a 413 as a sweep.
+func TestSearchSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxPoints: 4, testHook: fakeRunner, searchHook: fakeSearchRunner})
+
+	if r := postSearch(t, ts, campaign.Space{Kernel: "no-such-kernel"}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kernel: HTTP %d", r.StatusCode)
+	}
+	if r := postSearch(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2, 2}}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate ports: HTTP %d", r.StatusCode)
+	}
+	if r := postSearch(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2}, PortRange: &campaign.Range{Min: 1, Max: 4}}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("list+range conflict: HTTP %d", r.StatusCode)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/searches", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: HTTP %d", resp.StatusCode)
+	}
+
+	// Five distinct port values never collapse: 413 on both endpoints.
+	wide := campaign.Space{Kernel: "gemm", Ports: []int{1, 2, 3, 4, 5}}
+	if r := postSearch(t, ts, wide, ""); r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("uncollapsible oversized search: HTTP %d", r.StatusCode)
+	}
+
+	// A 1000-point FU range collapses to a handful of equivalence classes:
+	// too big to sweep (413), fine to search (202).
+	ranged := campaign.Space{Kernel: "gemm", Ports: []int{2}, FURange: &campaign.Range{Min: 1, Max: 1000}}
+	if r := postSpace(t, ts, ranged, ""); r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("ranged space as sweep: HTTP %d, want 413", r.StatusCode)
+	}
+	sr := submitSearch(t, ts, ranged)
+	if sr.Points != 1000 || sr.Classes >= sr.Points || sr.Classes > 4 {
+		t.Fatalf("ranged submit response %+v: want 1000 raw points collapsed to <=4 classes", sr)
+	}
+	if !strings.HasPrefix(sr.ID, "s") {
+		t.Fatalf("search ID %q does not use the search namespace", sr.ID)
+	}
+}
+
+// TestSearchLifecycle: submit, status while running (frontier 409), then
+// the terminal snapshot and a frontier CSV byte-identical to an in-process
+// search.Run over the same space — the service adds admission and HTTP,
+// never a different answer.
+func TestSearchLifecycle(t *testing.T) {
+	release := make(chan struct{})
+	space := campaign.Space{Kernel: "gemm", Ports: []int{2, 4, 8, 16}}
+	s, ts := newTestServer(t, Config{Workers: 2, searchHook: blockingSearchRunner(release)})
+
+	sr := submitSearch(t, ts, space)
+	if sr.Points != 4 || sr.Frontier != "/v1/searches/"+sr.ID+"/frontier" {
+		t.Fatalf("submit response %+v", sr)
+	}
+	waitState(t, s, sr.ID, stateRunning)
+
+	// The frontier is not served before the search certifies it.
+	if r, _ := ts.Client().Get(ts.URL + sr.Frontier); r.StatusCode != http.StatusConflict {
+		t.Fatalf("frontier while running: HTTP %d, want 409", r.StatusCode)
+	}
+	// The two ID namespaces never cross-resolve.
+	if r, _ := ts.Client().Get(ts.URL + "/v1/campaigns/" + sr.ID); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("search ID resolved as campaign: HTTP %d", r.StatusCode)
+	}
+	if r, _ := ts.Client().Get(ts.URL + "/v1/searches/nope"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown search: HTTP %d", r.StatusCode)
+	}
+
+	close(release)
+	waitState(t, s, sr.ID, stateDone)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/searches/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Kind != "search" || snap.State != stateDone || snap.Simulated == 0 || snap.FrontierSize == 0 {
+		t.Fatalf("terminal snapshot %+v", snap)
+	}
+	if snap.Evaluated != snap.Simulated+snap.Cached {
+		t.Fatalf("snapshot accounting: evaluated %d != simulated %d + cached %d", snap.Evaluated, snap.Simulated, snap.Cached)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + sr.Frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/csv" {
+		t.Fatalf("frontier: HTTP %d, Content-Type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	ref, err := search.Run(context.Background(), search.Config{Space: space, Runner: fakeSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := search.FrontierCSV(space.Kernel, ref.Frontier); string(got) != want {
+		t.Fatalf("served frontier differs from in-process search:\nserved:\n%s\nlocal:\n%s", got, want)
+	}
+
+	// The search shows up in its own listing and only there.
+	resp, err = ts.Client().Get(ts.URL + "/v1/searches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Searches []snapshot `json:"searches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed.Searches) != 1 || listed.Searches[0].ID != sr.ID {
+		t.Fatalf("search listing %+v", listed)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var camps struct {
+		Campaigns []snapshot `json:"campaigns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&camps); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(camps.Campaigns) != 0 {
+		t.Fatalf("campaign listing leaked the search: %+v", camps.Campaigns)
+	}
+}
+
+// TestSearchShardedRejected: a sharded server partitions fixed job lists;
+// it cannot host a global wave schedule, so searches are 501s.
+func TestSearchShardedRejected(t *testing.T) {
+	store, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: store, Shard: campaign.Shard{Index: 0, Count: 2}})
+	r := postSearch(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2}}, "")
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("sharded search submit: HTTP %d, want 501", r.StatusCode)
+	}
+}

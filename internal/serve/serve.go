@@ -33,6 +33,7 @@ import (
 
 	salam "gosalam"
 	"gosalam/internal/campaign"
+	"gosalam/internal/search"
 	"gosalam/internal/sim"
 )
 
@@ -71,6 +72,8 @@ type Config struct {
 	// testHook, when non-nil, edits each campaign's engine config just
 	// before Run — in-package tests inject counting or blocking runners.
 	testHook func(*campaign.Config)
+	// searchHook is testHook's twin for search submissions.
+	searchHook func(*search.Config)
 }
 
 func (c Config) maxActive() int {
@@ -240,7 +243,11 @@ func (s *Server) runner() {
 		case <-s.drain:
 			continue // top of loop empties the queue and exits
 		case c := <-s.queue:
-			s.runCampaign(c)
+			if c.isSearch {
+				s.runSearch(c)
+			} else {
+				s.runCampaign(c)
+			}
 		}
 	}
 }

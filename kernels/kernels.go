@@ -51,10 +51,14 @@ func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // Preset selects workload sizes.
 type Preset int
 
-// Presets: Small keeps go test fast; Default matches the bench harness.
+// Presets: Small keeps go test fast; Default matches the bench harness;
+// Micro is the proxy tier — the smallest instance of each kernel that
+// still exercises its full control structure, used as a cheap ranking
+// stand-in for the real workload (see ProxyOf).
 const (
 	Small Preset = iota
 	Default
+	Micro
 )
 
 // All returns the full MachSuite set at a preset size, in the order the
@@ -65,6 +69,11 @@ func All(p Preset) []*Kernel {
 		return []*Kernel{
 			BFS(64, 4), FFT(64), GEMM(8, 1), MDKnn(16, 16), MDGrid(2, 4),
 			NW(16), SPMV(32, 4), Stencil2D(12, 12), Stencil3D(6, 6, 6),
+		}
+	case Micro:
+		return []*Kernel{
+			BFS(16, 4), FFT(16), GEMM(4, 1), MDKnn(8, 8), MDGrid(2, 2),
+			NW(8), SPMV(16, 4), Stencil2D(6, 6), Stencil3D(4, 4, 4),
 		}
 	default:
 		return []*Kernel{
@@ -83,6 +92,11 @@ func Extras(p Preset) []*Kernel {
 			SPMVCondShift(32, 4), GEMMUnrolledInner(6), GEMMTree(8), BFSQueue(64, 4),
 			Conv2D(18, 18), ReLU(256), MaxPool(16, 16), MaxPoolStream(16, 16),
 		}
+	case Micro:
+		return []*Kernel{
+			SPMVCondShift(16, 4), GEMMUnrolledInner(4), GEMMTree(4), BFSQueue(16, 4),
+			Conv2D(10, 10), ReLU(64), MaxPool(8, 8), MaxPoolStream(8, 8),
+		}
 	default:
 		return []*Kernel{
 			SPMVCondShift(128, 5), GEMMUnrolledInner(10), GEMMTree(32), BFSQueue(256, 4),
@@ -90,6 +104,13 @@ func Extras(p Preset) []*Kernel {
 		}
 	}
 }
+
+// ProxyOf returns the reduced-trip proxy of a named kernel: the Micro
+// instance of the same kernel family (nil when none exists). A proxy
+// shares the kernel's IR structure with shorter, provably-counted loop
+// trips, so a proxy measurement ranks configurations cheaply; it is never
+// a substitute for the full run's numbers.
+func ProxyOf(name string) *Kernel { return ByName(Micro, name) }
 
 // ByName returns a kernel from All(p) or Extras(p) by name (nil if absent).
 func ByName(p Preset, name string) *Kernel {

@@ -252,6 +252,29 @@ func TestExtrasRunAndResolve(t *testing.T) {
 	}
 }
 
+func TestMicroPresetRunsAndResolves(t *testing.T) {
+	// Every Micro kernel executes, passes its golden, and carries the same
+	// name as its Small sibling so ProxyOf can pair them.
+	for _, k := range append(All(Micro), Extras(Micro)...) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			stats := runKernel(t, k, 1)
+			if stats.Steps == 0 {
+				t.Fatal("micro kernel executed no instructions")
+			}
+			if ByName(Small, k.Name) == nil {
+				t.Fatalf("%s has no Small sibling", k.Name)
+			}
+			if ProxyOf(k.Name) != nil && ProxyOf(k.Name).Name != k.Name {
+				t.Fatalf("ProxyOf(%s) resolves to %s", k.Name, ProxyOf(k.Name).Name)
+			}
+		})
+	}
+	if ProxyOf("no-such-kernel") != nil {
+		t.Fatal("ProxyOf invented a kernel")
+	}
+}
+
 func TestBFSQueueMatchesBulk(t *testing.T) {
 	// The worklist and bulk variants must label every node identically
 	// (same graph, same seed).

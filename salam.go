@@ -301,3 +301,37 @@ func StaticLowerBound(k *kernels.Kernel, opts RunOpts) (lb uint64, ok bool) {
 	}
 	return rep.LowerBound(opts.Accel).Cycles, true
 }
+
+// StaticEnvelope is the static floor of one configuration's power and
+// area, computed without simulating: AreaUM2 is the exact total area the
+// run would report (datapath FUs + registers, plus the SPM macro in
+// MemSPM mode), and StaticMW is the exact leakage — a provable lower
+// bound on the run's total power, since dynamic energy only adds to it.
+// Cache-backed runs mirror the runtime accounting, which attributes no
+// private-memory categories.
+type StaticEnvelope struct {
+	AreaUM2  float64
+	StaticMW float64
+}
+
+// StaticEnvelopeFor evaluates the static power/area floor for simulating
+// k under opts. It mirrors Accelerator.Power exactly: the datapath part
+// comes from the elaborated CDFG, the SPM part from the CACTI model at
+// the same sizing (the workload-sized scratchpad) and the same knob
+// clamping the scratchpad constructor applies.
+func StaticEnvelopeFor(k *kernels.Kernel, opts RunOpts) (StaticEnvelope, error) {
+	rep, err := AnalyzeKernel(k, opts)
+	if err != nil {
+		return StaticEnvelope{}, err
+	}
+	env := StaticEnvelope{
+		AreaUM2:  rep.Envelope.AreaUM2,
+		StaticMW: rep.Envelope.StaticFUMW + rep.Envelope.StaticRegMW,
+	}
+	if opts.Mem == MemSPM {
+		c := hw.NewCactiSRAM(spaceSizeFor(k, opts.Seed), opts.SPMPortsPer, opts.SPMBanks)
+		env.AreaUM2 += c.AreaUM2()
+		env.StaticMW += c.LeakageMW()
+	}
+	return env, nil
+}
