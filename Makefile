@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke search-smoke bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -36,7 +36,8 @@ analyze-smoke:
 # drive real parallel simulations through it, and the salam-serve service
 # layer on top — must stay race-clean by construction.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/experiments/... ./internal/search/... ./internal/serve/...
+	$(GO) test -race ./internal/campaign/... ./internal/experiments/... ./internal/search/... ./internal/serve/... ./internal/sample/...
+	$(GO) test -race -run 'TestSampled|TestRestore|TestCheckpoint|TestSessionPool' -count=1 .
 
 # Golden determinism guard: simulated cycle counts for the committed
 # kernel set must stay byte-identical to testdata/golden_cycles.json.
@@ -65,6 +66,20 @@ serve-smoke:
 search-smoke:
 	$(GO) test -run TestSearchExactFrontier -count=1 ./internal/search
 
+# Snapshot smoke: restore-then-run must be byte-identical to straight-run
+# over the full golden kernel set (the restore-exactness CI gate), and
+# checkpoint images must survive a Checkpoint -> Restore -> Checkpoint
+# round trip byte for byte.
+snapshot-smoke:
+	$(GO) test -run 'TestRestoreThenRunGoldenSuite|TestCheckpointImageByteStability' -count=1 .
+
+# Sampled-simulation smoke: the interval-sampled estimate must honor its
+# own reported error bound against the exact run, and a sampled session
+# must never rejoin a pool.
+sample-smoke:
+	$(GO) test -run 'TestSampled' -count=1 .
+	$(GO) test -count=1 ./internal/sample
+
 # One engine iteration end to end, so `check` notices a broken benchmark
 # harness without paying for a full timed run.
 bench-smoke:
@@ -78,7 +93,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke bench-smoke analyze-smoke
+check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke analyze-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -40,6 +41,11 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SimCycles   uint64  `json:"sim_cycles,omitempty"`
 	Iterations  int     `json:"iterations"`
+	// SampleError is the measured relative cycle error of a sampled
+	// benchmark against its exact sibling (EngineGEMMSampled only).
+	SampleError float64 `json:"sample_error,omitempty"`
+	// Speedup is the exact-vs-sampled ns/op ratio (EngineGEMMSampled only).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // point is one labeled run of the whole suite.
@@ -79,6 +85,28 @@ func engineBench(k *kernels.Kernel) (testing.BenchmarkResult, uint64) {
 		}
 	})
 	return br, cycles
+}
+
+// engineSampledBench runs one kernel repeatedly with interval sampling.
+func engineSampledBench(k *kernels.Kernel, spec salam.SampleSpec) (testing.BenchmarkResult, uint64, float64) {
+	var est uint64
+	var bound float64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := salam.DefaultRunOpts()
+			opts.Sample = spec
+			res, err := salam.RunKernel(k, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Estimated {
+				b.Fatalf("%s finished inside the detailed prefix; enlarge the kernel", k.Name)
+			}
+			est, bound = res.Cycles, res.SampleError
+		}
+	})
+	return br, est, bound
 }
 
 // gemmTreeSweepJobs builds the Fig. 13-style 12-point GEMMTree sweep
@@ -301,6 +329,22 @@ func main() {
 	br, cycles = engineBench(kernels.BFS(64, 4))
 	benches["EngineBFS"] = record(br, cycles)
 	fmt.Fprintf(os.Stderr, "  %s  sim-cycles=%d\n", br.String(), cycles)
+
+	fmt.Fprintf(os.Stderr, "salam-bench: EngineGEMMLarge...\n")
+	largeGEMM := kernels.ByName(kernels.Large, "gemm")
+	br, cycles = engineBench(largeGEMM)
+	benches["EngineGEMMLarge"] = record(br, cycles)
+	exactLarge := cycles
+	fmt.Fprintf(os.Stderr, "  %s  sim-cycles=%d\n", br.String(), cycles)
+
+	fmt.Fprintf(os.Stderr, "salam-bench: EngineGEMMSampled...\n")
+	br, est, bound := engineSampledBench(largeGEMM, salam.SampleSpec{K: 2, N: 32})
+	sampled := record(br, est)
+	sampled.SampleError = math.Abs(float64(est)-float64(exactLarge)) / float64(exactLarge)
+	sampled.Speedup = benches["EngineGEMMLarge"].NsPerOp / sampled.NsPerOp
+	benches["EngineGEMMSampled"] = sampled
+	fmt.Fprintf(os.Stderr, "  %s  est-cycles=%d exact=%d err=%.4f bound=%.4f speedup=%.1fx\n",
+		br.String(), est, exactLarge, sampled.SampleError, bound, sampled.Speedup)
 
 	fmt.Fprintf(os.Stderr, "salam-bench: DSECampaign...\n")
 	br = campaignBench()

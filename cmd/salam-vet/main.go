@@ -42,6 +42,15 @@ var policy = map[string]ruleSet{
 	// pure functions of the space and the committed measurements, with all
 	// concurrency delegated to the campaign engine.
 	"internal/search": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	// Snapshot images must be byte-stable (CI enforces Checkpoint ->
+	// Restore -> Checkpoint equality) and restore replays must be
+	// byte-identical to straight runs, so the serializer gets the full
+	// simulation-package rule set.
+	"internal/snapshot": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	// Sampled estimates feed committed benchmark numbers; the
+	// extrapolation arithmetic must be a pure function of the measured
+	// intervals.
+	"internal/sample": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 }
 
 // moduleRoot walks upward from dir to the directory holding go.mod, so
@@ -85,7 +94,7 @@ func main() {
 		}
 		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(a, "./")))
 		if _, ok := policy[rel]; !ok {
-			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign,search,serve}\n", rel)
+			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign,search,serve,snapshot,sample}\n", rel)
 			continue
 		}
 		dirs[rel] = true

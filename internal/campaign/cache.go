@@ -33,7 +33,11 @@ type Store interface {
 
 // cacheSchema versions the on-disk entry layout; bump to invalidate every
 // entry after an incompatible Metrics change.
-const cacheSchema = 1
+//
+// v2: RunOpts grew the Sample field (interval sampling) and Metrics grew
+// Estimated/ErrorBound, so sampled and exact runs of the same point key —
+// and cache — separately.
+const cacheSchema = 2
 
 // keyDoc is the canonical content of a cache key. encoding/json writes map
 // keys in sorted order, so marshaling this struct is a canonical encoding:

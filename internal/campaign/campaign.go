@@ -64,6 +64,12 @@ type Metrics struct {
 	Power  salam.PowerReport `json:"power"`
 	// Extra holds the job Probe's derived metrics (may be nil).
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Estimated marks Cycles as an interval-sampling extrapolation
+	// (RunOpts.Sample) with the given relative ErrorBound. Estimated
+	// metrics never anchor pruning or best-point election: both rely on
+	// exact cycle comparisons.
+	Estimated  bool    `json:"estimated,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // Outcome is one job's result, delivered in submission order.
@@ -389,7 +395,10 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Outcome {
 				resolved[pilot] = true
 				deliver(po)
 			}
-			if po.Err == nil && po.Metrics != nil {
+			// An estimated pilot measurement cannot anchor pruning: the
+			// static bounds are exact, the extrapolation is not, and a
+			// too-low estimate would prune points that beat the truth.
+			if po.Err == nil && po.Metrics != nil && !po.Metrics.Estimated {
 				best := po.Metrics.Cycles
 				for i := range jobs {
 					if !resolved[i] && lbKnown[i] && lbs[i] > best {
@@ -494,7 +503,9 @@ func traceBest(ctx context.Context, cfg Config, outcomes []Outcome) {
 	}
 	best := -1
 	for i, o := range outcomes {
-		if o.Err != nil || o.Pruned || o.Metrics == nil {
+		if o.Err != nil || o.Pruned || o.Metrics == nil || o.Metrics.Estimated {
+			// Estimated cycle counts cannot elect the best point: the
+			// traced replay is exact and would silently disagree.
 			continue
 		}
 		if best < 0 || o.Metrics.Cycles < outcomes[best].Metrics.Cycles {
@@ -574,7 +585,8 @@ func runJob(ctx context.Context, cfg Config, run jobRunner, transient bool, idx 
 		out.Err = err
 		return out
 	}
-	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power, Extra: extra}
+	m := &Metrics{Cycles: res.Cycles, Ticks: res.Ticks, Power: res.Power, Extra: extra,
+		Estimated: res.Estimated, ErrorBound: res.SampleError}
 	if !transient {
 		// Warm-started results alias a pooled system another job will
 		// rewind; only snapshots (Metrics, probe extras) may escape.

@@ -6,6 +6,7 @@ import (
 
 	"gosalam/internal/hw"
 	"gosalam/internal/sim"
+	"gosalam/internal/snapshot"
 	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
@@ -114,6 +115,10 @@ type dynOp struct {
 	// first allocation.
 	arriveFn   func()
 	readDoneFn func([]byte)
+
+	// ev is the pending compute-latency event (issueCompute), kept so a
+	// checkpoint can claim it; it goes stale the moment the event fires.
+	ev sim.EventID
 }
 
 func (d *dynOp) isLoad() bool  { return d.st.Load }
@@ -683,6 +688,7 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 		addr, size := d.effAddr()
 		d.addr, d.size = addr, size
 		a.RegReadPJ.Inc(d.st.MemReadPJ) // address register
+		a.Comm.TagNext(snapshot.OwnerEngine, d.seq)
 		ok := a.Comm.IssueRead(addr, size, d.readDoneFn)
 		if !ok {
 			return false // stream empty; retry
@@ -716,6 +722,7 @@ func (a *Accelerator) tryIssueMem(d *dynOp) bool {
 		binary.LittleEndian.PutUint64(data, d.operands[0])
 	}
 	a.RegReadPJ.Inc(d.st.MemReadPJ)
+	a.Comm.TagNext(snapshot.OwnerEngine, d.seq)
 	ok := a.Comm.IssueWrite(addr, data, d.arriveFn)
 	if !ok {
 		return false
@@ -773,7 +780,7 @@ func (a *Accelerator) issueCompute(d *dynOp) {
 	// PriBeforeClock: the result is ready when the commit edge runs, so a
 	// latency-L op commits exactly L cycles after issue. The pre-bound
 	// arriveFn keeps latency events allocation-free.
-	a.Q.Schedule(a.Q.Now()+a.Clk.CyclesToTicks(uint64(lat)), sim.PriBeforeClock, d.arriveFn)
+	d.ev = a.Q.Schedule(a.Q.Now()+a.Clk.CyclesToTicks(uint64(lat)), sim.PriBeforeClock, d.arriveFn)
 }
 
 // handleTerminator evaluates a br/ret, triggering the next block fetch.

@@ -102,7 +102,13 @@ type CDFG struct {
 
 	// NumOps is the number of static ops (dense StaticOp.ID space).
 	NumOps int
+	// opsByID maps a dense ID back to its static op, so snapshots can
+	// name ops by ID and restores can rebind them.
+	opsByID []*StaticOp
 }
+
+// OpByID returns the static op with the given dense ID.
+func (g *CDFG) OpByID(id int) *StaticOp { return g.opsByID[id] }
 
 // compileSrc resolves one IR operand to its precompiled source.
 func (g *CDFG) compileSrc(v ir.Value) operandSrc {
@@ -162,6 +168,7 @@ func Elaborate(f *ir.Function, profile *hw.Profile, limits map[hw.FUClass]int) (
 			}
 			op.FP = op.IsFP()
 			g.NumOps++
+			g.opsByID = append(g.opsByID, op)
 			g.Ops[in] = op
 			ops = append(ops, op)
 			if class != hw.FUNone {

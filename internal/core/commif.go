@@ -59,6 +59,11 @@ type CommInterface struct {
 	outReads        int
 	outWrites       int
 
+	// tagOwner/tagID hold the snapshot owner tag for the next issued
+	// request (TagNext); consumed by the next IssueRead/IssueWrite.
+	tagOwner uint8
+	tagID    uint64
+
 	// reqPool recycles commReq wrappers (request + bound Done callback +
 	// read buffer), so issuing memory traffic is allocation-free once the
 	// pool is warm.
@@ -110,7 +115,21 @@ func NewCommInterface(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 func (c *CommInterface) Reset() {
 	c.readsThisCycle, c.writesThisCycle = 0, 0
 	c.outReads, c.outWrites = 0, 0
+	c.tagOwner, c.tagID = 0, 0
 	c.MMR.Reset()
+}
+
+// TagNext sets the snapshot owner tag stamped onto the next issued
+// request, so a checkpoint can claim the request while it is in flight.
+func (c *CommInterface) TagNext(owner uint8, id uint64) {
+	c.tagOwner, c.tagID = owner, id
+}
+
+// takeTag consumes the pending owner tag.
+func (c *CommInterface) takeTag() (uint8, uint64) {
+	o, id := c.tagOwner, c.tagID
+	c.tagOwner, c.tagID = 0, 0
+	return o, id
 }
 
 // AttachLocal connects the scratchpad master port.
@@ -220,6 +239,7 @@ func (c *CommInterface) allocReq() *commReq {
 // stream window that is currently empty (the op must retry). done receives
 // the data bits via the event queue.
 func (c *CommInterface) IssueRead(addr uint64, size int, done func(data []byte)) bool {
+	owner, ownerID := c.takeTag()
 	if w := c.stream(addr, size); w != nil {
 		if w.dir != StreamIn {
 			panic(fmt.Sprintf("core: %s: load from output stream window %#x", c.name, addr))
@@ -240,7 +260,7 @@ func (c *CommInterface) IssueRead(addr uint64, size int, done func(data []byte))
 	cr := c.allocReq()
 	cr.start = c.q.Now()
 	cr.rdone = done
-	cr.req = mem.Request{Addr: addr, Size: size, Done: cr.readDoneFn}
+	cr.req = mem.Request{Addr: addr, Size: size, Done: cr.readDoneFn, Owner: owner, OwnerID: ownerID}
 	if size <= len(cr.buf) {
 		cr.req.Data = cr.buf[:size] // response buffer; consumed inside done
 	}
@@ -251,6 +271,7 @@ func (c *CommInterface) IssueRead(addr uint64, size int, done func(data []byte))
 // IssueWrite starts a write. It returns false when the access targets a
 // stream window that is currently full.
 func (c *CommInterface) IssueWrite(addr uint64, data []byte, done func()) bool {
+	owner, ownerID := c.takeTag()
 	if w := c.stream(addr, len(data)); w != nil {
 		if w.dir != StreamOut {
 			panic(fmt.Sprintf("core: %s: store to input stream window %#x", c.name, addr))
@@ -268,8 +289,9 @@ func (c *CommInterface) IssueWrite(addr uint64, data []byte, done func()) bool {
 	c.outWrites++
 	c.StoresIssued.Inc(1)
 	cr := c.allocReq()
+	cr.start = c.q.Now()
 	cr.wdone = done
-	cr.req = mem.Request{Addr: addr, Size: len(data), Write: true, Data: data, Done: cr.writeDoneFn}
+	cr.req = mem.Request{Addr: addr, Size: len(data), Write: true, Data: data, Done: cr.writeDoneFn, Owner: owner, OwnerID: ownerID}
 	c.route(addr, len(data)).Send(&cr.req)
 	return true
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"gosalam/internal/hw"
 	"gosalam/internal/sim"
+	"gosalam/internal/snapshot"
 	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
@@ -29,7 +30,10 @@ type Cache struct {
 	sets     []cacheSet
 	incoming reqQueue
 	mshr     map[uint64]*mshrEntry
-	lruTick  uint64
+	// mshrOrder holds live entries in allocation order, so snapshots can
+	// enumerate the MSHR file without ranging over the map.
+	mshrOrder []*mshrEntry
+	lruTick   uint64
 
 	// rec, when non-nil, receives hit/miss instants and an MSHR-occupancy
 	// counter (AttachTimeline).
@@ -116,6 +120,7 @@ func (c *Cache) Reset() {
 		}
 	}
 	clear(c.mshr)
+	c.mshrOrder = c.mshrOrder[:0]
 	c.incoming.reset()
 	c.lruTick = 0
 	c.ResetClocked()
@@ -209,13 +214,23 @@ func (c *Cache) tryAccess(r *Request) bool {
 	}
 	e := &mshrEntry{lineAddr: la, waiting: []*Request{r}}
 	c.mshr[la] = e
+	c.mshrOrder = append(c.mshrOrder, e)
 	if c.rec != nil {
 		c.rec.Counter(c.tlMSHR, uint64(c.Q.Now()), float64(len(c.mshr)))
 	}
 	// Fetch the line from downstream.
-	fill := NewRead(la, c.LineBytes, func(*Request) { c.fill(e) })
+	fill := c.newFill(e)
 	c.downstream.Send(fill)
 	return true
+}
+
+// newFill builds the downstream line-fetch request for an MSHR entry,
+// tagged so a snapshot can claim it wherever it is in flight.
+func (c *Cache) newFill(e *mshrEntry) *Request {
+	fill := NewRead(e.lineAddr, c.LineBytes, func(*Request) { c.fill(e) })
+	fill.Owner = snapshot.OwnerCacheFill
+	fill.OwnerID = e.lineAddr
+	return fill
 }
 
 // fill installs the fetched line and releases waiters.
@@ -240,11 +255,18 @@ func (c *Cache) fill(e *mshrEntry) {
 		// writeback only models downstream bandwidth and latency.
 		wb := NewWrite(v.tag, make([]byte, c.LineBytes), nil)
 		wb.TimingOnly = true
+		wb.Owner = snapshot.OwnerWriteback
 		c.downstream.Send(wb)
 	}
 	c.lruTick++
 	*v = cacheLine{tag: e.lineAddr, valid: true, lru: c.lruTick}
 	delete(c.mshr, e.lineAddr)
+	for i, o := range c.mshrOrder {
+		if o == e {
+			c.mshrOrder = append(c.mshrOrder[:i], c.mshrOrder[i+1:]...)
+			break
+		}
+	}
 	if c.rec != nil {
 		c.rec.Counter(c.tlMSHR, uint64(c.Q.Now()), float64(len(c.mshr)))
 	}

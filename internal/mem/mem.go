@@ -61,6 +61,13 @@ type Request struct {
 	// Issued is stamped by the first device that accepts the request.
 	Issued sim.Tick
 
+	// Owner and OwnerID tag which component created the request so a
+	// checkpoint can claim it and a restore can rebind its Done callback
+	// (snapshot.Owner* constants). Untagged requests make the state
+	// unsnapshotable; they are harmless otherwise.
+	Owner   uint8
+	OwnerID uint64
+
 	// space is bound by complete so the request itself is the scheduled
 	// event payload (sim.Firer) — no per-completion closure.
 	space *ir.FlatMem

@@ -1,0 +1,129 @@
+// Package sample implements interval-sampled simulation: a large-N kernel
+// whose loop structure is statically exact (every block's trip count is
+// proven by the counted-trip analysis in internal/analysis) is divided
+// into N equal intervals of committed dynamic ops, only the first K are
+// simulated in detail, and the remaining work is extrapolated from the
+// measured steady-state rate. The first interval absorbs warmup (pipeline
+// fill, cold scratchpad banks, cache misses); intervals 2..K measure the
+// steady phase and their spread yields the reported error bound.
+//
+// Sampled results are estimates. They are marked as such end to end and
+// are never allowed into golden files or exactness-dependent search
+// frontiers; the package only provides the arithmetic, the policy lives in
+// the root package and its consumers.
+package sample
+
+import "fmt"
+
+// Spec configures interval sampling for one run. The zero value disables
+// sampling.
+type Spec struct {
+	// K is how many of the N intervals are simulated in detail (the
+	// prefix). At least 2: the first interval is treated as warmup and
+	// never contributes to the extrapolation rate.
+	K int `json:"k"`
+	// N is how many intervals the kernel's total committed-op count is
+	// divided into. Must exceed K, otherwise the run would be detailed
+	// anyway.
+	N int `json:"n"`
+}
+
+// Enabled reports whether the spec requests sampling.
+func (s Spec) Enabled() bool { return s.K != 0 || s.N != 0 }
+
+// Validate checks an enabled spec.
+func (s Spec) Validate() error {
+	if s.K < 2 {
+		return fmt.Errorf("sample: need at least 2 detailed intervals (K=%d): interval 1 is warmup", s.K)
+	}
+	if s.N <= s.K {
+		return fmt.Errorf("sample: N=%d intervals with K=%d detailed leaves nothing to skip", s.N, s.K)
+	}
+	return nil
+}
+
+// Interval is one measured detailed interval.
+type Interval struct {
+	// Ops is the number of dynamic ops committed in the interval.
+	Ops uint64 `json:"ops"`
+	// Cycles is the accelerator cycles the interval took.
+	Cycles uint64 `json:"cycles"`
+}
+
+// Estimate is the extrapolated result of a sampled run.
+type Estimate struct {
+	// Intervals are the detailed measurements, in order.
+	Intervals []Interval `json:"intervals"`
+	// MeasuredOps/MeasuredCycles cover the detailed prefix.
+	MeasuredOps    uint64 `json:"measured_ops"`
+	MeasuredCycles uint64 `json:"measured_cycles"`
+	// RemainingOps is the extrapolated-over op count.
+	RemainingOps uint64 `json:"remaining_ops"`
+	// CyclesPerOp is the steady-state rate: the mean over intervals 2..K.
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	// Cycles is the estimated total kernel cycle count.
+	Cycles uint64 `json:"cycles"`
+	// ErrorBound is the relative spread of the steady-state rates,
+	// (max-min)/mean — the reported uncertainty of Cycles. With a single
+	// steady interval (K=2) the warmup interval is included, which is
+	// conservative.
+	ErrorBound float64 `json:"error_bound"`
+}
+
+// Extrapolate turns the measured detailed intervals into a total-cycle
+// estimate for a run with remainingOps committed ops still to go.
+func Extrapolate(intervals []Interval, remainingOps uint64) (Estimate, error) {
+	if len(intervals) < 2 {
+		return Estimate{}, fmt.Errorf("sample: %d detailed intervals, need at least 2", len(intervals))
+	}
+	est := Estimate{Intervals: intervals, RemainingOps: remainingOps}
+	for _, iv := range intervals {
+		est.MeasuredOps += iv.Ops
+		est.MeasuredCycles += iv.Cycles
+	}
+
+	rate := func(iv Interval) (float64, error) {
+		if iv.Ops == 0 {
+			return 0, fmt.Errorf("sample: empty detailed interval (%d cycles, 0 ops)", iv.Cycles)
+		}
+		return float64(iv.Cycles) / float64(iv.Ops), nil
+	}
+	steady := intervals[1:]
+	var sum float64
+	for _, iv := range steady {
+		r, err := rate(iv)
+		if err != nil {
+			return Estimate{}, err
+		}
+		sum += r
+	}
+	est.CyclesPerOp = sum / float64(len(steady))
+	est.Cycles = est.MeasuredCycles + uint64(est.CyclesPerOp*float64(remainingOps)+0.5)
+
+	// The error bound comes from the spread of steady rates; with only one
+	// steady interval, fall back to all intervals (warmup included) so the
+	// bound is never vacuously zero.
+	spreadOver := steady
+	if len(spreadOver) < 2 {
+		spreadOver = intervals
+	}
+	min, max, mean := 0.0, 0.0, 0.0
+	for i, iv := range spreadOver {
+		r, err := rate(iv)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if i == 0 || r < min {
+			min = r
+		}
+		if i == 0 || r > max {
+			max = r
+		}
+		mean += r
+	}
+	mean /= float64(len(spreadOver))
+	if mean > 0 {
+		est.ErrorBound = (max - min) / mean
+	}
+	return est, nil
+}

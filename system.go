@@ -8,6 +8,7 @@ import (
 	"gosalam/internal/hw"
 	"gosalam/internal/mem"
 	"gosalam/internal/sim"
+	"gosalam/internal/snapshot"
 	"gosalam/internal/timeline"
 	"gosalam/ir"
 )
@@ -76,6 +77,22 @@ type SoC struct {
 	// bufs tracks stream buffers already adopted (reset + timeline), so a
 	// buffer shared between a link and a DMA registers once.
 	bufs []*mem.StreamBuffer
+	// snaps lists components with snapshot support, in registration order;
+	// SoC.Checkpoint captures them and SoC.Restore replays them.
+	snaps []socSnap
+}
+
+// socSnap is one snapshot-registered component of an SoC.
+type socSnap struct {
+	name    string
+	capture func() (snapshot.Component, error)
+	restore func(*snapshot.Component) error
+}
+
+// adoptSnap registers a component's checkpoint/restore pair. Registration
+// order is part of the image topology key.
+func (s *SoC) adoptSnap(name string, capture func() (snapshot.Component, error), restore func(*snapshot.Component) error) {
+	s.snaps = append(s.snaps, socSnap{name: name, capture: capture, restore: restore})
 }
 
 // AccelNode bundles one accelerator with its system plumbing.
@@ -113,6 +130,20 @@ func NewSoC(dramMB int) *SoC {
 	s.Host = cpu.NewHost("host", s.Q, hostClk, s.Xbar, s.GIC, s.Stats)
 	s.adopt(s.Xbar.Reset, s.Xbar.AttachTimeline)
 	s.adopt(s.DRAM.Reset, s.DRAM.AttachTimeline)
+	s.adoptSnap("dram",
+		func() (snapshot.Component, error) {
+			st, err := s.DRAM.CaptureState()
+			if err != nil {
+				return snapshot.Component{}, err
+			}
+			return snapshot.Component{Name: "dram", DRAM: &st}, nil
+		},
+		func(c *snapshot.Component) error {
+			if c.DRAM == nil {
+				return fmt.Errorf("component carries no DRAM state")
+			}
+			return s.DRAM.RestoreState(*c.DRAM, rejectInflight)
+		})
 	s.adopt(s.GIC.Reset, nil)
 	s.adopt(s.Host.Reset, nil)
 	s.adopt(nil, s.Q.AttachTimeline)
@@ -193,6 +224,20 @@ func (s *SoC) AddSPM(name string, bytes uint64, latency, banks, ports int) *mem.
 		s.AllocSPMRange(bytes), latency, banks, ports, s.Stats)
 	s.Xbar.Attach(spm)
 	s.adopt(spm.Reset, spm.AttachTimeline)
+	s.adoptSnap(name,
+		func() (snapshot.Component, error) {
+			st, err := spm.CaptureState()
+			if err != nil {
+				return snapshot.Component{}, err
+			}
+			return snapshot.Component{Name: name, SPM: &st}, nil
+		},
+		func(c *snapshot.Component) error {
+			if c.SPM == nil {
+				return fmt.Errorf("component carries no scratchpad state")
+			}
+			return spm.RestoreState(*c.SPM, rejectInflight)
+		})
 	return spm
 }
 
@@ -287,6 +332,24 @@ func (s *SoC) AddAccel(name string, f *ir.Function, o AccelOpts) (*AccelNode, er
 		comm.Reset()
 		node.Acc.Reconfigure(g, cfg)
 	}, node.Acc.AttachTimeline)
+	s.adoptSnap(name,
+		func() (snapshot.Component, error) {
+			ast, err := node.Acc.CaptureState()
+			if err != nil {
+				return snapshot.Component{}, err
+			}
+			cst := comm.CaptureState()
+			return snapshot.Component{Name: name, Accel: &ast, Comm: &cst}, nil
+		},
+		func(c *snapshot.Component) error {
+			if c.Accel == nil || c.Comm == nil {
+				return fmt.Errorf("component carries no engine state")
+			}
+			if err := node.Acc.RestoreState(*c.Accel); err != nil {
+				return err
+			}
+			return comm.RestoreState(*c.Comm)
+		})
 	return node, nil
 }
 
