@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke fuzz-smoke golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -31,6 +31,13 @@ vet-sim:
 # nonzero).
 analyze-smoke:
 	$(GO) run ./cmd/salam-analyze -all > /dev/null
+
+# Native-fuzz smoke over the static pipeline: 5 seconds of malformed CDFG
+# sources through parse -> elaborate -> analyze -> cycle/energy bounds.
+# The contract is "reject or analyze, never panic, never an infinite or
+# negative bound" — the search engine prunes on these numbers unchecked.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAnalyzeReport -fuzztime 5s ./internal/analysis
 
 # The concurrent subsystems — the campaign engine, the experiments that
 # drive real parallel simulations through it, and the salam-serve service
@@ -93,7 +100,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke analyze-smoke
+check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke analyze-smoke fuzz-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

@@ -306,3 +306,40 @@ func BenchmarkDSESearch(b *testing.B) {
 	b.ReportMetric(float64(res.PrunedPoints+res.CollapsedPoints), "points-avoided")
 	b.ReportMetric(float64(len(res.Frontier)), "frontier-size")
 }
+
+// BenchmarkDSESearchEDP: single-objective search over a 10⁵-point ranged
+// GEMM space minimizing energy-delay product. Unlike the Pareto run, a
+// single incumbent EDP gives the energy floor something to prune against,
+// so points-pruned must be nonzero: regions whose provable energy/EDP
+// floor already exceeds the best measured point die without simulation.
+func BenchmarkDSESearchEDP(b *testing.B) {
+	space := campaign.Space{
+		Kernel:    "gemm",
+		FURange:   &campaign.Range{Min: 1, Max: 500},
+		PortRange: &campaign.Range{Min: 1, Max: 50},
+		BankRange: &campaign.Range{Min: 1, Max: 8},
+		Objective: "edp",
+	}
+	b.ReportAllocs()
+	var res *search.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = search.Run(context.Background(), search.Config{Space: space})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Points != 200_000 || len(res.Frontier) != 1 {
+		b.Fatalf("searched %d points, result %d", res.Points, len(res.Frontier))
+	}
+	if res.PrunedPoints == 0 {
+		b.Fatal("EDP floor never pruned a region")
+	}
+	if res.Evaluated*100 >= res.Points {
+		b.Fatalf("search evaluated %d of %d points; want < 1%%", res.Evaluated, res.Points)
+	}
+	b.ReportMetric(float64(res.Points), "points-total")
+	b.ReportMetric(float64(res.Evaluated), "points-evaluated")
+	b.ReportMetric(float64(res.PrunedPoints), "points-pruned")
+	b.ReportMetric(res.Frontier[0].Vec.EDP, "best-edp-pjns")
+}

@@ -1,6 +1,7 @@
 // Command salam-analyze prints the static analysis of a kernel's
 // elaborated CDFG without simulating it: the provable cycle-count lower
-// bound and the component that binds it, ASAP/ALAP block schedules,
+// bound and the component that binds it, the dynamic-energy and EDP
+// floors with their per-FU-class breakdown, ASAP/ALAP block schedules,
 // memory-dependence and out-of-bounds findings, dead-op and loop reports,
 // and the static power/area envelope. The same analysis drives campaign
 // pruning (salam-dse) — this command is the human-readable view.
@@ -8,7 +9,7 @@
 // Usage:
 //
 //	salam-analyze -kernel gemm
-//	salam-analyze -kernel gemm -ports 2 -fu 4 -json
+//	salam-analyze -kernel gemm -ports 2 -fu 4 -banks 4 -json
 //	salam-analyze -all            # one summary line per kernel
 //	salam-analyze -kernel bfs -sched   # include per-op schedules
 package main
@@ -26,7 +27,7 @@ import (
 	"gosalam/kernels"
 )
 
-func buildOpts(port, fu int) salam.RunOpts {
+func buildOpts(port, fu, banks int) salam.RunOpts {
 	opts := salam.DefaultRunOpts()
 	if port > 0 {
 		opts.Accel.ReadPorts = port
@@ -39,6 +40,9 @@ func buildOpts(port, fu int) salam.RunOpts {
 			hw.FUFPAdder: fu, hw.FUFPMultiplier: fu,
 		}
 	}
+	if banks > 0 {
+		opts.SPMBanks = banks
+	}
 	return opts
 }
 
@@ -47,6 +51,7 @@ func main() {
 	preset := flag.String("preset", "small", "workload preset: small or default")
 	port := flag.Int("ports", 0, "read/write ports (0 = engine default)")
 	fu := flag.Int("fu", 0, "FP adder+multiplier limit (0 = dedicated)")
+	banks := flag.Int("banks", 0, "scratchpad banks (0 = engine default); shapes the energy bound's SPM access costs")
 	asJSON := flag.Bool("json", false, "emit the full report and bound as JSON")
 	all := flag.Bool("all", false, "analyze every kernel in the preset, one summary line each")
 	withSched := flag.Bool("sched", false, "include per-op ASAP/ALAP schedules in text output")
@@ -61,12 +66,12 @@ func main() {
 		ks := append(kernels.All(p), kernels.Extras(p)...)
 		fmt.Println("kernel,static_ops,loops,lb_cycles,binding,hazards,oob,dead_ops,no_hazard_proven")
 		for _, k := range ks {
-			rep, err := salam.AnalyzeKernel(k, buildOpts(*port, *fu))
+			rep, err := salam.AnalyzeKernel(k, buildOpts(*port, *fu, *banks))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
 				os.Exit(1)
 			}
-			lb := rep.LowerBound(buildOpts(*port, *fu).Accel)
+			lb := rep.LowerBound(buildOpts(*port, *fu, *banks).Accel)
 			if lb.Cycles == 0 {
 				fmt.Fprintf(os.Stderr, "%s: zero lower bound — analysis derived nothing\n", k.Name)
 				os.Exit(1)
@@ -88,31 +93,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
-	opts := buildOpts(*port, *fu)
+	opts := buildOpts(*port, *fu, *banks)
 	rep, err := salam.AnalyzeKernel(k, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
 		os.Exit(1)
 	}
 	lb := rep.LowerBound(opts.Accel)
+	se, err := salam.StaticEnergyLowerBound(k, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
+		os.Exit(1)
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			Report *analysis.Report `json:"report"`
-			Bound  analysis.Bound   `json:"bound"`
-		}{rep, lb}); err != nil {
+			Report *analysis.Report   `json:"report"`
+			Bound  analysis.Bound     `json:"bound"`
+			Energy salam.StaticEnergy `json:"energy"`
+		}{rep, lb, se}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	render(rep, lb, *withSched)
+	render(rep, lb, se, *withSched)
 }
 
-func render(rep *analysis.Report, lb analysis.Bound, withSched bool) {
+func render(rep *analysis.Report, lb analysis.Bound, se salam.StaticEnergy, withSched bool) {
 	fmt.Printf("kernel %s: %d blocks (%d reachable), %d static ops\n",
 		rep.Function, rep.Blocks, rep.Reachable, rep.StaticOps)
 
@@ -188,6 +199,28 @@ func render(rep *analysis.Report, lb analysis.Bound, withSched bool) {
 	}
 	fmt.Printf("\nenvelope: leakage %.3f mW fu + %.3f mW reg, area %.0f um2, dyn energy >= %.1f pJ (%s)\n",
 		e.StaticFUMW, e.StaticRegMW, e.AreaUM2, e.MinDynEnergyPJ, exact)
+
+	kind := "floor"
+	if se.Exact {
+		kind = "exact counts"
+	}
+	fmt.Printf("\nenergy bound (%s): total >= %.1f pJ over >= %d cycles @ %.1f ns\n",
+		kind, se.TotalPJ, se.CyclesLB, se.PeriodNS)
+	fmt.Printf("  %-10s %12.1f pJ\n", "fu", se.FUPJ)
+	fmt.Printf("  %-10s %12.1f pJ\n", "registers", se.RegPJ)
+	fmt.Printf("  %-10s %12.1f pJ\n", "memory", se.MemPJ)
+	fmt.Printf("  %-10s %12.1f pJ  (%.3f mW leakage x cycle bound)\n", "leakage", se.LeakPJ, se.LeakMW)
+	fmt.Printf("  edp >= %.1f pJ*ns\n", se.EDP)
+	if len(se.Classes) > 0 {
+		fmt.Println("  fu classes:")
+		for _, ce := range se.Classes {
+			mark := "floor"
+			if ce.Exact {
+				mark = "exact"
+			}
+			fmt.Printf("    %-16s inits>=%-8d %12.1f pJ (%s)\n", ce.Class, ce.Inits, ce.EnergyPJ, mark)
+		}
+	}
 
 	if withSched {
 		fmt.Println("\nschedules:")

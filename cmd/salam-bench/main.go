@@ -214,6 +214,31 @@ func dseSearchBench() testing.BenchmarkResult {
 	})
 }
 
+// dseSearchEDPBench minimizes energy-delay product over a 2×10⁵-point
+// ranged GEMM space: the single-objective mode where the provable energy
+// floor prunes regions outright (PrunedPoints must be nonzero).
+func dseSearchEDPBench() testing.BenchmarkResult {
+	space := campaign.Space{
+		Kernel:    "gemm",
+		FURange:   &campaign.Range{Min: 1, Max: 500},
+		PortRange: &campaign.Range{Min: 1, Max: 50},
+		BankRange: &campaign.Range{Min: 1, Max: 8},
+		Objective: "edp",
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := search.Run(context.Background(), search.Config{Space: space})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.PrunedPoints == 0 || len(res.Frontier) != 1 {
+				b.Fatalf("EDP search pruned %d points, result %d", res.PrunedPoints, len(res.Frontier))
+			}
+		}
+	})
+}
+
 // diffPoints compares the last two recorded points, printing a per-bench
 // delta table. It returns false when an Engine* benchmark regressed more
 // than 10% in ns/op.
@@ -364,6 +389,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "salam-bench: DSESearch...\n")
 	br = dseSearchBench()
 	benches["DSESearch"] = record(br, 0)
+
+	fmt.Fprintf(os.Stderr, "salam-bench: DSESearchEDP...\n")
+	br = dseSearchEDPBench()
+	benches["DSESearchEDP"] = record(br, 0)
 	fmt.Fprintf(os.Stderr, "  %s\n", br.String())
 
 	if *memProfile != "" {

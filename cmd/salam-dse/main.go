@@ -38,6 +38,15 @@
 //
 //	salam-dse -search -kernel gemm -fu-range 1:1000 -port-range 1:100 -banks 1,2,4,8 > frontier.csv
 //	salam-dse -search -kernel gemm -fu-range 1:1000 -remote http://127.0.0.1:8080 > frontier.csv
+//
+// -objective switches the search target: "pareto" (default) proves the
+// three-axis frontier, "edp" minimizes energy-delay product, and "cycles"
+// minimizes cycles — both single-objective modes prune on the provable
+// static energy/cycle floors and return the single best point. -max-area
+// constrains any objective to configurations within an area budget (µm²).
+//
+//	salam-dse -search -objective edp -kernel gemm -fu-range 1:1000 -port-range 1:100 > best.csv
+//	salam-dse -search -objective cycles -max-area 2e6 -kernel gemm -fu-range 1:1000 > best.csv
 package main
 
 import (
@@ -110,6 +119,8 @@ func main() {
 	fuRange := flag.String("fu-range", "", "ranged FU-limit knob, min:max[:step] (replaces -fu)")
 	bankRange := flag.String("bank-range", "", "ranged bank knob, min:max[:step] (replaces -banks)")
 	doSearch := flag.Bool("search", false, "prove the exact Pareto frontier by branch-and-bound instead of sweeping every point")
+	objective := flag.String("objective", "pareto", "with -search: pareto (frontier), edp (minimize energy-delay product), or cycles (minimize cycles)")
+	maxArea := flag.Float64("max-area", 0, "with -search: only admit configurations whose total area fits this budget in um2 (0 = unconstrained)")
 	noProxy := flag.Bool("no-proxy", false, "with -search: disable the reduced-trip proxy rung of successive halving")
 	jobs := flag.Int("jobs", 0, "parallel simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "result-cache directory (e.g. results/cache); empty disables caching")
@@ -164,6 +175,16 @@ func main() {
 	knob(&space.Ports, &space.PortRange, *portsList, *portRange, "port count", 1)
 	knob(&space.FU, &space.FURange, *fuList, *fuRange, "FU limit", 0)
 	knob(&space.Banks, &space.BankRange, *banksList, *bankRange, "bank count", 1)
+
+	if (*objective != "pareto" || *maxArea != 0) && !*doSearch {
+		fail(fmt.Errorf("-objective and -max-area require -search (a sweep simulates every point regardless)"))
+	}
+	if *objective != "pareto" {
+		// The default spelling stays out of the JSON so pre-objective
+		// submissions keep byte-identical bodies.
+		space.Objective = *objective
+	}
+	space.MaxAreaUM2 = *maxArea
 
 	if *doSearch {
 		if *remote != "" {
@@ -229,7 +250,7 @@ func main() {
 		// A failed point becomes an error row and a stderr warning; the
 		// sweep still finishes and reports every other point, then exits
 		// non-zero.
-		fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
+		fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,static_energy,time_us,power_mw,datapath_mw,area_um2")
 		for i, o := range outcomes {
 			pt := pts[i]
 			if o.Err != nil {
@@ -239,9 +260,10 @@ func main() {
 				fmt.Printf("%s,%s,%d,%d,error,%s\n", kname, pt.Mem, pt.FU, pt.Ports, msg)
 				continue
 			}
+			energy, _ := campaign.StaticEnergy(jobSpecs[i])
 			if o.Pruned {
-				fmt.Printf("%s,%s,%d,%d,pruned,%d,,,,\n",
-					kname, pt.Mem, pt.FU, pt.Ports, o.StaticLB)
+				fmt.Printf("%s,%s,%d,%d,pruned,%d,%.1f,,,,\n",
+					kname, pt.Mem, pt.FU, pt.Ports, o.StaticLB, energy)
 				continue
 			}
 			if o.StaticLB == 0 {
@@ -252,7 +274,7 @@ func main() {
 					o.StaticLB = lb
 				}
 			}
-			printCSVRow(kname, pt, o.Metrics, o.StaticLB)
+			printCSVRow(kname, pt, o.Metrics, o.StaticLB, energy)
 		}
 	}
 	if *dumpStats {
@@ -267,9 +289,9 @@ func main() {
 }
 
 // printCSVRow renders one measured point in the sweep's CSV schema.
-func printCSVRow(kname string, pt campaign.Point, m *campaign.Metrics, staticLB uint64) {
-	fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.0f\n",
-		kname, pt.Mem, pt.FU, pt.Ports, m.Cycles, staticLB,
+func printCSVRow(kname string, pt campaign.Point, m *campaign.Metrics, staticLB uint64, staticEnergyPJ float64) {
+	fmt.Printf("%s,%s,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f,%.0f\n",
+		kname, pt.Mem, pt.FU, pt.Ports, m.Cycles, staticLB, staticEnergyPJ,
 		float64(m.Ticks)/1e6, m.Power.TotalMW(),
 		m.Power.DatapathMW(), m.Power.TotalAreaUM2())
 }
@@ -322,7 +344,7 @@ func runRemote(base string, space campaign.Space, jsonOut bool, kname string, pt
 		return 0
 	}
 
-	fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,time_us,power_mw,datapath_mw,area_um2")
+	fmt.Println("kernel,memory,fu_limit,ports,cycles,static_lb,static_energy,time_us,power_mw,datapath_mw,area_um2")
 	failed := 0
 	sc := bufio.NewScanner(stream.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -345,7 +367,12 @@ func runRemote(base string, space campaign.Space, jsonOut bool, kname string, pt
 					lb = v
 				}
 			}
-			printCSVRow(kname, pt, row.Metrics, lb)
+			energy := row.StaticEnergyPJ
+			if energy == 0 {
+				// Pre-energy servers omit the field; derive it locally.
+				energy, _ = campaign.StaticEnergy(jobSpecs[row.Index])
+			}
+			printCSVRow(kname, pt, row.Metrics, lb, energy)
 		case campaign.StatusError:
 			failed++
 			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", row.ID, row.Error)
@@ -354,7 +381,7 @@ func runRemote(base string, space campaign.Space, jsonOut bool, kname string, pt
 		default:
 			// pruned/skipped from a sharded or pruning server: the point
 			// has no metrics here.
-			fmt.Printf("%s,%s,%d,%d,%s,%d,,,,\n", kname, pt.Mem, pt.FU, pt.Ports, row.Status, row.StaticLB)
+			fmt.Printf("%s,%s,%d,%d,%s,%d,%.1f,,,,\n", kname, pt.Mem, pt.FU, pt.Ports, row.Status, row.StaticLB, row.StaticEnergyPJ)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -51,6 +51,14 @@ var policy = map[string]ruleSet{
 	// extrapolation arithmetic must be a pure function of the measured
 	// intervals.
 	"internal/sample": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	// Static analysis results feed pruning proofs, search bounds, and
+	// committed CSV columns: every float accumulation and report list must
+	// be a pure function of the CDFG, never of map iteration order.
+	"internal/analysis": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
+	// The hardware profile's CACTI and synthesis-reference arithmetic
+	// anchors power/area/energy everywhere (engine, analysis, search), so
+	// it gets the full rule set too.
+	"internal/hw": {mapRange: true, wallClock: true, mathRand: true, goroutine: true},
 }
 
 // moduleRoot walks upward from dir to the directory holding go.mod, so
@@ -94,7 +102,7 @@ func main() {
 		}
 		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(a, "./")))
 		if _, ok := policy[rel]; !ok {
-			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign,search,serve,snapshot,sample}\n", rel)
+			fmt.Fprintf(os.Stderr, "salam-vet: %s is not a policied package (skipping); policied: internal/{sim,core,mem,timeline,campaign,search,serve,snapshot,sample,analysis,hw}\n", rel)
 			continue
 		}
 		dirs[rel] = true

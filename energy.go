@@ -1,0 +1,56 @@
+package salam
+
+// EnergyBreakdown is the measured energy accounting of one run, derived
+// from the engine's counters and the CACTI model at the run's exact
+// sizing. It is the single model both the validation experiments and the
+// static-bound soundness tests charge against, so the simulator never
+// disagrees with itself about what a joule is.
+type EnergyBreakdown struct {
+	// ElapsedNS is the run's wall time in nanoseconds (ticks are ps).
+	ElapsedNS float64
+	// FUPJ is dynamic FU energy; RegPJ is register-file read+write energy.
+	FUPJ  float64
+	RegPJ float64
+	// MemReadPJ/MemWritePJ are private-memory access energies (SPM or
+	// cache, whichever backs the run); MemLeakMW is its leakage power.
+	MemReadPJ  float64
+	MemWritePJ float64
+	MemLeakMW  float64
+}
+
+// MeasuredEnergy extracts the energy breakdown from a finished run.
+func MeasuredEnergy(res *Result) EnergyBreakdown {
+	e := EnergyBreakdown{ElapsedNS: float64(res.Ticks) / 1000.0}
+	if e.ElapsedNS <= 0 {
+		e.ElapsedNS = 1
+	}
+	if res.Acc != nil {
+		e.FUPJ = res.Acc.FUEnergyPJ.Value()
+		e.RegPJ = res.Acc.RegReadPJ.Value() + res.Acc.RegWritePJ.Value()
+	}
+	switch {
+	case res.SPM != nil:
+		c := res.SPM.Cacti()
+		e.MemReadPJ = res.SPM.Reads.Value() * c.ReadEnergyPJ()
+		e.MemWritePJ = res.SPM.Writes.Value() * c.WriteEnergyPJ()
+		e.MemLeakMW = c.LeakageMW()
+	case res.Cache != nil:
+		c := res.Cache.Cacti()
+		e.MemReadPJ = res.Cache.Reads.Value() * c.ReadEnergyPJ()
+		e.MemWritePJ = res.Cache.Writes.Value() * c.WriteEnergyPJ()
+		e.MemLeakMW = c.LeakageMW()
+	}
+	return e
+}
+
+// DynamicPJ returns total dynamic energy in picojoules.
+func (e EnergyBreakdown) DynamicPJ() float64 {
+	return e.FUPJ + e.RegPJ + e.MemReadPJ + e.MemWritePJ
+}
+
+// MemPowerMW returns the private memory's average power over the run:
+// access energy spread over the elapsed time plus leakage. For
+// cache-backed runs this is the Fig. 13 "cache power" series.
+func (e EnergyBreakdown) MemPowerMW() float64 {
+	return (e.MemReadPJ+e.MemWritePJ)/e.ElapsedNS + e.MemLeakMW
+}

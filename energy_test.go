@@ -1,0 +1,159 @@
+package salam_test
+
+// Soundness tests for the static energy bound: a provable energy floor
+// that ever exceeds a run's measured energy is a bug by definition. Each
+// component is checked against the counter it floors — FU energy, register
+// traffic, private-memory accesses — and the total against the power
+// report integrated over the elapsed time, so the bound stays anchored to
+// the same joule the engine charges.
+
+import (
+	"testing"
+
+	salam "gosalam"
+	"gosalam/kernels"
+)
+
+// energyConfigs spans the knobs the bound depends on: FU sharing (floors
+// vs dedicated), port width (cycle bound), and banking (SPM access
+// energy).
+func energyConfigs() []struct {
+	name      string
+	fu, ports int
+	banks     int
+	cache     bool
+} {
+	return []struct {
+		name      string
+		fu, ports int
+		banks     int
+		cache     bool
+	}{
+		{"default", 0, 0, 0, false},
+		{"shared-narrow", 2, 1, 1, false},
+		{"shared-banked", 4, 2, 8, false},
+		{"wide", 8, 8, 4, false},
+		{"cache", 0, 0, 0, true},
+		{"cache-shared", 2, 2, 0, true},
+	}
+}
+
+func energyOpts(fu, ports, banks int, cache bool) salam.RunOpts {
+	opts := salam.DefaultRunOpts()
+	if ports > 0 {
+		opts.Accel.ReadPorts, opts.Accel.WritePorts = ports, ports
+		opts.Accel.MaxOutstanding = 2 * ports
+		opts.SPMPortsPer = ports
+	}
+	if fu > 0 {
+		opts.Accel.FULimits = map[salam.FUClass]int{
+			salam.FUFPAdder: fu, salam.FUFPMultiplier: fu,
+		}
+	}
+	if banks > 0 {
+		opts.SPMBanks = banks
+	}
+	if cache {
+		opts.Mem = salam.MemCache
+	}
+	return opts
+}
+
+// TestStaticEnergyLowerBoundSoundness runs every golden-suite kernel
+// across the config matrix and checks the bound floors each measured
+// component and the measured total (power report x elapsed time).
+func TestStaticEnergyLowerBoundSoundness(t *testing.T) {
+	const eps = 1e-6
+	suite := append(kernels.All(kernels.Small), kernels.Extras(kernels.Small)...)
+	checked := 0
+	for _, k := range suite {
+		for _, cfg := range energyConfigs() {
+			opts := energyOpts(cfg.fu, cfg.ports, cfg.banks, cfg.cache)
+			se, err := salam.StaticEnergyLowerBound(k, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: bound: %v", k.Name, cfg.name, err)
+			}
+			res, err := salam.RunKernel(k, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", k.Name, cfg.name, err)
+			}
+			me := salam.MeasuredEnergy(res)
+
+			if se.FUPJ > me.FUPJ+eps {
+				t.Errorf("%s/%s: FU floor %.3f pJ exceeds measured %.3f pJ",
+					k.Name, cfg.name, se.FUPJ, me.FUPJ)
+			}
+			if se.RegPJ > me.RegPJ+eps {
+				t.Errorf("%s/%s: register floor %.3f pJ exceeds measured %.3f pJ",
+					k.Name, cfg.name, se.RegPJ, me.RegPJ)
+			}
+			if cfg.cache {
+				// The accelerator power report does not attribute cache
+				// energy, so the bound must not charge any.
+				if se.MemPJ != 0 {
+					t.Errorf("%s/%s: cache-backed bound charges %.3f pJ of memory energy",
+						k.Name, cfg.name, se.MemPJ)
+				}
+			} else if se.MemPJ > me.MemReadPJ+me.MemWritePJ+eps {
+				t.Errorf("%s/%s: memory floor %.3f pJ exceeds measured %.3f pJ",
+					k.Name, cfg.name, se.MemPJ, me.MemReadPJ+me.MemWritePJ)
+			}
+			if uint64(se.CyclesLB) > res.Cycles {
+				t.Errorf("%s/%s: cycle bound %d exceeds measured %d",
+					k.Name, cfg.name, se.CyclesLB, res.Cycles)
+			}
+
+			// The headline claim: TotalPJ floors the run's reported energy,
+			// and the EDP floor its energy-delay product.
+			measuredPJ := res.Power.TotalMW() * me.ElapsedNS
+			if se.TotalPJ > measuredPJ*(1+1e-9)+eps {
+				t.Errorf("%s/%s: total floor %.3f pJ exceeds measured %.3f pJ (%.3f mW x %.1f ns)",
+					k.Name, cfg.name, se.TotalPJ, measuredPJ, res.Power.TotalMW(), me.ElapsedNS)
+			}
+			if se.EDP > measuredPJ*me.ElapsedNS*(1+1e-9)+eps {
+				t.Errorf("%s/%s: EDP floor %.1f exceeds measured %.1f pJ*ns",
+					k.Name, cfg.name, se.EDP, measuredPJ*me.ElapsedNS)
+			}
+			if se.TotalPJ <= 0 {
+				t.Errorf("%s/%s: degenerate bound %+v", k.Name, cfg.name, se)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no configurations checked")
+	}
+}
+
+// TestStaticEnergyExactOnCountedLoops pins the quality side on GEMM: every
+// loop is counted, so the bound's dynamic components must be exact — equal
+// to the measured counters, not merely below them.
+func TestStaticEnergyExactOnCountedLoops(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	opts := salam.DefaultRunOpts()
+	se, err := salam.StaticEnergyLowerBound(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !se.Exact {
+		t.Fatal("GEMM bound not exact despite fully counted loops")
+	}
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := salam.MeasuredEnergy(res)
+	close := func(a, b float64) bool {
+		d := a - b
+		return d < 1e-6 && d > -1e-6
+	}
+	if !close(se.FUPJ, me.FUPJ) {
+		t.Errorf("exact FU bound %.3f != measured %.3f", se.FUPJ, me.FUPJ)
+	}
+	if !close(se.RegPJ, me.RegPJ) {
+		t.Errorf("exact register bound %.3f != measured %.3f", se.RegPJ, me.RegPJ)
+	}
+	if !close(se.MemPJ, me.MemReadPJ+me.MemWritePJ) {
+		t.Errorf("exact memory bound %.3f != measured %.3f", se.MemPJ, me.MemReadPJ+me.MemWritePJ)
+	}
+}

@@ -77,6 +77,21 @@ type Report struct {
 	classOps   []int
 	classExact []bool
 	fuTotal    []int
+
+	// Per-FU-class minExec-weighted initiation counts and FU energy,
+	// indexed by hw.FUClass. Terminators ARE included here (under
+	// FUControl): they never contend for units, but the engine charges
+	// their FU energy at commit, so the per-class energies must sum to the
+	// FU floor.
+	classInits    []uint64
+	classEnergyPJ []float64
+	classInitOK   []bool
+
+	// The MinDynEnergyPJ split, mirroring the engine's three counters:
+	// fuFloorPJ lower-bounds FUEnergyPJ, regFloorPJ lower-bounds
+	// RegReadPJ + RegWritePJ. MinDynEnergyPJ == fuFloorPJ + regFloorPJ.
+	fuFloorPJ  float64
+	regFloorPJ float64
 }
 
 // Analyze computes the full static report for an elaborated CDFG. Use For
@@ -87,14 +102,18 @@ func Analyze(g *core.CDFG) *Report {
 		Function:   g.F.Name(),
 		Blocks:     len(g.F.Blocks),
 		StaticOps:  g.NumOps,
-		classBusy:  make([]uint64, hw.NumFUClasses()),
-		classOps:   make([]int, hw.NumFUClasses()),
-		classExact: make([]bool, hw.NumFUClasses()),
-		fuTotal:    make([]int, hw.NumFUClasses()),
+		classBusy:     make([]uint64, hw.NumFUClasses()),
+		classOps:      make([]int, hw.NumFUClasses()),
+		classExact:    make([]bool, hw.NumFUClasses()),
+		fuTotal:       make([]int, hw.NumFUClasses()),
+		classInits:    make([]uint64, hw.NumFUClasses()),
+		classEnergyPJ: make([]float64, hw.NumFUClasses()),
+		classInitOK:   make([]bool, hw.NumFUClasses()),
 	}
 	for _, cl := range hw.AllFUClasses() {
 		r.fuTotal[cl] = g.FUTotal[cl]
 		r.classExact[cl] = true
+		r.classInitOK[cl] = true
 	}
 
 	used := make(map[*ir.Instr]bool)
@@ -147,7 +166,17 @@ func Analyze(g *core.CDFG) *Report {
 			if in := st.In; in.HasResult() && !used[in] && !st.Store && !st.Term {
 				r.DeadOps = append(r.DeadOps, "%"+in.Name)
 			}
-			r.Envelope.MinDynEnergyPJ += float64(minExec) * perExecEnergyPJ(st)
+			fuPJ, regPJ := fuPerExecPJ(st), regPerExecPJ(st)
+			r.fuFloorPJ += float64(minExec) * fuPJ
+			r.regFloorPJ += float64(minExec) * regPJ
+			r.Envelope.MinDynEnergyPJ += float64(minExec) * (fuPJ + regPJ)
+			if !st.Mem && st.Class != hw.FUNone {
+				r.classInits[st.Class] += minExec
+				r.classEnergyPJ[st.Class] += float64(minExec) * st.EnergyPJ
+				if !exact {
+					r.classInitOK[st.Class] = false
+				}
+			}
 		}
 	}
 
@@ -182,6 +211,24 @@ func Analyze(g *core.CDFG) *Report {
 // commit; everything else charges all operand reads at issue plus FU
 // energy and the result write at commit.
 func perExecEnergyPJ(st *core.StaticOp) float64 {
+	return fuPerExecPJ(st) + regPerExecPJ(st)
+}
+
+// fuPerExecPJ is the slice of one execution's energy the engine books
+// against FUEnergyPJ: the FU dynamic energy, charged at commit for every
+// non-memory op (memory ops have no FU; class FUNone specs are zero).
+func fuPerExecPJ(st *core.StaticOp) float64 {
+	if st.Mem {
+		return 0
+	}
+	return st.EnergyPJ
+}
+
+// regPerExecPJ is the slice booked against RegReadPJ + RegWritePJ: the
+// address-register read (memory ops), operand reads (compute ops), and the
+// result write when the op produces one. Terminators charge no register
+// traffic.
+func regPerExecPJ(st *core.StaticOp) float64 {
 	switch {
 	case st.Mem:
 		e := st.MemReadPJ
@@ -190,9 +237,9 @@ func perExecEnergyPJ(st *core.StaticOp) float64 {
 		}
 		return e
 	case st.Term:
-		return st.EnergyPJ
+		return 0
 	}
-	e := st.EnergyPJ
+	e := 0.0
 	for _, v := range st.ReadPJ {
 		e += v
 	}

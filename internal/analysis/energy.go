@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+)
+
+// This file proves a dynamic-energy lower bound per (CDFG, config): the
+// static counterpart of the engine's energy accounting, built from the same
+// minExec floors that back LowerBound. Every term mirrors a runtime counter
+// and is provably no larger than what that counter will report:
+//
+//   - FUPJ <= FUEnergyPJ: every reachable block executes at least minExec
+//     times inside the kernel window, and each execution of a non-memory op
+//     charges its FU energy exactly once at commit;
+//   - RegPJ <= RegReadPJ + RegWritePJ: each execution charges its operand
+//     (or address) reads at issue and its result write at commit;
+//   - MemPJ <= SPM reads*ReadEnergyPJ + writes*WriteEnergyPJ: each dynamic
+//     load (store) performs at least one private-memory read (write), and
+//     DMA/host traffic only adds accesses. Cache-backed runs attribute no
+//     private-memory categories in PowerReport.TotalMW, so callers pass a
+//     zero MemEnergy there and the term vanishes;
+//   - LeakPJ <= leakage*elapsed: the kernel's wall time is at least
+//     CyclesLB accelerator cycles, and leakage power is constant.
+//
+// The bound is therefore sound against measured TotalMW * elapsedNS for
+// any run of the same (kernel, config); it is additionally Exact-flagged
+// when every contributing block's trip count is proved (the same lattice
+// as the UtilSound flag).
+
+// MemEnergy carries the private-memory energy coefficients of one
+// configuration: per-access read/write energy and leakage from the CACTI
+// model at the run's exact sizing. Pass the zero value for cache-backed
+// runs, mirroring the runtime accounting, which attributes no
+// private-memory categories to the accelerator.
+type MemEnergy struct {
+	ReadPJ  float64
+	WritePJ float64
+	LeakMW  float64
+}
+
+// ClassEnergy is one FU class's share of the dynamic-energy floor.
+type ClassEnergy struct {
+	Class string `json:"class"`
+	// Inits is the minExec-weighted initiation count (terminators counted
+	// under their control class: they charge FU energy at commit).
+	Inits    uint64  `json:"inits"`
+	EnergyPJ float64 `json:"energy_pj"`
+	// Exact is true when every block contributing to this class has a
+	// proved trip count, so Inits and EnergyPJ are exact rather than
+	// floors.
+	Exact bool `json:"exact"`
+}
+
+// EnergyBound is the provable dynamic-energy lower bound of one (CDFG,
+// config) pair, in picojoules.
+type EnergyBound struct {
+	// FUPJ/RegPJ/MemPJ are the dynamic floors mirroring the engine's
+	// FUEnergyPJ, RegReadPJ+RegWritePJ, and private-memory access-energy
+	// counters.
+	FUPJ  float64 `json:"fu_pj"`
+	RegPJ float64 `json:"reg_pj"`
+	MemPJ float64 `json:"mem_pj"`
+	// LeakPJ is total leakage (datapath + private memory) integrated over
+	// the cycle-count lower bound.
+	LeakPJ  float64 `json:"leak_pj"`
+	TotalPJ float64 `json:"total_pj"`
+	// CyclesLB and PeriodNS are the cycle bound and clock period the
+	// leakage term integrates over.
+	CyclesLB uint64  `json:"cycles_lb"`
+	PeriodNS float64 `json:"period_ns"`
+	// Exact is true when every reachable block's trip count is proved, so
+	// the dynamic terms are exact counts, not just floors (same lattice as
+	// Envelope.EnergyExact / ClassBound.UtilSound).
+	Exact   bool          `json:"exact"`
+	Classes []ClassEnergy `json:"classes,omitempty"`
+}
+
+// EDPpJns returns the energy-delay-product lower bound in pJ*ns: the
+// energy floor times the delay floor. Sound because both factors are
+// positive lower bounds of their measured counterparts.
+func (b EnergyBound) EDPpJns() float64 {
+	return b.TotalPJ * float64(b.CyclesLB) * b.PeriodNS
+}
+
+// EnergyLowerBound evaluates the dynamic-energy lower bound for a specific
+// accelerator config and private-memory energy model. The FU inventory is
+// baked into the CDFG; cfg contributes the port knobs (through the cycle
+// bound) and the clock period.
+func (r *Report) EnergyLowerBound(cfg core.AccelConfig, mem MemEnergy) EnergyBound {
+	cfg = cfg.Normalized()
+	mhz := cfg.ClockMHz
+	if mhz <= 0 {
+		mhz = 100
+	}
+	b := EnergyBound{
+		FUPJ:     r.fuFloorPJ,
+		RegPJ:    r.regFloorPJ,
+		MemPJ:    float64(r.Totals.Loads)*mem.ReadPJ + float64(r.Totals.Stores)*mem.WritePJ,
+		CyclesLB: r.LowerBound(cfg).Cycles,
+		PeriodNS: 1000.0 / mhz,
+		Exact:    r.Envelope.EnergyExact,
+	}
+	leakMW := r.Envelope.StaticFUMW + r.Envelope.StaticRegMW + mem.LeakMW
+	b.LeakPJ = leakMW * float64(b.CyclesLB) * b.PeriodNS // mW * ns = pJ
+	b.TotalPJ = b.FUPJ + b.RegPJ + b.MemPJ + b.LeakPJ
+	for _, c := range hw.AllFUClasses() {
+		if r.classInits[c] == 0 {
+			continue
+		}
+		b.Classes = append(b.Classes, ClassEnergy{
+			Class:    c.String(),
+			Inits:    r.classInits[c],
+			EnergyPJ: r.classEnergyPJ[c],
+			Exact:    r.classInitOK[c],
+		})
+	}
+	return b
+}

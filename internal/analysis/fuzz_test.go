@@ -1,0 +1,54 @@
+package analysis_test
+
+// FuzzAnalyzeReport throws malformed CDFG sources at the whole static
+// pipeline: parse -> verify -> elaborate -> analyze -> cycle bound ->
+// energy bound. The contract under fuzz is "reject or analyze, never
+// panic" — every bound must also stay finite and non-negative, since the
+// search engine trusts these numbers enough to prune without simulating.
+
+import (
+	"math"
+	"testing"
+
+	"gosalam/internal/analysis"
+	"gosalam/internal/core"
+	"gosalam/internal/hw"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+func FuzzAnalyzeReport(f *testing.F) {
+	// A real kernel round-tripped through the printer seeds the corpus with
+	// well-formed structure for the mutator to corrupt.
+	f.Add(ir.Print(kernels.GEMM(4, 1).M))
+	f.Add(ir.Print(kernels.GEMMTree(4).M))
+	f.Add("define void @f() {\nentry:\n  ret\n}\n")
+	f.Add("define i32 @f(i32 %a) {\nentry:\n  %b = add i32 %a, 1\n  ret %b\n}\n")
+	f.Add("define void @loop() {\nentry:\n  br head\nhead:\n  br head\n}\n")
+	f.Add("global @g [16 x f32]\ndefine void @f(f32* %p) {\nentry:\n  %v = load f32, %p\n  ret\n}\n")
+	f.Add("; comment only\n")
+	f.Add("define")
+
+	profile := hw.Default40nm()
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		cfg := core.AccelConfig{ReadPorts: 2, WritePorts: 2}
+		for _, fn := range m.Funcs {
+			g, err := core.Elaborate(fn, profile, nil)
+			if err != nil {
+				continue
+			}
+			rep := analysis.For(g)
+			lb := rep.LowerBound(cfg)
+			eb := rep.EnergyLowerBound(cfg, analysis.MemEnergy{ReadPJ: 1, WritePJ: 1.18, LeakMW: 0.3})
+			for _, v := range []float64{eb.FUPJ, eb.RegPJ, eb.MemPJ, eb.LeakPJ, eb.TotalPJ, eb.EDPpJns()} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite or negative energy bound %v for %q (cycles %d)", eb, fn.Name(), lb.Cycles)
+				}
+			}
+		}
+	})
+}

@@ -628,6 +628,20 @@ func StaticPrune(j Job) (uint64, bool) {
 	return salam.StaticLowerBound(j.Kernel, j.Opts)
 }
 
+// StaticEnergy is the provable dynamic-energy lower bound (total pJ) for
+// the job's kernel under its run options — the static_energy column of
+// campaign rows. Elaboration failures yield no bound.
+func StaticEnergy(j Job) (float64, bool) {
+	if j.Kernel == nil {
+		return 0, false
+	}
+	se, err := salam.StaticEnergyLowerBound(j.Kernel, j.Opts)
+	if err != nil {
+		return 0, false
+	}
+	return se.TotalPJ, true
+}
+
 // FirstError returns the first failed outcome's error in submission order
 // (nil when every job succeeded) — the fail-fast view for callers like the
 // experiments, which abort a whole table on any failed point.

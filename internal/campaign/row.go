@@ -27,6 +27,11 @@ type Row struct {
 	Status string `json:"status"`
 	// StaticLB is the provable cycle lower bound, when one was computed.
 	StaticLB uint64 `json:"static_lb,omitempty"`
+	// StaticEnergyPJ is the provable dynamic-energy lower bound in
+	// picojoules (0 when no bound exists). Derived from the job spec, not
+	// the run, so it renders identically for fresh, cached, merged, and
+	// pruned rows.
+	StaticEnergyPJ float64 `json:"static_energy,omitempty"`
 	// Error carries the failure for status "error".
 	Error string `json:"error,omitempty"`
 	// Metrics is present for status "ok".
@@ -62,6 +67,9 @@ func RowOf(o Outcome) Row {
 	}
 	if key, err := JobKey(o.Job); err == nil {
 		r.Key = key
+	}
+	if e, ok := StaticEnergy(o.Job); ok {
+		r.StaticEnergyPJ = e
 	}
 	switch {
 	case o.Pruned:
@@ -125,6 +133,9 @@ func MergeRows(jobs []Job, store Store) ([]Row, error) {
 		r := Row{Index: i, ID: job.ID, Kernel: job.KernelKey, Key: key}
 		if r.Kernel == "" && job.Kernel != nil {
 			r.Kernel = job.Kernel.Name
+		}
+		if e, ok := StaticEnergy(job); ok {
+			r.StaticEnergyPJ = e
 		}
 		if m, ok := store.Get(key); ok {
 			r.Status = StatusOK

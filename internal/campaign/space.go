@@ -43,6 +43,16 @@ type Space struct {
 	BankRange *Range `json:"bank_range,omitempty"`
 	// TimeoutMS bounds each point's simulation (0 = no per-job timeout).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Objective selects what a search over this space optimizes: "pareto"
+	// (the default: the three-axis cycles/power/area frontier), "edp"
+	// (minimize energy-delay product), or "cycles" (minimize cycles).
+	// Sweeps enumerate every point regardless and ignore it.
+	Objective string `json:"objective,omitempty"`
+	// MaxAreaUM2, when > 0, constrains a search to configurations whose
+	// total area fits the budget; infeasible points never enter the result
+	// and provably-infeasible regions are pruned without simulating.
+	// Sweeps ignore it.
+	MaxAreaUM2 float64 `json:"max_area_um2,omitempty"`
 }
 
 // Range is an inclusive arithmetic progression: Min, Min+Step, … ≤ Max.
@@ -137,6 +147,10 @@ type Axes struct {
 	FU        []int
 	Ports     []int
 	Banks     []int
+	// Objective and MaxAreaUM2 carry the validated search-only knobs
+	// through to internal/search; sweeps ignore them.
+	Objective  string
+	MaxAreaUM2 float64
 
 	// banksDefaulted records that the bank axis is the implicit paper
 	// default ([4]): job IDs and Points omit it, keeping pre-banks sweeps
@@ -197,6 +211,14 @@ func (s Space) Axes() (*Axes, error) {
 	if s.TimeoutMS < 0 {
 		return nil, fmt.Errorf("campaign: negative timeout_ms %d", s.TimeoutMS)
 	}
+	switch s.Objective {
+	case "", "pareto", "edp", "cycles":
+	default:
+		return nil, fmt.Errorf("campaign: unknown objective %q (want pareto, edp, or cycles)", s.Objective)
+	}
+	if s.MaxAreaUM2 < 0 {
+		return nil, fmt.Errorf("campaign: negative max_area_um2 %g", s.MaxAreaUM2)
+	}
 	return &Axes{
 		Kernel:         k,
 		KernelKey:      fmt.Sprintf("%s/preset=%s", k.Name, preset),
@@ -204,6 +226,8 @@ func (s Space) Axes() (*Axes, error) {
 		FU:             fu,
 		Ports:          ports,
 		Banks:          banks,
+		Objective:      s.Objective,
+		MaxAreaUM2:     s.MaxAreaUM2,
 		banksDefaulted: s.Banks == nil && s.BankRange == nil,
 		timeout:        time.Duration(s.TimeoutMS) * time.Millisecond,
 	}, nil

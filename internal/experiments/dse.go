@@ -108,7 +108,7 @@ func Fig13(s Scale) (*Table, error) {
 		for _, p := range ports {
 			jobs = append(jobs,
 				gemmJob(k, n, p, fu, fu, salam.MemSPM, nil, ""),
-				gemmJob(k, n, p, fu, fu, salam.MemCache, cacheProbe, "fig13/v1"))
+				gemmJob(k, n, p, fu, fu, salam.MemCache, cacheProbe, "fig13/v2"))
 		}
 	}
 	out, err := runCampaign(jobs)
@@ -134,19 +134,16 @@ func Fig13(s Scale) (*Table, error) {
 	return t, nil
 }
 
-// cachePowerMW estimates cache power from the CACTI model and access
-// counts over the run.
+// cachePowerMW reports cache power through the shared energy accounting
+// (salam.MeasuredEnergy): accepted reads and writes each charged at their
+// own CACTI energy, plus leakage. The old inline estimate charged every
+// access — including MSHR-full retries of the same request — at read
+// energy, undercounting writes (1.15x a read) and double-counting stalls.
 func cachePowerMW(res *salam.Result) float64 {
 	if res.Cache == nil {
 		return 0
 	}
-	c := res.Cache.Cacti()
-	ns := float64(res.Ticks) / 1000.0
-	if ns <= 0 {
-		return 0
-	}
-	dyn := res.Cache.Accesses.Value() * c.ReadEnergyPJ() / ns
-	return dyn + c.LeakageMW()
+	return salam.MeasuredEnergy(res).MemPowerMW()
 }
 
 // fig14Probe captures the stall-analysis metrics while the result is live.

@@ -4,6 +4,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	salam "gosalam"
+	"gosalam/kernels"
 )
 
 // Every experiment must run at smoke scale, produce rows, and render.
@@ -141,6 +144,57 @@ func TestFig10ErrorBand(t *testing.T) {
 	}
 	if v < 0 || v > 40 {
 		t.Fatalf("average timing error %g%% outside credible band", v)
+	}
+}
+
+// TestCachePowerAccounting is the regression test for the Fig. 13 cache
+// power series. The old inline estimate charged every cache access —
+// including MSHR-full retries of the same request — at read energy;
+// cachePowerMW must instead charge only accepted accesses, each at its
+// own direction's CACTI energy.
+func TestCachePowerAccounting(t *testing.T) {
+	k := kernels.GEMM(8, 1)
+	opts := salam.DefaultRunOpts()
+	opts.Mem = salam.MemCache
+	res, err := salam.RunKernel(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache == nil {
+		t.Fatal("cache-backed run returned no cache")
+	}
+
+	reads := res.Cache.Reads.Value()
+	writes := res.Cache.Writes.Value()
+	accesses := res.Cache.Accesses.Value()
+	if writes == 0 {
+		t.Fatal("GEMM stores never wrote the cache")
+	}
+	if reads+writes > accesses {
+		t.Fatalf("accepted reads+writes %.0f exceed raw accesses %.0f", reads+writes, accesses)
+	}
+
+	// Reconstruct the power from first principles: accepted accesses at
+	// per-direction energies over the elapsed time, plus leakage.
+	c := res.Cache.Cacti()
+	ns := float64(res.Ticks) / 1000.0
+	want := (reads*c.ReadEnergyPJ()+writes*c.WriteEnergyPJ())/ns + c.LeakageMW()
+	got := cachePowerMW(res)
+	if d := got - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("cachePowerMW %.6f != reconstructed %.6f", got, want)
+	}
+	if c.WriteEnergyPJ() <= c.ReadEnergyPJ() {
+		t.Fatalf("cache write energy %.3f not above read energy %.3f — writes would be undercounted",
+			c.WriteEnergyPJ(), c.ReadEnergyPJ())
+	}
+
+	// SPM-backed runs contribute no cache power to the Fig. 13 series.
+	spm, err := salam.RunKernel(k, salam.DefaultRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cachePowerMW(spm); p != 0 {
+		t.Fatalf("SPM-backed run reported %.6f mW of cache power", p)
 	}
 }
 

@@ -176,7 +176,11 @@ func SynthesisRef() *Profile {
 		FUMux:           {1.09, 1.07, 1.08}, // mux trees dominate error (Sec. IV-A)
 		FUControl:       {1.05, 1.04, 1.06},
 	}
-	for c, a := range adj {
+	for _, c := range AllFUClasses() {
+		a, ok := adj[c]
+		if !ok {
+			continue
+		}
 		spec := p.FUs[c]
 		spec.AreaUM2 *= a.area
 		spec.LeakageMW *= a.leak
@@ -253,12 +257,12 @@ func (p *Profile) Spec(c FUClass) FUSpec { return p.FUs[c] }
 // Clone deep-copies the profile so callers can tweak knobs safely.
 func (p *Profile) Clone() *Profile {
 	q := &Profile{Name: p.Name, FUs: make(map[FUClass]FUSpec, len(p.FUs)), Reg: p.Reg}
-	for c, s := range p.FUs {
+	for c, s := range p.FUs { //salam:vet:ok key-for-key map copy, order cannot escape
 		q.FUs[c] = s
 	}
 	if p.CycleOverride != nil {
 		q.CycleOverride = make(map[ir.Opcode]int, len(p.CycleOverride))
-		for k, v := range p.CycleOverride {
+		for k, v := range p.CycleOverride { //salam:vet:ok key-for-key map copy, order cannot escape
 			q.CycleOverride[k] = v
 		}
 	}

@@ -44,6 +44,11 @@ type Cache struct {
 	Hits, Misses, Writebacks, Fills *sim.Scalar
 	MSHRStallCycles                 *sim.Scalar
 	Accesses                        *sim.Scalar
+	// Reads/Writes count accepted accesses by direction (unlike Accesses,
+	// which also counts MSHR-full retries of the same request) — the
+	// denominators the energy accounting charges CACTI read/write energy
+	// against.
+	Reads, Writes *sim.Scalar
 }
 
 type cacheLine struct {
@@ -91,6 +96,8 @@ func NewCache(name string, q *sim.EventQueue, clk *sim.ClockDomain,
 	c.CycleFn = c.cycle
 	g := stats.Child(name)
 	c.Accesses = g.Scalar("accesses", "total accesses")
+	c.Reads = g.Scalar("reads", "read accesses accepted")
+	c.Writes = g.Scalar("writes", "write accesses accepted")
 	c.Hits = g.Scalar("hits", "hits")
 	c.Misses = g.Scalar("misses", "misses")
 	c.Writebacks = g.Scalar("writebacks", "dirty evictions written back")
@@ -183,6 +190,7 @@ func (c *Cache) tryAccess(r *Request) bool {
 		ln := &set.lines[i]
 		if ln.valid && ln.tag == la {
 			// Hit.
+			c.countAccess(r)
 			c.Hits.Inc(1)
 			if c.rec != nil {
 				c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "hit")
@@ -198,6 +206,7 @@ func (c *Cache) tryAccess(r *Request) bool {
 	}
 	// Miss.
 	if e, ok := c.mshr[la]; ok {
+		c.countAccess(r)
 		c.Misses.Inc(1)
 		if c.rec != nil {
 			c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "miss")
@@ -208,6 +217,7 @@ func (c *Cache) tryAccess(r *Request) bool {
 	if len(c.mshr) >= c.MSHRs {
 		return false
 	}
+	c.countAccess(r)
 	c.Misses.Inc(1)
 	if c.rec != nil {
 		c.rec.Instant(c.tlAccess, uint64(c.Q.Now()), "miss")
@@ -222,6 +232,15 @@ func (c *Cache) tryAccess(r *Request) bool {
 	fill := c.newFill(e)
 	c.downstream.Send(fill)
 	return true
+}
+
+// countAccess books one accepted access against its direction counter.
+func (c *Cache) countAccess(r *Request) {
+	if r.Write {
+		c.Writes.Inc(1)
+	} else {
+		c.Reads.Inc(1)
+	}
 }
 
 // newFill builds the downstream line-fetch request for an MSHR entry,

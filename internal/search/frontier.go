@@ -9,11 +9,29 @@ import (
 )
 
 // Vec is one design point's objective vector: the three axes the Pareto
-// frontier trades off (smaller is better on every axis).
+// frontier trades off (smaller is better on every axis), plus the energy
+// and energy-delay-product components single-objective searches minimize.
 type Vec struct {
 	Cycles  uint64
 	PowerMW float64
 	AreaUM2 float64
+	// EnergyPJ is total energy over the run (TotalMW x elapsed ns) for a
+	// measured point, or the provable energy floor for a region bound.
+	// EDP is EnergyPJ x delay-ns. Under the pareto objective these ride
+	// along for reporting and region bounds but take no part in dominance
+	// or tie equality — the three-axis frontier stays byte-identical to
+	// pre-energy runs; the edp objective minimizes EDP directly.
+	EnergyPJ float64
+	EDP      float64
+}
+
+// samePareto reports equality on the three Pareto axes — the tie relation
+// Insert resolves by lowest enumeration index. Energy annotations are
+// deliberately excluded: two configurations proving the same
+// (cycles, power, area) must stay one frontier resident regardless of
+// drain-window differences in their elapsed-time-derived energy.
+func samePareto(a, b Vec) bool {
+	return a.Cycles == b.Cycles && a.PowerMW == b.PowerMW && a.AreaUM2 == b.AreaUM2
 }
 
 // dominates reports whether a strictly dominates b: no worse on every
@@ -53,14 +71,14 @@ type Frontier struct {
 func (f *Frontier) Insert(p FrontierPoint) {
 	keep := f.pts[:0]
 	for _, q := range f.pts {
-		if q.Vec == p.Vec {
+		if samePareto(q.Vec, p.Vec) {
 			if p.Index < q.Index {
 				q = p
 			}
 			// Tie resolved in place; the rest of the set is untouched.
 			f.pts = append(keep, f.pts[len(keep):]...)
 			for i := range f.pts {
-				if f.pts[i].Vec == p.Vec {
+				if samePareto(f.pts[i].Vec, p.Vec) {
 					f.pts[i] = q
 				}
 			}
@@ -114,11 +132,11 @@ func (f *Frontier) Points() []FrontierPoint {
 // the Points order.
 func FrontierCSV(kernel string, pts []FrontierPoint) string {
 	var sb strings.Builder
-	sb.WriteString("kernel,memory,fu_limit,ports,banks,index,cycles,power_mw,area_um2\n")
+	sb.WriteString("kernel,memory,fu_limit,ports,banks,index,cycles,power_mw,area_um2,energy_pj,edp\n")
 	for _, p := range pts {
-		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%d,%d,%.4f,%.1f\n",
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f\n",
 			kernel, p.Point.Mem, p.Point.FU, p.Point.Ports, p.Point.Banks,
-			p.Index, p.Vec.Cycles, p.Vec.PowerMW, p.Vec.AreaUM2)
+			p.Index, p.Vec.Cycles, p.Vec.PowerMW, p.Vec.AreaUM2, p.Vec.EnergyPJ, p.Vec.EDP)
 	}
 	return sb.String()
 }

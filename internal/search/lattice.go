@@ -43,6 +43,10 @@ type lattice struct {
 	ports    []axisVal
 	banks    []axisVal
 	bankMult int
+	// obj is the space's search objective; it orders the best-bound heap
+	// (EDP-first under ObjEDP) so the queue expands the most promising
+	// regions for what the search is actually minimizing.
+	obj Objective
 }
 
 // enumIdx recomposes a canonical enumeration index from axis positions
@@ -132,10 +136,11 @@ func buildLattices(ax *campaign.Axes) ([]*lattice, int) {
 	classes := collapseFU(ax)
 	ports := sortedVals(ax.Ports)
 	banks := sortedVals(ax.Banks)
+	obj, _ := ParseObjective(ax.Objective) // Axes validated the string
 	var lats []*lattice
 	leaves := 0
 	for mi, mem := range ax.Mem {
-		l := &lattice{ax: ax, memIdx: mi, classes: classes, ports: ports, banks: banks, bankMult: 1}
+		l := &lattice{ax: ax, memIdx: mi, classes: classes, ports: ports, banks: banks, bankMult: 1, obj: obj}
 		if mem == "cache" {
 			// Cache mode never builds the scratchpad, so the SPM bank knob
 			// is inert: one leaf stands for every bank value, attributed to
@@ -212,21 +217,43 @@ func (r *region) cornerPoints() int {
 //     and leakage are non-decreasing in units, ports, and banks, and
 //     measured power additionally includes dynamic energy, so the smallest
 //     corner's floor bounds every measurement in the box.
+//   - EnergyPJ: a cross-corner composition, each term minimized at the
+//     corner where it is provably smallest:
+//       - the FU + register dynamic floor is config-independent across the
+//         region (FU limits change unit counts, never op counts or per-op
+//         energies), so any corner serves — it is read at (f1, p1, b1);
+//       - the SPM access-energy floor is non-increasing in banks (CACTI
+//         read/write energy falls with bank subdivision) and independent
+//         of units and ports, so the b1 corner bounds it;
+//       - the leakage term multiplies the (f0, p0, b0) leakage floor
+//         (non-decreasing in units, ports, banks) by the (f1, p1) cycle
+//         bound times the clock period — each factor a positive lower
+//         bound of its measured counterpart, so the product bounds
+//         leakage x elapsed for every point in the box.
+//   - EDP: EnergyPJ times the cycle bound times the period. Measured EDP
+//     is energy x elapsed with both factors at or above their floors.
 //
 // A bound that cannot be computed (elaboration failure) degrades to zero,
-// which no measured point can strictly dominate — the region simply
-// becomes unprunable, never unsound.
+// which no measured point can strictly dominate or undercut — the region
+// simply becomes unprunable, never unsound.
 func (r *region) computeLB() {
 	l := r.lat
 	r.lb = Vec{}
-	wide := l.ax.JobAt(l.enumIdx(l.classes[r.f1].members[0].idx, l.ports[r.p1].idx, l.banks[r.b0].idx))
-	if lb, ok := salam.StaticLowerBound(wide.Kernel, wide.Opts); ok {
-		r.lb.Cycles = lb
+	wide := l.ax.JobAt(l.enumIdx(l.classes[r.f1].members[0].idx, l.ports[r.p1].idx, l.banks[r.b1].idx))
+	se, seErr := salam.StaticEnergyLowerBound(wide.Kernel, wide.Opts)
+	if seErr == nil {
+		r.lb.Cycles = se.CyclesLB
 	}
 	small := l.ax.JobAt(r.cornerIdx())
-	if env, err := salam.StaticEnvelopeFor(small.Kernel, small.Opts); err == nil {
+	env, envErr := salam.StaticEnvelopeFor(small.Kernel, small.Opts)
+	if envErr == nil {
 		r.lb.PowerMW = env.StaticMW
 		r.lb.AreaUM2 = env.AreaUM2
+	}
+	if seErr == nil && envErr == nil {
+		delayNS := float64(se.CyclesLB) * se.PeriodNS
+		r.lb.EnergyPJ = se.FUPJ + se.RegPJ + se.MemPJ + env.StaticMW*delayNS
+		r.lb.EDP = r.lb.EnergyPJ * delayNS
 	}
 }
 
@@ -254,14 +281,17 @@ func (r *region) split() []*region {
 }
 
 // regionHeap is the best-bound priority queue: regions ordered by their
-// lower-bound vector (cycles, then power, then area), with the insertion
-// sequence number as the final tiebreak so the order is total and
-// deterministic at any worker count.
+// lower-bound vector (under the edp objective EDP leads; then cycles,
+// power, area), with the insertion sequence number as the final tiebreak
+// so the order is total and deterministic at any worker count.
 type regionHeap []*region
 
 func (h regionHeap) Len() int { return len(h) }
 func (h regionHeap) Less(i, j int) bool {
 	a, b := h[i].lb, h[j].lb
+	if h[i].lat.obj == ObjEDP && a.EDP != b.EDP {
+		return a.EDP < b.EDP
+	}
 	if a.Cycles != b.Cycles {
 		return a.Cycles < b.Cycles
 	}

@@ -1,0 +1,124 @@
+package search
+
+import "fmt"
+
+// Objective selects what a search minimizes. ObjPareto maintains the
+// three-axis (cycles, power, area) Pareto frontier; ObjEDP and ObjCycles
+// are single-objective modes that keep only the best measured point —
+// which is what finally makes dominance pruning fire on power/energy-bound
+// spaces: a single incumbent EDP prunes every region whose provable energy
+// floor already exceeds it.
+type Objective int
+
+// Search objectives.
+const (
+	ObjPareto Objective = iota
+	ObjEDP
+	ObjCycles
+)
+
+// ParseObjective resolves the Space.Objective spelling ("" and "pareto"
+// are the frontier default).
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "pareto":
+		return ObjPareto, nil
+	case "edp":
+		return ObjEDP, nil
+	case "cycles":
+		return ObjCycles, nil
+	}
+	return ObjPareto, fmt.Errorf("search: unknown objective %q (want pareto, edp, or cycles)", s)
+}
+
+func (o Objective) String() string {
+	switch o {
+	case ObjEDP:
+		return "edp"
+	case ObjCycles:
+		return "cycles"
+	}
+	return "pareto"
+}
+
+// selector unifies incumbent maintenance and region pruning across
+// objectives, so Run and BruteForce share one exactness-preserving
+// decision procedure:
+//
+//   - pareto: the strict-dominance frontier with lowest-index tie
+//     attribution (unchanged semantics);
+//   - edp/cycles: a single incumbent — the lowest key, ties to the lowest
+//     enumeration index. Pruning uses strict inequality (best < bound), so
+//     a region whose floor ties the incumbent still gets measured and the
+//     lowest-index attribution matches a brute-force sweep byte for byte;
+//   - max-area (any objective): points over the cap never enter the
+//     result, and a region whose area floor — evaluated at its smallest
+//     corner, where area is minimal — already exceeds the cap holds no
+//     feasible point and is pruned whole.
+type selector struct {
+	obj     Objective
+	maxArea float64
+	front   *Frontier
+	best    FrontierPoint
+	hasBest bool
+}
+
+func newSelector(obj Objective, maxArea float64) *selector {
+	return &selector{obj: obj, maxArea: maxArea, front: &Frontier{}}
+}
+
+// key is the scalar a single-objective mode minimizes.
+func (s *selector) key(v Vec) float64 {
+	if s.obj == ObjEDP {
+		return v.EDP
+	}
+	return float64(v.Cycles)
+}
+
+// feasible applies the area cap to one measured point.
+func (s *selector) feasible(v Vec) bool {
+	return s.maxArea <= 0 || v.AreaUM2 <= s.maxArea
+}
+
+// insert offers a measured point.
+func (s *selector) insert(p FrontierPoint) {
+	if !s.feasible(p.Vec) {
+		return
+	}
+	if s.obj == ObjPareto {
+		s.front.Insert(p)
+		return
+	}
+	k := s.key(p.Vec)
+	switch {
+	case !s.hasBest,
+		k < s.key(s.best.Vec),
+		k == s.key(s.best.Vec) && p.Index < s.best.Index:
+		s.best, s.hasBest = p, true
+	}
+}
+
+// prunes reports whether a region with lower-bound vector lb provably
+// contains no point that could improve the result.
+func (s *selector) prunes(lb Vec) bool {
+	if s.maxArea > 0 && lb.AreaUM2 > s.maxArea {
+		return true // the whole box is infeasible: area floors at the small corner
+	}
+	if s.obj == ObjPareto {
+		return s.front.DominatesVec(lb)
+	}
+	// Strict inequality: a floor that merely ties the incumbent may hide a
+	// tying point with a lower enumeration index, which must win the tie.
+	return s.hasBest && s.key(s.best.Vec) < s.key(lb)
+}
+
+// points renders the result set in canonical order.
+func (s *selector) points() []FrontierPoint {
+	if s.obj == ObjPareto {
+		return s.front.Points()
+	}
+	if !s.hasBest {
+		return nil
+	}
+	return []FrontierPoint{s.best}
+}

@@ -146,11 +146,20 @@ func (c Config) pool() *salam.SessionPool {
 }
 
 func vecOf(m *campaign.Metrics) Vec {
-	return Vec{
+	v := Vec{
 		Cycles:  m.Cycles,
 		PowerMW: m.Power.TotalMW(),
 		AreaUM2: m.Power.AreaFU + m.Power.AreaReg + m.Power.AreaSPM,
 	}
+	// Ticks are ps; mW x ns = pJ. The elapsed window is the same one the
+	// power report averaged over, so EnergyPJ is exactly the run's charged
+	// energy and EDP its energy-delay product in pJ*ns.
+	ns := float64(m.Ticks) / 1000.0
+	if ns > 0 {
+		v.EnergyPJ = v.PowerMW * ns
+		v.EDP = v.EnergyPJ * ns
+	}
+	return v
 }
 
 // proxyKernel resolves the successive-halving proxy: the Micro instance
@@ -219,7 +228,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	lats, leaves := buildLattices(ax)
 	res := &Result{Points: ax.Size(), Classes: leaves}
-	frontier := &Frontier{}
+	obj, _ := ParseObjective(ax.Objective) // Axes validated the string
+	sel := newSelector(obj, ax.MaxAreaUM2)
 	proxyK, proxyKey := proxyKernel(ax, cfg.NoProxy)
 	pool := cfg.pool()
 	base := cfg.base(pool)
@@ -228,7 +238,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	pq := &regionHeap{}
 	push := func(r *region) {
 		r.computeLB()
-		if frontier.DominatesVec(r.lb) {
+		if sel.prunes(r.lb) {
 			res.PrunedPoints += r.points()
 			return
 		}
@@ -257,7 +267,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		var cands []*region
 		for len(cands) < cfg.batch() && pq.Len() > 0 {
 			r := heap.Pop(pq).(*region)
-			if frontier.DominatesVec(r.lb) {
+			if sel.prunes(r.lb) {
 				res.PrunedPoints += r.points()
 				continue
 			}
@@ -308,7 +318,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 							heap.Push(pq, c)
 						}
 						res.Drained = true
-						res.fill(cfg, frontier)
+						res.fill(cfg, sel)
 						return res, nil
 					}
 					rs[j] = ranked{pos: j}
@@ -372,7 +382,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					heap.Push(pq, c)
 				}
 				res.Drained = true
-				res.fill(cfg, frontier)
+				res.fill(cfg, sel)
 				return res, nil
 			}
 		}
@@ -386,7 +396,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			res.CollapsedPoints += c.cornerPoints() - 1
 			idx := c.cornerIdx()
-			frontier.Insert(FrontierPoint{
+			sel.insert(FrontierPoint{
 				Index: idx,
 				ID:    o.Job.ID,
 				Point: ax.PointAt(idx),
@@ -398,13 +408,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	res.fill(cfg, frontier)
+	res.fill(cfg, sel)
 	return res, nil
 }
 
 // fill finalizes the result and publishes the stat counters.
-func (r *Result) fill(cfg Config, f *Frontier) {
-	r.Frontier = f.Points()
+func (r *Result) fill(cfg Config, sel *selector) {
+	r.Frontier = sel.points()
 	if cfg.Stats == nil {
 		return
 	}
@@ -442,7 +452,8 @@ func BruteForce(ctx context.Context, cfg Config) (*Result, error) {
 		jobs[i] = ax.JobAt(i)
 	}
 	res := &Result{Points: n, Classes: n}
-	frontier := &Frontier{}
+	obj, _ := ParseObjective(ax.Objective) // Axes validated the string
+	sel := newSelector(obj, ax.MaxAreaUM2)
 	outs := campaign.Run(ctx, cfg.base(cfg.pool()), jobs)
 	for i, o := range outs {
 		if drained, err := outcomeErr(ctx, o); err != nil {
@@ -459,13 +470,13 @@ func BruteForce(ctx context.Context, cfg Config) (*Result, error) {
 		} else {
 			res.Simulated++
 		}
-		frontier.Insert(FrontierPoint{
+		sel.insert(FrontierPoint{
 			Index: i,
 			ID:    o.Job.ID,
 			Point: ax.PointAt(i),
 			Vec:   vecOf(o.Metrics),
 		})
 	}
-	res.Frontier = frontier.Points()
+	res.Frontier = sel.points()
 	return res, nil
 }

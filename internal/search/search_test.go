@@ -360,6 +360,109 @@ func TestSearchProxyRuns(t *testing.T) {
 	}
 }
 
+// TestSearchEDPExactFrontier proves the single-objective modes against
+// brute force: for every objective (and with an area cap that rules out
+// part of the space), branch and bound must land on the byte-identical
+// best point while pruning on the energy/cycle floors.
+func TestSearchEDPExactFrontier(t *testing.T) {
+	ctx := context.Background()
+
+	// A mid-space area cap: StaticEnvelopeFor at the largest and smallest
+	// configurations brackets it so both feasible and infeasible points
+	// exist, whatever the calibration constants.
+	space := smallSpace()
+	ax, err := space.Axes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.0, 0.0
+	for i := 0; i < ax.Size(); i++ {
+		j := ax.JobAt(i)
+		env, err := salam.StaticEnvelopeFor(j.Kernel, j.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || env.AreaUM2 < lo {
+			lo = env.AreaUM2
+		}
+		if env.AreaUM2 > hi {
+			hi = env.AreaUM2
+		}
+	}
+	if hi <= lo {
+		t.Fatalf("area cap has no bite: all %d points at %.0f um2", ax.Size(), lo)
+	}
+	cap := (lo + hi) / 2
+
+	for _, tc := range []struct {
+		name      string
+		objective string
+		maxArea   float64
+	}{
+		{"edp", "edp", 0},
+		{"cycles", "cycles", 0},
+		{"edp-max-area", "edp", cap},
+		{"cycles-max-area", "cycles", cap},
+		{"pareto-max-area", "pareto", cap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := smallSpace()
+			sp.Objective = tc.objective
+			sp.MaxAreaUM2 = tc.maxArea
+
+			oracle, err := BruteForce(ctx, Config{Space: sp, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(ctx, Config{Space: sp, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkInvariant(t, res)
+
+			want := FrontierCSV(sp.Kernel, oracle.Frontier)
+			got := FrontierCSV(sp.Kernel, res.Frontier)
+			if want != got {
+				t.Fatalf("%s result differs from brute-force oracle:\noracle:\n%s\nsearch:\n%s", tc.name, want, got)
+			}
+			if tc.objective != "pareto" && len(res.Frontier) > 1 {
+				t.Fatalf("single-objective search returned %d points", len(res.Frontier))
+			}
+			if len(res.Frontier) == 0 {
+				t.Fatalf("%s found no feasible point (cap %.0f um2)", tc.name, tc.maxArea)
+			}
+			if res.Evaluated >= res.Points {
+				t.Fatalf("search evaluated %d of %d points: no better than sweeping", res.Evaluated, res.Points)
+			}
+			if tc.maxArea > 0 {
+				for _, p := range res.Frontier {
+					if p.Vec.AreaUM2 > tc.maxArea {
+						t.Fatalf("result area %.0f exceeds the %.0f um2 cap", p.Vec.AreaUM2, tc.maxArea)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchEDPDeterministic pins the EDP objective's worker independence.
+func TestSearchEDPDeterministic(t *testing.T) {
+	sp := smallSpace()
+	sp.Objective = "edp"
+	var csvs []string
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), Config{Space: sp, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInvariant(t, res)
+		csvs = append(csvs, FrontierCSV(sp.Kernel, res.Frontier))
+	}
+	if csvs[0] != csvs[1] {
+		t.Fatalf("EDP winner depends on worker count:\n-jobs 1:\n%s\n-jobs 8:\n%s", csvs[0], csvs[1])
+	}
+}
+
 func TestFrontierCSVShape(t *testing.T) {
 	res, err := Run(context.Background(), Config{Space: campaign.Space{Kernel: "gemm"}})
 	if err != nil {
@@ -367,7 +470,7 @@ func TestFrontierCSVShape(t *testing.T) {
 	}
 	csv := FrontierCSV("gemm", res.Frontier)
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	if lines[0] != "kernel,memory,fu_limit,ports,banks,index,cycles,power_mw,area_um2" {
+	if lines[0] != "kernel,memory,fu_limit,ports,banks,index,cycles,power_mw,area_um2,energy_pj,edp" {
 		t.Fatalf("bad header %q", lines[0])
 	}
 	if len(lines) != len(res.Frontier)+1 {

@@ -219,6 +219,44 @@ func TestSearchLifecycle(t *testing.T) {
 	}
 }
 
+// TestSearchObjectivePassthrough: a Space carrying an objective and an
+// area cap survives the HTTP round trip intact — the served result is
+// byte-identical to an in-process single-objective search, and a bad
+// objective spelling is rejected at admission.
+func TestSearchObjectivePassthrough(t *testing.T) {
+	space := campaign.Space{Kernel: "gemm", Ports: []int{2, 4, 8, 16}, Objective: "edp"}
+	s, ts := newTestServer(t, Config{Workers: 2, searchHook: fakeSearchRunner})
+
+	sr := submitSearch(t, ts, space)
+	waitState(t, s, sr.ID, stateDone)
+	resp, err := ts.Client().Get(ts.URL + sr.Frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := search.Run(context.Background(), search.Config{Space: space, Runner: fakeSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Frontier) != 1 {
+		t.Fatalf("reference EDP search returned %d points", len(ref.Frontier))
+	}
+	if want := search.FrontierCSV(space.Kernel, ref.Frontier); string(got) != want {
+		t.Fatalf("served EDP result differs from in-process search:\nserved:\n%s\nlocal:\n%s", got, want)
+	}
+
+	if r := postSearch(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2}, Objective: "fastest"}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad objective: HTTP %d, want 400", r.StatusCode)
+	}
+	if r := postSearch(t, ts, campaign.Space{Kernel: "gemm", Ports: []int{2}, MaxAreaUM2: -1}, ""); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative area cap: HTTP %d, want 400", r.StatusCode)
+	}
+}
+
 // TestSearchShardedRejected: a sharded server partitions fixed job lists;
 // it cannot host a global wave schedule, so searches are 501s.
 func TestSearchShardedRejected(t *testing.T) {

@@ -364,3 +364,64 @@ func StaticEnvelopeFor(k *kernels.Kernel, opts RunOpts) (StaticEnvelope, error) 
 	}
 	return env, nil
 }
+
+// StaticEnergy is the provable dynamic-energy lower bound of one
+// configuration, computed without simulating. Every component is a floor
+// of a runtime counter (see analysis.EnergyBound for the proof sketch);
+// TotalPJ is therefore a sound lower bound on the run's measured energy
+// (Power.TotalMW() x elapsed), and EDP on its energy-delay product.
+type StaticEnergy struct {
+	// Dynamic floors: FU energy, register traffic, private-memory
+	// accesses (zero for cache-backed runs, whose private-memory energy
+	// the accelerator power report does not attribute).
+	FUPJ  float64 `json:"fu_pj"`
+	RegPJ float64 `json:"reg_pj"`
+	MemPJ float64 `json:"mem_pj"`
+	// LeakPJ integrates LeakMW (datapath + SPM leakage) over the cycle
+	// lower bound at PeriodNS per cycle.
+	LeakPJ   float64 `json:"leak_pj"`
+	TotalPJ  float64 `json:"total_pj"`
+	CyclesLB uint64  `json:"cycles_lb"`
+	PeriodNS float64 `json:"period_ns"`
+	LeakMW   float64 `json:"leak_mw"`
+	// EDP is the energy-delay-product floor in pJ*ns.
+	EDP float64 `json:"edp_pjns"`
+	// Exact is true when every reachable block's trip count is proved, so
+	// the dynamic terms are exact counts rather than floors.
+	Exact bool `json:"exact"`
+	// Classes breaks the FU floor down per functional-unit class.
+	Classes []analysis.ClassEnergy `json:"classes,omitempty"`
+}
+
+// StaticEnergyLowerBound evaluates the dynamic-energy floor for simulating
+// k under opts. It mirrors the run's energy accounting exactly: the
+// datapath floors come from the cached analysis report, the memory-access
+// energies from the CACTI model at the same workload sizing and knob
+// clamping the scratchpad constructor applies (cache-backed runs get a
+// zero memory model, matching MeasuredEnergy's role in Power reports).
+func StaticEnergyLowerBound(k *kernels.Kernel, opts RunOpts) (StaticEnergy, error) {
+	rep, err := AnalyzeKernel(k, opts)
+	if err != nil {
+		return StaticEnergy{}, err
+	}
+	var me analysis.MemEnergy
+	if opts.Mem == MemSPM {
+		c := hw.NewCactiSRAM(spaceSizeFor(k, opts.Seed), opts.SPMPortsPer, opts.SPMBanks)
+		me = analysis.MemEnergy{ReadPJ: c.ReadEnergyPJ(), WritePJ: c.WriteEnergyPJ(), LeakMW: c.LeakageMW()}
+	}
+	b := rep.EnergyLowerBound(opts.Accel, me)
+	se := StaticEnergy{
+		FUPJ:     b.FUPJ,
+		RegPJ:    b.RegPJ,
+		MemPJ:    b.MemPJ,
+		LeakPJ:   b.LeakPJ,
+		TotalPJ:  b.TotalPJ,
+		CyclesLB: b.CyclesLB,
+		PeriodNS: b.PeriodNS,
+		LeakMW:   rep.Envelope.StaticFUMW + rep.Envelope.StaticRegMW + me.LeakMW,
+		EDP:      b.EDPpJns(),
+		Exact:    b.Exact,
+		Classes:  b.Classes,
+	}
+	return se, nil
+}
