@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vet-sim analyze-smoke fuzz-smoke golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke bench-diff check bench bench-all bench-campaign
+.PHONY: all build test race vet vet-sim analyze-smoke fuzz-smoke golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke config-smoke ll-smoke bench-smoke bench-diff check bench bench-all bench-campaign
 
 all: check
 
@@ -32,12 +32,15 @@ vet-sim:
 analyze-smoke:
 	$(GO) run ./cmd/salam-analyze -all > /dev/null
 
-# Native-fuzz smoke over the static pipeline: 5 seconds of malformed CDFG
-# sources through parse -> elaborate -> analyze -> cycle/energy bounds.
-# The contract is "reject or analyze, never panic, never an infinite or
-# negative bound" — the search engine prunes on these numbers unchecked.
+# Native-fuzz smoke over the untrusted-input surfaces: malformed CDFG
+# sources through parse -> elaborate -> analyze -> cycle/energy bounds,
+# arbitrary bytes through the .ll parser (parse -> verify -> print), and
+# arbitrary bytes through the strict config decoder (parse -> validate ->
+# emit). The contract everywhere is "reject or accept, never panic".
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAnalyzeReport -fuzztime 5s ./internal/analysis
+	$(GO) test -run '^$$' -fuzz FuzzParseLL -fuzztime 5s ./ir
+	$(GO) test -run '^$$' -fuzz FuzzSoCConfig -fuzztime 5s ./internal/soccfg
 
 # The concurrent subsystems — the campaign engine, the experiments that
 # drive real parallel simulations through it, and the salam-serve service
@@ -87,6 +90,27 @@ sample-smoke:
 	$(GO) test -run 'TestSampled' -count=1 .
 	$(GO) test -count=1 ./internal/sample
 
+# Declarative-config smoke: every shipped config validates, summarizes,
+# and emits through the salam-config CLI; a known-bad fixture with a
+# typo'd knob must be rejected with a "did you mean" diagnostic; and the
+# byte-identity suite proves config-built systems match Go-built ones.
+config-smoke:
+	$(GO) run ./cmd/salam-config validate configs/*.json > /dev/null
+	$(GO) run ./cmd/salam-config info configs/cnn_cluster.json > /dev/null
+	$(GO) run ./cmd/salam-config list-fus > /dev/null
+	$(GO) run ./cmd/salam-config emit configs/gemm_spm.json > /dev/null
+	@if $(GO) run ./cmd/salam-config validate testdata/config/bad_spm_bank.json 2>/dev/null; then \
+		echo "config-smoke: bad fixture was accepted"; exit 1; fi
+	$(GO) test -run 'TestConfig|TestShippedConfigs' -count=1 .
+
+# Clang-ingestion smoke: the compiler-shaped .ll fixtures parse, verify,
+# bind to their workloads, and simulate to their golden cycle counts; the
+# bring-your-own-kernel config path runs one end to end through salam-sim.
+ll-smoke:
+	$(GO) run ./cmd/salam-sim -config configs/gemm_ll.json > /dev/null
+	$(GO) test -run 'TestLLFixtures' -count=1 .
+	$(GO) test -run 'TestParse' -count=1 ./ir
+
 # One engine iteration end to end, so `check` notices a broken benchmark
 # harness without paying for a full timed run.
 bench-smoke:
@@ -100,7 +124,7 @@ bench-diff:
 
 # bench-diff is advisory in check (leading `-`): the committed points span
 # different machines, so a cross-host delta must not fail the tier-1 gate.
-check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke bench-smoke analyze-smoke fuzz-smoke
+check: build vet vet-sim test race golden trace-smoke serve-smoke search-smoke snapshot-smoke sample-smoke config-smoke ll-smoke bench-smoke analyze-smoke fuzz-smoke
 	-$(MAKE) bench-diff
 
 # Timed engine benchmarks (EngineGEMM/EngineBFS/DSECampaign/CampaignWarm),

@@ -1,0 +1,99 @@
+// Command salam-config is the declarative-config companion tool: it
+// validates SoC configuration documents, summarizes topologies, lists the
+// functional-unit classes the device config can limit (with their hardware
+// profile numbers), and re-emits configs in canonical form.
+//
+// Usage:
+//
+//	salam-config validate configs/cnn_cluster.json ...
+//	salam-config info configs/cnn_stream.json
+//	salam-config list-fus
+//	salam-config emit configs/gemm_spm.json > canonical.json
+//
+// validate exits 0 only when every named document decodes strictly (any
+// unknown field is an error carrying its full path) and passes semantic
+// validation; the first failure is printed with its field path. emit
+// writes the canonical, idempotent JSON form to stdout — parse(emit(c))
+// == c, byte for byte.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gosalam/internal/hw"
+	"gosalam/internal/soccfg"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  salam-config validate <config.json>...   strict-decode + semantic validation
+  salam-config info <config.json>          summarize the topology
+  salam-config list-fus                    FU classes usable in fu_limits, with 40nm profile data
+  salam-config emit <config.json>          re-emit in canonical JSON form`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "validate":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		bad := 0
+		for _, path := range os.Args[2:] {
+			if _, err := soccfg.Load(path); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: ok\n", path)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+	case "info":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		c, err := soccfg.Load(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(c.Describe())
+	case "list-fus":
+		if len(os.Args) != 2 {
+			usage()
+		}
+		p := hw.Default40nm()
+		fmt.Printf("%-16s %8s %10s %12s %12s %10s\n",
+			"class", "latency", "pipelined", "area_um2", "leakage_mw", "energy_pj")
+		for _, cls := range hw.AllFUClasses() {
+			spec := p.Spec(cls)
+			fmt.Printf("%-16s %8d %10t %12.1f %12.4f %10.2f\n",
+				cls.String(), spec.Latency, spec.Pipelined,
+				spec.AreaUM2, spec.LeakageMW, spec.EnergyPJ)
+		}
+	case "emit":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		c, err := soccfg.Load(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := c.Emit()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	default:
+		usage()
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"gosalam/internal/campaign"
 	"gosalam/internal/search"
 	"gosalam/internal/sim"
+	"gosalam/internal/soccfg"
 )
 
 // parseInts parses a comma-separated int list, rejecting values < min so
@@ -111,6 +112,7 @@ func parseRange(s, what string) (*campaign.Range, error) {
 func main() {
 	kernel := flag.String("kernel", "gemm", "kernel name")
 	preset := flag.String("preset", "small", "workload preset: small or default")
+	cfgPath := flag.String("config", "", "flat run-config JSON; its kernel and preset seed the sweep (overrides -kernel/-preset)")
 	portsList := flag.String("ports", "2,4,8", "read/write port counts to sweep (each >= 1)")
 	fuList := flag.String("fu", "0", "FP adder+multiplier limits to sweep (0 = dedicated)")
 	banksList := flag.String("banks", "", "SPM bank counts to sweep (empty = the paper default, 4)")
@@ -153,6 +155,24 @@ func main() {
 		Preset:    *preset,
 		Mem:       mems,
 		TimeoutMS: int(timeout.Milliseconds()),
+	}
+	if *cfgPath != "" {
+		c, err := soccfg.Load(*cfgPath)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case c.Version != 0:
+			fail(fmt.Errorf("%s: sweeps take flat (version 0) configs, not topologies", *cfgPath))
+		case c.Kernel == "":
+			fail(fmt.Errorf("%s: sweeps need a named built-in kernel (ir_file configs are not sweepable)", *cfgPath))
+		case len(c.Size) > 0:
+			fail(fmt.Errorf("%s: sweeps enumerate presets, not explicit sizes", *cfgPath))
+		}
+		space.Kernel = c.Kernel
+		if c.Preset != "" {
+			space.Preset = c.Preset
+		}
 	}
 	knob := func(dst *[]int, rdst **campaign.Range, list, rng, what string, min int) {
 		if rng != "" {

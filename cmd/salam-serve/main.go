@@ -27,7 +27,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +41,7 @@ import (
 
 	"gosalam/internal/campaign"
 	"gosalam/internal/serve"
+	"gosalam/internal/soccfg"
 )
 
 // parseShard parses "k/n" into a Shard.
@@ -104,7 +104,7 @@ func main() {
 			fail(err)
 		}
 		var space campaign.Space
-		if err := json.Unmarshal(data, &space); err != nil {
+		if err := soccfg.Unmarshal(data, &space); err != nil {
 			fail(fmt.Errorf("decoding %s: %w", *spacePath, err))
 		}
 		store, err := campaign.OpenCache(*storeDir)

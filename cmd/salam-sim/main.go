@@ -15,8 +15,8 @@ import (
 	"os"
 
 	salam "gosalam"
-	"gosalam/internal/config"
 	"gosalam/internal/snapshot"
+	"gosalam/internal/soccfg"
 	"gosalam/internal/timeline"
 	"gosalam/kernels"
 )
@@ -49,12 +49,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-checkpoint and -checkpoint-cycle go together")
 		os.Exit(2)
 	}
-	cfg, err := config.Load(*cfgPath)
+	cfg, err := soccfg.Load(*cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	k, opts, err := cfg.Build()
+	if cfg.Version != 0 {
+		fmt.Fprintf(os.Stderr, "%s is a topology (version %d) config; salam-sim runs flat single-accelerator configs — inspect topologies with salam-config info\n", *cfgPath, cfg.Version)
+		os.Exit(2)
+	}
+	k, opts, err := salam.KernelFromConfig(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

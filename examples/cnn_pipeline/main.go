@@ -12,6 +12,7 @@ import (
 	"log"
 
 	salam "gosalam"
+	"gosalam/internal/soccfg"
 	"gosalam/kernels"
 )
 
@@ -32,24 +33,38 @@ func workload() ([]float64, []float64, []float64) {
 	return img, weights, want
 }
 
-// sharedSPM runs the layer host-sequenced through one scratchpad.
+// sharedCfg declares the shared-scratchpad topology — the same schema
+// configs/cnn_cluster.json ships, at this example's 18x18 image. Building
+// the identical SoC by hand with AddSPM/AddAccel is byte-identical; the
+// config-smoke suite proves that equivalence against the golden file.
+const sharedCfg = `{
+  "version": 1,
+  "soc": {
+    "dram_mb": 16,
+    "spms": [{"name": "shared", "bytes": 65536, "latency": 2, "banks": 4, "ports": 4}],
+    "accelerators": [
+      {"name": "conv", "kernel": "conv2d", "size": [18, 18], "shared_spm": "shared"},
+      {"name": "relu", "kernel": "relu", "size": [256], "shared_spm": "shared"},
+      {"name": "pool", "kernel": "maxpool", "size": [16, 16], "shared_spm": "shared"}
+    ]
+  }
+}`
+
+// sharedSPM runs the layer host-sequenced through one scratchpad, built
+// from the declarative config above.
 func sharedSPM() (float64, error) {
 	img, weights, want := workload()
-	soc := salam.NewSoC(16)
-	shared := soc.AddSPM("shared", 64<<10, 2, 4, 4)
-
-	conv, err := soc.AddAccel("conv", kernels.Conv2D(imgH, imgW).F, salam.AccelOpts{SharedSPM: shared})
+	cfg, err := soccfg.Parse([]byte(sharedCfg))
 	if err != nil {
 		return 0, err
 	}
-	relu, err := soc.AddAccel("relu", kernels.ReLU(convH*convW).F, salam.AccelOpts{SharedSPM: shared})
+	built, err := salam.BuildFromConfig(cfg)
 	if err != nil {
 		return 0, err
 	}
-	pool, err := soc.AddAccel("pool", kernels.MaxPool(convH, convW).F, salam.AccelOpts{SharedSPM: shared})
-	if err != nil {
-		return 0, err
-	}
+	soc := built.SoC
+	shared := built.SPMs["shared"]
+	conv, relu, pool := built.Accels["conv"], built.Accels["relu"], built.Accels["pool"]
 
 	base := shared.Range().Base
 	imgA, wA := base, base+uint64(len(img)*8)

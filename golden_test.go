@@ -56,6 +56,23 @@ func currentGolden(t *testing.T, traced bool) []byte {
 			EventsFired: res.EventsFired,
 		}
 	}
+	// Clang-emitted fixtures enter the suite under ll/ keys: same
+	// workloads, compiler-shaped IR, separately pinned schedules.
+	for _, k := range llKernels(t) {
+		opts := salam.DefaultRunOpts()
+		if traced {
+			opts.Timeline = timeline.NewTee(timeline.NewJSON(), timeline.NewBreakdown())
+		}
+		res, err := salam.RunKernel(k, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		got[k.Name] = goldenPoint{
+			Cycles:      res.Cycles,
+			Ticks:       uint64(res.Ticks),
+			EventsFired: res.EventsFired,
+		}
+	}
 	got["cnn-cluster"] = clusterGolden(t, traced)
 	// encoding/json emits map keys sorted, so the bytes are canonical.
 	out, err := json.MarshalIndent(got, "", "  ")

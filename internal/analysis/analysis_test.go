@@ -156,6 +156,134 @@ func TestLoopWithBreakUnproven(t *testing.T) {
 	}
 }
 
+// A single-block self-loop (header == latch, the shape clang -O1 emits for
+// innermost loops) must have a body of exactly its header. Seeding the
+// backward body walk with the header used to absorb every block reaching
+// the loop, which broke nesting badly enough to cycle the loop parent
+// chain — buildCFG then never terminated. The go test timeout guards the
+// termination half of this regression.
+func TestSelfLoopBodyAndNesting(t *testing.T) {
+	m := ir.NewModule("t")
+	buf := m.AddGlobal("buf", ir.Arr(64, ir.I64))
+	b := ir.NewBuilder(m)
+	f := b.Func("selfnest", ir.Void)
+
+	ohead := b.Block("ohead")
+	inner := b.Block("inner")
+	olatch := b.Block("olatch")
+	exit := b.Block("exit")
+	pre := b.B
+	b.Br(ohead)
+	b.SetBlock(ohead)
+	i := b.Phi(ir.I64, "i")
+	ir.AddIncoming(i, ir.I64c(0), pre)
+	oc := b.ICmp(ir.ISLT, i, ir.I64c(8), "oc")
+	b.CondBr(oc, inner, exit)
+	b.SetBlock(inner)
+	j := b.Phi(ir.I64, "j")
+	ir.AddIncoming(j, ir.I64c(0), ohead)
+	b.Store(j, b.GEP(buf, "p", ir.I64c(0), j))
+	jn := b.Add(j, ir.I64c(1), "jn")
+	ir.AddIncoming(j, jn, inner)
+	ic := b.ICmp(ir.ISLT, jn, ir.I64c(4), "ic")
+	b.CondBr(ic, inner, olatch)
+	b.SetBlock(olatch)
+	in := b.Add(i, ir.I64c(1), "in")
+	ir.AddIncoming(i, in, olatch)
+	b.Br(ohead)
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	c := buildCFG(f)
+	if len(c.loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(c.loops))
+	}
+	byHeader := map[string]*loopInfo{}
+	for _, l := range c.loops {
+		byHeader[c.blocks[l.header].Name()] = l
+	}
+	self, outer := byHeader["inner"], byHeader["ohead"]
+	if self == nil || outer == nil {
+		t.Fatalf("headers = %v, want inner and ohead", byHeader)
+	}
+	if self.nblocks != 1 {
+		t.Errorf("self-loop nblocks = %d, want 1 (body must be the header alone)", self.nblocks)
+	}
+	if outer.nblocks != 3 {
+		t.Errorf("outer nblocks = %d, want 3 (ohead, inner, olatch)", outer.nblocks)
+	}
+	if self.parent < 0 || c.loops[self.parent] != outer || self.depth != 1 {
+		t.Errorf("self-loop parent/depth = %d/%d, want nested once under ohead", self.parent, self.depth)
+	}
+	if outer.parent != -1 || outer.depth != 0 {
+		t.Errorf("outer parent/depth = %d/%d, want top level", outer.parent, outer.depth)
+	}
+}
+
+// buildRotated builds the rotated (do-while) counted loop clang -O1
+// emits: increment first, then `icmp eq %inc, hi` exiting on true from
+// the latch. step/hi are parameters so the non-divisible case can assert
+// the prover refuses to guess.
+func buildRotated(t *testing.T, step, hi int64) *ir.Function {
+	t.Helper()
+	m := ir.NewModule("t")
+	buf := m.AddGlobal("buf", ir.Arr(64, ir.I64))
+	b := ir.NewBuilder(m)
+	f := b.Func("rot", ir.Void)
+
+	body := b.Block("body")
+	exit := b.Block("exit")
+	pre := b.B
+	b.Br(body)
+	b.SetBlock(body)
+	iv := b.Phi(ir.I64, "iv")
+	ir.AddIncoming(iv, ir.I64c(0), pre)
+	b.Store(iv, b.GEP(buf, "p", ir.I64c(0), iv))
+	inc := b.Add(iv, ir.I64c(step), "inc")
+	ir.AddIncoming(iv, inc, body)
+	done := b.ICmp(ir.IEQ, inc, ir.I64c(hi), "done")
+	b.CondBr(done, exit, body)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	return f
+}
+
+// The rotated shape must prove its trip, and the header — which IS the
+// body in a self-loop — must count exactly trip executions, not the
+// while-shape's trip+1 header tests.
+func TestRotatedLoopTripProven(t *testing.T) {
+	c := buildCFG(buildRotated(t, 1, 16))
+	if len(c.loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(c.loops))
+	}
+	l := c.loops[0]
+	if !l.rotated || l.trip != 16 || l.lo != 0 || l.step != 1 {
+		t.Fatalf("rotated/trip/lo/step = %v/%d/%d/%d, want true/16/0/1", l.rotated, l.trip, l.lo, l.step)
+	}
+	if l.ivLast != 15 {
+		t.Errorf("ivLast = %d, want 15 (the phi never holds the exit bound)", l.ivLast)
+	}
+	for i, blk := range c.blocks {
+		want := uint64(1)
+		if blk.Name() == "body" {
+			want = 16
+		}
+		if c.minExec[i] != want || !c.exact[i] {
+			t.Errorf("minExec[%s] = %d exact=%v, want %d exact", blk.Name(), c.minExec[i], c.exact[i], want)
+		}
+	}
+}
+
+// An equality exit the increment steps over (3 never divides 16) must
+// stay unproven: guessing a trip there would be unsound, the source loop
+// would not even terminate.
+func TestRotatedLoopNonDivisibleUnproven(t *testing.T) {
+	c := buildCFG(buildRotated(t, 3, 16))
+	if len(c.loops) != 1 || c.loops[0].trip != -1 {
+		t.Fatalf("non-divisible rotated loop must stay unproven, got trip %d", c.loops[0].trip)
+	}
+}
+
 func TestMemDisjointHalvesNoHazard(t *testing.T) {
 	m := ir.NewModule("t")
 	buf := m.AddGlobal("buf", ir.Arr(16, ir.I64))

@@ -62,6 +62,11 @@ type loopInfo struct {
 	lo     int64
 	step   int64
 	ivLast int64
+
+	// rotated marks the do-while shape (exit test at the latch, after
+	// the increment): the header then executes exactly trip times per
+	// entry, not trip+1, and the phi never holds the exit bound.
+	rotated bool
 }
 
 func buildCFG(f *ir.Function) *cfgInfo {
@@ -227,12 +232,22 @@ func (c *cfgInfo) findLoops() {
 		l := &loopInfo{header: h, latches: latchesOf[h], body: make([]bool, n), parent: -1, trip: -1}
 		l.body[h] = true
 		l.nblocks = 1
-		stack := append([]int(nil), l.latches...)
-		for _, u := range stack {
+		// Seed the backward walk with the latches — except a latch that
+		// IS the header (a self-loop, which clang emits for single-block
+		// inner loops). Expanding the header would walk its out-of-loop
+		// preds and absorb everything that reaches the loop into the
+		// body, wrecking nesting: such a bloated body "contains" sibling
+		// headers, and the parent chains built from it can cycle.
+		stack := make([]int, 0, len(l.latches))
+		for _, u := range l.latches {
+			if u == h {
+				continue
+			}
 			if !l.body[u] {
 				l.body[u] = true
 				l.nblocks++
 			}
+			stack = append(stack, u)
 		}
 		// The latches were marked above; grow backwards to the header.
 		for len(stack) > 0 {
@@ -274,9 +289,14 @@ func (c *cfgInfo) findLoops() {
 		}
 	}
 	// Parent: the innermost loop properly containing this loop's header.
+	// A parent must be strictly larger than its child: genuine nesting
+	// always is, and the constraint makes the relation well-founded, so
+	// the parent-chain walks below (depth here, provableExec later)
+	// provably terminate even if a body is ever overcomputed again the
+	// way the self-loop seeding bug overcomputed them.
 	for li, l := range c.loops {
 		for lj, outer := range c.loops {
-			if li == lj || !outer.body[l.header] {
+			if li == lj || outer.nblocks <= l.nblocks || !outer.body[l.header] {
 				continue
 			}
 			if l.parent < 0 || outer.nblocks < c.loops[l.parent].nblocks {
@@ -291,13 +311,24 @@ func (c *cfgInfo) findLoops() {
 	}
 }
 
-// proveTrip establishes a constant trip count for the canonical counted
-// pattern: a header `icmp slt/sle (phi iv), C` feeding a conditional
-// branch whose true edge stays in the loop, an induction phi starting at a
-// constant and stepped by a positive constant add, and no exit other than
-// the header. Loops that do not match stay at trip = -1 (unproven), which
-// degrades every dependent bound gracefully rather than unsoundly.
+// proveTrip establishes a constant trip count for two canonical counted
+// shapes. The while shape: a header `icmp slt/sle (phi iv), C` feeding a
+// conditional branch whose true edge stays in the loop, an induction phi
+// starting at a constant and stepped by a positive constant add, and no
+// exit other than the header. The rotated (do-while) shape clang -O1
+// emits: the single latch carries the loop's only exit, testing the
+// already-incremented induction value with `icmp eq (add (phi iv), step),
+// C` and leaving on true. Loops that match neither stay at trip = -1
+// (unproven), which degrades every dependent bound gracefully rather than
+// unsoundly.
 func (c *cfgInfo) proveTrip(l *loopInfo) {
+	c.proveWhileTrip(l)
+	if l.trip < 0 {
+		c.proveRotatedTrip(l)
+	}
+}
+
+func (c *cfgInfo) proveWhileTrip(l *loopInfo) {
 	if !l.exitViaHeaderOnly {
 		return
 	}
@@ -383,6 +414,95 @@ func (c *cfgInfo) proveTrip(l *loopInfo) {
 	l.ivLast = lo + trips*step
 }
 
+// proveRotatedTrip recognizes clang's rotated counted loops, including
+// the single-block self-loop where the latch IS the header. Every
+// iteration ends at the latch, so when the latch carries the only exit
+// the whole body — header included — runs exactly (C-lo)/step times per
+// entry. The exit bound must be reached exactly ((C-lo) divisible by
+// step, C > lo): an equality test that the increment could step over is
+// left unproven rather than guessed at.
+func (c *cfgInfo) proveRotatedTrip(l *loopInfo) {
+	if len(l.latches) != 1 {
+		return
+	}
+	lt := l.latches[0]
+	// The latch must be the only block with an edge out of the loop.
+	for b := 0; b < len(c.blocks); b++ {
+		if !l.body[b] || b == lt {
+			continue
+		}
+		for _, s := range c.succs[b] {
+			if !l.body[s] {
+				return
+			}
+		}
+	}
+	term := c.blocks[lt].Terminator()
+	if term == nil || term.Op != ir.OpBr || len(term.Blocks) != 2 || len(term.Args) != 1 {
+		return
+	}
+	exit, stay := c.idx[term.Blocks[0]], c.idx[term.Blocks[1]]
+	// Exit on true, back edge on false — clang's `icmp eq %inc, C` shape.
+	if l.body[exit] || stay != l.header {
+		return
+	}
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp || cmp.Pred != ir.IEQ || len(cmp.Args) != 2 {
+		return
+	}
+	next, ok := cmp.Args[0].(*ir.Instr)
+	if !ok || next.Op != ir.OpAdd || len(next.Args) != 2 {
+		return
+	}
+	hiC, ok := cmp.Args[1].(*ir.ConstInt)
+	if !ok {
+		return
+	}
+	iv, ok := next.Args[0].(*ir.Instr)
+	if !ok || iv.Op != ir.OpPhi || c.idx[iv.Block()] != l.header {
+		return
+	}
+	stC, ok := next.Args[1].(*ir.ConstInt)
+	if !ok || stC.V <= 0 {
+		return
+	}
+	ni := c.idx[next.Block()]
+	if !l.body[ni] || !c.dominates(ni, lt) {
+		return
+	}
+	// The latch incoming must be the very increment the exit tests, and
+	// every entry incoming the same constant start.
+	var lo int64
+	haveLo := false
+	for k, inBlk := range iv.Blocks {
+		if l.body[c.idx[inBlk]] {
+			if ir.Value(iv.Args[k]) != ir.Value(next) {
+				return
+			}
+			continue
+		}
+		loC, ok := iv.Args[k].(*ir.ConstInt)
+		if !ok || (haveLo && lo != loC.V) {
+			return
+		}
+		lo, haveLo = loC.V, true
+	}
+	if !haveLo {
+		return
+	}
+	hi := hiC.V
+	if hi <= lo || (hi-lo)%stC.V != 0 {
+		return
+	}
+	l.trip = (hi - lo) / stC.V
+	l.iv = iv
+	l.lo, l.step = lo, stC.V
+	l.rotated = true
+	// The increment exits the moment it reaches hi, so the phi tops out
+	// one step earlier — there is no "final failing check" value.
+	l.ivLast = lo + (l.trip-1)*stC.V
+}
+
 func floorDiv(a, b int64) int64 {
 	q := a / b
 	if (a%b != 0) && ((a < 0) != (b < 0)) {
@@ -446,7 +566,13 @@ func (c *cfgInfo) provableExec(b int) (uint64, bool) {
 		var per uint64
 		switch {
 		case anchor == l.header:
+			// A while-shape header is tested once more than the body
+			// runs; a rotated header is itself body, tested at the
+			// latch, so it runs exactly trip times.
 			per = uint64(l.trip) + 1
+			if l.rotated {
+				per = uint64(l.trip)
+			}
 		case l.trip > 0 && c.domAllLatches(anchor, l):
 			per = uint64(l.trip)
 		default:

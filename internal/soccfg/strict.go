@@ -1,0 +1,200 @@
+package soccfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Unmarshal decodes JSON into v strictly: any key that does not
+// correspond to a struct field anywhere in the document is an error
+// carrying the full field path (`soc.accelerators[0].spm_bank`) and, when
+// a field name is within small edit distance, a "did you mean" hint.
+// encoding/json's DisallowUnknownFields reports only the bare key; a
+// typo'd knob three levels deep in a topology file needs the path.
+func Unmarshal(data []byte, v any) error {
+	var generic any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("config: Unmarshal target must be a non-nil pointer")
+	}
+	if err := checkUnknown("", generic, rv.Type().Elem()); err != nil {
+		return err
+	}
+	// Structure is clean: let encoding/json do the actual decode (it
+	// reports residual type errors with the Go field path).
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// checkUnknown walks the decoded document in parallel with the target
+// type, flagging object keys with no corresponding field.
+func checkUnknown(path string, val any, t reflect.Type) error {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		obj, ok := val.(map[string]any)
+		if !ok {
+			return nil // type mismatch: encoding/json reports it with context
+		}
+		fields := jsonFields(t)
+		keys := make([]string, 0, len(obj))
+		for k := range obj { //salam:vet:ok key collection feeding sort.Strings, order cannot escape
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ft, ok := fields[k]
+			if !ok {
+				return unknownFieldErr(joinPath(path, k), k, fields)
+			}
+			if err := checkUnknown(joinPath(path, k), obj[k], ft); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		arr, ok := val.([]any)
+		if !ok {
+			return nil
+		}
+		for i, e := range arr {
+			if err := checkUnknown(fmt.Sprintf("%s[%d]", path, i), e, t.Elem()); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		obj, ok := val.(map[string]any)
+		if !ok {
+			return nil
+		}
+		keys := make([]string, 0, len(obj))
+		for k := range obj { //salam:vet:ok key collection feeding sort.Strings, order cannot escape
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := checkUnknown(joinPath(path, k), obj[k], t.Elem()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+// jsonFields maps JSON keys to field types for t, flattening anonymous
+// embedded structs the way encoding/json promotes their fields.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	out := map[string]reflect.Type{}
+	collectJSONFields(t, out)
+	return out
+}
+
+func collectJSONFields(t reflect.Type, out map[string]reflect.Type) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "-" {
+			continue
+		}
+		if f.Anonymous && name == "" {
+			ft := f.Type
+			for ft.Kind() == reflect.Pointer {
+				ft = ft.Elem()
+			}
+			if ft.Kind() == reflect.Struct {
+				collectJSONFields(ft, out)
+				continue
+			}
+		}
+		if name == "" {
+			name = f.Name
+		}
+		if _, exists := out[name]; !exists {
+			out[name] = f.Type
+		}
+	}
+}
+
+func unknownFieldErr(path, key string, fields map[string]reflect.Type) error {
+	if hint := nearestField(key, fields); hint != "" {
+		return fmt.Errorf("config: %s: unknown field (did you mean %q?)", path, hint)
+	}
+	known := make([]string, 0, len(fields))
+	for k := range fields { //salam:vet:ok key collection feeding sort.Strings, order cannot escape
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return fmt.Errorf("config: %s: unknown field (known fields: %s)", path, strings.Join(known, ", "))
+}
+
+// nearestField suggests a field within edit distance 2 of the typo.
+func nearestField(key string, fields map[string]reflect.Type) string {
+	best, bestDist := "", 3
+	names := make([]string, 0, len(fields))
+	for k := range fields { //salam:vet:ok key collection feeding sort.Strings, order cannot escape
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if d := editDistance(key, name); d < bestDist {
+			best, bestDist = name, d
+		}
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

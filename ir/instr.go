@@ -217,17 +217,29 @@ func (i *Instr) GEPStrides() []int64 {
 	return strides
 }
 
-// GEPResultElem returns the pointee type of a GEP's result.
-func GEPResultElem(base PtrType, nIdx int) Type {
+// GEPElem returns the pointee type of a GEP's result, or false when an
+// index beyond the first tries to step through a non-array type — the
+// checked form the parser needs to turn malformed input into an error.
+func GEPElem(base PtrType, nIdx int) (Type, bool) {
 	cur := base.Elem
 	for k := 1; k < nIdx; k++ {
 		at, ok := cur.(ArrayType)
 		if !ok {
-			panic("ir: GEP indexes through non-array")
+			return nil, false
 		}
 		cur = at.Elem
 	}
-	return cur
+	return cur, true
+}
+
+// GEPResultElem is the panicking form of GEPElem for programmatic
+// construction, where indexing through a non-array is a caller bug.
+func GEPResultElem(base PtrType, nIdx int) Type {
+	t, ok := GEPElem(base, nIdx)
+	if !ok {
+		panic("ir: GEP indexes through non-array")
+	}
+	return t
 }
 
 // Block is a basic block: a straight-line instruction list ending in a

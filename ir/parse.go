@@ -2,15 +2,28 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
 )
 
-// Parse reads the textual IR form produced by Print back into a Module.
-// It accepts comments (';' to end of line) and flexible whitespace.
+// Parse reads textual IR into a Module. It accepts two dialects:
+//
+//   - the form produced by Print (the repo's own round-trip dialect), and
+//   - real clang `-S -emit-llvm` output (LLVM 14, typed pointers) for the
+//     instruction subset the engine models. Module-level metadata
+//     (source_filename, target lines, named metadata, attribute groups,
+//     declares), instruction flags (nsw/nuw/exact, fast-math), parameter
+//     and call-site attributes, alignment annotations, `; ...` comments,
+//     and trailing `!dbg`/`!tbaa`/`!llvm.loop` metadata are tolerated and
+//     skipped; implicit (unnamed) entry blocks and clang's numeric
+//     value/label names are resolved with LLVM's numbering rule.
+//
+// name labels the module and every diagnostic: parse errors carry
+// name:line:col positions from the tokenizer.
 func Parse(name, src string) (*Module, error) {
-	p := &parser{toks: lex(src), m: NewModule(name)}
+	p := &parser{src: name, toks: lex(src), m: NewModule(name)}
 	if err := p.parseModule(); err != nil {
 		return nil, err
 	}
@@ -23,6 +36,8 @@ func Parse(name, src string) (*Module, error) {
 type fwdRef struct {
 	name string
 	t    Type
+	line int
+	col  int
 }
 
 func (f *fwdRef) Type() Type    { return f.t }
@@ -31,44 +46,74 @@ func (f *fwdRef) Ident() string { return "%" + f.name }
 type token struct {
 	text string
 	line int
+	col  int
 }
 
+// lex splits src into tokens with line:col positions. String literals
+// ("..." — LLVM escapes quotes as \22, so a literal never contains an
+// escaped quote) are single tokens, which keeps `;` inside
+// source_filename/datalayout strings and metadata string operands from
+// being misread as a comment start. `!foo`/`!42` metadata references and
+// `#0` attribute-group references also lex as single tokens.
 func lex(src string) []token {
 	var toks []token
 	line := 1
+	lineStart := 0
 	i := 0
+	emit := func(text string, start int) {
+		toks = append(toks, token{text: text, line: line, col: start - lineStart + 1})
+	}
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j < len(src) && src[j] == '"' {
+				j++
+			}
+			emit(src[i:j], i)
+			i = j
 		case c == ';':
 			for i < len(src) && src[i] != '\n' {
 				i++
 			}
+		case c == '!' || c == '#':
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			emit(src[i:j], i)
+			i = j
 		case strings.ContainsRune("=,()[]{}*:", rune(c)):
-			toks = append(toks, token{string(c), line})
+			emit(string(c), i)
 			i++
 		case c == '%' || c == '@':
 			j := i + 1
 			for j < len(src) && isIdentChar(src[j]) {
 				j++
 			}
-			toks = append(toks, token{src[i:j], line})
+			emit(src[i:j], i)
 			i = j
 		default:
 			j := i
 			for j < len(src) && isIdentChar(src[j]) {
 				j++
 			}
-			if j == i { // unknown byte; skip defensively
+			if j == i { // unknown byte: emit it so errors can name it
+				emit(string(c), i)
 				i++
 				continue
 			}
-			toks = append(toks, token{src[i:j], line})
+			emit(src[i:j], i)
 			i = j
 		}
 	}
@@ -81,6 +126,7 @@ func isIdentChar(c byte) bool {
 }
 
 type parser struct {
+	src  string
 	toks []token
 	pos  int
 	m    *Module
@@ -91,19 +137,40 @@ type parser struct {
 	blocks map[string]*Block
 }
 
-func (p *parser) errf(format string, args ...any) error {
-	line := 0
-	if p.pos < len(p.toks) {
-		line = p.toks[p.pos].line
-	} else if len(p.toks) > 0 {
-		line = p.toks[len(p.toks)-1].line
+// at returns the position to report for the token at index i.
+func (p *parser) at(i int) (line, col int) {
+	if i < len(p.toks) {
+		return p.toks[i].line, p.toks[i].col
 	}
-	return fmt.Errorf("ir: parse line %d: %s", line, fmt.Sprintf(format, args...))
+	if len(p.toks) > 0 {
+		last := p.toks[len(p.toks)-1]
+		return last.line, last.col + len(last.text)
+	}
+	return 1, 1
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line, col := p.at(p.pos)
+	return fmt.Errorf("ir: parse %s:%d:%d: %s", p.src, line, col, fmt.Sprintf(format, args...))
+}
+
+// errAt reports an error at an explicit position (for diagnostics raised
+// after the offending token was consumed).
+func (p *parser) errAt(line, col int, format string, args ...any) error {
+	return fmt.Errorf("ir: parse %s:%d:%d: %s", p.src, line, col, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) peek() string {
 	if p.pos < len(p.toks) {
 		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+// peekAt looks ahead n tokens without consuming.
+func (p *parser) peekAt(n int) string {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].text
 	}
 	return ""
 }
@@ -122,19 +189,168 @@ func (p *parser) expect(tok string) error {
 	return nil
 }
 
+// skipLine discards the rest of the current token's line (used for
+// module-level constructs the engine does not model: source_filename,
+// target lines, metadata definitions, declares, global initializers).
+func (p *parser) skipLine() {
+	if p.pos >= len(p.toks) {
+		return
+	}
+	line := p.toks[p.pos].line
+	for p.pos < len(p.toks) && p.toks[p.pos].line == line {
+		p.pos++
+	}
+}
+
+// skipRestOfLine discards any tokens remaining on the line of the token
+// just consumed (the tail of a global definition).
+func (p *parser) skipRestOfLine() {
+	if p.pos == 0 || p.pos > len(p.toks) {
+		return
+	}
+	line := p.toks[p.pos-1].line
+	for p.pos < len(p.toks) && p.toks[p.pos].line == line {
+		p.pos++
+	}
+}
+
+// skipBraced discards tokens up to and including a balanced {...} group
+// (attribute groups, metadata tuples).
+func (p *parser) skipBraced() error {
+	for p.pos < len(p.toks) && p.peek() != "{" {
+		p.next()
+	}
+	if p.pos >= len(p.toks) {
+		return p.errf("unexpected EOF looking for '{'")
+	}
+	depth := 0
+	for p.pos < len(p.toks) {
+		switch p.next() {
+		case "{":
+			depth++
+		case "}":
+			depth--
+			if depth == 0 {
+				return nil
+			}
+		}
+	}
+	return p.errf("unexpected EOF in braced group")
+}
+
+// funcKeywords are define/global modifiers that carry no meaning for the
+// model: linkage, visibility, address significance, and DLL storage.
+var funcKeywords = map[string]bool{
+	"dso_local": true, "dso_preemptable": true,
+	"private": true, "internal": true, "external": true,
+	"linkonce": true, "linkonce_odr": true, "weak": true, "weak_odr": true,
+	"common": true, "appending": true, "extern_weak": true,
+	"available_externally": true,
+	"hidden":               true, "protected": true, "default": true,
+	"local_unnamed_addr": true, "unnamed_addr": true,
+}
+
+// paramAttrs are parameter/return attributes clang emits on kernel
+// signatures and call sites. Attributes with a parenthesized or numeric
+// payload (align 8, dereferenceable(64)) are handled by skipParamAttrs.
+var paramAttrs = map[string]bool{
+	"nocapture": true, "noundef": true, "readonly": true, "readnone": true,
+	"writeonly": true, "noalias": true, "nonnull": true, "returned": true,
+	"zeroext": true, "signext": true, "inreg": true, "nofree": true,
+	"nest": true, "immarg": true,
+}
+
+// fastMathFlags are instruction-level FP flags; all are semantically
+// invisible to the engine's strict IEEE evaluation order.
+var fastMathFlags = map[string]bool{
+	"fast": true, "nnan": true, "ninf": true, "nsz": true,
+	"arcp": true, "contract": true, "afn": true, "reassoc": true,
+}
+
+// skipParamAttrs consumes parameter attributes before an operand or
+// parameter name: bare keywords, `align N`, and `attr(payload)` forms.
+func (p *parser) skipParamAttrs() {
+	for {
+		tok := p.peek()
+		switch {
+		case paramAttrs[tok]:
+			p.next()
+		case tok == "align":
+			p.next()
+			p.next() // the alignment value
+		case (tok == "dereferenceable" || tok == "dereferenceable_or_null" || tok == "byval" || tok == "sret" || tok == "byref") && p.peekAt(1) == "(":
+			p.next() // attr
+			depth := 0
+			for p.pos < len(p.toks) {
+				t := p.next()
+				if t == "(" {
+					depth++
+				} else if t == ")" {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// skipInstrSuffix consumes trailing `, align N`, `, !kind !N` metadata and
+// `, !kind !{...}` chains after an instruction's operands.
+func (p *parser) skipInstrSuffix() {
+	for p.peek() == "," {
+		nxt := p.peekAt(1)
+		switch {
+		case strings.HasPrefix(nxt, "!"):
+			p.next() // ,
+			p.next() // !kind
+			if strings.HasPrefix(p.peek(), "!") {
+				p.next() // !N
+				if p.peek() == "{" {
+					_ = p.skipBraced()
+				}
+			}
+		case nxt == "align":
+			p.next() // ,
+			p.next() // align
+			p.next() // N
+		default:
+			return
+		}
+	}
+	// A bare attribute-group reference (`) #4`) after call instructions.
+	for strings.HasPrefix(p.peek(), "#") {
+		p.next()
+	}
+}
+
 func (p *parser) parseModule() error {
 	for p.pos < len(p.toks) {
-		switch {
-		case strings.HasPrefix(p.peek(), "@"):
+		switch tok := p.peek(); {
+		case tok == "source_filename" || tok == "target":
+			p.skipLine()
+		case tok == "declare":
+			p.skipLine()
+		case tok == "attributes":
+			if err := p.skipBraced(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(tok, "!"):
+			// Named or numbered metadata definition: one line each.
+			p.skipLine()
+		case strings.HasPrefix(tok, "@"):
 			if err := p.parseGlobal(); err != nil {
 				return err
 			}
-		case p.peek() == "define":
+		case tok == "define":
 			if err := p.parseFunc(); err != nil {
 				return err
 			}
 		default:
-			return p.errf("unexpected top-level token %q", p.peek())
+			return p.errf("unexpected top-level token %q", tok)
 		}
 	}
 	return nil
@@ -145,14 +361,23 @@ func (p *parser) parseGlobal() error {
 	if err := p.expect("="); err != nil {
 		return err
 	}
-	if err := p.expect("global"); err != nil {
-		return err
+	for funcKeywords[p.peek()] {
+		p.next()
+	}
+	if kw := p.peek(); kw == "global" || kw == "constant" {
+		p.next()
+	} else {
+		return p.errf("expected 'global' or 'constant', got %q", kw)
 	}
 	t, err := p.parseType()
 	if err != nil {
 		return err
 	}
 	p.m.AddGlobal(name, t)
+	// Initializer (zeroinitializer, constant lists), alignment and section
+	// annotations are not modeled: backing memory is zero-initialized and
+	// laid out by the workload. They always share the global's line.
+	p.skipRestOfLine()
 	return nil
 }
 
@@ -163,7 +388,8 @@ func (p *parser) parseType() (Type, error) {
 		p.next()
 		n, err := strconv.Atoi(p.next())
 		if err != nil {
-			return nil, p.errf("bad array length")
+			p.pos--
+			return nil, p.errf("bad array length %q", p.peek())
 		}
 		if err := p.expect("x"); err != nil {
 			return nil, err
@@ -191,14 +417,32 @@ func (p *parser) parseType() (Type, error) {
 	return base, nil
 }
 
+// nextUnnamed returns the number LLVM's counter would assign to the first
+// unnamed value after the parameter list: parameters take %0..%k-1 when
+// unnamed, and an implicit entry block label takes the next slot.
+func nextUnnamed(params []*Param) int {
+	n := 0
+	for _, prm := range params {
+		if prm.PName == strconv.Itoa(n) {
+			n++
+		}
+	}
+	return n
+}
+
 func (p *parser) parseFunc() error {
 	p.next() // define
+	for funcKeywords[p.peek()] {
+		p.next()
+	}
+	p.skipParamAttrs() // return-value attributes (noundef etc.)
 	ret, err := p.parseType()
 	if err != nil {
 		return err
 	}
 	fname := p.next()
 	if !strings.HasPrefix(fname, "@") {
+		p.pos--
 		return p.errf("expected @name, got %q", fname)
 	}
 	if err := p.expect("("); err != nil {
@@ -215,16 +459,25 @@ func (p *parser) parseFunc() error {
 		if err != nil {
 			return err
 		}
-		pn := p.next()
+		p.skipParamAttrs()
+		pn := p.peek()
 		if !strings.HasPrefix(pn, "%") {
 			return p.errf("expected %%param, got %q", pn)
 		}
+		p.next()
 		params = append(params, P(strings.TrimPrefix(pn, "%"), t))
 	}
 	p.next() // )
-	if err := p.expect("{"); err != nil {
-		return err
+	// Function attributes between the signature and the body: attribute
+	// group refs (#0), unnamed_addr, metadata attachments (!dbg !7),
+	// section/alignment strings.
+	for p.peek() != "{" {
+		if p.pos >= len(p.toks) {
+			return p.errf("unexpected EOF before function body")
+		}
+		p.next()
 	}
+	p.next() // {
 
 	p.f = p.m.NewFunction(strings.TrimPrefix(fname, "@"), ret, params...)
 	p.vals = map[string]Value{}
@@ -234,6 +487,17 @@ func (p *parser) parseFunc() error {
 	}
 	for _, g := range p.m.Globals {
 		p.vals["@"+g.GName] = g
+	}
+
+	// Clang leaves the entry block's label implicit when it is unnamed:
+	// the body opens directly with an instruction. Synthesize the label
+	// LLVM's numbering rule would assign so branches to it still resolve,
+	// and so the entry block stays Blocks[0].
+	var cur *Block
+	if p.peek() != "}" && p.peekAt(1) != ":" {
+		label := strconv.Itoa(nextUnnamed(params))
+		cur = p.f.NewBlock(label)
+		p.blocks[label] = cur
 	}
 
 	// Pre-scan for block labels so branches and phis can resolve forward.
@@ -256,13 +520,12 @@ func (p *parser) parseFunc() error {
 		}
 	}
 
-	var cur *Block
 	for p.peek() != "}" {
 		if p.pos >= len(p.toks) {
 			return p.errf("unexpected EOF in function %s", p.f.FName)
 		}
 		// Label?
-		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == ":" {
+		if p.peekAt(1) == ":" {
 			cur = p.blocks[p.next()]
 			p.next() // :
 			continue
@@ -288,10 +551,10 @@ func (p *parser) parseFunc() error {
 				if fr, ok := a.(*fwdRef); ok {
 					v, ok := p.vals[fr.name]
 					if !ok {
-						return fmt.Errorf("ir: parse: undefined value %%%s in %s", fr.name, p.f.FName)
+						return p.errAt(fr.line, fr.col, "undefined value %%%s in %s", fr.name, p.f.FName)
 					}
 					if !Equal(v.Type(), fr.t) {
-						return fmt.Errorf("ir: parse: %%%s used as %s but defined as %s",
+						return p.errAt(fr.line, fr.col, "%%%s used as %s but defined as %s",
 							fr.name, fr.t, v.Type())
 					}
 					in.Args[k] = v
@@ -302,7 +565,7 @@ func (p *parser) parseFunc() error {
 	return nil
 }
 
-// parseOperandIdent converts an operand token of a known type into a Value.
+// operand converts an operand token of a known type into a Value.
 func (p *parser) operand(tok string, t Type) (Value, error) {
 	switch {
 	case strings.HasPrefix(tok, "%"):
@@ -310,10 +573,13 @@ func (p *parser) operand(tok string, t Type) (Value, error) {
 		if v, ok := p.vals[name]; ok {
 			return v, nil
 		}
-		return &fwdRef{name: name, t: t}, nil
+		line, col := p.at(p.pos - 1)
+		return &fwdRef{name: name, t: t, line: line, col: col}, nil
 	case strings.HasPrefix(tok, "@"):
 		g := p.m.GlobalByName(strings.TrimPrefix(tok, "@"))
 		if g == nil {
+			p.pos--
+			defer func() { p.pos++ }()
 			return nil, p.errf("unknown global %s", tok)
 		}
 		return g, nil
@@ -323,27 +589,63 @@ func (p *parser) operand(tok string, t Type) (Value, error) {
 		return I1c(false), nil
 	default:
 		if IsFloat(t) {
+			// Three float spellings: Go/C hex floats with a binary exponent
+			// (0x1p+01, from Print), LLVM scientific decimals (0.000000e+00),
+			// and LLVM 16-digit hex bit patterns (0x3FB99999...). Only the
+			// last lacks a 'p' exponent marker.
+			if (strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X")) &&
+				!strings.ContainsAny(tok, "pP") {
+				bits, err := strconv.ParseUint(tok[2:], 16, 64)
+				if err != nil {
+					p.pos--
+					defer func() { p.pos++ }()
+					return nil, p.errf("bad float hex literal %q", tok)
+				}
+				return FC(t, math.Float64frombits(bits)), nil
+			}
 			f, err := strconv.ParseFloat(tok, 64)
 			if err != nil {
+				p.pos--
+				defer func() { p.pos++ }()
 				return nil, p.errf("bad float literal %q", tok)
 			}
 			return FC(t, f), nil
 		}
 		v, err := strconv.ParseInt(tok, 0, 64)
 		if err != nil {
+			p.pos--
+			defer func() { p.pos++ }()
 			return nil, p.errf("bad int literal %q", tok)
 		}
 		return IC(t, v), nil
 	}
 }
 
-// typedOperand parses "<type> <ident>".
+// typedOperand parses "<type> [attrs] <ident>".
 func (p *parser) typedOperand() (Value, error) {
 	t, err := p.parseType()
 	if err != nil {
 		return nil, err
 	}
+	p.skipParamAttrs()
 	return p.operand(p.next(), t)
+}
+
+// intrinsicName maps a call target to the engine's intrinsic namespace:
+// `llvm.sqrt.f64`-style intrinsics collapse to their base name; libm-style
+// direct names pass through.
+func intrinsicName(callee string) string {
+	if rest, ok := strings.CutPrefix(callee, "llvm."); ok {
+		base := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			base = rest[:i]
+		}
+		if Intrinsics[base] {
+			return base
+		}
+		return callee
+	}
+	return callee
 }
 
 func (p *parser) parseInstr() (*Instr, error) {
@@ -355,9 +657,19 @@ func (p *parser) parseInstr() (*Instr, error) {
 		}
 	}
 	mnem := p.next()
+	for mnem == "tail" || mnem == "musttail" || mnem == "notail" {
+		mnem = p.next()
+	}
 	op := OpcodeByName(mnem)
 	if op == OpInvalid {
+		p.pos--
 		return nil, p.errf("unknown instruction %q", mnem)
+	}
+	// Wrapping/exactness/fast-math flags change UB latitude, not the
+	// defined-case semantics the engine evaluates; skip them wherever
+	// clang can emit them.
+	for fastMathFlags[p.peek()] || p.peek() == "nuw" || p.peek() == "nsw" || p.peek() == "exact" {
+		p.next()
 	}
 	in := &Instr{Op: op, Name: name, T: Void}
 
@@ -384,7 +696,8 @@ func (p *parser) parseInstr() (*Instr, error) {
 	case op == OpICmp || op == OpFCmp:
 		pred := PredByName(p.next())
 		if pred == PredInvalid {
-			return nil, p.errf("bad predicate")
+			p.pos--
+			return nil, p.errf("bad predicate %q", p.peek())
 		}
 		t, err := p.parseType()
 		if err != nil {
@@ -406,6 +719,9 @@ func (p *parser) parseInstr() (*Instr, error) {
 		in.Args = []Value{a, b}
 
 	case op == OpLoad:
+		if p.peek() == "volatile" {
+			p.next()
+		}
 		t, err := p.parseType()
 		if err != nil {
 			return nil, err
@@ -421,6 +737,9 @@ func (p *parser) parseInstr() (*Instr, error) {
 		in.Args = []Value{ptr}
 
 	case op == OpStore:
+		if p.peek() == "volatile" {
+			p.next()
+		}
 		val, err := p.typedOperand()
 		if err != nil {
 			return nil, err
@@ -435,6 +754,9 @@ func (p *parser) parseInstr() (*Instr, error) {
 		in.Args = []Value{val, ptr}
 
 	case op == OpGEP:
+		if p.peek() == "inbounds" {
+			p.next()
+		}
 		if _, err := p.parseType(); err != nil { // pointee type, redundant
 			return nil, err
 		}
@@ -446,7 +768,7 @@ func (p *parser) parseInstr() (*Instr, error) {
 			return nil, err
 		}
 		in.Args = []Value{base}
-		for p.peek() == "," {
+		for p.peek() == "," && !strings.HasPrefix(p.peekAt(1), "!") {
 			p.next()
 			idx, err := p.typedOperand()
 			if err != nil {
@@ -458,7 +780,14 @@ func (p *parser) parseInstr() (*Instr, error) {
 		if !ok {
 			return nil, p.errf("gep base is not a pointer")
 		}
-		in.T = Ptr(GEPResultElem(pt, len(in.Args)-1))
+		if len(in.Args) < 2 {
+			return nil, p.errf("gep needs at least one index")
+		}
+		elem, ok := GEPElem(pt, len(in.Args)-1)
+		if !ok {
+			return nil, p.errf("gep indexes through non-array %s", pt.Elem)
+		}
+		in.T = Ptr(elem)
 
 	case op == OpPhi:
 		t, err := p.parseType()
@@ -480,6 +809,7 @@ func (p *parser) parseInstr() (*Instr, error) {
 			blkTok := p.next()
 			blk := p.blocks[strings.TrimPrefix(blkTok, "%")]
 			if blk == nil {
+				p.pos--
 				return nil, p.errf("phi references unknown block %q", blkTok)
 			}
 			if err := p.expect("]"); err != nil {
@@ -487,7 +817,7 @@ func (p *parser) parseInstr() (*Instr, error) {
 			}
 			in.Args = append(in.Args, v)
 			in.Blocks = append(in.Blocks, blk)
-			if p.peek() != "," {
+			if p.peek() != "," || p.peekAt(1) != "[" {
 				break
 			}
 			p.next()
@@ -511,9 +841,11 @@ func (p *parser) parseInstr() (*Instr, error) {
 	case op == OpBr:
 		if p.peek() == "label" {
 			p.next()
-			blk := p.blocks[strings.TrimPrefix(p.next(), "%")]
+			blkTok := p.next()
+			blk := p.blocks[strings.TrimPrefix(blkTok, "%")]
 			if blk == nil {
-				return nil, p.errf("br to unknown block")
+				p.pos--
+				return nil, p.errf("br to unknown block %q", blkTok)
 			}
 			in.Blocks = []*Block{blk}
 		} else {
@@ -533,9 +865,11 @@ func (p *parser) parseInstr() (*Instr, error) {
 				if err := p.expect("label"); err != nil {
 					return nil, err
 				}
-				blk := p.blocks[strings.TrimPrefix(p.next(), "%")]
+				blkTok := p.next()
+				blk := p.blocks[strings.TrimPrefix(blkTok, "%")]
 				if blk == nil {
-					return nil, p.errf("br to unknown block")
+					p.pos--
+					return nil, p.errf("br to unknown block %q", blkTok)
 				}
 				in.Blocks = append(in.Blocks, blk)
 			}
@@ -553,6 +887,7 @@ func (p *parser) parseInstr() (*Instr, error) {
 		}
 
 	case op == OpCall:
+		p.skipParamAttrs()
 		t, err := p.parseType()
 		if err != nil {
 			return nil, err
@@ -560,9 +895,10 @@ func (p *parser) parseInstr() (*Instr, error) {
 		in.T = t
 		callee := p.next()
 		if !strings.HasPrefix(callee, "@") {
-			return nil, p.errf("call target must be @name")
+			p.pos--
+			return nil, p.errf("call target must be @name, got %q", callee)
 		}
-		in.Callee = strings.TrimPrefix(callee, "@")
+		in.Callee = intrinsicName(strings.TrimPrefix(callee, "@"))
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
@@ -598,6 +934,8 @@ func (p *parser) parseInstr() (*Instr, error) {
 	default:
 		return nil, p.errf("unsupported opcode %s", mnem)
 	}
+
+	p.skipInstrSuffix()
 
 	if in.HasResult() && in.Name == "" {
 		return nil, p.errf("%s result must be named", mnem)

@@ -1,0 +1,243 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// clangDot is a faithful clang-14 `-O1 -S -emit-llvm` shape: module header
+// with `;` inside string literals, discarded value names (numeric %0/%1
+// params, numeric labels, implicit entry block %3), `; preds =` comments,
+// nuw/nsw flags, `align`/`!tbaa`/`!llvm.loop` attachments, attribute
+// groups, and named/numbered metadata.
+const clangDot = `; ModuleID = 'dot.c'
+source_filename = "kernels/dot; rev 2.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+; Function Attrs: nofree norecurse nosync nounwind uwtable
+define dso_local double @dot(double* nocapture noundef readonly %0, double* nocapture noundef readonly %1, i64 noundef %2) local_unnamed_addr #0 {
+  %4 = icmp sgt i64 %2, 0
+  br i1 %4, label %5, label %13
+
+5:                                                ; preds = %3, %5
+  %6 = phi i64 [ %11, %5 ], [ 0, %3 ]
+  %7 = phi double [ %10, %5 ], [ 0.000000e+00, %3 ]
+  %8 = getelementptr inbounds double, double* %0, i64 %6
+  %9 = load double, double* %8, align 8, !tbaa !5
+  %x = getelementptr inbounds double, double* %1, i64 %6
+  %y = load double, double* %x, align 8, !tbaa !5
+  %m = fmul double %9, %y
+  %10 = fadd double %7, %m
+  %11 = add nuw nsw i64 %6, 1
+  %12 = icmp eq i64 %11, %2
+  br i1 %12, label %13, label %5, !llvm.loop !7
+
+13:                                               ; preds = %5, %3
+  %14 = phi double [ 0.000000e+00, %3 ], [ %10, %5 ]
+  ret double %14
+}
+
+attributes #0 = { nofree norecurse nosync nounwind uwtable "frame-pointer"="none" "min-legal-vector-width"="0" "target-cpu"="x86-64" }
+
+!llvm.module.flags = !{!0, !1, !2}
+!llvm.ident = !{!4}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 7, !"uwtable", i32 2}
+!2 = !{i32 7, !"frame-pointer", i32 2}
+!4 = !{!"clang version 14.0.0; vendor build"}
+!5 = !{!6, !6, i64 0}
+!6 = !{!"double", !3, i64 0}
+!7 = distinct !{!7, !8}
+!8 = !{!"llvm.loop.mustprogress"}
+`
+
+func TestParseClangStyleModule(t *testing.T) {
+	m, err := Parse("dot.ll", clangDot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("dot")
+	if f == nil {
+		t.Fatal("function dot missing")
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The implicit entry block must be Blocks[0], labeled with LLVM's
+	// next-unnamed number after the three numbered params.
+	if got := f.Blocks[0].BName; got != "3" {
+		t.Fatalf("implicit entry label = %q, want \"3\"", got)
+	}
+	// Execute: dot of [1,2,3,4] with itself = 30.
+	mem := NewFlatMem(0, 128)
+	a, b := uint64(0), uint64(32)
+	for i := 0; i < 4; i++ {
+		mem.WriteF64(a+uint64(i)*8, float64(i+1))
+		mem.WriteF64(b+uint64(i)*8, float64(i+1))
+	}
+	ret, _, err := Exec(f, []uint64{a, b, 4}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 30 {
+		t.Fatalf("dot = %g, want 30", got)
+	}
+}
+
+func TestParseClangIntrinsicsAndFlags(t *testing.T) {
+	src := `define dso_local double @hyp(double noundef %0, double noundef %1) local_unnamed_addr #0 {
+  %3 = fmul fast double %0, %0
+  %4 = fmul nnan ninf double %1, %1
+  %5 = fadd double %3, %4
+  %6 = tail call fast double @llvm.sqrt.f64(double %5)
+  %7 = fcmp fast ogt double %6, 0x3FB999999999999A
+  %8 = select i1 %7, double %6, double 1.000000e+00
+  ret double %8
+}
+
+declare double @llvm.sqrt.f64(double) #1
+`
+	m, err := Parse("hyp.ll", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("hyp")
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The llvm.sqrt.f64 callee must collapse to the engine intrinsic name.
+	found := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == OpCall {
+			found = true
+			if in.Callee != "sqrt" {
+				t.Fatalf("callee = %q, want sqrt", in.Callee)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no call parsed")
+	}
+	mem := NewFlatMem(0, 8)
+	ret, _, err := Exec(f, []uint64{FloatToBits(F64, 3), FloatToBits(F64, 4)}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 5 {
+		t.Fatalf("hyp(3,4) = %g, want 5", got)
+	}
+	// 0x3FB999999999999A is the bit pattern of 0.1: check it decoded as a
+	// bit pattern, not as a hex-float mantissa.
+	hexConst := f.Blocks[0].Instrs[4].Args[1]
+	if bits, ok := ConstBits(hexConst); !ok || FloatFromBits(F64, bits) != 0.1 {
+		t.Fatalf("hex float const decoded wrong: %v", hexConst)
+	}
+}
+
+func TestParseMultiIndexGEPMixedWidths(t *testing.T) {
+	src := `@grid = dso_local global [4 x [8 x double]] zeroinitializer, align 16
+
+define dso_local double @at(i64 noundef %0, i64 noundef %1) local_unnamed_addr #0 {
+  %3 = getelementptr inbounds [4 x [8 x double]], [4 x [8 x double]]* @grid, i64 0, i64 %0, i64 %1
+  %4 = load double, double* %3, align 8
+  ret double %4
+}
+`
+	m, err := Parse("grid.ll", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("at")
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	g := m.GlobalByName("grid")
+	if g == nil {
+		t.Fatal("global grid missing")
+	}
+	mem := NewFlatMem(0, 4*8*8)
+	g.Addr = 0
+	mem.WriteF64((2*8+5)*8, 42)
+	ret, _, err := Exec(f, []uint64{2, 5}, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FloatFromBits(F64, ret); got != 42 {
+		t.Fatalf("grid[2][5] = %g, want 42", got)
+	}
+}
+
+// Satellite: `;` inside string literals must not start a comment. The
+// clang module header carries strings with semicolons in source_filename,
+// metadata idents, and attribute values.
+func TestParseSemicolonInsideStrings(t *testing.T) {
+	src := `source_filename = "a;b.c"
+target datalayout = "e-m:e;bogus"
+
+define i64 @id(i64 %x) {
+entry:
+  ret i64 %x
+}
+
+attributes #0 = { "some-attr"="x;y" }
+
+!llvm.ident = !{!0}
+!0 = !{!"vendor clang; build 7"}
+`
+	m, err := Parse("semi.ll", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("id")
+	if f == nil {
+		t.Fatal("function id missing: a ; inside a string swallowed real tokens")
+	}
+	ret, _, err := Exec(f, []uint64{7}, NewFlatMem(0, 8), nil)
+	if err != nil || ret != 7 {
+		t.Fatalf("id(7) = %d, err = %v", ret, err)
+	}
+}
+
+// Satellite: every parse error must carry name:line:col so failures in
+// real .ll files are debuggable.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // required substring of the error, incl. position
+	}{
+		{
+			name: "bad mnemonic on line 3",
+			src:  "define i64 @f(i64 %x) {\nentry:\n  %y = frobnicate i64 %x, 1\n  ret i64 %y\n}\n",
+			want: "bad.ll:3:8",
+		},
+		{
+			name: "bad mnemonic at line start",
+			src:  "define i64 @f(i64 %x) {\nbogus ret i64 %x\n}\n",
+			want: "bad.ll:2:1",
+		},
+		{
+			name: "undefined value points at the use",
+			src:  "define i64 @f(i64 %x) {\nentry:\n  %y = add i64 %x, %ghost\n  ret i64 %y\n}\n",
+			want: "bad.ll:3:20",
+		},
+		{
+			name: "bad float literal",
+			src:  "define double @f(double %x) {\nentry:\n  %y = fadd double %x, 1.0q0\n  ret double %y\n}\n",
+			want: "bad.ll:3:24",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("bad.ll", tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry position %q", err, tc.want)
+			}
+		})
+	}
+}

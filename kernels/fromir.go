@@ -1,0 +1,38 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gosalam/ir"
+)
+
+// FromIR wraps a function from an externally produced LLVM-IR module
+// (e.g. clang `-O1 -S -emit-llvm` output parsed by ir.Parse) as a Kernel,
+// borrowing the workload — input data, golden Check, DMA extents — of a
+// built-in kernel with the same signature. The entry function is verified
+// and its signature checked parameter-by-parameter against the workload's,
+// so a mismatched kernel fails at load time, not mid-simulation.
+func FromIR(name string, m *ir.Module, entry string, workload *Kernel) (*Kernel, error) {
+	if workload == nil {
+		return nil, fmt.Errorf("kernels: FromIR %s: nil workload", name)
+	}
+	f := m.Func(entry)
+	if f == nil {
+		return nil, fmt.Errorf("kernels: FromIR %s: module %s has no function %q", name, m.Name, entry)
+	}
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("kernels: FromIR %s: %w", name, err)
+	}
+	wf := workload.F
+	if len(f.Params) != len(wf.Params) {
+		return nil, fmt.Errorf("kernels: FromIR %s: %s takes %d params, workload %s takes %d",
+			name, entry, len(f.Params), workload.Name, len(wf.Params))
+	}
+	for i, p := range f.Params {
+		if !ir.Equal(p.Type(), wf.Params[i].Type()) {
+			return nil, fmt.Errorf("kernels: FromIR %s: param %d is %s, workload %s expects %s",
+				name, i, p.Type(), workload.Name, wf.Params[i].Type())
+		}
+	}
+	return &Kernel{Name: name, M: m, F: f, Setup: workload.Setup}, nil
+}

@@ -1,0 +1,91 @@
+package salam_test
+
+// Ingestion gate for real clang-emitted LLVM IR: every fixture under
+// testdata/ll (validated against llvm-as-14 when authored) must parse,
+// verify, bind to its built-in workload, and simulate with the workload's
+// numeric golden check passing. The cycle fingerprints join the golden
+// determinism suite under ll/<name> keys.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	salam "gosalam"
+	"gosalam/ir"
+	"gosalam/kernels"
+)
+
+// llWorkloads binds each clang-emitted fixture to the built-in kernel
+// whose workload (input data + golden check) it implements. Fixture sizes
+// are fixed in the C source, so they pair with the Small preset.
+var llWorkloads = []struct {
+	File     string // under testdata/ll
+	Entry    string // function to simulate
+	Workload string // built-in kernel supplying Setup/Check
+}{
+	{"gemm.ll", "gemm", "gemm"},
+	{"spmv.ll", "spmv", "spmv"},
+	{"relu.ll", "relu", "relu"},
+}
+
+// llKernels loads every bound fixture. Used by the golden suite, so load
+// failures are fatal: a fixture that stops parsing is a regression.
+func llKernels(t *testing.T) []*kernels.Kernel {
+	t.Helper()
+	out := make([]*kernels.Kernel, 0, len(llWorkloads))
+	for _, w := range llWorkloads {
+		src, err := os.ReadFile(filepath.Join("testdata", "ll", w.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ir.Parse(w.File, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := kernels.FromIR("ll/"+w.Workload, m, w.Entry, kernels.ByName(kernels.Small, w.Workload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestLLFixturesSimulate is the ll-smoke gate: each fixture simulates at
+// DefaultRunOpts and the borrowed workload Check validates the numeric
+// results — proving the clang-shaped IR computes exactly what the
+// hand-built kernel does, not merely that it parses.
+func TestLLFixturesSimulate(t *testing.T) {
+	for _, k := range llKernels(t) {
+		res, err := salam.RunKernel(k, salam.DefaultRunOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if res.Cycles == 0 {
+			t.Fatalf("%s: zero cycles", k.Name)
+		}
+	}
+}
+
+// TestLLFixturesStrayFiles keeps the fixture dir and the workload table in
+// sync: an .ll file without a golden binding would silently escape the
+// suite.
+func TestLLFixturesStrayFiles(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "ll", "*.ll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := map[string]bool{}
+	for _, w := range llWorkloads {
+		bound[w.File] = true
+	}
+	for _, p := range paths {
+		if !bound[filepath.Base(p)] {
+			t.Errorf("%s has no entry in llWorkloads (golden suite will not cover it)", p)
+		}
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 clang fixtures, found %d", len(paths))
+	}
+}

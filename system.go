@@ -106,7 +106,11 @@ type AccelNode struct {
 
 // NewSoC builds a system with dramMB of DRAM plus an 8 MB scratchpad
 // arena, a 1.2 GHz host, and a 1 GHz system interconnect.
-func NewSoC(dramMB int) *SoC {
+func NewSoC(dramMB int) *SoC { return NewSoCXbar(dramMB, 8) }
+
+// NewSoCXbar is NewSoC with an explicit global-crossbar width
+// (requests per cycle); declarative configs route through this.
+func NewSoCXbar(dramMB, xbarWidth int) *SoC {
 	dramBytes := uint64(dramMB) << 20
 	spmArena := uint64(8) << 20
 	s := &SoC{
@@ -121,7 +125,10 @@ func NewSoC(dramMB int) *SoC {
 	s.nextMMR = 0xF0000000
 	s.nextWin = 0xE0000000
 
-	s.Xbar = mem.NewCrossbar("xbar", s.Q, s.SysClk, 1, 8, s.Stats)
+	if xbarWidth <= 0 {
+		xbarWidth = 8
+	}
+	s.Xbar = mem.NewCrossbar("xbar", s.Q, s.SysClk, 1, xbarWidth, s.Stats)
 	s.DRAM = mem.NewDRAM("dram", s.Q, s.SysClk, s.Space,
 		mem.AddrRange{Base: 0, Size: dramBytes}, s.Stats)
 	s.Xbar.SetDefault(s.DRAM)

@@ -1,0 +1,72 @@
+; ModuleID = 'gemm.c'
+source_filename = "gemm.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+; void gemm(const double *a, const double *b, double *c)   [n = 8]
+;   compiled: clang-14 -O1 -S -emit-llvm gemm.c
+
+; Function Attrs: nofree norecurse nosync nounwind uwtable
+define dso_local void @gemm(double* nocapture noundef readonly %0, double* nocapture noundef readonly %1, double* nocapture noundef writeonly %2) local_unnamed_addr #0 {
+  br label %4
+
+4:                                                ; preds = %3, %28
+  %5 = phi i64 [ 0, %3 ], [ %29, %28 ]
+  %6 = shl nuw nsw i64 %5, 3
+  br label %7
+
+7:                                                ; preds = %4, %23
+  %8 = phi i64 [ 0, %4 ], [ %26, %23 ]
+  br label %9
+
+9:                                                ; preds = %7, %9
+  %10 = phi i64 [ 0, %7 ], [ %21, %9 ]
+  %11 = phi double [ 0.000000e+00, %7 ], [ %20, %9 ]
+  %12 = add nuw nsw i64 %6, %10
+  %13 = getelementptr inbounds double, double* %0, i64 %12
+  %14 = load double, double* %13, align 8, !tbaa !5
+  %15 = shl nuw nsw i64 %10, 3
+  %16 = add nuw nsw i64 %15, %8
+  %17 = getelementptr inbounds double, double* %1, i64 %16
+  %18 = load double, double* %17, align 8, !tbaa !5
+  %19 = fmul double %14, %18
+  %20 = fadd double %11, %19
+  %21 = add nuw nsw i64 %10, 1
+  %22 = icmp eq i64 %21, 8
+  br i1 %22, label %23, label %9, !llvm.loop !9
+
+23:                                               ; preds = %9
+  %24 = add nuw nsw i64 %6, %8
+  %25 = getelementptr inbounds double, double* %2, i64 %24
+  store double %20, double* %25, align 8, !tbaa !5
+  %26 = add nuw nsw i64 %8, 1
+  %27 = icmp eq i64 %26, 8
+  br i1 %27, label %28, label %7, !llvm.loop !11
+
+28:                                               ; preds = %23
+  %29 = add nuw nsw i64 %5, 1
+  %30 = icmp eq i64 %29, 8
+  br i1 %30, label %31, label %4, !llvm.loop !12
+
+31:                                               ; preds = %28
+  ret void
+}
+
+attributes #0 = { nofree norecurse nosync nounwind uwtable "frame-pointer"="none" "min-legal-vector-width"="0" "no-trapping-math"="true" "stack-protector-buffer-size"="8" "target-cpu"="x86-64" "target-features"="+cx8,+fxsr,+mmx,+sse,+sse2,+x87" "tune-cpu"="generic" }
+
+!llvm.module.flags = !{!0, !1, !2, !3}
+!llvm.ident = !{!4}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 7, !"PIC Level", i32 2}
+!2 = !{i32 7, !"uwtable", i32 2}
+!3 = !{i32 7, !"frame-pointer", i32 2}
+!4 = !{!"Debian clang version 14.0.6"}
+!5 = !{!6, !6, i64 0}
+!6 = !{!"double", !7, i64 0}
+!7 = !{!"omnipotent char", !8, i64 0}
+!8 = !{!"Simple C/C++ TBAA"}
+!9 = distinct !{!9, !10}
+!10 = !{!"llvm.loop.mustprogress"}
+!11 = distinct !{!11, !10}
+!12 = distinct !{!12, !10}

@@ -1,0 +1,46 @@
+; ModuleID = 'relu.c'
+source_filename = "relu.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+; void relu(const double *in, double *out)                  [n = 256]
+;   compiled: clang-14 -O1 -fno-discard-value-names -S -emit-llvm relu.c
+; (value names preserved: the other fixture spelling users bring)
+
+; Function Attrs: nofree norecurse nosync nounwind uwtable
+define dso_local void @relu(double* nocapture noundef readonly %in, double* nocapture noundef writeonly %out) local_unnamed_addr #0 {
+entry:
+  br label %for.body
+
+for.body:                                         ; preds = %entry, %for.body
+  %i.06 = phi i64 [ 0, %entry ], [ %inc, %for.body ]
+  %arrayidx = getelementptr inbounds double, double* %in, i64 %i.06
+  %0 = load double, double* %arrayidx, align 8, !tbaa !5
+  %cmp1 = fcmp ogt double %0, 0.000000e+00
+  %cond = select i1 %cmp1, double %0, double 0.000000e+00
+  %arrayidx2 = getelementptr inbounds double, double* %out, i64 %i.06
+  store double %cond, double* %arrayidx2, align 8, !tbaa !5
+  %inc = add nuw nsw i64 %i.06, 1
+  %exitcond.not = icmp eq i64 %inc, 256
+  br i1 %exitcond.not, label %for.cond.cleanup, label %for.body, !llvm.loop !9
+
+for.cond.cleanup:                                 ; preds = %for.body
+  ret void
+}
+
+attributes #0 = { nofree norecurse nosync nounwind uwtable "frame-pointer"="none" "min-legal-vector-width"="0" "no-trapping-math"="true" "stack-protector-buffer-size"="8" "target-cpu"="x86-64" "target-features"="+cx8,+fxsr,+mmx,+sse,+sse2,+x87" "tune-cpu"="generic" }
+
+!llvm.module.flags = !{!0, !1, !2, !3}
+!llvm.ident = !{!4}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 7, !"PIC Level", i32 2}
+!2 = !{i32 7, !"uwtable", i32 2}
+!3 = !{i32 7, !"frame-pointer", i32 2}
+!4 = !{!"Debian clang version 14.0.6"}
+!5 = !{!6, !6, i64 0}
+!6 = !{!"double", !7, i64 0}
+!7 = !{!"omnipotent char", !8, i64 0}
+!8 = !{!"Simple C/C++ TBAA"}
+!9 = distinct !{!9, !10}
+!10 = !{!"llvm.loop.mustprogress"}

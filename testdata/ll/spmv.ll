@@ -1,0 +1,68 @@
+; ModuleID = 'spmv.c'
+source_filename = "spmv.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+; void spmv(const double *val, const long *cols, const long *row_delim,
+;           const double *vec, double *out)                 [n = 32 rows, CRS]
+;   compiled: clang-14 -O1 -S -emit-llvm spmv.c
+; The inner loop bounds are data-dependent (row_delim), so clang keeps the
+; rotated-loop guard (%13) and the sum merges through a phi at %27.
+
+; Function Attrs: nofree norecurse nosync nounwind uwtable
+define dso_local void @spmv(double* nocapture noundef readonly %0, i64* nocapture noundef readonly %1, i64* nocapture noundef readonly %2, double* nocapture noundef readonly %3, double* nocapture noundef writeonly %4) local_unnamed_addr #0 {
+  br label %6
+
+6:                                                ; preds = %5, %27
+  %7 = phi i64 [ 0, %5 ], [ %10, %27 ]
+  %8 = getelementptr inbounds i64, i64* %2, i64 %7
+  %9 = load i64, i64* %8, align 8, !tbaa !5
+  %10 = add nuw nsw i64 %7, 1
+  %11 = getelementptr inbounds i64, i64* %2, i64 %10
+  %12 = load i64, i64* %11, align 8, !tbaa !5
+  %13 = icmp slt i64 %9, %12
+  br i1 %13, label %14, label %27
+
+14:                                               ; preds = %6, %14
+  %15 = phi i64 [ %25, %14 ], [ %9, %6 ]
+  %16 = phi double [ %24, %14 ], [ 0.000000e+00, %6 ]
+  %17 = getelementptr inbounds double, double* %0, i64 %15
+  %18 = load double, double* %17, align 8, !tbaa !5
+  %19 = getelementptr inbounds i64, i64* %1, i64 %15
+  %20 = load i64, i64* %19, align 8, !tbaa !5
+  %21 = getelementptr inbounds double, double* %3, i64 %20
+  %22 = load double, double* %21, align 8, !tbaa !5
+  %23 = fmul double %18, %22
+  %24 = fadd double %16, %23
+  %25 = add nsw i64 %15, 1
+  %26 = icmp eq i64 %25, %12
+  br i1 %26, label %27, label %14, !llvm.loop !9
+
+27:                                               ; preds = %14, %6
+  %28 = phi double [ 0.000000e+00, %6 ], [ %24, %14 ]
+  %29 = getelementptr inbounds double, double* %4, i64 %7
+  store double %28, double* %29, align 8, !tbaa !5
+  %30 = icmp eq i64 %10, 32
+  br i1 %30, label %31, label %6, !llvm.loop !11
+
+31:                                               ; preds = %27
+  ret void
+}
+
+attributes #0 = { nofree norecurse nosync nounwind uwtable "frame-pointer"="none" "min-legal-vector-width"="0" "no-trapping-math"="true" "stack-protector-buffer-size"="8" "target-cpu"="x86-64" "target-features"="+cx8,+fxsr,+mmx,+sse,+sse2,+x87" "tune-cpu"="generic" }
+
+!llvm.module.flags = !{!0, !1, !2, !3}
+!llvm.ident = !{!4}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 7, !"PIC Level", i32 2}
+!2 = !{i32 7, !"uwtable", i32 2}
+!3 = !{i32 7, !"frame-pointer", i32 2}
+!4 = !{!"Debian clang version 14.0.6"}
+!5 = !{!6, !6, i64 0}
+!6 = !{!"double", !7, i64 0}
+!7 = !{!"omnipotent char", !8, i64 0}
+!8 = !{!"Simple C/C++ TBAA"}
+!9 = distinct !{!9, !10}
+!10 = !{!"llvm.loop.mustprogress"}
+!11 = distinct !{!11, !10}
